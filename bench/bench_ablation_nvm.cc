@@ -1,0 +1,50 @@
+// Ablation: the paper's motivating environment question — "under the drag
+// of slower hardware such as NVM, does the learned index's advantage
+// survive, i.e. is the bottleneck the medium or the index?" We sweep the
+// injected NVM latency from 0 (pure DRAM) upward and watch the relative
+// gap between the fastest learned index, the B+Tree and the hash index
+// compress as the medium dominates.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: NVM latency sensitivity",
+              "as the medium slows, index differences compress — but the "
+              "ordering (learned > tree) survives (the paper's Viper "
+              "finding)");
+  const size_t n = BaseKeys();
+  std::vector<Key> keys = MakeKeys("ycsb", n, 17);
+  auto ops = GenerateOps(WorkloadSpec::ReadOnly(), 100'000, keys, {});
+
+  std::printf("%-12s %12s %12s %12s %14s\n", "nvm-ns", "ALEX", "BTree",
+              "Hash", "ALEX/BTree");
+  for (uint64_t latency : {0ull, 200ull, 500ull, 1000ull, 3000ull}) {
+    double mops[3];
+    int i = 0;
+    for (const char* name : {"ALEX", "BTree", "Hash"}) {
+      ViperStore::Config cfg;
+      cfg.value_size = 200;
+      cfg.pmem_capacity = keys.size() * 208 * 4 + (64 << 20);
+      cfg.read_latency_ns = latency;
+      cfg.write_latency_ns = latency;
+      ViperStore store(MakeIndex(name), cfg);
+      if (!store.BulkLoad(keys)) return;
+      mops[i++] = RunStoreOps(&store, ops).mops;
+    }
+    std::printf("%-12llu %12.3f %12.3f %12.3f %14.2f\n",
+                static_cast<unsigned long long>(latency), mops[0], mops[1],
+                mops[2], mops[0] / mops[1]);
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Ablation (paper §VI): the in-leaf "last mile" search algorithms —
+// binary, branchless binary, exponential (from a model hint),
+// interpolation, and three-point interpolation — measured with
+// google-benchmark over dataset distributions and error-window sizes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/search.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+const std::vector<uint64_t>& Keys(int dataset) {
+  static const std::vector<uint64_t> ycsb = MakeKeys("ycsb", 1 << 20, 7);
+  static const std::vector<uint64_t> osm = MakeKeys("osm", 1 << 20, 7);
+  static const std::vector<uint64_t> face = MakeKeys("face", 1 << 20, 7);
+  switch (dataset) {
+    case 1: return osm;
+    case 2: return face;
+    default: return ycsb;
+  }
+}
+
+// Pre-generates probe keys (existing) for a run.
+std::vector<uint64_t> Probes(const std::vector<uint64_t>& keys, size_t n) {
+  Rng rng(11);
+  std::vector<uint64_t> probes(n);
+  for (uint64_t& p : probes) p = keys[rng.NextUnder(keys.size())];
+  return probes;
+}
+
+void BM_BinarySearch(benchmark::State& state) {
+  const auto& keys = Keys(static_cast<int>(state.range(0)));
+  auto probes = Probes(keys, 4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinarySearchLowerBound(
+        keys.data(), 0, keys.size(), probes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_BinarySearch)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BranchlessSearch(benchmark::State& state) {
+  const auto& keys = Keys(static_cast<int>(state.range(0)));
+  auto probes = Probes(keys, 4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BranchlessLowerBound(keys.data(), 0,
+                                                  keys.size(),
+                                                  probes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_BranchlessSearch)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_InterpolationSearch(benchmark::State& state) {
+  const auto& keys = Keys(static_cast<int>(state.range(0)));
+  auto probes = Probes(keys, 4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InterpolationSearchLowerBound(
+        keys.data(), 0, keys.size(), probes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_InterpolationSearch)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ThreePointSearch(benchmark::State& state) {
+  const auto& keys = Keys(static_cast<int>(state.range(0)));
+  auto probes = Probes(keys, 4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThreePointSearchLowerBound(
+        keys.data(), 0, keys.size(), probes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_ThreePointSearch)->Arg(0)->Arg(1)->Arg(2);
+
+// Exponential search from a hint that is off by `range(1)` positions —
+// the model-error regime every learned index lives in.
+void BM_ExponentialFromHint(benchmark::State& state) {
+  const auto& keys = Keys(0);
+  Rng rng(13);
+  struct Probe {
+    uint64_t key;
+    size_t hint;
+  };
+  std::vector<Probe> probes(4096);
+  size_t err = static_cast<size_t>(state.range(1));
+  for (Probe& p : probes) {
+    size_t rank = rng.NextUnder(keys.size());
+    p.key = keys[rank];
+    size_t off = rng.NextUnder(2 * err + 1);
+    size_t hint = rank + off >= err ? rank + off - err : 0;
+    p.hint = hint >= keys.size() ? keys.size() - 1 : hint;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Probe& p = probes[i++ & 4095];
+    benchmark::DoNotOptimize(
+        ExponentialSearchLowerBound(keys.data(), keys.size(), p.hint, p.key));
+  }
+}
+BENCHMARK(BM_ExponentialFromHint)
+    ->Args({0, 0})
+    ->Args({0, 8})
+    ->Args({0, 64})
+    ->Args({0, 512})
+    ->Args({0, 4096});
+
+// Bounded binary search inside a +-eps window (the PGM/FITing last mile).
+void BM_BoundedBinaryWindow(benchmark::State& state) {
+  const auto& keys = Keys(0);
+  Rng rng(13);
+  size_t eps = static_cast<size_t>(state.range(0));
+  struct Probe {
+    uint64_t key;
+    size_t lo;
+    size_t hi;
+  };
+  std::vector<Probe> probes(4096);
+  for (Probe& p : probes) {
+    size_t rank = rng.NextUnder(keys.size());
+    p.key = keys[rank];
+    p.lo = rank > eps ? rank - eps : 0;
+    p.hi = std::min(keys.size(), rank + eps + 1);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Probe& p = probes[i++ & 4095];
+    benchmark::DoNotOptimize(
+        BinarySearchLowerBound(keys.data(), p.lo, p.hi, p.key));
+  }
+}
+BENCHMARK(BM_BoundedBinaryWindow)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+}  // namespace pieces
+
+BENCHMARK_MAIN();

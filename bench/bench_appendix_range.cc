@@ -1,0 +1,46 @@
+// Paper appendix: range-query performance of the learned indexes (the
+// paper evaluated ranges and shipped the plots in its online appendix).
+// Scans of growing length over the Viper store: short scans are dominated
+// by the lookup (learned indexes win like Fig. 10); long scans are
+// dominated by sequential leaf traversal, where layout matters — gapped
+// arrays (ALEX) touch more slots than packed arrays (PGM/FITing).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Appendix: range queries (scan length sweep)",
+              "short scans follow the lookup ranking; long scans narrow "
+              "the gap and favour packed leaf layouts");
+  const size_t n = BaseKeys();
+  std::vector<Key> keys = MakeKeys("ycsb", n, 17);
+  for (uint32_t len : {10u, 100u, 1000u}) {
+    WorkloadSpec spec;
+    spec.read_pct = 0;
+    spec.scan_pct = 100;
+    spec.scan_len = len;
+    auto ops = GenerateOps(spec, 20'000, keys, {});
+    std::printf("\n-- scan length %u --\n", len);
+    for (const char* name : {"RMI", "RS", "FITing-tree-buf", "PGM", "ALEX",
+                             "XIndex", "LIPP", "BTree", "ART", "Wormhole",
+                             "SkipList"}) {
+      auto store = MakeStore(name, keys);
+      if (store == nullptr) continue;
+      RunResult r = RunStoreOps(store.get(), ops);
+      std::printf("%-18s %10.1f Kscans/s   p50 %8llu ns\n", name,
+                  r.mops * 1000.0,
+                  static_cast<unsigned long long>(r.latency.P50()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

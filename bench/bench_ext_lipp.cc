@@ -1,0 +1,65 @@
+// Paper extension (§V-B1): the paper predicts that an asymmetric tree
+// with an actively reshaped CDF and *precise positions* — i.e. LIPP,
+// which was not open source at the time — should beat the evaluated
+// indexes on lookups. This bench tests that prediction: LIPP vs ALEX vs
+// PGM vs BTree on read-only lookups and on inserts.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Extension: LIPP (the paper's §V-B1 prediction)",
+              "precise positions should make lookups faster than any "
+              "search-based learned index, at extra space cost");
+  const size_t n = BaseKeys();
+  const size_t ops_n = 400'000;
+  for (const char* ds : {"ycsb", "osm"}) {
+    std::vector<Key> all = MakeKeys(ds, n + n / 3, 17);
+    std::vector<Key> load;
+    std::vector<Key> inserts;
+    SplitLoadAndInserts(all, 4, &load, &inserts);
+    std::vector<KeyValue> data;
+    for (Key k : load) data.push_back({k, k});
+
+    std::printf("\n-- dataset %s (bare index, no KV store) --\n", ds);
+    std::printf("%-10s %14s %14s %10s %12s\n", "index", "lookup-Mops",
+                "insert-Mops", "avg-depth", "index-MB");
+    for (const char* name : {"LIPP", "ALEX", "PGM", "BTree"}) {
+      auto index = MakeIndex(name);
+      index->BulkLoad(data);
+
+      Rng rng(5);
+      std::vector<Key> probes(ops_n);
+      for (Key& p : probes) p = load[rng.NextUnder(load.size())];
+      Timer timer;
+      Value v = 0;
+      uint64_t found = 0;
+      for (Key p : probes) found += index->Get(p, &v);
+      double lookup_mops =
+          static_cast<double>(ops_n) / timer.ElapsedSeconds() / 1e6;
+      if (found != probes.size()) std::printf("(lookup misses!)");
+
+      Timer ins_timer;
+      for (Key k : inserts) index->Insert(k, k);
+      double insert_mops = static_cast<double>(inserts.size()) /
+                           ins_timer.ElapsedSeconds() / 1e6;
+
+      IndexStats s = index->Stats();
+      std::printf("%-10s %14.3f %14.3f %10.2f %12.2f\n", name, lookup_mops,
+                  insert_mops, s.avg_depth,
+                  static_cast<double>(index->TotalSizeBytes()) / 1e6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 10: end-to-end read-only throughput and p99.9 tail latency in the
+// Viper store, YCSB and OSM key sets, dataset growing 1x -> 4x (the
+// paper's 200M -> 800M). Paper findings: ALEX wins among sorted indexes
+// (4-30% over other learned ones); learned indexes beat the traditional
+// tree indexes; ALEX/RMI tails grow with data size (no max-error bound);
+// RS degrades as data outgrows its fixed radix prefix; everything learned
+// slows on OSM.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 10: read-only end-to-end (Viper)",
+              "ALEX best overall; learned > traditional trees; tails of "
+              "unbounded-error indexes grow with dataset size");
+  const size_t ops_n = 200'000;
+  for (const char* ds : {"ycsb", "osm"}) {
+    for (size_t mult : {1, 4}) {
+      size_t n = BaseKeys() * mult;
+      std::vector<Key> keys = MakeKeys(ds, n, 17);
+      auto ops = GenerateOps(WorkloadSpec::ReadOnly(), ops_n, keys, {});
+      std::printf("\n-- dataset %s, %zu keys --\n", ds, n);
+      for (const std::string& name : AllIndexNames()) {
+        auto store = MakeStore(name, keys);
+        if (store == nullptr) continue;
+        RunResult r = RunStoreOps(store.get(), ops);
+        PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

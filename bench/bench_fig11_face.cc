@@ -1,0 +1,47 @@
+// Fig. 11: read-only performance on the FACE(-like) skewed key set.
+// Paper finding: RS collapses because almost every key shares the same
+// r-bit prefix (its radix table stops discriminating), while the other
+// learned indexes keep their ordering.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "learned/radix_spline.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 11: FACE-like skew",
+              "RS degrades sharply (radix prefix useless under skew); "
+              "other learned indexes hold up");
+  const size_t n = BaseKeys();
+  const size_t ops_n = 200'000;
+  for (const char* ds : {"ycsb", "face"}) {
+    std::vector<Key> keys = MakeKeys(ds, n, 17);
+    auto ops = GenerateOps(WorkloadSpec::ReadOnly(), ops_n, keys, {});
+    std::printf("\n-- dataset %s --\n", ds);
+    for (const char* name :
+         {"RS", "RMI", "PGM", "ALEX", "FITing-tree-buf", "BTree"}) {
+      auto store = MakeStore(name, keys);
+      if (store == nullptr) continue;
+      RunResult r = RunStoreOps(store.get(), ops);
+      PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+    }
+    // Show the mechanism: spline points per used radix cell.
+    RadixSpline rs(18, 32);
+    std::vector<KeyValue> data;
+    for (Key k : keys) data.push_back({k, k});
+    rs.BulkLoad(data);
+    std::printf("RS radix-table degeneracy: %.1f spline points per used "
+                "cell (%zu spline points total)\n",
+                rs.AvgSplinePointsPerUsedCell(), rs.Stats().leaf_count + 1);
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

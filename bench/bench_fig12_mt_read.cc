@@ -1,0 +1,41 @@
+// Fig. 12: multi-threaded read-only throughput and tail latency (all
+// indexes support concurrent reads). Paper finding: the hash index (CCEH)
+// scales best; learned indexes scale with threads until the memory
+// bandwidth saturates. (On this simulated substrate the shape of interest
+// is the relative scaling, not the absolute saturation point.)
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 12: multi-threaded read-only",
+              "hash scales best; all indexes gain with threads until "
+              "bandwidth saturates");
+  const size_t n = BaseKeys();
+  const size_t ops_n = 200'000;
+  std::vector<Key> keys = MakeKeys("ycsb", n, 17);
+  auto ops = GenerateOps(WorkloadSpec::ReadOnly(), ops_n, keys, {});
+  size_t max_threads = BenchMaxThreads();
+  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+    std::printf("\n-- %zu thread(s) --\n", threads);
+    for (const char* name : {"ALEX", "PGM", "XIndex", "RS",
+                             "FITing-tree-buf", "BTree", "OLC-BTree",
+                             "SkipList", "ART", "Wormhole", "Hash"}) {
+      auto store = MakeStore(name, keys);
+      if (store == nullptr) continue;
+      RunResult r = RunStoreOps(store.get(), ops, threads);
+      PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

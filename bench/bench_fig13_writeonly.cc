@@ -1,0 +1,44 @@
+// Fig. 13: end-to-end write-only (insert) throughput and p99.9 tail,
+// dataset 1x -> 4x. Paper findings: ALEX clearly wins among learned
+// indexes (gapped inserts); FITing-tree-inp is worst with >100us tails
+// (mass key movement); offsite-buffer indexes (XIndex, FITing-tree-buf)
+// degrade most as the dataset grows (batch retrain storms).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 13: write-only end-to-end (Viper)",
+              "ALEX best; FITing-tree-inp worst with huge tails; buffer "
+              "strategies degrade as data grows");
+  const size_t ops_n = 200'000;
+  for (const char* ds : {"ycsb", "osm"}) {
+    for (size_t mult : {1, 4}) {
+      size_t n = BaseKeys() * mult;
+      // Hold out every 4th key as the insert stream.
+      std::vector<Key> all = MakeKeys(ds, n + n / 3, 17);
+      std::vector<Key> load;
+      std::vector<Key> inserts;
+      SplitLoadAndInserts(all, 4, &load, &inserts);
+      auto ops = GenerateOps(WorkloadSpec::WriteOnly(), ops_n, load, inserts);
+      std::printf("\n-- dataset %s, %zu loaded keys --\n", ds, load.size());
+      for (const std::string& name : UpdatableIndexNames()) {
+        auto store = MakeStore(name, load);
+        if (store == nullptr) continue;
+        RunResult r = RunStoreOps(store.get(), ops);
+        PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 14: multi-threaded write-only. Among the learned indexes only
+// XIndex supports concurrent writes; the paper compares it against the
+// concurrent traditional indexes and finds it lands in the same band
+// (close to Masstree). Here the traditional side is OLC-BTree (the
+// Masstree/Bw-tree class), SkipList and the hash index.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 14: multi-threaded write-only",
+              "XIndex (the only concurrent-write learned index) lands in "
+              "the same band as the concurrent traditional indexes");
+  const size_t n = BaseKeys();
+  const size_t ops_n = 200'000;
+  std::vector<Key> all = MakeKeys("ycsb", n + n / 3, 17);
+  std::vector<Key> load;
+  std::vector<Key> inserts;
+  SplitLoadAndInserts(all, 4, &load, &inserts);
+  auto ops = GenerateOps(WorkloadSpec::WriteOnly(), ops_n, load, inserts);
+  size_t max_threads = BenchMaxThreads();
+  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+    std::printf("\n-- %zu thread(s) --\n", threads);
+    for (const char* name : {"XIndex", "OLC-BTree", "SkipList", "Hash"}) {
+      auto store = MakeStore(name, load);
+      if (store == nullptr) continue;
+      RunResult r = RunStoreOps(store.get(), ops, threads);
+      PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 15: read-write-mixed workloads YCSB-A/B/D/F (zipfian request
+// skew). Paper findings: ALEX keeps its lead across all mixes; every
+// other learned index drops hard on YCSB-D because its writes are true
+// *insertions* (not updates), stressing the insert + retrain path.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 15: read-write-mixed (YCSB-A/B/D/F)",
+              "ALEX stays strong everywhere; other learned indexes cliff "
+              "on YCSB-D (inserts, not updates)");
+  const size_t n = BaseKeys();
+  const size_t ops_n = 200'000;
+  std::vector<Key> all = MakeKeys("ycsb", n + n / 3, 17);
+  std::vector<Key> load;
+  std::vector<Key> inserts;
+  SplitLoadAndInserts(all, 4, &load, &inserts);
+
+  struct Mix {
+    const char* name;
+    WorkloadSpec spec;
+  };
+  const Mix mixes[] = {
+      {"YCSB-A", WorkloadSpec::YcsbA()},
+      {"YCSB-B", WorkloadSpec::YcsbB()},
+      {"YCSB-D", WorkloadSpec::YcsbD()},
+      {"YCSB-F", WorkloadSpec::YcsbF()},
+  };
+  for (const Mix& mix : mixes) {
+    auto ops = GenerateOps(mix.spec, ops_n, load, inserts);
+    std::printf("\n-- %s --\n", mix.name);
+    for (const std::string& name : UpdatableIndexNames()) {
+      auto store = MakeStore(name, load);
+      if (store == nullptr) continue;
+      RunResult r = RunStoreOps(store.get(), ops);
+      PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

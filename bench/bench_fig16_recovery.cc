@@ -1,0 +1,48 @@
+// Fig. 16: index recovery time after a crash — rebuild the DRAM index
+// from the persistent value pages, at 1x and 4x dataset size. Paper
+// findings: BTree(-family) recovers fastest among ordered indexes; RS is
+// the fastest learned index (single pass); PGM is moderate; ALEX and
+// XIndex are the slowest learned indexes and the gap widens with scale.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace pieces::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 16: recovery (index rebuild) time",
+              "RS fastest learned (single pass); ALEX/XIndex slowest and "
+              "the spread widens with dataset size");
+  for (size_t mult : {1, 4}) {
+    size_t n = BaseKeys() * mult;
+    std::vector<Key> keys = MakeUniformKeys(n, 17);
+    std::vector<KeyValue> entries;
+    entries.reserve(n);
+    for (Key k : keys) entries.push_back({k, k});
+    std::printf("\n-- %zu keys --\n", n);
+    std::printf("%-18s %14s %16s\n", "index", "build-ms",
+                "total-recover-ms");
+    for (const std::string& name : AllIndexNames()) {
+      // Pure index (re)build time: the paper's Fig. 16 quantity.
+      auto index = MakeIndex(name);
+      Timer timer;
+      index->BulkLoad(entries);
+      double build_ms = static_cast<double>(timer.ElapsedNanos()) / 1e6;
+      // End-to-end recovery: PMem page scan + sort + rebuild.
+      auto store = MakeStore(name, keys);
+      if (store == nullptr) continue;
+      uint64_t nanos = store->Recover();
+      std::printf("%-18s %14.1f %16.1f\n", name.c_str(), build_ms,
+                  static_cast<double>(nanos) / 1e6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

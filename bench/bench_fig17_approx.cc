@@ -1,0 +1,145 @@
+// Fig. 17(a)+(b): the approximation-algorithm dimension in isolation.
+// (a) relationship between a leaf's average error and its in-leaf lookup
+//     time — lower error, faster leaf search;
+// (b) relationship between average error and the number of leaves each
+//     algorithm produces at matched settings.
+// Paper findings: Opt-PLA produces ~2 orders of magnitude fewer leaves
+// than LSA at comparable error; LSA-gap escapes the error-vs-leaf-count
+// conflict entirely by reshaping the CDF (low error AND few leaves).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/search.h"
+#include "pla/lsa.h"
+#include "pla/optimal_pla.h"
+#include "pla/segment.h"
+
+namespace pieces::bench {
+namespace {
+
+constexpr size_t kLookups = 100'000;
+
+// Measures in-leaf lookup cost for a PLA layout: locate the segment (not
+// timed), then search the true rank inside the error window (timed).
+double MeasurePlaLeafNs(const PlaResult& pla, const std::vector<Key>& keys) {
+  Rng rng(7);
+  // Pre-resolve lookup keys and their segments so timing covers only the
+  // in-leaf search.
+  std::vector<std::pair<Key, const Segment*>> probes;
+  probes.reserve(kLookups);
+  for (size_t i = 0; i < kLookups; ++i) {
+    Key k = keys[rng.NextUnder(keys.size())];
+    probes.push_back({k, &pla.segments[FindSegment(pla.segments, k)]});
+  }
+  size_t err = pla.max_error + 1;
+  Timer timer;
+  uint64_t sink = 0;
+  for (const auto& [k, seg] : probes) {
+    size_t pred = seg->PredictRank(k);
+    size_t lo = pred > err ? pred - err : 0;
+    size_t hi = std::min(keys.size(), pred + err + 1);
+    sink += BinarySearchLowerBound(keys.data(), lo, hi, k);
+  }
+  double ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+  if (sink == 42) std::printf("#");  // Defeat dead-code elimination.
+  return ns;
+}
+
+// Materialized gapped arrays for an LSA-gap layout.
+struct GappedArrays {
+  std::vector<std::vector<Key>> slots;  // Per segment, sentinel-filled.
+  std::vector<std::vector<uint8_t>> occ;
+};
+
+GappedArrays Materialize(const LsaGapResult& gap,
+                         const std::vector<Key>& keys) {
+  GappedArrays arrays;
+  for (const GappedSegment& g : gap.segments) {
+    std::vector<Key> slot_keys(g.capacity, ~0ull);
+    std::vector<uint8_t> occ(g.capacity, 0);
+    for (size_t i = 0; i < g.count; ++i) {
+      slot_keys[g.slots[i]] = keys[g.base_rank + i];
+      occ[g.slots[i]] = 1;
+    }
+    Key carry = ~0ull;
+    for (size_t i = g.capacity; i-- > 0;) {
+      if (occ[i]) {
+        carry = slot_keys[i];
+      } else {
+        slot_keys[i] = carry;
+      }
+    }
+    arrays.slots.push_back(std::move(slot_keys));
+    arrays.occ.push_back(std::move(occ));
+  }
+  return arrays;
+}
+
+double MeasureGapLeafNs(const LsaGapResult& gap, const GappedArrays& arrays,
+                        const std::vector<Key>& keys) {
+  Rng rng(7);
+  std::vector<std::pair<Key, size_t>> probes;
+  probes.reserve(kLookups);
+  // Segment routing mirrors FindSegment: binary search on first_key.
+  std::vector<Key> firsts;
+  for (const GappedSegment& g : gap.segments) firsts.push_back(g.first_key);
+  for (size_t i = 0; i < kLookups; ++i) {
+    Key k = keys[rng.NextUnder(keys.size())];
+    size_t seg = BinarySearchLowerBound(firsts.data(), 0, firsts.size(), k);
+    if (seg == firsts.size() || (firsts[seg] > k && seg > 0)) --seg;
+    probes.push_back({k, seg});
+  }
+  Timer timer;
+  uint64_t sink = 0;
+  for (const auto& [k, seg] : probes) {
+    const GappedSegment& g = gap.segments[seg];
+    const std::vector<Key>& slot_keys = arrays.slots[seg];
+    size_t hint = g.model.PredictClamped(k, g.capacity);
+    sink += ExponentialSearchLowerBound(slot_keys.data(), g.capacity, hint,
+                                        k);
+  }
+  double ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+  if (sink == 42) std::printf("#");
+  return ns;
+}
+
+void Run() {
+  PrintHeader("Fig. 17(a)(b): approximation algorithms in isolation",
+              "Opt-PLA needs far fewer leaves than LSA at equal error; "
+              "LSA-gap gets low error AND few leaves simultaneously");
+  const size_t n = BaseKeys();
+  std::vector<Key> keys = MakeKeys("ycsb", n, 17);
+
+  std::printf("%-10s %10s %10s %12s %14s\n", "algo", "param", "leaves",
+              "mean-err", "in-leaf-ns");
+
+  for (size_t seg : {256, 1024, 4096, 16384}) {
+    PlaResult lsa = BuildLsa(keys.data(), keys.size(), seg);
+    double ns = MeasurePlaLeafNs(lsa, keys);
+    std::printf("%-10s %10zu %10zu %12.2f %14.1f\n", "LSA", seg,
+                lsa.segments.size(), lsa.mean_error, ns);
+  }
+  for (size_t eps : {8, 32, 128, 512}) {
+    PlaResult opt = BuildOptimalPla(keys.data(), keys.size(), eps);
+    double ns = MeasurePlaLeafNs(opt, keys);
+    std::printf("%-10s %10zu %10zu %12.2f %14.1f\n", "Opt-PLA", eps,
+                opt.segments.size(), opt.mean_error, ns);
+  }
+  for (size_t seg : {256, 1024, 4096, 16384}) {
+    LsaGapResult gap = BuildLsaGap(keys.data(), keys.size(), seg, 0.7);
+    GappedArrays arrays = Materialize(gap, keys);
+    double ns = MeasureGapLeafNs(gap, arrays, keys);
+    std::printf("%-10s %10zu %10zu %12.2f %14.1f\n", "LSA-gap", seg,
+                gap.segments.size(), gap.mean_error, ns);
+  }
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Fig. 17(c)+(d): the index-structure dimension in isolation.
+// (c) root-to-leaf routing time of each inner structure (BTREE / LRS /
+//     RMI / ATS) over the same pivot arrays of growing size;
+// (d) the (structure cost, leaf cost) plane for the paper's four
+//     composition archetypes — the closer to the origin, the better.
+// Paper findings: ATS routes fastest at any leaf count (variable depth);
+// LRS beats BTREE when leaves are many (calculation vs comparison);
+// fewer leaves always means faster routing; ALEX (ATS + LSA-gap) sits
+// nearest the origin.
+#include <cstdio>
+#include <vector>
+
+#include "anatomy/inner_structures.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/search.h"
+#include "pla/lsa.h"
+#include "pla/optimal_pla.h"
+
+namespace pieces::bench {
+namespace {
+
+constexpr size_t kLookups = 200'000;
+
+// Predecessor index of `key` in sorted `pivots`.
+size_t FindSegmentIdx(const std::vector<Key>& pivots, Key key) {
+  size_t pos = BinarySearchLowerBound(pivots.data(), 0, pivots.size(), key);
+  if (pos < pivots.size() && pivots[pos] == key) return pos;
+  return pos == 0 ? 0 : pos - 1;
+}
+
+double MeasureRouteNs(const InnerStructure& inner,
+                      const std::vector<Key>& keys) {
+  Rng rng(5);
+  std::vector<Key> probes(kLookups);
+  for (Key& p : probes) p = keys[rng.NextUnder(keys.size())];
+  Timer timer;
+  uint64_t sink = 0;
+  for (Key p : probes) sink += inner.Route(p);
+  double ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+  if (sink == 42) std::printf("#");
+  return ns;
+}
+
+void PartC(const std::vector<Key>& keys) {
+  std::printf("\n(c) inner-structure routing time vs leaf count\n");
+  std::printf("%-8s %12s %12s %12s\n", "leaves", "", "", "");
+  std::printf("%-8s", "leaves");
+  for (const std::string& kind : InnerStructureKinds()) {
+    std::printf(" %9s-ns", kind.c_str());
+  }
+  std::printf("\n");
+  for (size_t leaves : {1000, 4000, 16000, 64000}) {
+    if (leaves > keys.size()) continue;
+    // Pivots: every (n/leaves)-th key, mimicking leaf start keys.
+    std::vector<Key> pivots;
+    size_t stride = keys.size() / leaves;
+    for (size_t i = 0; i < keys.size(); i += stride) pivots.push_back(keys[i]);
+    std::printf("%-8zu", pivots.size());
+    for (const std::string& kind : InnerStructureKinds()) {
+      auto inner = MakeInnerStructure(kind);
+      inner->Build(pivots);
+      std::printf(" %12.1f", MeasureRouteNs(*inner, keys));
+    }
+    std::printf("\n");
+  }
+}
+
+void PartD(const std::vector<Key>& keys) {
+  std::printf("\n(d) composition plane: (structure-ns, leaf-ns) per "
+              "archetype; closer to origin = better\n");
+  struct Archetype {
+    const char* name;
+    const char* structure;
+    const char* leaf_algo;  // "opt" or "lsa" or "gap".
+    size_t param;
+  };
+  const Archetype archetypes[] = {
+      {"FITing (BTREE+Opt-PLA)", "BTREE", "opt", 64},
+      {"PGM    (LRS+Opt-PLA)", "LRS", "opt", 64},
+      {"XIndex (RMI+LSA)", "RMI", "lsa", 2048},
+      {"ALEX   (ATS+LSA-gap)", "ATS", "gap", 8192},
+  };
+  std::printf("%-26s %10s %14s %12s\n", "archetype", "leaves",
+              "structure-ns", "leaf-ns");
+  for (const Archetype& a : archetypes) {
+    std::vector<Key> pivots;
+    double leaf_ns = 0;
+    size_t leaves = 0;
+
+    Rng rng(5);
+    if (std::string(a.leaf_algo) == "gap") {
+      LsaGapResult gap = BuildLsaGap(keys.data(), keys.size(), a.param, 0.7);
+      leaves = gap.segments.size();
+      for (const GappedSegment& g : gap.segments) {
+        pivots.push_back(g.first_key);
+      }
+      // Materialize the real gapped arrays (sentinel-filled) and measure
+      // the ALEX-style exponential search from the model prediction.
+      std::vector<std::vector<Key>> arrays;
+      for (const GappedSegment& g : gap.segments) {
+        std::vector<Key> slot_keys(g.capacity, ~0ull);
+        std::vector<uint8_t> occ(g.capacity, 0);
+        for (size_t i = 0; i < g.count; ++i) {
+          slot_keys[g.slots[i]] = keys[g.base_rank + i];
+          occ[g.slots[i]] = 1;
+        }
+        Key carry = ~0ull;
+        for (size_t i = g.capacity; i-- > 0;) {
+          if (occ[i]) {
+            carry = slot_keys[i];
+          } else {
+            slot_keys[i] = carry;
+          }
+        }
+        arrays.push_back(std::move(slot_keys));
+      }
+      std::vector<std::pair<Key, size_t>> probes;
+      probes.reserve(kLookups);
+      for (size_t i = 0; i < kLookups; ++i) {
+        Key k = keys[rng.NextUnder(keys.size())];
+        probes.push_back({k, FindSegmentIdx(pivots, k)});
+      }
+      Timer timer;
+      uint64_t sink = 0;
+      for (const auto& [k, seg] : probes) {
+        const GappedSegment& g = gap.segments[seg];
+        size_t hint = g.model.PredictClamped(k, g.capacity);
+        sink += ExponentialSearchLowerBound(arrays[seg].data(), g.capacity,
+                                            hint, k);
+      }
+      leaf_ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+      if (sink == 42) std::printf("#");
+    } else {
+      PlaResult pla =
+          std::string(a.leaf_algo) == "opt"
+              ? BuildOptimalPla(keys.data(), keys.size(), a.param)
+              : BuildLsa(keys.data(), keys.size(), a.param);
+      leaves = pla.segments.size();
+      for (const Segment& s : pla.segments) pivots.push_back(s.first_key);
+      size_t err = pla.max_error + 1;
+      std::vector<std::pair<Key, const Segment*>> probes;
+      probes.reserve(kLookups);
+      for (size_t i = 0; i < kLookups; ++i) {
+        Key k = keys[rng.NextUnder(keys.size())];
+        probes.push_back({k, &pla.segments[FindSegment(pla.segments, k)]});
+      }
+      Timer timer;
+      uint64_t sink = 0;
+      for (const auto& [k, seg] : probes) {
+        size_t pred = seg->PredictRank(k);
+        size_t lo = pred > err ? pred - err : 0;
+        size_t hi = std::min(keys.size(), pred + err + 1);
+        sink += BinarySearchLowerBound(keys.data(), lo, hi, k);
+      }
+      leaf_ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+      if (sink == 42) std::printf("#");
+    }
+
+    auto inner = MakeInnerStructure(a.structure);
+    inner->Build(pivots);
+    double structure_ns = MeasureRouteNs(*inner, keys);
+    std::printf("%-26s %10zu %14.1f %12.1f\n", a.name, leaves, structure_ns,
+                leaf_ns);
+  }
+}
+
+void Run() {
+  PrintHeader("Fig. 17(c)(d): index structures in isolation",
+              "ATS fastest at any leaf count; LRS > BTREE at high leaf "
+              "counts; ALEX's combination sits nearest the origin");
+  const size_t n = BaseKeys();
+  std::vector<Key> keys = MakeKeys("ycsb", n, 17);
+  PartC(keys);
+  PartD(keys);
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main() {
+  pieces::bench::Run();
+  return 0;
+}

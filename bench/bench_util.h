@@ -1,0 +1,111 @@
+// Shared bench harness: dataset prep, op-stream execution against a
+// ViperStore (the paper's end-to-end environment) or a bare index, and
+// table printing. Every bench binary prints the paper's rows plus the
+// qualitative claim it reproduces; PIECES_SCALE scales dataset sizes
+// toward the paper's 200M-800M keys (default sizes are 1000x smaller).
+#ifndef PIECES_BENCH_BENCH_UTIL_H_
+#define PIECES_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "common/latency_recorder.h"
+#include "common/timer.h"
+#include "index/registry.h"
+#include "store/viper.h"
+#include "workload/datasets.h"
+#include "workload/ycsb.h"
+
+namespace pieces::bench {
+
+// The paper's 200M baseline, scaled 1000x down by default.
+inline size_t BaseKeys() { return 200'000 * BenchScale(); }
+
+struct RunResult {
+  double mops = 0;          // Throughput in million ops/s.
+  LatencyRecorder latency;  // Per-op latency.
+};
+
+// Executes `ops` against the store across `threads` threads (ops are
+// partitioned round-robin). Values use the store's synthetic generator.
+inline RunResult RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
+                             size_t threads = 1) {
+  RunResult result;
+  std::vector<LatencyRecorder> recorders(threads);
+  Timer wall;
+  auto worker = [&](size_t t) {
+    std::vector<uint8_t> buf(256);
+    std::vector<Key> scan_out;
+    LatencyRecorder& rec = recorders[t];
+    for (size_t i = t; i < ops.size(); i += threads) {
+      const Op& op = ops[i];
+      Timer timer;
+      switch (op.type) {
+        case OpType::kRead:
+          store->Get(op.key, buf.data());
+          break;
+        case OpType::kUpdate:
+        case OpType::kInsert:
+          store->PutSynthetic(op.key);
+          break;
+        case OpType::kReadModifyWrite:
+          store->Get(op.key, buf.data());
+          store->PutSynthetic(op.key);
+          break;
+        case OpType::kScan:
+          scan_out.clear();
+          store->Scan(op.key, op.scan_len, &scan_out);
+          break;
+      }
+      rec.Record(timer.ElapsedNanos());
+    }
+  };
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+  }
+  double secs = wall.ElapsedSeconds();
+  result.mops = secs > 0 ? static_cast<double>(ops.size()) / secs / 1e6 : 0;
+  for (const auto& rec : recorders) result.latency.Merge(rec);
+  return result;
+}
+
+// Builds a ViperStore around the named index, bulk-loaded with `keys`.
+inline std::unique_ptr<ViperStore> MakeStore(const std::string& index_name,
+                                             const std::vector<Key>& keys) {
+  ViperStore::Config cfg;
+  cfg.value_size = 200;
+  // Records are 208B; leave 2x headroom for out-of-place updates.
+  cfg.pmem_capacity = keys.size() * 208 * 4 + (64 << 20);
+  cfg.read_latency_ns = NvmReadLatencyNs();
+  cfg.write_latency_ns = NvmWriteLatencyNs();
+  auto store = std::make_unique<ViperStore>(MakeIndex(index_name), cfg);
+  if (!store->BulkLoad(keys)) {
+    std::fprintf(stderr, "bulk load failed for %s\n", index_name.c_str());
+    return nullptr;
+  }
+  return store;
+}
+
+inline void PrintHeader(const char* title, const char* claim) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper claim: %s\n", claim);
+}
+
+inline void PrintRow(const std::string& name, double mops, uint64_t p50,
+                     uint64_t p999) {
+  std::printf("%-18s %10.3f Mops/s   p50 %8llu ns   p99.9 %10llu ns\n",
+              name.c_str(), mops, static_cast<unsigned long long>(p50),
+              static_cast<unsigned long long>(p999));
+}
+
+}  // namespace pieces::bench
+
+#endif  // PIECES_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,90 @@
+// Anatomy lab: "cut the learned index into pieces" interactively. This
+// example composes the four design dimensions by hand — approximation
+// algorithm x inner structure x insertion strategy — over one dataset, so
+// you can see how each choice moves error, leaf count and update cost.
+// It is the example-sized version of the paper's §IV methodology.
+#include <cstdio>
+#include <vector>
+
+#include "anatomy/inner_structures.h"
+#include "anatomy/update_policies.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "pla/greedy_pla.h"
+#include "pla/lsa.h"
+#include "pla/optimal_pla.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace pieces;
+
+  const size_t n = 500'000;
+  std::vector<Key> keys = MakeOsmLikeKeys(n, 3);
+  std::printf("dataset: OSM-like, %zu keys (complex staircase CDF)\n\n", n);
+
+  // Dimension 1: approximation algorithm.
+  std::printf("[approximation algorithm] error-bound eps=64 / seg=4096:\n");
+  PlaResult opt = BuildOptimalPla(keys.data(), n, 64);
+  PlaResult greedy = BuildGreedyPla(keys.data(), n, 64);
+  PlaResult lsa = BuildLsa(keys.data(), n, 4096);
+  LsaGapResult gap = BuildLsaGap(keys.data(), n, 4096, 0.7);
+  std::printf("  Opt-PLA : %6zu leaves, mean err %7.2f (max %zu)\n",
+              opt.segments.size(), opt.mean_error, opt.max_error);
+  std::printf("  Greedy  : %6zu leaves, mean err %7.2f (max %zu)\n",
+              greedy.segments.size(), greedy.mean_error, greedy.max_error);
+  std::printf("  LSA     : %6zu leaves, mean err %7.2f (max %zu)\n",
+              lsa.segments.size(), lsa.mean_error, lsa.max_error);
+  std::printf("  LSA-gap : %6zu leaves, mean err %7.2f (max %zu)\n\n",
+              gap.segments.size(), gap.mean_error, gap.max_error);
+
+  // Dimension 2: inner structure over the same pivots.
+  std::vector<Key> pivots;
+  for (const Segment& s : opt.segments) pivots.push_back(s.first_key);
+  std::printf("[inner structure] routing %zu pivots, 200k lookups each:\n",
+              pivots.size());
+  Rng rng(5);
+  std::vector<Key> probes(200'000);
+  for (Key& p : probes) p = keys[rng.NextUnder(keys.size())];
+  for (const std::string& kind : InnerStructureKinds()) {
+    auto inner = MakeInnerStructure(kind);
+    inner->Build(pivots);
+    Timer timer;
+    uint64_t sink = 0;
+    for (Key p : probes) sink += inner->Route(p);
+    double ns = static_cast<double>(timer.ElapsedNanos()) / probes.size();
+    std::printf("  %-6s: %6.1f ns/route, %6zu KB%s\n", kind.c_str(), ns,
+                inner->SizeBytes() / 1024, sink == 1 ? "!" : "");
+  }
+
+  // Dimensions 3+4: insertion and retraining strategy. Run on both an
+  // easy (uniform) and a hard (OSM-like) CDF: gaps shine when the model
+  // can spread keys, and struggle when clusters defeat the model — the
+  // same sensitivity the end-to-end OSM results show.
+  for (const char* ds : {"ycsb", "osm"}) {
+    std::printf("\n[insertion strategy] 100k inserts, %s keys, 4096-key "
+                "leaves:\n",
+                ds);
+    std::vector<Key> base = MakeKeys(ds, n, 3);
+    std::vector<Key> inserts = MakeKeys(ds, 100'000, 999);
+    for (const std::string& kind : UpdatePolicyKinds()) {
+      auto policy = MakeUpdatePolicy(kind, 256);
+      policy->Load(base, 4096);
+      for (Key k : inserts) policy->Insert(k + 1);
+      UpdatePolicyStats s = policy->Stats();
+      std::printf("  %-9s: %6.0f ns/insert, %8.1f moved keys/insert, "
+                  "%5llu retrains (%.1f ms retraining)\n",
+                  kind.c_str(),
+                  static_cast<double>(s.insert_nanos) / inserts.size(),
+                  static_cast<double>(s.moved_keys) / inserts.size(),
+                  static_cast<unsigned long long>(s.retrain_count),
+                  static_cast<double>(s.retrain_nanos) / 1e6);
+    }
+  }
+
+  std::printf("\nconclusion (paper §IV-G): the approximation algorithm is "
+              "the dimension that pays the most — LSA-gap's CDF reshaping "
+              "wins wherever a linear model can spread the keys, and every "
+              "dimension degrades together when the CDF defeats the "
+              "model.\n");
+  return 0;
+}

@@ -1,0 +1,259 @@
+#include "anatomy/inner_structures.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/linear_model.h"
+#include "common/search.h"
+#include "pla/optimal_pla.h"
+#include "traditional/btree.h"
+
+namespace pieces {
+namespace {
+
+// Comparison-based inner: a B+Tree mapping pivot -> index.
+class BtreeInner : public InnerStructure {
+ public:
+  void Build(const std::vector<Key>& pivots) override {
+    std::vector<KeyValue> entries;
+    entries.reserve(pivots.size());
+    for (size_t i = 0; i < pivots.size(); ++i) {
+      entries.push_back({pivots[i], static_cast<Value>(i)});
+    }
+    tree_.BulkLoad(entries);
+  }
+
+  size_t Route(Key key) const override {
+    Key fk;
+    Value idx;
+    if (tree_.FindLessOrEqual(key, &fk, &idx)) {
+      return static_cast<size_t>(idx);
+    }
+    return 0;
+  }
+
+  size_t SizeBytes() const override { return tree_.IndexSizeBytes(); }
+  std::string_view Name() const override { return "BTREE"; }
+
+ private:
+  BTree tree_;
+};
+
+// PGM-style inner: recursive Opt-PLA levels over the pivots.
+class LrsInner : public InnerStructure {
+ public:
+  static constexpr size_t kEps = 4;
+
+  void Build(const std::vector<Key>& pivots) override {
+    pivots_ = pivots;
+    levels_.clear();
+    if (pivots_.empty()) return;
+    levels_.push_back(
+        BuildOptimalPla(pivots_.data(), pivots_.size(), kEps).segments);
+    while (levels_.back().size() > 1) {
+      std::vector<Key> firsts;
+      for (const Segment& s : levels_.back()) firsts.push_back(s.first_key);
+      levels_.push_back(
+          BuildOptimalPla(firsts.data(), firsts.size(), kEps).segments);
+    }
+  }
+
+  size_t Route(Key key) const override {
+    if (pivots_.empty()) return 0;
+    size_t seg_idx = 0;
+    for (size_t lvl = levels_.size(); lvl-- > 1;) {
+      const Segment& seg = levels_[lvl][seg_idx];
+      const std::vector<Segment>& below = levels_[lvl - 1];
+      size_t pred = seg.PredictRank(key);
+      size_t idx = pred > kEps ? pred - kEps - 1 : 0;
+      while (idx + 1 < below.size() && below[idx + 1].first_key <= key) {
+        ++idx;
+      }
+      while (idx > 0 && below[idx].first_key > key) --idx;
+      seg_idx = idx;
+    }
+    const Segment& leaf = levels_[0][seg_idx];
+    size_t pred = leaf.PredictRank(key);
+    size_t pos = ExponentialSearchLowerBound(pivots_.data(), pivots_.size(),
+                                             pred, key);
+    // pos = first pivot > key - 1 semantics: convert to last pivot <= key.
+    if (pos < pivots_.size() && pivots_[pos] == key) return pos;
+    return pos == 0 ? 0 : pos - 1;
+  }
+
+  size_t SizeBytes() const override {
+    size_t bytes = 0;
+    for (const auto& level : levels_) bytes += level.size() * sizeof(Segment);
+    return bytes;
+  }
+  std::string_view Name() const override { return "LRS"; }
+
+ private:
+  std::vector<Key> pivots_;
+  std::vector<std::vector<Segment>> levels_;
+};
+
+// XIndex-style inner: two-stage RMI over the pivots.
+class RmiInner : public InnerStructure {
+ public:
+  void Build(const std::vector<Key>& pivots) override {
+    pivots_ = pivots;
+    size_t g = pivots_.size();
+    stage2_.assign(std::max<size_t>(1, g / 64), LinearModel{});
+    if (g == 0) return;
+    stage1_ = FitLeastSquares(pivots_.data(), g);
+    stage1_.Expand(static_cast<double>(stage2_.size()) /
+                   static_cast<double>(g));
+    size_t begin = 0;
+    for (size_t m = 0; m < stage2_.size(); ++m) {
+      size_t end = begin;
+      while (end < g &&
+             stage1_.PredictClamped(pivots_[end], stage2_.size()) == m) {
+        ++end;
+      }
+      if (end > begin) {
+        LinearModel lm = FitLeastSquares(pivots_.data() + begin, end - begin);
+        lm.intercept += static_cast<double>(begin);
+        stage2_[m] = lm;
+      } else {
+        stage2_[m].slope = 0;
+        stage2_[m].intercept = static_cast<double>(begin);
+      }
+      begin = end;
+    }
+  }
+
+  size_t Route(Key key) const override {
+    size_t g = pivots_.size();
+    if (g == 0) return 0;
+    size_t bucket = stage1_.PredictClamped(key, stage2_.size());
+    size_t hint = stage2_[bucket].PredictClamped(key, g);
+    size_t pos = ExponentialSearchLowerBound(pivots_.data(), g, hint, key);
+    if (pos < g && pivots_[pos] == key) return pos;
+    return pos == 0 ? 0 : pos - 1;
+  }
+
+  size_t SizeBytes() const override {
+    return sizeof(stage1_) + stage2_.size() * sizeof(LinearModel);
+  }
+  std::string_view Name() const override { return "RMI"; }
+
+ private:
+  std::vector<Key> pivots_;
+  LinearModel stage1_;
+  std::vector<LinearModel> stage2_;
+};
+
+// ALEX-style inner: a model-routed tree whose depth adapts to the pivot
+// distribution (deep only where pivots cluster). Nodes live in one flat
+// array with each node's children contiguous (BFS layout), so a descent
+// costs one dependent cache line per level — the property behind the
+// paper's "ATS routes fastest" finding. Routing models are anchored at
+// the node's first key: base-relative arithmetic stays exact for huge
+// keys and guarantees the recursion separates the endpoints, so the
+// build always terminates.
+class AtsInner : public InnerStructure {
+ public:
+  static constexpr size_t kLeafSpan = 4;
+  static constexpr size_t kMaxFanout = 1024;
+
+  void Build(const std::vector<Key>& pivots) override {
+    pivots_ = pivots;
+    nodes_.clear();
+    if (pivots_.empty()) return;
+    // BFS build: parents first, each node's children in one block.
+    struct Pending {
+      size_t node;
+      size_t begin;
+      size_t end;
+    };
+    nodes_.push_back(NodeRec{});
+    std::vector<Pending> queue{{0, 0, pivots_.size()}};
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      Pending p = queue[qi];
+      size_t count = p.end - p.begin;
+      NodeRec rec;
+      if (count <= kLeafSpan || pivots_[p.end - 1] == pivots_[p.begin]) {
+        rec.is_leaf = true;
+        rec.begin = static_cast<uint32_t>(p.begin);
+        rec.end = static_cast<uint32_t>(p.end);
+        nodes_[p.node] = rec;
+        continue;
+      }
+      size_t want = count / kLeafSpan;
+      size_t fanout = 2;
+      while (fanout < want && fanout < kMaxFanout) fanout *= 2;
+      rec.is_leaf = false;
+      rec.base = pivots_[p.begin];
+      rec.slope =
+          static_cast<double>(fanout) /
+          (static_cast<double>(pivots_[p.end - 1] - pivots_[p.begin]) + 1);
+      rec.first_child = static_cast<uint32_t>(nodes_.size());
+      rec.fanout = static_cast<uint32_t>(fanout);
+      nodes_[p.node] = rec;
+      nodes_.resize(nodes_.size() + fanout);
+      size_t b = p.begin;
+      for (size_t c = 0; c < fanout; ++c) {
+        size_t e = b;
+        while (e < p.end && ChildOf(rec, pivots_[e]) == c) ++e;
+        queue.push_back({rec.first_child + c, b, e});
+        b = e;
+      }
+    }
+  }
+
+  size_t Route(Key key) const override {
+    if (pivots_.empty()) return 0;
+    const NodeRec* n = &nodes_[0];
+    while (!n->is_leaf) {
+      n = &nodes_[n->first_child + ChildOf(*n, key)];
+    }
+    size_t pos = BinarySearchLowerBound(pivots_.data(), n->begin, n->end,
+                                        key);
+    if (pos < n->end && pivots_[pos] == key) return pos;
+    if (pos > 0) return pos - 1;
+    return 0;
+  }
+
+  size_t SizeBytes() const override {
+    return nodes_.size() * sizeof(NodeRec);
+  }
+  std::string_view Name() const override { return "ATS"; }
+
+ private:
+  struct NodeRec {
+    double slope = 0;  // Children per key unit, relative to base.
+    Key base = 0;
+    uint32_t first_child = 0;
+    uint32_t fanout = 0;
+    uint32_t begin = 0;  // Leaf: pivot slice [begin, end).
+    uint32_t end = 0;
+    bool is_leaf = true;
+  };
+
+  static size_t ChildOf(const NodeRec& n, Key key) {
+    if (key <= n.base) return 0;
+    double c = n.slope * static_cast<double>(key - n.base);
+    if (c >= static_cast<double>(n.fanout)) return n.fanout - 1;
+    return static_cast<size_t>(c);
+  }
+
+  std::vector<Key> pivots_;
+  std::vector<NodeRec> nodes_;
+};
+
+}  // namespace
+
+std::unique_ptr<InnerStructure> MakeInnerStructure(const std::string& kind) {
+  if (kind == "BTREE") return std::make_unique<BtreeInner>();
+  if (kind == "LRS") return std::make_unique<LrsInner>();
+  if (kind == "RMI") return std::make_unique<RmiInner>();
+  if (kind == "ATS") return std::make_unique<AtsInner>();
+  return nullptr;
+}
+
+std::vector<std::string> InnerStructureKinds() {
+  return {"BTREE", "LRS", "RMI", "ATS"};
+}
+
+}  // namespace pieces

@@ -1,0 +1,42 @@
+// Dimension isolation, part 1: the *index structure* dimension (Fig. 17c/d).
+// Each InnerStructure routes a key to the leaf (segment) index that owns
+// it, over the same pivot array, so structures can be compared with the
+// leaf dimension held fixed:
+//   BTREE — comparison-based B+Tree (FITing-tree's inner);
+//   LRS   — linear recursive structure (PGM's inner);
+//   RMI   — two-stage recursive model index (XIndex's root);
+//   ATS   — asymmetric model-routed tree (ALEX's inner).
+#ifndef PIECES_ANATOMY_INNER_STRUCTURES_H_
+#define PIECES_ANATOMY_INNER_STRUCTURES_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class InnerStructure {
+ public:
+  virtual ~InnerStructure() = default;
+
+  // Builds over the sorted leaf start keys (pivots).
+  virtual void Build(const std::vector<Key>& pivots) = 0;
+
+  // Index of the last pivot <= key (0 for keys below the first pivot).
+  virtual size_t Route(Key key) const = 0;
+
+  virtual size_t SizeBytes() const = 0;
+  virtual std::string_view Name() const = 0;
+};
+
+// Factory. `kind` is one of "BTREE", "LRS", "RMI", "ATS".
+std::unique_ptr<InnerStructure> MakeInnerStructure(const std::string& kind);
+
+std::vector<std::string> InnerStructureKinds();
+
+}  // namespace pieces
+
+#endif  // PIECES_ANATOMY_INNER_STRUCTURES_H_

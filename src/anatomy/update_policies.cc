@@ -1,0 +1,381 @@
+#include "anatomy/update_policies.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/linear_model.h"
+#include "common/search.h"
+#include "common/timer.h"
+
+namespace pieces {
+namespace {
+
+constexpr Key kGapSentinel = std::numeric_limits<Key>::max();
+
+// Shared leaf routing: leaves are delimited by their smallest key.
+class PolicyBase : public UpdatePolicy {
+ public:
+  bool Contains(Key key) const override { return ContainsImpl(key); }
+
+  UpdatePolicyStats Stats() const override { return stats_; }
+
+  void Insert(Key key) override {
+    Timer timer;
+    InsertImpl(key);
+    stats_.insert_nanos += timer.ElapsedNanos();
+  }
+
+ protected:
+  virtual void InsertImpl(Key key) = 0;
+  virtual bool ContainsImpl(Key key) const = 0;
+
+  // Index of the leaf whose range contains `key`.
+  size_t RouteLeaf(Key key) const {
+    size_t pos = BinarySearchLowerBound(pivots_.data(), 0, pivots_.size(),
+                                        key);
+    if (pos < pivots_.size() && pivots_[pos] == key) return pos;
+    return pos == 0 ? 0 : pos - 1;
+  }
+
+  std::vector<Key> pivots_;
+  UpdatePolicyStats stats_;
+};
+
+// FITing-tree-inp: reserved space at both ends of each leaf; inserts shift
+// keys toward the nearer end; a full leaf is recreated with fresh gaps.
+class InplacePolicy : public PolicyBase {
+ public:
+  explicit InplacePolicy(size_t reserve) : reserve_(reserve) {}
+
+  void Load(const std::vector<Key>& keys, size_t leaf_keys) override {
+    leaves_.clear();
+    pivots_.clear();
+    for (size_t begin = 0; begin < keys.size(); begin += leaf_keys) {
+      size_t end = std::min(begin + leaf_keys, keys.size());
+      leaves_.push_back(MakeLeaf(keys.data() + begin, end - begin));
+      pivots_.push_back(keys[begin]);
+    }
+    if (leaves_.empty()) {
+      leaves_.push_back(MakeLeaf(nullptr, 0));
+      pivots_.push_back(0);
+    }
+  }
+
+  std::string_view Name() const override { return "Inplace"; }
+
+ private:
+  struct Leaf {
+    std::vector<Key> slots;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  Leaf MakeLeaf(const Key* keys, size_t count) const {
+    Leaf leaf;
+    leaf.slots.resize(count + 2 * reserve_);
+    leaf.begin = reserve_;
+    leaf.end = reserve_ + count;
+    std::copy(keys, keys + count, leaf.slots.begin() +
+                                      static_cast<ptrdiff_t>(reserve_));
+    return leaf;
+  }
+
+  void InsertImpl(Key key) override {
+    Leaf& leaf = leaves_[RouteLeaf(key)];
+    size_t pos = BinarySearchLowerBound(leaf.slots.data(), leaf.begin,
+                                        leaf.end, key);
+    if (pos < leaf.end && leaf.slots[pos] == key) return;
+    size_t left_len = pos - leaf.begin;
+    size_t right_len = leaf.end - pos;
+    bool can_left = leaf.begin > 0;
+    bool can_right = leaf.end < leaf.slots.size();
+    if (can_left && (left_len <= right_len || !can_right)) {
+      std::copy(leaf.slots.begin() + static_cast<ptrdiff_t>(leaf.begin),
+                leaf.slots.begin() + static_cast<ptrdiff_t>(pos),
+                leaf.slots.begin() + static_cast<ptrdiff_t>(leaf.begin) - 1);
+      --leaf.begin;
+      leaf.slots[pos - 1] = key;
+      stats_.moved_keys += left_len;
+    } else if (can_right) {
+      std::copy_backward(
+          leaf.slots.begin() + static_cast<ptrdiff_t>(pos),
+          leaf.slots.begin() + static_cast<ptrdiff_t>(leaf.end),
+          leaf.slots.begin() + static_cast<ptrdiff_t>(leaf.end) + 1);
+      ++leaf.end;
+      leaf.slots[pos] = key;
+      stats_.moved_keys += right_len;
+    } else {
+      // Leaf exhausted: retrain (recreate with fresh reserved space).
+      Timer timer;
+      std::vector<Key> merged(leaf.slots.begin() +
+                                  static_cast<ptrdiff_t>(leaf.begin),
+                              leaf.slots.begin() +
+                                  static_cast<ptrdiff_t>(leaf.end));
+      merged.insert(std::lower_bound(merged.begin(), merged.end(), key),
+                    key);
+      leaf = MakeLeaf(merged.data(), merged.size());
+      ++stats_.retrain_count;
+      stats_.retrain_nanos += timer.ElapsedNanos();
+    }
+  }
+
+  bool ContainsImpl(Key key) const override {
+    const Leaf& leaf = leaves_[RouteLeaf(key)];
+    size_t pos = BinarySearchLowerBound(leaf.slots.data(), leaf.begin,
+                                        leaf.end, key);
+    return pos < leaf.end && leaf.slots[pos] == key;
+  }
+
+  size_t reserve_;
+  std::vector<Leaf> leaves_;
+};
+
+// FITing-tree-buf / PGM-style offsite: per-leaf sorted buffer of size
+// `reserve`; overflow merges the buffer into the main run (a retrain).
+class BufferPolicy : public PolicyBase {
+ public:
+  explicit BufferPolicy(size_t reserve) : reserve_(reserve) {}
+
+  void Load(const std::vector<Key>& keys, size_t leaf_keys) override {
+    leaves_.clear();
+    pivots_.clear();
+    for (size_t begin = 0; begin < keys.size(); begin += leaf_keys) {
+      size_t end = std::min(begin + leaf_keys, keys.size());
+      Leaf leaf;
+      leaf.main.assign(keys.begin() + static_cast<ptrdiff_t>(begin),
+                       keys.begin() + static_cast<ptrdiff_t>(end));
+      leaves_.push_back(std::move(leaf));
+      pivots_.push_back(keys[begin]);
+    }
+    if (leaves_.empty()) {
+      leaves_.emplace_back();
+      pivots_.push_back(0);
+    }
+  }
+
+  std::string_view Name() const override { return "Buffer"; }
+
+ private:
+  struct Leaf {
+    std::vector<Key> main;
+    std::vector<Key> buffer;
+  };
+
+  void InsertImpl(Key key) override {
+    Leaf& leaf = leaves_[RouteLeaf(key)];
+    auto mit = std::lower_bound(leaf.main.begin(), leaf.main.end(), key);
+    if (mit != leaf.main.end() && *mit == key) return;
+    auto it = std::lower_bound(leaf.buffer.begin(), leaf.buffer.end(), key);
+    if (it != leaf.buffer.end() && *it == key) return;
+    stats_.moved_keys += static_cast<uint64_t>(leaf.buffer.end() - it);
+    leaf.buffer.insert(it, key);
+    if (leaf.buffer.size() >= reserve_) {
+      Timer timer;
+      std::vector<Key> merged;
+      merged.resize(leaf.main.size() + leaf.buffer.size());
+      std::merge(leaf.main.begin(), leaf.main.end(), leaf.buffer.begin(),
+                 leaf.buffer.end(), merged.begin());
+      stats_.moved_keys += merged.size();  // The merge rewrites every key.
+      leaf.main = std::move(merged);
+      leaf.buffer.clear();
+      ++stats_.retrain_count;
+      stats_.retrain_nanos += timer.ElapsedNanos();
+    }
+  }
+
+  bool ContainsImpl(Key key) const override {
+    const Leaf& leaf = leaves_[RouteLeaf(key)];
+    return std::binary_search(leaf.main.begin(), leaf.main.end(), key) ||
+           std::binary_search(leaf.buffer.begin(), leaf.buffer.end(), key);
+  }
+
+  size_t reserve_;
+  std::vector<Leaf> leaves_;
+};
+
+// ALEX-gap: model-placed gapped array per leaf; inserts shift only to the
+// nearest gap; density overflow expands and retrains the leaf model.
+class GapPolicy : public PolicyBase {
+ public:
+  void Load(const std::vector<Key>& keys, size_t leaf_keys) override {
+    leaves_.clear();
+    pivots_.clear();
+    for (size_t begin = 0; begin < keys.size(); begin += leaf_keys) {
+      size_t end = std::min(begin + leaf_keys, keys.size());
+      leaves_.push_back(MakeLeaf(keys.data() + begin, end - begin));
+      pivots_.push_back(keys[begin]);
+    }
+    if (leaves_.empty()) {
+      leaves_.push_back(MakeLeaf(nullptr, 0));
+      pivots_.push_back(0);
+    }
+  }
+
+  std::string_view Name() const override { return "ALEX-gap"; }
+
+ private:
+  static constexpr double kInitDensity = 0.7;
+  static constexpr double kMaxDensity = 0.8;
+
+  struct Leaf {
+    LinearModel model;
+    std::vector<Key> slots;
+    std::vector<uint8_t> occ;
+    size_t count = 0;
+  };
+
+  Leaf MakeLeaf(const Key* keys, size_t count) const {
+    Leaf leaf;
+    size_t capacity = std::max<size_t>(
+        16, static_cast<size_t>(static_cast<double>(count) / kInitDensity));
+    leaf.slots.assign(capacity, kGapSentinel);
+    leaf.occ.assign(capacity, 0);
+    leaf.count = count;
+    if (count > 0) {
+      leaf.model = FitLeastSquares(keys, count);
+      if (count > 1) {
+        leaf.model.Expand(static_cast<double>(capacity) /
+                          static_cast<double>(count));
+      }
+      size_t next_free = 0;
+      for (size_t i = 0; i < count; ++i) {
+        size_t pred = leaf.model.PredictClamped(keys[i], capacity);
+        size_t slot = std::max(pred, next_free);
+        size_t max_slot = capacity - (count - i);
+        if (slot > max_slot) slot = max_slot;
+        leaf.slots[slot] = keys[i];
+        leaf.occ[slot] = 1;
+        next_free = slot + 1;
+      }
+      Key carry = kGapSentinel;
+      for (size_t i = capacity; i-- > 0;) {
+        if (leaf.occ[i]) {
+          carry = leaf.slots[i];
+        } else {
+          leaf.slots[i] = carry;
+        }
+      }
+    }
+    return leaf;
+  }
+
+  void InsertImpl(Key key) override {
+    size_t li = RouteLeaf(key);
+    Leaf& leaf = leaves_[li];
+    size_t cap = leaf.slots.size();
+    size_t hint = leaf.model.PredictClamped(key, cap);
+    size_t slot = ExponentialSearchLowerBound(leaf.slots.data(), cap, hint,
+                                              key);
+    while (slot < cap && leaf.slots[slot] == key && !leaf.occ[slot]) ++slot;
+    if (slot < cap && leaf.occ[slot] && leaf.slots[slot] == key) return;
+
+    if (leaf.count == cap) {
+      Retrain(&leaf, key);
+      return;
+    }
+    if (slot > 0 && !leaf.occ[slot - 1]) {
+      size_t g = slot - 1;
+      leaf.slots[g] = key;
+      leaf.occ[g] = 1;
+      for (size_t j = g; j-- > 0 && !leaf.occ[j];) leaf.slots[j] = key;
+    } else {
+      size_t right_gap = slot;
+      while (right_gap < cap && leaf.occ[right_gap]) ++right_gap;
+      // Scan left no further than the right gap's distance: a farther
+      // left gap would never be chosen, and an unbounded scan makes dense
+      // append runs quadratic.
+      size_t left_gap = kGapSentinel;
+      if (slot > 0) {
+        size_t max_steps = right_gap >= cap ? slot : right_gap - slot + 1;
+        size_t j = slot - 1;
+        for (size_t step = 0; step <= max_steps; ++step) {
+          if (!leaf.occ[j]) {
+            left_gap = j;
+            break;
+          }
+          if (j == 0) break;
+          --j;
+        }
+      }
+      bool use_right;
+      if (right_gap >= cap) {
+        use_right = false;
+      } else if (left_gap == kGapSentinel) {
+        use_right = true;
+      } else {
+        use_right = (right_gap - slot) <= (slot - left_gap);
+      }
+      if (use_right) {
+        for (size_t i = right_gap; i > slot; --i) {
+          leaf.slots[i] = leaf.slots[i - 1];
+          leaf.occ[i] = leaf.occ[i - 1];
+        }
+        leaf.slots[slot] = key;
+        leaf.occ[slot] = 1;
+        stats_.moved_keys += right_gap - slot;
+      } else {
+        for (size_t i = left_gap; i + 1 < slot; ++i) {
+          leaf.slots[i] = leaf.slots[i + 1];
+          leaf.occ[i] = leaf.occ[i + 1];
+        }
+        leaf.slots[slot - 1] = key;
+        leaf.occ[slot - 1] = 1;
+        stats_.moved_keys += slot - 1 - left_gap;
+        for (size_t j = left_gap; j-- > 0 && !leaf.occ[j];) {
+          leaf.slots[j] = leaf.slots[left_gap];
+        }
+      }
+    }
+    ++leaf.count;
+    if (static_cast<double>(leaf.count) >=
+        kMaxDensity * static_cast<double>(cap)) {
+      Retrain(&leaf, kGapSentinel);
+    }
+  }
+
+  // Rebuilds the leaf at init density; `extra` (if not sentinel) is folded
+  // into the contents.
+  void Retrain(Leaf* leaf, Key extra) {
+    Timer timer;
+    std::vector<Key> keys;
+    keys.reserve(leaf->count + 1);
+    for (size_t i = 0; i < leaf->slots.size(); ++i) {
+      if (leaf->occ[i]) keys.push_back(leaf->slots[i]);
+    }
+    if (extra != kGapSentinel) {
+      keys.insert(std::lower_bound(keys.begin(), keys.end(), extra), extra);
+    }
+    *leaf = MakeLeaf(keys.data(), keys.size());
+    ++stats_.retrain_count;
+    stats_.retrain_nanos += timer.ElapsedNanos();
+  }
+
+  bool ContainsImpl(Key key) const override {
+    const Leaf& leaf = leaves_[RouteLeaf(key)];
+    size_t cap = leaf.slots.size();
+    size_t hint = leaf.model.PredictClamped(key, cap);
+    size_t slot = ExponentialSearchLowerBound(leaf.slots.data(), cap, hint,
+                                              key);
+    while (slot < cap && leaf.slots[slot] == key && !leaf.occ[slot]) ++slot;
+    return slot < cap && leaf.occ[slot] && leaf.slots[slot] == key;
+  }
+
+  std::vector<Leaf> leaves_;
+};
+
+}  // namespace
+
+std::unique_ptr<UpdatePolicy> MakeUpdatePolicy(const std::string& kind,
+                                               size_t reserve) {
+  if (kind == "Inplace") return std::make_unique<InplacePolicy>(reserve);
+  if (kind == "Buffer") return std::make_unique<BufferPolicy>(reserve);
+  if (kind == "ALEX-gap") return std::make_unique<GapPolicy>();
+  return nullptr;
+}
+
+std::vector<std::string> UpdatePolicyKinds() {
+  return {"Inplace", "Buffer", "ALEX-gap"};
+}
+
+}  // namespace pieces

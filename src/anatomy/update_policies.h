@@ -1,0 +1,55 @@
+// Dimension isolation, part 2: the *insertion strategy* and *retraining
+// strategy* dimensions (Fig. 18). All three policies manage the same flat
+// key space partitioned into equal leaves, so measured differences come
+// from the strategy alone:
+//   Inplace   — reserved gap space at both leaf ends, shift toward the
+//               nearer end (FITing-tree-inp);
+//   Buffer    — per-leaf sorted side buffer, merge + retrain when full
+//               (FITing-tree-buf / PGM / XIndex offsite family);
+//   ALEX-gap  — model-placed gapped array, expand + retrain on density
+//               (ALEX).
+// Every policy counts moved keys, retrains and retrain time.
+#ifndef PIECES_ANATOMY_UPDATE_POLICIES_H_
+#define PIECES_ANATOMY_UPDATE_POLICIES_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+struct UpdatePolicyStats {
+  uint64_t moved_keys = 0;
+  uint64_t retrain_count = 0;
+  uint64_t retrain_nanos = 0;
+  uint64_t insert_nanos = 0;  // Total wall time inside Insert().
+};
+
+class UpdatePolicy {
+ public:
+  virtual ~UpdatePolicy() = default;
+
+  // Loads the initial sorted keys, partitioned into leaves of `leaf_keys`.
+  virtual void Load(const std::vector<Key>& keys, size_t leaf_keys) = 0;
+
+  virtual void Insert(Key key) = 0;
+  virtual bool Contains(Key key) const = 0;
+
+  virtual UpdatePolicyStats Stats() const = 0;
+  virtual std::string_view Name() const = 0;
+};
+
+// `kind`: "Inplace", "Buffer", or "ALEX-gap". `reserve` is the reserved
+// space per leaf (keys) for Inplace/Buffer; ALEX-gap sizes its own gaps
+// and ignores it (the paper makes the same point in §IV-D).
+std::unique_ptr<UpdatePolicy> MakeUpdatePolicy(const std::string& kind,
+                                               size_t reserve);
+
+std::vector<std::string> UpdatePolicyKinds();
+
+}  // namespace pieces
+
+#endif  // PIECES_ANATOMY_UPDATE_POLICIES_H_

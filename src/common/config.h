@@ -1,0 +1,41 @@
+// Environment-driven configuration knobs shared by tests, benches and
+// examples. All paper-scale parameters (dataset sizes, NVM latency) are
+// scaled through these so a laptop run reproduces the figures' shapes and
+// `PIECES_SCALE` can push sizes toward the paper's 200M-800M keys.
+#ifndef PIECES_COMMON_CONFIG_H_
+#define PIECES_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace pieces {
+
+// Returns the integer value of environment variable `name`, or `def` when
+// unset or unparsable.
+inline uint64_t GetEnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<uint64_t>(parsed);
+}
+
+// Global multiplier applied to bench dataset sizes (default 1).
+inline uint64_t BenchScale() { return GetEnvU64("PIECES_SCALE", 1); }
+
+// Injected simulated-NVM latencies in nanoseconds (default 0 = plain DRAM).
+inline uint64_t NvmReadLatencyNs() {
+  return GetEnvU64("PIECES_NVM_READ_NS", 0);
+}
+inline uint64_t NvmWriteLatencyNs() {
+  return GetEnvU64("PIECES_NVM_WRITE_NS", 0);
+}
+
+// Thread-count ceiling for the multi-thread benches.
+inline uint64_t BenchMaxThreads() { return GetEnvU64("PIECES_THREADS", 4); }
+
+}  // namespace pieces
+
+#endif  // PIECES_COMMON_CONFIG_H_

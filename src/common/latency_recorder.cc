@@ -1,0 +1,38 @@
+#include "common/latency_recorder.h"
+
+#include <bit>
+
+namespace pieces {
+
+size_t LatencyRecorder::BucketFor(uint64_t nanos) {
+  if (nanos < kSubBuckets) return static_cast<size_t>(nanos);
+  int log = 63 - std::countl_zero(nanos);
+  // Keep the top 4 bits after the leading one as the sub-bucket index.
+  size_t sub = static_cast<size_t>((nanos >> (log - 4)) & (kSubBuckets - 1));
+  size_t bucket = static_cast<size_t>(log) * kSubBuckets + sub;
+  return bucket >= kNumBuckets ? kNumBuckets - 1 : bucket;
+}
+
+uint64_t LatencyRecorder::BucketUpperBound(size_t bucket) {
+  size_t log = bucket / kSubBuckets;
+  size_t sub = bucket % kSubBuckets;
+  if (log < 4) return bucket;  // The dense low range is exact.
+  uint64_t base = 1ull << log;
+  uint64_t step = base / kSubBuckets;
+  return base + (sub + 1) * step - 1;
+}
+
+uint64_t LatencyRecorder::QuantileNanos(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+}  // namespace pieces

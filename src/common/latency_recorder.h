@@ -1,0 +1,59 @@
+// Per-operation latency histogram producing the p50/p99/p99.9 tail numbers
+// the paper reports next to throughput. Uses log-spaced buckets (~1%
+// resolution) so recording is O(1) and merging across threads is cheap.
+#ifndef PIECES_COMMON_LATENCY_RECORDER_H_
+#define PIECES_COMMON_LATENCY_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pieces {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder() : buckets_(kNumBuckets, 0) {}
+
+  // Records one latency sample in nanoseconds.
+  void Record(uint64_t nanos) {
+    ++buckets_[BucketFor(nanos)];
+    ++count_;
+    total_ += nanos;
+  }
+
+  // Merges another recorder's samples into this one.
+  void Merge(const LatencyRecorder& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    total_ += other.total_;
+  }
+
+  uint64_t Count() const { return count_; }
+
+  double MeanNanos() const {
+    return count_ == 0 ? 0 : static_cast<double>(total_) / count_;
+  }
+
+  // Returns an upper bound on the latency at quantile q in [0, 1].
+  uint64_t QuantileNanos(double q) const;
+
+  uint64_t P50() const { return QuantileNanos(0.50); }
+  uint64_t P99() const { return QuantileNanos(0.99); }
+  uint64_t P999() const { return QuantileNanos(0.999); }
+
+ private:
+  // 64 power-of-two decades x 16 linear sub-buckets.
+  static constexpr size_t kSubBuckets = 16;
+  static constexpr size_t kNumBuckets = 64 * kSubBuckets;
+
+  static size_t BucketFor(uint64_t nanos);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_COMMON_LATENCY_RECORDER_H_

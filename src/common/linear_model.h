@@ -1,0 +1,93 @@
+// A linear model y = slope * x + intercept over 64-bit keys, plus the
+// least-squares fit (LSA in the paper's terminology, used by ALEX and
+// XIndex). Keys are shifted by the segment's first key before multiplying so
+// `long double` keeps full precision over the whole 2^64 domain.
+#ifndef PIECES_COMMON_LINEAR_MODEL_H_
+#define PIECES_COMMON_LINEAR_MODEL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace pieces {
+
+struct LinearModel {
+  double slope = 0;
+  double intercept = 0;
+
+  // Predicted (real-valued) position of `key`.
+  double PredictReal(uint64_t key) const {
+    return slope * static_cast<double>(key) + intercept;
+  }
+
+  // Predicted position clamped to [0, n).
+  size_t PredictClamped(uint64_t key, size_t n) const {
+    double p = PredictReal(key);
+    if (!(p > 0)) return 0;
+    // Compare in double before casting: the double -> size_t conversion is
+    // undefined when p exceeds the representable range.
+    if (p >= static_cast<double>(n)) return n == 0 ? 0 : n - 1;
+    return static_cast<size_t>(p);
+  }
+
+  // Rescales the model so predictions are multiplied by `factor` (used when
+  // expanding a gapped array, and by LSA-gap to spread keys over capacity).
+  void Expand(double factor) {
+    slope *= factor;
+    intercept *= factor;
+  }
+};
+
+// Least-squares fit mapping keys[i] -> i for i in [0, n). Returns a model
+// that predicts the *rank* of a key within this segment. Keys must be
+// sorted; duplicates are tolerated. For n == 1 the model is flat.
+inline LinearModel FitLeastSquares(const uint64_t* keys, size_t n) {
+  LinearModel m;
+  if (n == 0) return m;
+  if (n == 1) {
+    m.slope = 0;
+    m.intercept = 0;
+    return m;
+  }
+  // Shift by keys[0] to keep the sums well-conditioned.
+  const long double x0 = static_cast<long double>(keys[0]);
+  long double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    long double x = static_cast<long double>(keys[i]) - x0;
+    long double y = static_cast<long double>(i);
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  const long double nn = static_cast<long double>(n);
+  long double denom = nn * sum_xx - sum_x * sum_x;
+  if (denom == 0) {
+    // All keys equal: flat model at the first rank.
+    m.slope = 0;
+    m.intercept = 0;
+    return m;
+  }
+  long double slope = (nn * sum_xy - sum_x * sum_y) / denom;
+  long double intercept = (sum_y - slope * sum_x) / nn - slope * x0;
+  m.slope = static_cast<double>(slope);
+  m.intercept = static_cast<double>(intercept);
+  return m;
+}
+
+// Endpoint fit: the line through (keys[0], 0) and (keys[n-1], n-1).
+// Cheaper than least squares and used by spline-style models.
+inline LinearModel FitEndpoints(const uint64_t* keys, size_t n) {
+  LinearModel m;
+  if (n <= 1 || keys[n - 1] == keys[0]) return m;
+  long double slope = static_cast<long double>(n - 1) /
+                      (static_cast<long double>(keys[n - 1]) -
+                       static_cast<long double>(keys[0]));
+  m.slope = static_cast<double>(slope);
+  m.intercept = static_cast<double>(-slope * static_cast<long double>(keys[0]));
+  return m;
+}
+
+}  // namespace pieces
+
+#endif  // PIECES_COMMON_LINEAR_MODEL_H_

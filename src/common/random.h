@@ -1,0 +1,114 @@
+// Fast deterministic random number generation used by workload generators
+// and property tests: a xorshift-star PRNG plus a Zipfian sampler (the YCSB
+// "scrambled zipfian" construction) used for skewed request streams.
+#ifndef PIECES_COMMON_RANDOM_H_
+#define PIECES_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace pieces {
+
+// xorshift64* PRNG. Deterministic for a given seed, fast, and good enough
+// for workload generation (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  // Uniform in [0, n).
+  uint64_t NextUnder(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipfian generator over [0, n) following the YCSB implementation
+// (Gray et al. "Quickly generating billion-record synthetic databases").
+// `theta` defaults to YCSB's 0.99. Item 0 is the most popular.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    zeta_n_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    double v = static_cast<double>(n_) *
+               std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t r = static_cast<uint64_t>(v);
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+  // Next() with the rank scrambled over the key space, so popular items are
+  // spread across the domain (YCSB's ScrambledZipfian behaviour).
+  uint64_t NextScrambled() {
+    uint64_t r = Next();
+    return Fnv64(r) % n_;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  static uint64_t Fnv64(uint64_t v) {
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (i * 8)) & 0xff;
+      hash *= 0x100000001b3ull;
+    }
+    return hash;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_COMMON_RANDOM_H_

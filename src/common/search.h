@@ -1,0 +1,161 @@
+// In-leaf search routines used as the "last mile" of every index: after a
+// learned model predicts an approximate position, one of these locates the
+// exact key. The paper's related-work section (§VI) lists binary search,
+// exponential search, interpolation search and three-point interpolation as
+// the candidate algorithms; `bench_ablation_search` compares them.
+#ifndef PIECES_COMMON_SEARCH_H_
+#define PIECES_COMMON_SEARCH_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace pieces {
+
+// Lower bound (first index with data[i] >= key) in [lo, hi) via classic
+// binary search.
+inline size_t BinarySearchLowerBound(const uint64_t* data, size_t lo,
+                                     size_t hi, uint64_t key) {
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (data[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Branchless binary search over [lo, hi); identical result to
+// BinarySearchLowerBound but compiled to conditional moves, which is faster
+// when the error window is small and the branch unpredictable.
+inline size_t BranchlessLowerBound(const uint64_t* data, size_t lo, size_t hi,
+                                   uint64_t key) {
+  const uint64_t* base = data + lo;
+  size_t n = hi - lo;
+  while (n > 1) {
+    size_t half = n / 2;
+    base += (base[half - 1] < key) ? half : 0;
+    n -= half;
+  }
+  return static_cast<size_t>(base - data) + ((n == 1 && base[0] < key) ? 1 : 0);
+}
+
+// Exponential (galloping) search outward from a predicted position `hint`,
+// then binary search inside the located range. This is ALEX's in-node
+// search: cost grows with log(actual error), not log(node size).
+inline size_t ExponentialSearchLowerBound(const uint64_t* data, size_t n,
+                                          size_t hint, uint64_t key) {
+  if (n == 0) return 0;
+  if (hint >= n) hint = n - 1;
+  size_t lo;
+  size_t hi;
+  if (data[hint] >= key) {
+    // Gallop left.
+    size_t step = 1;
+    hi = hint;
+    lo = hint;
+    while (lo > 0 && data[lo] >= key) {
+      hi = lo;
+      lo = (lo >= step) ? lo - step : 0;
+      step *= 2;
+    }
+    ++hi;  // data[hi-1] >= key, search in [lo, hi).
+  } else {
+    // Gallop right.
+    size_t step = 1;
+    lo = hint + 1;
+    hi = hint + 1;
+    while (hi < n && data[hi] < key) {
+      lo = hi + 1;
+      hi = std::min(n, hi + step);
+      step *= 2;
+    }
+  }
+  return BinarySearchLowerBound(data, lo, std::min(hi, n), key);
+}
+
+// Interpolation search: repeatedly estimates the position from the key's
+// relative value inside the remaining range. Fast on near-uniform data,
+// degrades on skew; bounded by a binary-search fallback after `kMaxProbes`.
+inline size_t InterpolationSearchLowerBound(const uint64_t* data, size_t lo,
+                                            size_t hi, uint64_t key) {
+  constexpr int kMaxProbes = 16;
+  int probes = 0;
+  while (lo < hi && probes++ < kMaxProbes) {
+    size_t last = hi - 1;
+    if (key <= data[lo]) return lo;
+    if (key > data[last]) return hi;
+    // data[lo] < key <= data[last]; interpolate in (lo, last].
+    long double span = static_cast<long double>(data[last]) -
+                       static_cast<long double>(data[lo]);
+    if (span <= 0) break;
+    long double frac =
+        (static_cast<long double>(key) - static_cast<long double>(data[lo])) /
+        span;
+    size_t mid = lo + static_cast<size_t>(
+                          frac * static_cast<long double>(last - lo));
+    mid = std::clamp(mid, lo + 1, last);
+    if (data[mid] < key) {
+      lo = mid + 1;
+    } else if (data[mid - 1] >= key) {
+      hi = mid;
+    } else {
+      return mid;
+    }
+  }
+  return BinarySearchLowerBound(data, lo, hi, key);
+}
+
+// Three-point interpolation ("SIP" from Van Sandt et al., SIGMOD'19):
+// fits the local CDF with a rational function through three points, which
+// converges faster than linear interpolation on non-uniform data. Falls
+// back to binary search when the guard limit is hit.
+inline size_t ThreePointSearchLowerBound(const uint64_t* data, size_t lo,
+                                         size_t hi, uint64_t key) {
+  constexpr int kMaxProbes = 8;
+  int probes = 0;
+  while (hi - lo > 8 && probes++ < kMaxProbes) {
+    size_t last = hi - 1;
+    if (key <= data[lo]) return lo;
+    if (key > data[last]) return hi;
+    size_t mid = lo + (hi - lo) / 2;
+    long double x0 = data[lo];
+    long double x1 = data[mid];
+    long double x2 = data[last];
+    long double y0 = lo;
+    long double y1 = mid;
+    long double y2 = last;
+    long double x = key;
+    // Inverse quadratic (Lagrange) interpolation through the three points;
+    // falls back to the midpoint when abscissae coincide.
+    size_t probe;
+    if (x0 == x1 || x1 == x2 || x0 == x2) {
+      probe = mid;
+    } else {
+      long double est = y0 * ((x - x1) * (x - x2)) / ((x0 - x1) * (x0 - x2)) +
+                        y1 * ((x - x0) * (x - x2)) / ((x1 - x0) * (x1 - x2)) +
+                        y2 * ((x - x0) * (x - x1)) / ((x2 - x0) * (x2 - x1));
+      if (!(est >= static_cast<long double>(lo) &&
+            est <= static_cast<long double>(last))) {
+        est = static_cast<long double>(mid);
+      }
+      probe = static_cast<size_t>(est);
+    }
+    probe = std::clamp(probe, lo + 1, last);
+    if (data[probe] < key) {
+      lo = probe + 1;
+    } else if (probe > lo && data[probe - 1] >= key) {
+      hi = probe;
+    } else {
+      return probe;
+    }
+  }
+  return BinarySearchLowerBound(data, lo, hi, key);
+}
+
+}  // namespace pieces
+
+#endif  // PIECES_COMMON_SEARCH_H_

@@ -1,0 +1,34 @@
+// Wall-clock helpers for benches and the latency recorder.
+#ifndef PIECES_COMMON_TIMER_H_
+#define PIECES_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pieces {
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Measures elapsed nanoseconds between construction (or Reset) and
+// ElapsedNanos().
+class Timer {
+ public:
+  Timer() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_COMMON_TIMER_H_

@@ -1,0 +1,86 @@
+// The common interface every index (learned and traditional) implements.
+// The paper's end-to-end evaluation requires all indexes to live in the
+// same KV store behind the same API ("a fair comparison environment");
+// ViperStore and all benches talk to indexes only through this interface.
+//
+// Keys are 8-byte unsigned integers (the paper's datasets use 8-byte keys)
+// and values are 64-bit handles (a ViperStore (page, slot) reference or an
+// inline value).
+#ifndef PIECES_INDEX_ORDERED_INDEX_H_
+#define PIECES_INDEX_ORDERED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace pieces {
+
+using Key = uint64_t;
+using Value = uint64_t;
+
+struct KeyValue {
+  Key key;
+  Value value;
+
+  friend bool operator==(const KeyValue&, const KeyValue&) = default;
+};
+
+// Structural and behavioural counters the paper reports per index:
+// Table II (average depth), Fig. 17 (leaf count, error), Fig. 18
+// (retraining counts/time, moved keys).
+struct IndexStats {
+  double avg_depth = 0;        // Mean root-to-leaf hops over leaves.
+  size_t leaf_count = 0;       // Number of leaf models / nodes.
+  size_t inner_count = 0;      // Number of inner nodes / models.
+  size_t max_error = 0;        // Max leaf prediction error (0 if unbounded).
+  double mean_error = 0;       // Mean leaf prediction error at build time.
+  size_t retrain_count = 0;    // Model retraining operations so far.
+  uint64_t retrain_nanos = 0;  // Total time spent retraining.
+  uint64_t moved_keys = 0;     // Keys shifted to make room during inserts.
+};
+
+class OrderedIndex {
+ public:
+  virtual ~OrderedIndex() = default;
+
+  // Replaces the index contents with `data`, which must be sorted by key
+  // with unique keys. Used for initial load and crash recovery (Fig. 16).
+  virtual void BulkLoad(std::span<const KeyValue> data) = 0;
+
+  // Point lookup; returns false when absent.
+  virtual bool Get(Key key, Value* value) const = 0;
+
+  // Inserts a new key or updates an existing one. Returns false when the
+  // index is read-only (RMI, RadixSpline).
+  virtual bool Insert(Key key, Value value) = 0;
+
+  // Copies up to `count` pairs with key >= from, in key order, into *out
+  // (appended). Returns the number appended. Read-only hash indexes return
+  // 0 (they do not support scans — one of the paper's Table I distinctions).
+  virtual size_t Scan(Key from, size_t count, std::vector<KeyValue>* out)
+      const = 0;
+
+  // Bytes used by the index *structure* (models, inner nodes, buffers) —
+  // the "Index size" column of Table III. Excludes the primary sorted data.
+  virtual size_t IndexSizeBytes() const = 0;
+
+  // Bytes used by index structure plus the keys (and value handles) it
+  // stores — the "Index+key size" column of Table III.
+  virtual size_t TotalSizeBytes() const = 0;
+
+  virtual IndexStats Stats() const { return {}; }
+
+  virtual std::string_view Name() const = 0;
+
+  virtual bool SupportsInsert() const { return true; }
+  virtual bool SupportsScan() const { return true; }
+  // All evaluated indexes support concurrent reads; only some support
+  // concurrent writes (XIndex among the learned ones — Fig. 14).
+  virtual bool SupportsConcurrentWrites() const { return false; }
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_INDEX_ORDERED_INDEX_H_

@@ -1,0 +1,64 @@
+#include "index/registry.h"
+
+#include "learned/alex.h"
+#include "learned/fiting_tree.h"
+#include "learned/lipp.h"
+#include "learned/pgm.h"
+#include "learned/radix_spline.h"
+#include "learned/rmi.h"
+#include "learned/xindex.h"
+#include "traditional/art.h"
+#include "traditional/btree.h"
+#include "traditional/extendible_hash.h"
+#include "traditional/olc_btree.h"
+#include "traditional/skiplist.h"
+#include "traditional/wormhole.h"
+
+namespace pieces {
+
+std::unique_ptr<OrderedIndex> MakeIndex(const std::string& name) {
+  if (name == "RMI") return std::make_unique<Rmi>();
+  if (name == "RS") return std::make_unique<RadixSpline>();
+  if (name == "FITing-tree-inp") {
+    return std::make_unique<FitingTree>(FitingTree::InsertMode::kInplace);
+  }
+  if (name == "FITing-tree-buf") {
+    return std::make_unique<FitingTree>(FitingTree::InsertMode::kBuffer);
+  }
+  if (name == "PGM") return std::make_unique<DynamicPgm>();
+  if (name == "ALEX") return std::make_unique<Alex>();
+  if (name == "XIndex") return std::make_unique<XIndex>();
+  if (name == "LIPP") return std::make_unique<LippIndex>();
+  if (name == "BTree") return std::make_unique<BTree>();
+  if (name == "SkipList") return std::make_unique<SkipList>();
+  if (name == "OLC-BTree") return std::make_unique<OlcBTree>();
+  if (name == "ART") return std::make_unique<ArtIndex>();
+  if (name == "Hash") return std::make_unique<ExtendibleHash>();
+  if (name == "Wormhole") return std::make_unique<WormholeLite>();
+  return nullptr;
+}
+
+std::vector<std::string> LearnedIndexNames() {
+  return {"RMI",  "RS",     "FITing-tree-inp", "FITing-tree-buf",
+          "PGM",  "ALEX",   "XIndex",          "LIPP"};
+}
+
+std::vector<std::string> TraditionalIndexNames() {
+  return {"BTree", "SkipList", "OLC-BTree", "ART", "Wormhole", "Hash"};
+}
+
+std::vector<std::string> AllIndexNames() {
+  std::vector<std::string> names = LearnedIndexNames();
+  for (const std::string& n : TraditionalIndexNames()) names.push_back(n);
+  return names;
+}
+
+std::vector<std::string> UpdatableIndexNames() {
+  std::vector<std::string> names;
+  for (const std::string& n : AllIndexNames()) {
+    if (MakeIndex(n)->SupportsInsert()) names.push_back(n);
+  }
+  return names;
+}
+
+}  // namespace pieces

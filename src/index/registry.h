@@ -1,0 +1,31 @@
+// Name -> factory registry over all indexes, used by the benches, tests
+// and examples to iterate "every index the paper evaluates".
+#ifndef PIECES_INDEX_REGISTRY_H_
+#define PIECES_INDEX_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+// Creates an index by name. Known names (paper's naming):
+//   learned:     "RMI", "RS", "FITing-tree-inp", "FITing-tree-buf",
+//                "PGM", "ALEX", "XIndex", "LIPP"
+//   traditional: "BTree", "SkipList", "OLC-BTree", "ART", "Wormhole",
+//                "Hash"
+// Returns nullptr for unknown names.
+std::unique_ptr<OrderedIndex> MakeIndex(const std::string& name);
+
+// All registered names, learned first then traditional.
+std::vector<std::string> AllIndexNames();
+std::vector<std::string> LearnedIndexNames();
+std::vector<std::string> TraditionalIndexNames();
+// Names of indexes that support Insert (the paper's updatable set).
+std::vector<std::string> UpdatableIndexNames();
+
+}  // namespace pieces
+
+#endif  // PIECES_INDEX_REGISTRY_H_

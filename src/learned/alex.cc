@@ -1,0 +1,577 @@
+#include "learned/alex.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/search.h"
+#include "common/timer.h"
+
+namespace pieces {
+
+namespace {
+// Tail gaps hold this sentinel so the slot array stays sorted. Stored keys
+// must therefore be < 2^64-1 (all generators in this repo guarantee it).
+constexpr Key kSentinel = std::numeric_limits<Key>::max();
+}  // namespace
+
+struct Alex::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct Alex::DataNode : Alex::Node {
+  DataNode() : Node(true) {}
+
+  LinearModel model;  // key -> slot in [0, capacity).
+  std::vector<Key> slots;      // Gap slots hold their right neighbor's key.
+  std::vector<Value> values;
+  std::vector<uint8_t> occ;    // 1 = slot holds a live pair.
+  size_t capacity = 0;
+  size_t count = 0;
+  DataNode* prev = nullptr;
+  DataNode* next = nullptr;
+
+  // First slot with slots[i] >= key, starting the exponential search from
+  // the model's prediction.
+  size_t LowerBoundSlot(Key key) const {
+    size_t hint = model.PredictClamped(key, capacity);
+    return ExponentialSearchLowerBound(slots.data(), capacity, hint, key);
+  }
+};
+
+struct Alex::InnerNode : Alex::Node {
+  InnerNode() : Node(false) {}
+  LinearModel model;  // key -> child slot in [0, children.size()).
+  std::vector<Node*> children;
+};
+
+Alex::~Alex() { Clear(); }
+
+void Alex::Clear() {
+  if (root_ == nullptr) return;
+  std::vector<Node*> stack{root_};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      delete static_cast<DataNode*>(n);
+    } else {
+      auto* inner = static_cast<InnerNode*>(n);
+      // Children can repeat (ALEX shares pointers across slots); only
+      // push each distinct child once — repeats are always adjacent.
+      Node* last = nullptr;
+      for (Node* c : inner->children) {
+        if (c != last) stack.push_back(c);
+        last = c;
+      }
+      delete inner;
+    }
+  }
+  root_ = nullptr;
+  size_ = 0;
+}
+
+Alex::DataNode* Alex::BuildDataNode(const KeyValue* data,
+                                    size_t count) const {
+  auto* node = new DataNode();
+  node->count = count;
+  node->capacity = std::max<size_t>(
+      16, static_cast<size_t>(std::ceil(static_cast<double>(count) /
+                                        config_.init_density)));
+  node->slots.assign(node->capacity, kSentinel);
+  node->values.assign(node->capacity, 0);
+  node->occ.assign(node->capacity, 0);
+  if (count > 0) {
+    std::vector<Key> keys(count);
+    for (size_t i = 0; i < count; ++i) keys[i] = data[i].key;
+    node->model = FitLeastSquares(keys.data(), count);
+    if (count > 1) {
+      node->model.Expand(static_cast<double>(node->capacity) /
+                         static_cast<double>(count));
+    }
+    // Model-based placement (LSA-gap): each key goes to its predicted slot
+    // or the next free one, keeping order.
+    size_t next_free = 0;
+    for (size_t i = 0; i < count; ++i) {
+      size_t pred = node->model.PredictClamped(data[i].key, node->capacity);
+      size_t slot = std::max(pred, next_free);
+      size_t max_slot = node->capacity - (count - i);
+      if (slot > max_slot) slot = max_slot;
+      node->slots[slot] = data[i].key;
+      node->values[slot] = data[i].value;
+      node->occ[slot] = 1;
+      next_free = slot + 1;
+    }
+    // Fill gap slots with their right neighbor's key (sorted invariant).
+    Key carry = kSentinel;
+    for (size_t i = node->capacity; i-- > 0;) {
+      if (node->occ[i]) {
+        carry = node->slots[i];
+      } else {
+        node->slots[i] = carry;
+      }
+    }
+  }
+  return node;
+}
+
+Alex::Node* Alex::BuildSubtree(const KeyValue* data, size_t count) {
+  if (count <= config_.target_leaf_keys) {
+    return BuildDataNode(data, count);
+  }
+  // Fanout: enough children to bring each near the target size, capped.
+  size_t want = count / config_.target_leaf_keys;
+  size_t fanout = std::bit_ceil(std::max<size_t>(2, want));
+  fanout = std::min(fanout, config_.max_fanout);
+
+  auto* inner = new InnerNode();
+  std::vector<Key> keys(count);
+  for (size_t i = 0; i < count; ++i) keys[i] = data[i].key;
+  inner->model = FitLeastSquares(keys.data(), count);
+  inner->model.Expand(static_cast<double>(fanout) /
+                      static_cast<double>(count));
+  inner->children.resize(fanout);
+
+  size_t begin = 0;
+  for (size_t c = 0; c < fanout; ++c) {
+    size_t end = begin;
+    while (end < count &&
+           inner->model.PredictClamped(data[end].key, fanout) == c) {
+      ++end;
+    }
+    inner->children[c] = BuildSubtree(data + begin, end - begin);
+    begin = end;
+  }
+  return inner;
+}
+
+void Alex::BulkLoad(std::span<const KeyValue> data) {
+  Clear();
+  update_stats_ = IndexStats{};
+  root_ = BuildSubtree(data.data(), data.size());
+  size_ = data.size();
+
+  // Link the data-node chain in key order for scans (DFS, left to right).
+  DataNode* prev = nullptr;
+  std::vector<std::pair<Node*, size_t>> walk{{root_, 0}};
+  while (!walk.empty()) {
+    auto& [n, idx] = walk.back();
+    if (n->is_leaf) {
+      auto* d = static_cast<DataNode*>(n);
+      d->prev = prev;
+      if (prev != nullptr) prev->next = d;
+      prev = d;
+      walk.pop_back();
+      continue;
+    }
+    auto* inner = static_cast<InnerNode*>(n);
+    // Skip repeated pointers (possible only after splits, but be safe).
+    while (idx < inner->children.size() &&
+           idx > 0 && inner->children[idx] == inner->children[idx - 1]) {
+      ++idx;
+    }
+    if (idx >= inner->children.size()) {
+      walk.pop_back();
+      continue;
+    }
+    Node* child = inner->children[idx];
+    ++idx;
+    walk.push_back({child, 0});
+  }
+}
+
+Alex::DataNode* Alex::Descend(
+    Key key, std::vector<std::pair<InnerNode*, size_t>>* path) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    size_t c = inner->model.PredictClamped(key, inner->children.size());
+    if (path != nullptr) path->push_back({inner, c});
+    node = inner->children[c];
+  }
+  return static_cast<DataNode*>(node);
+}
+
+bool Alex::Get(Key key, Value* value) const {
+  if (root_ == nullptr) return false;
+  const DataNode* node = Descend(key, nullptr);
+  if (node->capacity == 0) return false;
+  size_t slot = node->LowerBoundSlot(key);
+  while (slot < node->capacity && node->slots[slot] == key &&
+         !node->occ[slot]) {
+    ++slot;  // Skip gap slots carrying the key as fill value.
+  }
+  if (slot < node->capacity && node->occ[slot] && node->slots[slot] == key) {
+    *value = node->values[slot];
+    return true;
+  }
+  return false;
+}
+
+void Alex::ExpandDataNode(DataNode* node) {
+  Timer timer;
+  std::vector<KeyValue> pairs;
+  pairs.reserve(node->count);
+  for (size_t i = 0; i < node->capacity; ++i) {
+    if (node->occ[i]) pairs.push_back({node->slots[i], node->values[i]});
+  }
+  DataNode* rebuilt = BuildDataNode(pairs.data(), pairs.size());
+  node->model = rebuilt->model;
+  node->slots = std::move(rebuilt->slots);
+  node->values = std::move(rebuilt->values);
+  node->occ = std::move(rebuilt->occ);
+  node->capacity = rebuilt->capacity;
+  node->count = rebuilt->count;
+  delete rebuilt;
+  ++update_stats_.retrain_count;
+  update_stats_.retrain_nanos += timer.ElapsedNanos();
+}
+
+void Alex::AppendExpandDataNode(DataNode* node) {
+  Timer timer;
+  size_t new_cap = node->capacity + node->capacity / 2 + 16;
+  node->slots.resize(new_cap, kSentinel);
+  node->values.resize(new_cap, 0);
+  node->occ.resize(new_cap, 0);
+  node->capacity = new_cap;
+  ++update_stats_.retrain_count;
+  update_stats_.retrain_nanos += timer.ElapsedNanos();
+}
+
+void Alex::SplitDataNode(
+    DataNode* node, std::vector<std::pair<InnerNode*, size_t>>* path) {
+  Timer timer;
+  std::vector<KeyValue> pairs;
+  pairs.reserve(node->count);
+  for (size_t i = 0; i < node->capacity; ++i) {
+    if (node->occ[i]) pairs.push_back({node->slots[i], node->values[i]});
+  }
+
+  auto finish = [&](DataNode* left, DataNode* right) {
+    left->prev = node->prev;
+    left->next = right;
+    right->prev = left;
+    right->next = node->next;
+    if (node->prev != nullptr) node->prev->next = left;
+    if (node->next != nullptr) node->next->prev = right;
+    delete node;
+    ++update_stats_.retrain_count;
+    update_stats_.retrain_nanos += timer.ElapsedNanos();
+  };
+
+  if (path->empty()) {
+    // The data node is the root: grow the tree with a 2-way inner node.
+    auto* inner = new InnerNode();
+    std::vector<Key> keys(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) keys[i] = pairs[i].key;
+    inner->model = FitLeastSquares(keys.data(), keys.size());
+    inner->model.Expand(2.0 / static_cast<double>(pairs.size()));
+    inner->children.resize(2);
+    size_t mid = 0;
+    while (mid < pairs.size() &&
+           inner->model.PredictClamped(pairs[mid].key, 2) == 0) {
+      ++mid;
+    }
+    DataNode* left = BuildDataNode(pairs.data(), mid);
+    DataNode* right = BuildDataNode(pairs.data() + mid, pairs.size() - mid);
+    inner->children[0] = left;
+    inner->children[1] = right;
+    root_ = inner;
+    finish(left, right);
+    return;
+  }
+
+  auto [parent, slot] = path->back();
+  size_t fan = parent->children.size();
+  // Contiguous slot range in the parent pointing at `node`.
+  size_t lo = slot;
+  while (lo > 0 && parent->children[lo - 1] == node) --lo;
+  size_t hi = slot + 1;
+  while (hi < fan && parent->children[hi] == node) ++hi;
+
+  if (hi - lo >= 2) {
+    // Split sideways at a parent slot boundary: slots [lo, c) -> left,
+    // [c, hi) -> right. The boundary key is where the parent model maps
+    // keys to slot c.
+    size_t c = (lo + hi) / 2;
+    // Partition with the parent's own routing so Descend and the split
+    // agree exactly (no floating-point boundary inversion).
+    size_t mid = 0;
+    while (mid < pairs.size() &&
+           parent->model.PredictClamped(pairs[mid].key, fan) < c) {
+      ++mid;
+    }
+    DataNode* left = BuildDataNode(pairs.data(), mid);
+    DataNode* right = BuildDataNode(pairs.data() + mid, pairs.size() - mid);
+    for (size_t i = lo; i < c; ++i) parent->children[i] = left;
+    for (size_t i = c; i < hi; ++i) parent->children[i] = right;
+    finish(left, right);
+    return;
+  }
+
+  // Single parent slot: deepen the tree locally (this is what makes the
+  // structure asymmetric — only hard regions grow deeper).
+  auto* inner = new InnerNode();
+  std::vector<Key> keys(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) keys[i] = pairs[i].key;
+  inner->model = FitLeastSquares(keys.data(), keys.size());
+  inner->model.Expand(2.0 / static_cast<double>(pairs.size()));
+  inner->children.resize(2);
+  size_t mid = 0;
+  while (mid < pairs.size() &&
+         inner->model.PredictClamped(pairs[mid].key, 2) == 0) {
+    ++mid;
+  }
+  DataNode* left = BuildDataNode(pairs.data(), mid);
+  DataNode* right = BuildDataNode(pairs.data() + mid, pairs.size() - mid);
+  inner->children[0] = left;
+  inner->children[1] = right;
+  parent->children[slot] = inner;
+  finish(left, right);
+}
+
+bool Alex::Insert(Key key, Value value) {
+  if (root_ == nullptr) {
+    BulkLoad(std::vector<KeyValue>{{key, value}});
+    return true;
+  }
+  while (true) {
+    std::vector<std::pair<InnerNode*, size_t>> path;
+    DataNode* node = Descend(key, &path);
+
+    size_t slot = node->LowerBoundSlot(key);
+    while (slot < node->capacity && node->slots[slot] == key &&
+           !node->occ[slot]) {
+      ++slot;
+    }
+    if (slot < node->capacity && node->occ[slot] &&
+        node->slots[slot] == key) {
+      node->values[slot] = value;
+      return true;
+    }
+
+    if (node->count == node->capacity) {
+      // No gap anywhere: retrain now, then retry.
+      if (node->count < config_.max_data_node_keys) {
+        ExpandDataNode(node);
+      } else {
+        SplitDataNode(node, &path);
+      }
+      continue;
+    }
+
+    if (slot == node->capacity) {
+      // Append beyond the node's max key: take the first tail gap, or
+      // grow the tail (no model retrain) when it is exhausted. Without
+      // this, sequential workloads shift an ever-growing dense suffix on
+      // every insert.
+      size_t tail = node->LowerBoundSlot(kSentinel);
+      if (tail == node->capacity) {
+        if (node->count >= config_.max_data_node_keys) {
+          SplitDataNode(node, &path);
+        } else {
+          AppendExpandDataNode(node);
+        }
+        continue;
+      }
+      node->slots[tail] = key;
+      node->values[tail] = value;
+      node->occ[tail] = 1;
+      ++node->count;
+      ++size_;
+      if (static_cast<double>(node->count) >=
+          config_.max_density * static_cast<double>(node->capacity)) {
+        if (node->count < config_.max_data_node_keys) {
+          ExpandDataNode(node);
+        } else {
+          SplitDataNode(node, &path);
+        }
+      }
+      return true;
+    }
+
+    // `slot` is the first position whose (fill) key is > key; insert just
+    // before it, shifting at most to the nearest gap.
+    if (slot > 0 && !node->occ[slot - 1]) {
+      // A gap sits exactly where the key belongs.
+      size_t g = slot - 1;
+      node->slots[g] = key;
+      node->values[g] = value;
+      node->occ[g] = 1;
+      for (size_t j = g; j-- > 0 && !node->occ[j];) node->slots[j] = key;
+    } else {
+      // Locate the nearest gap on each side.
+      size_t right_gap = slot;
+      while (right_gap < node->capacity && node->occ[right_gap]) ++right_gap;
+      // Scan left no further than the right gap's distance: a farther
+      // left gap would never be chosen, and an unbounded scan makes dense
+      // append runs quadratic.
+      size_t left_gap = kSentinel;
+      if (slot > 0) {
+        size_t max_steps = right_gap >= node->capacity
+                               ? slot
+                               : right_gap - slot + 1;
+        size_t j = slot - 1;
+        for (size_t step = 0; step <= max_steps; ++step) {
+          if (!node->occ[j]) {
+            left_gap = j;
+            break;
+          }
+          if (j == 0) break;
+          --j;
+        }
+      }
+      bool use_right;
+      if (right_gap >= node->capacity) {
+        use_right = false;
+      } else if (left_gap == kSentinel) {
+        use_right = true;
+      } else {
+        use_right = (right_gap - slot) <= (slot - left_gap);
+      }
+      if (use_right) {
+        // Shift [slot, right_gap) one right; insert at slot.
+        for (size_t i = right_gap; i > slot; --i) {
+          node->slots[i] = node->slots[i - 1];
+          node->values[i] = node->values[i - 1];
+          node->occ[i] = node->occ[i - 1];
+        }
+        node->slots[slot] = key;
+        node->values[slot] = value;
+        node->occ[slot] = 1;
+        update_stats_.moved_keys += right_gap - slot;
+      } else {
+        // Shift (left_gap, slot) one left; insert at slot-1.
+        for (size_t i = left_gap; i + 1 < slot; ++i) {
+          node->slots[i] = node->slots[i + 1];
+          node->values[i] = node->values[i + 1];
+          node->occ[i] = node->occ[i + 1];
+        }
+        node->slots[slot - 1] = key;
+        node->values[slot - 1] = value;
+        node->occ[slot - 1] = 1;
+        update_stats_.moved_keys += slot - 1 - left_gap;
+        // Gap fill slots left of left_gap keep their invariant because the
+        // key now at left_gap equals the old key at left_gap + 1 — except
+        // when left_gap had unoccupied neighbors, whose fill must follow.
+        for (size_t j = left_gap; j-- > 0 && !node->occ[j];) {
+          node->slots[j] = node->slots[left_gap];
+        }
+      }
+    }
+    ++node->count;
+    ++size_;
+
+    if (static_cast<double>(node->count) >=
+        config_.max_density * static_cast<double>(node->capacity)) {
+      if (node->count < config_.max_data_node_keys) {
+        ExpandDataNode(node);
+      } else {
+        SplitDataNode(node, &path);
+      }
+    }
+    return true;
+  }
+}
+
+size_t Alex::Scan(Key from, size_t count, std::vector<KeyValue>* out) const {
+  if (root_ == nullptr || count == 0) return 0;
+  const DataNode* node = Descend(from, nullptr);
+  size_t slot = node->capacity == 0 ? 0 : node->LowerBoundSlot(from);
+  size_t copied = 0;
+  while (node != nullptr && copied < count) {
+    for (; slot < node->capacity && copied < count; ++slot) {
+      if (node->occ[slot] && node->slots[slot] >= from) {
+        out->push_back({node->slots[slot], node->values[slot]});
+        ++copied;
+      }
+    }
+    node = node->next;
+    slot = 0;
+    from = 0;
+  }
+  return copied;
+}
+
+size_t Alex::IndexSizeBytes() const {
+  // Inner structure + per-node models/bookkeeping. The gapped arrays hold
+  // the data itself (ALEX is its own storage), so — like the paper's Table
+  // III — they are charged to data, not to the index structure.
+  size_t bytes = 0;
+  std::vector<const Node*> stack{root_};
+  if (root_ == nullptr) return 0;
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      bytes += sizeof(DataNode);
+    } else {
+      const auto* inner = static_cast<const InnerNode*>(n);
+      bytes += sizeof(InnerNode) + inner->children.size() * sizeof(Node*);
+      const Node* last = nullptr;
+      for (const Node* c : inner->children) {
+        if (c != last) stack.push_back(c);
+        last = c;
+      }
+    }
+  }
+  return bytes;
+}
+
+size_t Alex::TotalSizeBytes() const {
+  size_t bytes = IndexSizeBytes();
+  if (root_ == nullptr) return bytes;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      const auto* d = static_cast<const DataNode*>(n);
+      bytes += d->capacity * (sizeof(Key) + sizeof(Value) + 1);
+    } else {
+      const auto* inner = static_cast<const InnerNode*>(n);
+      const Node* last = nullptr;
+      for (const Node* c : inner->children) {
+        if (c != last) stack.push_back(c);
+        last = c;
+      }
+    }
+  }
+  return bytes;
+}
+
+IndexStats Alex::Stats() const {
+  IndexStats s = update_stats_;
+  if (root_ == nullptr) return s;
+  size_t leaves = 0;
+  size_t inners = 0;
+  uint64_t depth_sum = 0;
+  std::vector<std::pair<const Node*, size_t>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto [n, depth] = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      ++leaves;
+      depth_sum += depth;
+    } else {
+      ++inners;
+      const auto* inner = static_cast<const InnerNode*>(n);
+      const Node* last = nullptr;
+      for (const Node* c : inner->children) {
+        if (c != last) stack.push_back({c, depth + 1});
+        last = c;
+      }
+    }
+  }
+  s.leaf_count = leaves;
+  s.inner_count = inners;
+  s.avg_depth = leaves == 0 ? 0
+                            : static_cast<double>(depth_sum) /
+                                  static_cast<double>(leaves);
+  return s;
+}
+
+}  // namespace pieces

@@ -1,0 +1,83 @@
+// ALEX (Ding et al., SIGMOD'20): an updatable adaptive learned index.
+//
+// The pieces the paper attributes ALEX's wins to are all here:
+//  * approximation algorithm LSA-gap — data nodes are *gapped arrays*; a
+//    least-squares model is expanded to the node capacity and keys are
+//    placed model-based, which actively reshapes the stored CDF so one
+//    linear model fits a large node with tiny error;
+//  * index structure ATS — an asymmetric tree: inner nodes route purely by
+//    model (no comparisons), subtrees deepen only where the CDF is hard;
+//  * insertion strategy ALEX-gap — a new key lands in (or next to) its
+//    predicted slot, shifting keys only up to the nearest gap;
+//  * retraining strategy expand/split — when a node's density crosses the
+//    limit it is expanded (model retrained, keys re-placed) or split
+//    sideways, deepening the tree only locally.
+//
+// Lookups use exponential search from the predicted slot, so correctness
+// never depends on an error bound (ALEX guarantees none — the Fig. 10
+// tail-latency observation).
+#ifndef PIECES_LEARNED_ALEX_H_
+#define PIECES_LEARNED_ALEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/linear_model.h"
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class Alex : public OrderedIndex {
+ public:
+  struct Config {
+    size_t max_data_node_keys = 8192;  // Split above this.
+    double init_density = 0.7;         // Fill ratio after build/expand.
+    double max_density = 0.8;          // Expand/split trigger.
+    size_t max_fanout = 256;           // Inner node fanout cap (power of 2).
+    size_t target_leaf_keys = 2048;    // Bulk-load fanout heuristic.
+  };
+
+  Alex() : Alex(Config{}) {}
+  explicit Alex(const Config& config) : config_(config) {}
+  ~Alex() override;
+
+  Alex(const Alex&) = delete;
+  Alex& operator=(const Alex&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "ALEX"; }
+
+ private:
+  struct Node;
+  struct DataNode;
+  struct InnerNode;
+
+  void Clear();
+  Node* BuildSubtree(const KeyValue* data, size_t count);
+  DataNode* BuildDataNode(const KeyValue* data, size_t count) const;
+  // Finds the data node for `key`, recording the path of (inner, slot).
+  DataNode* Descend(Key key,
+                    std::vector<std::pair<InnerNode*, size_t>>* path) const;
+  void ExpandDataNode(DataNode* node);
+  // Grows the node's tail without retraining the model (ALEX's append
+  // optimization: sequential inserts land in fresh tail gaps in O(1)).
+  void AppendExpandDataNode(DataNode* node);
+  void SplitDataNode(DataNode* node,
+                     std::vector<std::pair<InnerNode*, size_t>>* path);
+
+  Config config_;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  mutable IndexStats update_stats_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_LEARNED_ALEX_H_

@@ -1,0 +1,308 @@
+#include "learned/fiting_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/search.h"
+#include "common/timer.h"
+#include "pla/optimal_pla.h"
+
+namespace pieces {
+
+FitingTree::FitingTree(InsertMode mode, size_t eps, size_t reserve)
+    : mode_(mode), eps_(eps), reserve_(reserve) {}
+
+size_t FitingTree::Leaf::LowerBoundSlot(Key key) const {
+  size_t count = Count();
+  if (count == 0) return end;
+  // Model hint (trained layout), corrected for any head-ward drift, then
+  // exponential search — robust to the error creep inserts introduce.
+  double rel = model.slope * (static_cast<double>(key) -
+                              static_cast<double>(first_key)) +
+               model.intercept;
+  size_t hint;
+  if (!(rel > 0)) {
+    hint = 0;
+  } else if (rel >= static_cast<double>(count)) {
+    hint = count - 1;
+  } else {
+    hint = static_cast<size_t>(rel);
+  }
+  // Translate from trained offset to the current occupied range.
+  size_t slot_hint = begin + std::min(hint, count - 1);
+  size_t pos = ExponentialSearchLowerBound(keys.data() + begin, count,
+                                           slot_hint - begin, key);
+  return begin + pos;
+}
+
+size_t FitingTree::RouteToLeaf(Key key) const {
+  Key found_key;
+  Value idx;
+  if (inner_.FindLessOrEqual(key, &found_key, &idx)) {
+    return static_cast<size_t>(idx);
+  }
+  return head_;  // Key below every segment start: leftmost leaf.
+}
+
+std::unique_ptr<FitingTree::Leaf> FitingTree::MakeLeaf(
+    const KeyValue* data, size_t count, double slope,
+    double intercept) const {
+  auto leaf = std::make_unique<Leaf>();
+  size_t head_gap = mode_ == InsertMode::kInplace ? reserve_ : 0;
+  size_t tail_gap = mode_ == InsertMode::kInplace ? reserve_ : 0;
+  size_t capacity = count + head_gap + tail_gap;
+  leaf->keys.resize(capacity);
+  leaf->values.resize(capacity);
+  leaf->begin = head_gap;
+  leaf->end = head_gap + count;
+  leaf->begin0 = head_gap;
+  for (size_t i = 0; i < count; ++i) {
+    leaf->keys[head_gap + i] = data[i].key;
+    leaf->values[head_gap + i] = data[i].value;
+  }
+  leaf->model.slope = slope;
+  leaf->model.intercept = intercept;
+  leaf->first_key = count > 0 ? data[0].key : 0;
+  if (mode_ == InsertMode::kBuffer) leaf->buffer.reserve(reserve_);
+  return leaf;
+}
+
+void FitingTree::BulkLoad(std::span<const KeyValue> data) {
+  leaves_.clear();
+  inner_.BulkLoad({});
+  head_ = kNpos;
+  size_ = data.size();
+  update_stats_ = IndexStats{};
+  if (data.empty()) return;
+
+  std::vector<Key> keys;
+  keys.reserve(data.size());
+  for (const KeyValue& kv : data) keys.push_back(kv.key);
+  PlaResult pla = BuildOptimalPla(keys.data(), keys.size(), eps_);
+  update_stats_.max_error = pla.max_error;
+  update_stats_.mean_error = pla.mean_error;
+
+  std::vector<KeyValue> inner_entries;
+  inner_entries.reserve(pla.segments.size());
+  for (const Segment& seg : pla.segments) {
+    auto leaf = MakeLeaf(data.data() + seg.base_rank, seg.count, seg.slope,
+                         seg.intercept);
+    size_t idx = leaves_.size();
+    if (idx > 0) leaves_[idx - 1]->next = idx;
+    inner_entries.push_back({seg.first_key, static_cast<Value>(idx)});
+    leaves_.push_back(std::move(leaf));
+  }
+  head_ = 0;
+  inner_.BulkLoad(inner_entries);
+}
+
+bool FitingTree::GetFromLeaf(const Leaf& leaf, Key key, Value* value) const {
+  if (mode_ == InsertMode::kBuffer && !leaf.buffer.empty()) {
+    auto it = std::lower_bound(
+        leaf.buffer.begin(), leaf.buffer.end(), key,
+        [](const KeyValue& kv, Key k) { return kv.key < k; });
+    if (it != leaf.buffer.end() && it->key == key) {
+      *value = it->value;
+      return true;
+    }
+  }
+  size_t slot = leaf.LowerBoundSlot(key);
+  if (slot < leaf.end && leaf.keys[slot] == key) {
+    *value = leaf.values[slot];
+    return true;
+  }
+  return false;
+}
+
+bool FitingTree::Get(Key key, Value* value) const {
+  if (head_ == kNpos) return false;
+  return GetFromLeaf(*leaves_[RouteToLeaf(key)], key, value);
+}
+
+void FitingTree::RetrainLeaf(size_t idx, std::vector<KeyValue> data) {
+  Timer timer;
+  size_t old_next = leaves_[idx]->next;
+
+  std::vector<Key> keys;
+  keys.reserve(data.size());
+  for (const KeyValue& kv : data) keys.push_back(kv.key);
+  PlaResult pla = BuildOptimalPla(keys.data(), keys.size(), eps_);
+
+  size_t prev_slot = kNpos;
+  for (size_t s = 0; s < pla.segments.size(); ++s) {
+    const Segment& seg = pla.segments[s];
+    auto leaf = MakeLeaf(data.data() + seg.base_rank, seg.count, seg.slope,
+                         seg.intercept);
+    size_t slot;
+    if (s == 0) {
+      slot = idx;  // Reuse the replaced leaf's position.
+      leaves_[idx] = std::move(leaf);
+    } else {
+      slot = leaves_.size();
+      leaves_.push_back(std::move(leaf));
+      inner_.Insert(seg.first_key, static_cast<Value>(slot));
+    }
+    if (prev_slot != kNpos) leaves_[prev_slot]->next = slot;
+    prev_slot = slot;
+  }
+  // The last new leaf resumes the old chain.
+  leaves_[prev_slot]->next = old_next;
+
+  ++update_stats_.retrain_count;
+  update_stats_.retrain_nanos += timer.ElapsedNanos();
+}
+
+bool FitingTree::Insert(Key key, Value value) {
+  if (head_ == kNpos) {
+    BulkLoad(std::vector<KeyValue>{{key, value}});
+    return true;
+  }
+  size_t idx = RouteToLeaf(key);
+  Leaf& leaf = *leaves_[idx];
+
+  if (mode_ == InsertMode::kBuffer) {
+    // Update-in-place if the key already exists in the main segment.
+    size_t slot = leaf.LowerBoundSlot(key);
+    if (slot < leaf.end && leaf.keys[slot] == key) {
+      leaf.values[slot] = value;
+      return true;
+    }
+    auto it = std::lower_bound(
+        leaf.buffer.begin(), leaf.buffer.end(), key,
+        [](const KeyValue& kv, Key k) { return kv.key < k; });
+    if (it != leaf.buffer.end() && it->key == key) {
+      it->value = value;
+      return true;
+    }
+    update_stats_.moved_keys +=
+        static_cast<uint64_t>(leaf.buffer.end() - it);
+    leaf.buffer.insert(it, {key, value});
+    ++size_;
+    if (leaf.buffer.size() >= reserve_) {
+      // Merge buffer + main, retrain.
+      std::vector<KeyValue> merged;
+      merged.reserve(leaf.Count() + leaf.buffer.size());
+      size_t a = leaf.begin;
+      size_t b = 0;
+      while (a < leaf.end && b < leaf.buffer.size()) {
+        if (leaf.keys[a] < leaf.buffer[b].key) {
+          merged.push_back({leaf.keys[a], leaf.values[a]});
+          ++a;
+        } else {
+          merged.push_back(leaf.buffer[b]);
+          ++b;
+        }
+      }
+      for (; a < leaf.end; ++a) merged.push_back({leaf.keys[a], leaf.values[a]});
+      for (; b < leaf.buffer.size(); ++b) merged.push_back(leaf.buffer[b]);
+      RetrainLeaf(idx, std::move(merged));
+    }
+    return true;
+  }
+
+  // Inplace mode.
+  size_t slot = leaf.LowerBoundSlot(key);
+  if (slot < leaf.end && leaf.keys[slot] == key) {
+    leaf.values[slot] = value;
+    return true;
+  }
+  size_t left_len = slot - leaf.begin;
+  size_t right_len = leaf.end - slot;
+  bool can_left = leaf.begin > 0;
+  bool can_right = leaf.end < leaf.keys.size();
+  if ((can_left && left_len <= right_len) || (can_left && !can_right)) {
+    // Shift [begin, slot) one to the left; the new key lands at slot-1.
+    for (size_t i = leaf.begin; i < slot; ++i) {
+      leaf.keys[i - 1] = leaf.keys[i];
+      leaf.values[i - 1] = leaf.values[i];
+    }
+    --leaf.begin;
+    leaf.keys[slot - 1] = key;
+    leaf.values[slot - 1] = value;
+    update_stats_.moved_keys += left_len;
+    ++size_;
+  } else if (can_right) {
+    // Shift [slot, end) one to the right; the new key lands at slot.
+    for (size_t i = leaf.end; i > slot; --i) {
+      leaf.keys[i] = leaf.keys[i - 1];
+      leaf.values[i] = leaf.values[i - 1];
+    }
+    ++leaf.end;
+    leaf.keys[slot] = key;
+    leaf.values[slot] = value;
+    update_stats_.moved_keys += right_len;
+    ++size_;
+  } else {
+    // Both reserved areas exhausted: retrain this leaf with the new key.
+    std::vector<KeyValue> merged;
+    merged.reserve(leaf.Count() + 1);
+    for (size_t i = leaf.begin; i < leaf.end; ++i) {
+      if (i == slot) merged.push_back({key, value});
+      merged.push_back({leaf.keys[i], leaf.values[i]});
+    }
+    if (slot == leaf.end) merged.push_back({key, value});
+    RetrainLeaf(idx, std::move(merged));
+    ++size_;
+  }
+  // Track model drift so Stats reflects post-insert error behaviour.
+  return true;
+}
+
+size_t FitingTree::Scan(Key from, size_t count,
+                        std::vector<KeyValue>* out) const {
+  if (head_ == kNpos || count == 0) return 0;
+  size_t idx = RouteToLeaf(from);
+  size_t copied = 0;
+  while (idx != kNpos && copied < count) {
+    const Leaf& leaf = *leaves_[idx];
+    // Merge the leaf's main run with its buffer on the fly.
+    size_t a = leaf.LowerBoundSlot(from);
+    auto bit = std::lower_bound(
+        leaf.buffer.begin(), leaf.buffer.end(), from,
+        [](const KeyValue& kv, Key k) { return kv.key < k; });
+    while (copied < count &&
+           (a < leaf.end || bit != leaf.buffer.end())) {
+      bool take_main =
+          bit == leaf.buffer.end() ||
+          (a < leaf.end && leaf.keys[a] <= bit->key);
+      if (take_main) {
+        out->push_back({leaf.keys[a], leaf.values[a]});
+        ++a;
+      } else {
+        out->push_back(*bit);
+        ++bit;
+      }
+      ++copied;
+    }
+    idx = leaf.next;
+    from = 0;
+  }
+  return copied;
+}
+
+size_t FitingTree::IndexSizeBytes() const {
+  // Inner B+Tree + per-leaf model metadata; the sorted key/value arrays
+  // are the data, not the index (Table III convention).
+  return inner_.IndexSizeBytes() + leaves_.size() * sizeof(Leaf);
+}
+
+size_t FitingTree::TotalSizeBytes() const {
+  size_t bytes = IndexSizeBytes();
+  for (const auto& leaf : leaves_) {
+    bytes += leaf->keys.capacity() * sizeof(Key) +
+             leaf->values.capacity() * sizeof(Value) +
+             leaf->buffer.capacity() * sizeof(KeyValue);
+  }
+  return bytes;
+}
+
+IndexStats FitingTree::Stats() const {
+  IndexStats s = update_stats_;
+  s.leaf_count = leaves_.size();
+  IndexStats inner_stats = inner_.Stats();
+  s.inner_count = inner_stats.inner_count + inner_stats.leaf_count;
+  s.avg_depth = inner_stats.avg_depth + 1;
+  return s;
+}
+
+}  // namespace pieces

@@ -1,0 +1,84 @@
+// FITing-tree (Galakatos et al., SIGMOD'19): error-bounded linear segments
+// as leaves, a B+Tree over segment start keys as the inner structure, and
+// two insertion strategies —
+//   * inplace:  each leaf reserves gap space at both ends and shifts keys
+//               toward the nearer end to open the insertion slot;
+//   * buffer:   each leaf has a small sorted side buffer; when it fills,
+//               buffer and leaf are merged and the leaf is retrained.
+// Per the paper's §III-A, leaves are segmented with Opt-PLA (the PGM
+// algorithm) rather than the original greedy, so that comparisons against
+// PGM isolate the *other* design dimensions.
+#ifndef PIECES_LEARNED_FITING_TREE_H_
+#define PIECES_LEARNED_FITING_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/linear_model.h"
+#include "index/ordered_index.h"
+#include "traditional/btree.h"
+
+namespace pieces {
+
+class FitingTree : public OrderedIndex {
+ public:
+  enum class InsertMode { kInplace, kBuffer };
+
+  explicit FitingTree(InsertMode mode, size_t eps = 64,
+                      size_t reserve = 256);
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override {
+    return mode_ == InsertMode::kInplace ? "FITing-tree-inp"
+                                         : "FITing-tree-buf";
+  }
+
+ private:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  struct Leaf {
+    // Occupied range [begin, end) within the capacity-sized arrays.
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    size_t begin = 0;
+    size_t end = 0;
+    // Model trained over the layout at build time: predicts slot-begin0.
+    LinearModel model;
+    size_t begin0 = 0;
+    Key first_key = 0;
+    size_t next = kNpos;  // Leaf chain for scans.
+    std::vector<KeyValue> buffer;  // kBuffer mode only; sorted.
+
+    size_t Count() const { return end - begin; }
+    // Slot of the first occupied key >= `key` (end if none).
+    size_t LowerBoundSlot(Key key) const;
+  };
+
+  // Returns the leaf index responsible for `key`.
+  size_t RouteToLeaf(Key key) const;
+  std::unique_ptr<Leaf> MakeLeaf(const KeyValue* data, size_t count,
+                                 double slope, double intercept) const;
+  // Re-segments `data` (sorted) and replaces leaf `idx` with the results.
+  void RetrainLeaf(size_t idx, std::vector<KeyValue> data);
+  bool GetFromLeaf(const Leaf& leaf, Key key, Value* value) const;
+
+  InsertMode mode_;
+  size_t eps_;
+  size_t reserve_;
+  BTree inner_;  // first_key -> leaf index.
+  std::vector<std::unique_ptr<Leaf>> leaves_;
+  size_t head_ = kNpos;  // Leftmost leaf.
+  size_t size_ = 0;
+  mutable IndexStats update_stats_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_LEARNED_FITING_TREE_H_

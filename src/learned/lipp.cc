@@ -1,0 +1,319 @@
+#include "learned/lipp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pieces {
+
+struct LippIndex::Node {
+  enum SlotType : uint8_t { kEmpty = 0, kEntry = 1, kChild = 2 };
+
+  struct Slot {
+    SlotType type = kEmpty;
+    Key key = 0;
+    Value value = 0;
+    Node* child = nullptr;
+  };
+
+  // Anchored model: slot = slope * (key - base). Anchoring at the node's
+  // first key keeps the multiplication exact enough for *precise*
+  // positions even when keys are ~2^60 and the node spans a tiny range
+  // (a plain slope*key + intercept form loses ~8 slots to cancellation).
+  double slope = 0;
+  Key base = 0;
+  // Inserts absorbed since this node was (re)built; when it exceeds the
+  // node's capacity the subtree is rebuilt (LIPP's conflict-driven
+  // adjustment), keeping dense insert streams from growing O(n) chains.
+  size_t inserts_since_build = 0;
+  std::vector<Slot> slots;
+
+  size_t SlotOf(Key key) const {
+    if (key <= base) return 0;
+    double rel = slope * static_cast<double>(key - base);
+    // Compare in double before casting: the conversion is UB when rel
+    // exceeds the size_t range (far-out-of-range probe keys).
+    if (rel >= static_cast<double>(slots.size())) return slots.size() - 1;
+    return static_cast<size_t>(rel);
+  }
+};
+
+LippIndex::~LippIndex() { Clear(); }
+
+void LippIndex::Clear() {
+  if (root_ == nullptr) return;
+  std::vector<Node*> stack{root_};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    for (const Node::Slot& s : n->slots) {
+      if (s.type == Node::kChild) stack.push_back(s.child);
+    }
+    delete n;
+  }
+  root_ = nullptr;
+  size_ = 0;
+}
+
+LippIndex::Node* LippIndex::BuildNode(const KeyValue* data,
+                                      size_t count) const {
+  auto* node = new Node();
+  size_t capacity = std::max<size_t>(
+      4, static_cast<size_t>(std::ceil(static_cast<double>(count) *
+                                       gap_factor_)));
+  node->slots.resize(capacity);
+  if (count == 0) return node;
+
+  // Endpoint-anchored model (rather than least squares): it guarantees the
+  // first and last keys land in different slots, so conflict recursion
+  // strictly shrinks even on heavily clustered data.
+  node->base = data[0].key;
+  if (count > 1) {
+    node->slope = static_cast<double>(capacity - 1) /
+                  static_cast<double>(data[count - 1].key - data[0].key);
+  }
+
+  // Place each key at its precise predicted slot; keys colliding on the
+  // same slot become a child node (recursion strictly shrinks groups).
+  size_t i = 0;
+  while (i < count) {
+    size_t slot = node->SlotOf(data[i].key);
+    size_t j = i + 1;
+    while (j < count && node->SlotOf(data[j].key) == slot) ++j;
+    Node::Slot& s = node->slots[slot];
+    if (j - i == 1) {
+      s.type = Node::kEntry;
+      s.key = data[i].key;
+      s.value = data[i].value;
+    } else {
+      s.type = Node::kChild;
+      s.child = BuildNode(data + i, j - i);
+    }
+    i = j;
+  }
+  return node;
+}
+
+void LippIndex::BulkLoad(std::span<const KeyValue> data) {
+  Clear();
+  update_stats_ = IndexStats{};
+  root_ = BuildNode(data.data(), data.size());
+  size_ = data.size();
+}
+
+bool LippIndex::Get(Key key, Value* value) const {
+  const Node* node = root_;
+  while (node != nullptr) {
+    const Node::Slot& s = node->slots[node->SlotOf(key)];
+    switch (s.type) {
+      case Node::kEmpty:
+        return false;
+      case Node::kEntry:
+        if (s.key == key) {
+          *value = s.value;
+          return true;
+        }
+        return false;
+      case Node::kChild:
+        node = s.child;
+        break;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Collects the subtree's entries in key order.
+void CollectEntries(const LippIndex::Node* node,
+                    std::vector<KeyValue>* out) {
+  using N = LippIndex::Node;
+  for (const N::Slot& s : node->slots) {
+    if (s.type == N::kEntry) {
+      out->push_back({s.key, s.value});
+    } else if (s.type == N::kChild) {
+      CollectEntries(s.child, out);
+    }
+  }
+}
+
+void DeleteSubtree(LippIndex::Node* node) {
+  using N = LippIndex::Node;
+  for (const N::Slot& s : node->slots) {
+    if (s.type == N::kChild) DeleteSubtree(s.child);
+  }
+  delete node;
+}
+
+}  // namespace
+
+bool LippIndex::Insert(Key key, Value value) {
+  if (root_ == nullptr) {
+    BulkLoad(std::vector<KeyValue>{{key, value}});
+    return true;
+  }
+  // Path of (node, parent slot holding it); root's parent slot is null.
+  std::vector<std::pair<Node*, Node::Slot*>> path;
+  Node* node = root_;
+  Node::Slot* parent_slot = nullptr;
+  bool inserted = false;
+  while (!inserted) {
+    path.push_back({node, parent_slot});
+    Node::Slot& s = node->slots[node->SlotOf(key)];
+    switch (s.type) {
+      case Node::kEmpty:
+        s.type = Node::kEntry;
+        s.key = key;
+        s.value = value;
+        ++size_;
+        inserted = true;
+        break;
+      case Node::kEntry: {
+        if (s.key == key) {
+          s.value = value;
+          return true;
+        }
+        // Conflict: both entries move into a fresh child node.
+        KeyValue pair[2];
+        if (s.key < key) {
+          pair[0] = {s.key, s.value};
+          pair[1] = {key, value};
+        } else {
+          pair[0] = {key, value};
+          pair[1] = {s.key, s.value};
+        }
+        Node* child = BuildNode(pair, 2);
+        s.type = Node::kChild;
+        s.child = child;
+        ++size_;
+        ++update_stats_.retrain_count;  // Conflict-driven node creation.
+        inserted = true;
+        break;
+      }
+      case Node::kChild:
+        parent_slot = &s;
+        node = s.child;
+        break;
+    }
+  }
+  // Conflict-driven adjustment: rebuild the topmost subtree whose absorbed
+  // inserts exceed its capacity (amortized O(depth) per insert).
+  for (auto& [n, pslot] : path) {
+    if (++n->inserts_since_build <= n->slots.size()) continue;
+    std::vector<KeyValue> entries;
+    CollectEntries(n, &entries);
+    Node* rebuilt = BuildNode(entries.data(), entries.size());
+    if (pslot == nullptr) {
+      root_ = rebuilt;
+    } else {
+      pslot->child = rebuilt;
+    }
+    DeleteSubtree(n);
+    ++update_stats_.retrain_count;
+    break;
+  }
+  return true;
+}
+
+namespace {
+
+// In-order walk collecting entries with key >= from (when bounded).
+bool LippScan(const LippIndex::Node* node, Key from, bool bounded,
+              size_t count, std::vector<KeyValue>* out);
+
+}  // namespace
+
+size_t LippIndex::Scan(Key from, size_t count,
+                       std::vector<KeyValue>* out) const {
+  if (root_ == nullptr || count == 0) return 0;
+  size_t before = out->size();
+  LippScan(root_, from, true, before + count, out);
+  return out->size() - before;
+}
+
+namespace {
+
+bool LippScan(const LippIndex::Node* node, Key from, bool bounded,
+              size_t count, std::vector<KeyValue>* out) {
+  using N = LippIndex::Node;
+  size_t start = bounded ? node->SlotOf(from) : 0;
+  for (size_t i = start; i < node->slots.size(); ++i) {
+    const N::Slot& s = node->slots[i];
+    bool sub_bounded = bounded && i == start;
+    if (s.type == N::kEntry) {
+      if (!sub_bounded || s.key >= from) {
+        out->push_back({s.key, s.value});
+        if (out->size() >= count) return true;
+      }
+    } else if (s.type == N::kChild) {
+      if (LippScan(s.child, from, sub_bounded, count, out)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+size_t LippIndex::IndexSizeBytes() const {
+  // LIPP stores entries inside the index nodes; the per-slot key/value
+  // payload counts as data, the slot/model overhead as index.
+  size_t bytes = 0;
+  if (root_ == nullptr) return 0;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node) + n->slots.size() * sizeof(Node::Slot) -
+             n->slots.size() * (sizeof(Key) + sizeof(Value));
+    for (const Node::Slot& s : n->slots) {
+      if (s.type == Node::kChild) stack.push_back(s.child);
+    }
+  }
+  return bytes;
+}
+
+size_t LippIndex::TotalSizeBytes() const {
+  size_t bytes = 0;
+  if (root_ == nullptr) return 0;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node) + n->slots.size() * sizeof(Node::Slot);
+    for (const Node::Slot& s : n->slots) {
+      if (s.type == Node::kChild) stack.push_back(s.child);
+    }
+  }
+  return bytes;
+}
+
+IndexStats LippIndex::Stats() const {
+  IndexStats s = update_stats_;
+  if (root_ == nullptr) return s;
+  size_t nodes = 0;
+  uint64_t entry_depth_sum = 0;
+  size_t entries = 0;
+  std::vector<std::pair<const Node*, size_t>> stack{{root_, 1}};
+  while (!stack.empty()) {
+    auto [n, depth] = stack.back();
+    stack.pop_back();
+    ++nodes;
+    for (const Node::Slot& slot : n->slots) {
+      if (slot.type == Node::kEntry) {
+        ++entries;
+        entry_depth_sum += depth;
+      } else if (slot.type == Node::kChild) {
+        stack.push_back({slot.child, depth + 1});
+      }
+    }
+  }
+  s.leaf_count = nodes;
+  s.inner_count = 0;
+  s.avg_depth = entries == 0 ? 0
+                             : static_cast<double>(entry_depth_sum) /
+                                   static_cast<double>(entries);
+  s.max_error = 0;  // Precise positions: no search window at all.
+  return s;
+}
+
+}  // namespace pieces

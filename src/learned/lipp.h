@@ -1,0 +1,54 @@
+// LIPP (Wu et al., VLDB'21): an updatable learned index with *precise*
+// positions. Each node is a gapped slot array addressed directly by a
+// monotone linear model; a slot is empty, holds one key/value entry, or
+// points to a child node holding all keys that collide on that slot.
+// Lookups never search: they follow model predictions slot to slot, so the
+// last-mile search cost of other learned indexes disappears. This is the
+// design the paper's §V-B1 predicts should win (ATS structure + actively
+// reshaped CDF + precise positions); it was not open-source at the paper's
+// writing, so implementing it here lets EXPERIMENTS.md test the prediction.
+#ifndef PIECES_LEARNED_LIPP_H_
+#define PIECES_LEARNED_LIPP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/linear_model.h"
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class LippIndex : public OrderedIndex {
+ public:
+  struct Node;  // Public for the internal scan helper; opaque to users.
+
+  // `gap_factor`: slots per key at build time (>1 leaves insertion gaps).
+  explicit LippIndex(double gap_factor = 2.0) : gap_factor_(gap_factor) {}
+  ~LippIndex() override;
+
+  LippIndex(const LippIndex&) = delete;
+  LippIndex& operator=(const LippIndex&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "LIPP"; }
+
+ private:
+  Node* BuildNode(const KeyValue* data, size_t count) const;
+  void Clear();
+
+  double gap_factor_;
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  mutable IndexStats update_stats_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_LEARNED_LIPP_H_

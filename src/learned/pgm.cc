@@ -1,0 +1,259 @@
+#include "learned/pgm.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/search.h"
+#include "common/timer.h"
+#include "pla/optimal_pla.h"
+
+namespace pieces {
+
+void StaticPgm::Build(std::span<const KeyValue> data) {
+  levels_.clear();
+  keys_.clear();
+  values_.clear();
+  keys_.reserve(data.size());
+  values_.reserve(data.size());
+  for (const KeyValue& kv : data) {
+    keys_.push_back(kv.key);
+    values_.push_back(kv.value);
+  }
+  if (keys_.empty()) return;
+
+  // Tiny runs (the LSM's smallest levels) are cheaper to binary-search
+  // than to model; skip building the recursive structure for them.
+  if (keys_.size() <= kUnindexedThreshold) return;
+
+  // Level 0: Opt-PLA over the data.
+  levels_.push_back(BuildOptimalPla(keys_.data(), keys_.size(), eps_).segments);
+
+  // Recursively index the first keys of the level below.
+  while (levels_.back().size() > 1) {
+    const std::vector<Segment>& below = levels_.back();
+    std::vector<Key> firsts;
+    firsts.reserve(below.size());
+    for (const Segment& s : below) firsts.push_back(s.first_key);
+    levels_.push_back(
+        BuildOptimalPla(firsts.data(), firsts.size(), eps_internal_)
+            .segments);
+  }
+}
+
+size_t StaticPgm::LowerBoundRank(Key key) const {
+  size_t n = keys_.size();
+  if (n == 0) return 0;
+  if (levels_.empty()) {
+    return BinarySearchLowerBound(keys_.data(), 0, n, key);
+  }
+
+  // Walk from the root level down, each time locating the segment of the
+  // level below whose range contains `key`.
+  size_t seg_idx = 0;
+  for (size_t lvl = levels_.size(); lvl-- > 1;) {
+    const Segment& seg = levels_[lvl][seg_idx];
+    const std::vector<Segment>& below = levels_[lvl - 1];
+    size_t pred = seg.PredictRank(key);
+    // Bounded search among `below`'s first keys: find the last segment with
+    // first_key <= key inside the eps_internal_ window.
+    size_t lo = pred > eps_internal_ ? pred - eps_internal_ - 1 : 0;
+    size_t hi = std::min(below.size(), pred + eps_internal_ + 2);
+    size_t idx = lo;
+    // First segment with first_key > key, then step back one.
+    while (idx < hi && below[idx].first_key <= key) ++idx;
+    // The window is exact for keys covered by the level; clamp defensively.
+    seg_idx = idx > lo ? idx - 1 : (lo > 0 ? lo - 1 : 0);
+    // Defensive widening for boundary rounding (rare, cheap).
+    while (seg_idx + 1 < below.size() &&
+           below[seg_idx + 1].first_key <= key) {
+      ++seg_idx;
+    }
+    while (seg_idx > 0 && below[seg_idx].first_key > key) --seg_idx;
+  }
+
+  const Segment& leaf = levels_[0][seg_idx];
+  size_t pred = leaf.PredictRank(key);
+  size_t lo = pred > eps_ ? pred - eps_ - 1 : 0;
+  size_t hi = std::min(n, pred + eps_ + 2);
+  size_t pos = BinarySearchLowerBound(keys_.data(), lo, hi, key);
+  // The eps guarantee covers stored keys; for absent keys the lower bound
+  // can sit just outside the window — repair by walking (bounded, rare).
+  while (pos > 0 && keys_[pos - 1] >= key) --pos;
+  while (pos < n && keys_[pos] < key) ++pos;
+  return pos;
+}
+
+bool StaticPgm::Get(Key key, Value* value) const {
+  size_t pos = LowerBoundRank(key);
+  if (pos < keys_.size() && keys_[pos] == key) {
+    *value = values_[pos];
+    return true;
+  }
+  return false;
+}
+
+size_t StaticPgm::IndexSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& level : levels_) bytes += level.size() * sizeof(Segment);
+  return bytes;
+}
+
+void DynamicPgm::BulkLoad(std::span<const KeyValue> data) {
+  levels_.clear();
+  update_stats_ = IndexStats{};
+  if (data.empty()) return;
+  // Place the bulk into the first level large enough to hold it.
+  size_t lvl = 0;
+  while ((base_size_ << lvl) < data.size()) ++lvl;
+  levels_.resize(lvl + 1);
+  for (size_t i = 0; i < lvl; ++i) levels_[i].pgm = StaticPgm(eps_);
+  levels_[lvl].pgm = StaticPgm(eps_);
+  levels_[lvl].pgm.Build(data);
+}
+
+bool DynamicPgm::Get(Key key, Value* value) const {
+  // Newest (smallest) level first: later inserts shadow older values.
+  for (const Level& level : levels_) {
+    if (!level.pgm.empty() && level.pgm.Get(key, value)) return true;
+  }
+  return false;
+}
+
+bool DynamicPgm::Insert(Key key, Value value) {
+  // Find the first level with room for the merged run of all smaller
+  // levels plus the new pair.
+  size_t carry = 1;
+  size_t target = 0;
+  for (;; ++target) {
+    if (target == levels_.size()) levels_.emplace_back(Level{StaticPgm(eps_)});
+    size_t cap = base_size_ << target;
+    size_t have = levels_[target].pgm.size();
+    if (carry + have <= cap) break;
+    carry += have;
+  }
+
+  Timer timer;
+  // Merge levels [0, target] plus the new pair, newest shadowing oldest.
+  std::vector<KeyValue> merged;
+  merged.reserve(carry + levels_[target].pgm.size());
+  merged.push_back({key, value});
+  bool replaced_existing = false;
+  for (size_t i = 0; i <= target; ++i) {
+    const StaticPgm& pgm = levels_[i].pgm;
+    if (pgm.empty()) continue;
+    std::vector<KeyValue> merged2;
+    merged2.reserve(merged.size() + pgm.size());
+    size_t a = 0;
+    size_t b = 0;
+    const auto& ks = pgm.keys();
+    const auto& vs = pgm.values();
+    while (a < merged.size() && b < ks.size()) {
+      if (merged[a].key < ks[b]) {
+        merged2.push_back(merged[a++]);
+      } else if (merged[a].key > ks[b]) {
+        merged2.push_back({ks[b], vs[b]});
+        ++b;
+      } else {
+        merged2.push_back(merged[a++]);  // Newer level wins.
+        ++b;
+        replaced_existing = true;
+      }
+    }
+    while (a < merged.size()) merged2.push_back(merged[a++]);
+    while (b < ks.size()) {
+      merged2.push_back({ks[b], vs[b]});
+      ++b;
+    }
+    merged = std::move(merged2);
+  }
+  for (size_t i = 0; i < target; ++i) levels_[i].pgm = StaticPgm(eps_);
+  levels_[target].pgm = StaticPgm(eps_);
+  levels_[target].pgm.Build(merged);
+  (void)replaced_existing;
+
+  ++update_stats_.retrain_count;
+  update_stats_.retrain_nanos += timer.ElapsedNanos();
+  return true;
+}
+
+size_t DynamicPgm::Scan(Key from, size_t count,
+                        std::vector<KeyValue>* out) const {
+  if (count == 0) return 0;
+  // K-way merge across levels with newest-level-wins on duplicates.
+  struct Cursor {
+    const std::vector<Key>* keys;
+    const std::vector<Value>* values;
+    size_t pos;
+    size_t level;
+  };
+  std::vector<Cursor> cursors;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const StaticPgm& pgm = levels_[i].pgm;
+    if (pgm.empty()) continue;
+    size_t pos = pgm.LowerBoundRank(from);
+    if (pos < pgm.size()) {
+      cursors.push_back({&pgm.keys(), &pgm.values(), pos, i});
+    }
+  }
+  size_t copied = 0;
+  while (copied < count && !cursors.empty()) {
+    // Pick the cursor with the smallest key; tie -> smallest level wins.
+    size_t best = 0;
+    for (size_t c = 1; c < cursors.size(); ++c) {
+      Key bk = (*cursors[best].keys)[cursors[best].pos];
+      Key ck = (*cursors[c].keys)[cursors[c].pos];
+      if (ck < bk || (ck == bk && cursors[c].level < cursors[best].level)) {
+        best = c;
+      }
+    }
+    Key k = (*cursors[best].keys)[cursors[best].pos];
+    out->push_back({k, (*cursors[best].values)[cursors[best].pos]});
+    ++copied;
+    // Advance every cursor sitting on this key (drop shadowed duplicates).
+    for (size_t c = 0; c < cursors.size();) {
+      if ((*cursors[c].keys)[cursors[c].pos] == k) {
+        if (++cursors[c].pos >= cursors[c].keys->size()) {
+          cursors.erase(cursors.begin() + static_cast<ptrdiff_t>(c));
+          continue;
+        }
+      }
+      ++c;
+    }
+  }
+  return copied;
+}
+
+size_t DynamicPgm::IndexSizeBytes() const {
+  size_t bytes = 0;
+  for (const Level& level : levels_) bytes += level.pgm.IndexSizeBytes();
+  return bytes;
+}
+
+size_t DynamicPgm::TotalSizeBytes() const {
+  size_t bytes = IndexSizeBytes();
+  for (const Level& level : levels_) {
+    bytes += level.pgm.size() * (sizeof(Key) + sizeof(Value));
+  }
+  return bytes;
+}
+
+IndexStats DynamicPgm::Stats() const {
+  IndexStats s = update_stats_;
+  size_t height = 0;
+  size_t total = 0;
+  size_t weighted = 0;
+  for (const Level& level : levels_) {
+    if (level.pgm.empty()) continue;
+    s.leaf_count += level.pgm.LeafCount();
+    height = std::max(height, level.pgm.Height());
+    weighted += level.pgm.Height() * level.pgm.size();
+    total += level.pgm.size();
+    s.max_error = std::max(s.max_error, level.pgm.eps());
+  }
+  s.avg_depth = total == 0 ? 0
+                           : static_cast<double>(weighted) /
+                                 static_cast<double>(total);
+  return s;
+}
+
+}  // namespace pieces

@@ -1,0 +1,92 @@
+// PGM-Index (Ferragina & Vinciguerra, VLDB'20).
+//
+// StaticPgm: the read-only index — Opt-PLA segments over the data, then
+// Opt-PLA applied recursively over the segments' first keys until one
+// segment remains (the paper's LRS, "linear recursive structure"). Every
+// level guarantees max error eps, so a lookup does one bounded search per
+// level plus one in the data.
+//
+// DynamicPgm: the updatable index — an LSM-style logarithmic structure of
+// StaticPgm levels (the paper's "insertion strategy: offsite / retraining
+// strategy: LSM-Tree" row in Table I). Inserting merges the first empty
+// level with all smaller ones, O(log n) amortized.
+#ifndef PIECES_LEARNED_PGM_H_
+#define PIECES_LEARNED_PGM_H_
+
+#include <vector>
+
+#include "index/ordered_index.h"
+#include "pla/segment.h"
+
+namespace pieces {
+
+class StaticPgm {
+ public:
+  // Runs at or below this size are stored as plain sorted arrays (no
+  // recursive model) — binary search beats model evaluation there, and it
+  // makes DynamicPgm's per-insert level-0 rebuild O(run) instead of a
+  // full Opt-PLA pass.
+  static constexpr size_t kUnindexedThreshold = 1024;
+
+  explicit StaticPgm(size_t eps = 64, size_t eps_internal = 4)
+      : eps_(eps), eps_internal_(eps_internal) {}
+
+  // Builds over sorted unique pairs (copied in).
+  void Build(std::span<const KeyValue> data);
+
+  bool Get(Key key, Value* value) const;
+  // Rank of the first stored key >= `key`.
+  size_t LowerBoundRank(Key key) const;
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  const std::vector<Key>& keys() const { return keys_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  size_t IndexSizeBytes() const;
+  size_t LeafCount() const {
+    return levels_.empty() ? 0 : levels_[0].size();
+  }
+  size_t Height() const { return levels_.size(); }
+  size_t eps() const { return eps_; }
+
+ private:
+  // levels_[0] = data segments, levels_.back() = root level (1 segment).
+  size_t eps_;
+  size_t eps_internal_;
+  std::vector<std::vector<Segment>> levels_;
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+};
+
+class DynamicPgm : public OrderedIndex {
+ public:
+  explicit DynamicPgm(size_t eps = 64, size_t base_size = 256)
+      : eps_(eps), base_size_(base_size) {}
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "PGM"; }
+
+ private:
+  // Levels by increasing capacity: levels_[i] holds up to
+  // base_size_ << i pairs (or is empty).
+  struct Level {
+    StaticPgm pgm;
+  };
+
+  size_t eps_;
+  size_t base_size_;
+  std::vector<Level> levels_;
+  IndexStats update_stats_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_LEARNED_PGM_H_

@@ -1,0 +1,144 @@
+#include "learned/radix_spline.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/search.h"
+
+namespace pieces {
+
+void RadixSpline::BulkLoad(std::span<const KeyValue> data) {
+  keys_.clear();
+  values_.clear();
+  radix_table_.clear();
+  keys_.reserve(data.size());
+  values_.reserve(data.size());
+  for (const KeyValue& kv : data) {
+    keys_.push_back(kv.key);
+    values_.push_back(kv.value);
+  }
+  size_t n = keys_.size();
+  if (n == 0) {
+    spline_ = SplineResult{};
+    radix_table_.assign(2, 0);
+    min_key_ = 0;
+    shift_ = 63;
+    return;
+  }
+
+  spline_ = BuildGreedySpline(keys_.data(), n, max_error_);
+  achieved_max_error_ = spline_.max_error;
+
+  // Radix table over the *absolute* key domain above min_key (the paper
+  // notes RS uses the keys' most significant bits; offsetting by min_key
+  // only removes a constant prefix shared by every key).
+  min_key_ = keys_.front();
+  uint64_t domain = keys_.back() - min_key_;
+  unsigned domain_bits = domain == 0 ? 1 : 64 - std::countl_zero(domain);
+  shift_ = domain_bits > radix_bits_
+               ? static_cast<unsigned>(domain_bits - radix_bits_)
+               : 0;
+  size_t cells = (domain >> shift_) + 2;
+  radix_table_.assign(cells, 0);
+
+  // radix_table_[c] = index of the first spline point in cell >= c.
+  size_t cell = 0;
+  for (size_t i = 0; i < spline_.points.size(); ++i) {
+    size_t c = CellOf(spline_.points[i].key);
+    while (cell <= c) radix_table_[cell++] = static_cast<uint32_t>(i);
+  }
+  while (cell < cells) {
+    radix_table_[cell++] = static_cast<uint32_t>(spline_.points.size() - 1);
+  }
+}
+
+size_t RadixSpline::LowerBoundRank(Key key) const {
+  size_t n = keys_.size();
+  if (key <= min_key_) return 0;
+  if (key > keys_.back()) return n;
+  size_t cell = CellOf(key);
+  // Spline points covering this cell: [table[cell]-1, table[cell+1]].
+  size_t begin = radix_table_[cell];
+  size_t end = radix_table_[cell + 1];
+  if (begin > 0) --begin;
+  if (end + 1 < spline_.points.size()) ++end;
+  // Binary search the spline points for the segment containing `key`.
+  size_t lo = begin;
+  size_t hi = end;
+  while (lo + 1 < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (spline_.points[mid].key <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  size_t pred =
+      SplineInterpolate(spline_.points[lo], spline_.points[lo + 1], key);
+  size_t err = achieved_max_error_ + 1;
+  size_t from = pred > err ? pred - err : 0;
+  size_t to = std::min(n, pred + err + 1);
+  size_t pos = BinarySearchLowerBound(keys_.data(), from, to, key);
+  // Guard against an interpolation window miss for absent keys.
+  while (pos > 0 && keys_[pos - 1] >= key) --pos;
+  while (pos < n && keys_[pos] < key) ++pos;
+  return pos;
+}
+
+bool RadixSpline::Get(Key key, Value* value) const {
+  if (keys_.empty()) return false;
+  size_t pos = LowerBoundRank(key);
+  if (pos < keys_.size() && keys_[pos] == key) {
+    *value = values_[pos];
+    return true;
+  }
+  return false;
+}
+
+size_t RadixSpline::Scan(Key from, size_t count,
+                         std::vector<KeyValue>* out) const {
+  if (keys_.empty() || count == 0) return 0;
+  size_t pos = LowerBoundRank(from);
+  size_t copied = 0;
+  for (; pos < keys_.size() && copied < count; ++pos, ++copied) {
+    out->push_back({keys_[pos], values_[pos]});
+  }
+  return copied;
+}
+
+size_t RadixSpline::IndexSizeBytes() const {
+  return radix_table_.size() * sizeof(uint32_t) +
+         spline_.points.size() * sizeof(SplinePoint);
+}
+
+size_t RadixSpline::TotalSizeBytes() const {
+  return IndexSizeBytes() + keys_.size() * (sizeof(Key) + sizeof(Value));
+}
+
+IndexStats RadixSpline::Stats() const {
+  IndexStats s;
+  s.leaf_count = spline_.points.empty() ? 0 : spline_.points.size() - 1;
+  s.inner_count = 1;  // The radix table.
+  s.avg_depth = 2;
+  s.max_error = spline_.max_error;
+  s.mean_error = spline_.mean_error;
+  return s;
+}
+
+double RadixSpline::AvgSplinePointsPerUsedCell() const {
+  if (radix_table_.size() < 2) return 0;
+  size_t used_cells = 0;
+  size_t spanned = 0;
+  for (size_t c = 0; c + 1 < radix_table_.size(); ++c) {
+    size_t span = radix_table_[c + 1] - radix_table_[c];
+    if (span > 0) {
+      ++used_cells;
+      spanned += span;
+    }
+  }
+  return used_cells == 0
+             ? static_cast<double>(spline_.points.size())
+             : static_cast<double>(spanned) / static_cast<double>(used_cells);
+}
+
+}  // namespace pieces

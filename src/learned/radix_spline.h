@@ -1,0 +1,60 @@
+// RadixSpline (Kipf et al., aiDM'20): a single-pass learned index. The
+// bottom layer is an error-bounded greedy spline over the CDF; the top
+// layer is a radix table indexed by the r most significant bits of the
+// key's offset in the covered domain, narrowing the binary search over
+// spline points. Read-only. The paper's Fig. 11 point — skewed key sets
+// (FACE) collapse the radix table's usefulness — falls out naturally: all
+// keys share the same top bits, so every lookup scans one giant cell.
+#ifndef PIECES_LEARNED_RADIX_SPLINE_H_
+#define PIECES_LEARNED_RADIX_SPLINE_H_
+
+#include <vector>
+
+#include "index/ordered_index.h"
+#include "pla/spline.h"
+
+namespace pieces {
+
+class RadixSpline : public OrderedIndex {
+ public:
+  // `radix_bits` = r (table has 2^r cells); `max_error` = spline eps.
+  explicit RadixSpline(size_t radix_bits = 18, size_t max_error = 32)
+      : radix_bits_(radix_bits), max_error_(max_error) {}
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key, Value) override { return false; }
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "RS"; }
+  bool SupportsInsert() const override { return false; }
+
+  // Exposed for the Fig. 11 bench: how many spline points the average
+  // radix cell spans (large = degenerate table, as with FACE).
+  double AvgSplinePointsPerUsedCell() const;
+
+ private:
+  size_t CellOf(Key key) const {
+    if (key <= min_key_) return 0;
+    return static_cast<size_t>((key - min_key_) >> shift_);
+  }
+  // Rank lower bound for `key` via radix table + spline interpolation.
+  size_t LowerBoundRank(Key key) const;
+
+  size_t radix_bits_;
+  size_t max_error_;
+  size_t achieved_max_error_ = 0;
+  Key min_key_ = 0;
+  unsigned shift_ = 0;
+  std::vector<uint32_t> radix_table_;  // Cell -> first spline point index.
+  SplineResult spline_;
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_LEARNED_RADIX_SPLINE_H_

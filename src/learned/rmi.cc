@@ -1,0 +1,134 @@
+#include "learned/rmi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/search.h"
+
+namespace pieces {
+
+void Rmi::BulkLoad(std::span<const KeyValue> data) {
+  keys_.clear();
+  values_.clear();
+  models_.clear();
+  keys_.reserve(data.size());
+  values_.reserve(data.size());
+  for (const KeyValue& kv : data) {
+    keys_.push_back(kv.key);
+    values_.push_back(kv.value);
+  }
+  size_t n = keys_.size();
+  if (n == 0) {
+    models_.resize(1);
+    root_ = LinearModel{};
+    return;
+  }
+
+  size_t num_models = num_models_cfg_;
+  if (num_models == 0) {
+    // Default second stage: ~n/256 models, at least 1.
+    num_models = std::max<size_t>(1, n / 256);
+  }
+
+  // Stage 1: least-squares over (key, rank), rescaled to model index space.
+  root_ = FitLeastSquares(keys_.data(), n);
+  root_.Expand(static_cast<double>(num_models) / static_cast<double>(n));
+
+  // Stage 2: partition by the root's routing, fit each partition, and
+  // record the true error envelope so lookups are exact.
+  models_.resize(num_models);
+  size_t begin = 0;
+  for (size_t m = 0; m < num_models; ++m) {
+    size_t end = begin;
+    while (end < n && LeafFor(keys_[end]) == m) ++end;
+    LeafModel& leaf = models_[m];
+    if (end > begin) {
+      LinearModel lm = FitLeastSquares(keys_.data() + begin, end - begin);
+      // Shift to absolute ranks.
+      lm.intercept += static_cast<double>(begin);
+      leaf.model = lm;
+      int64_t lo = 0;
+      int64_t hi = 0;
+      for (size_t i = begin; i < end; ++i) {
+        int64_t pred = static_cast<int64_t>(
+            leaf.model.PredictClamped(keys_[i], n));
+        int64_t err = pred - static_cast<int64_t>(i);
+        lo = std::min(lo, err);
+        hi = std::max(hi, err);
+      }
+      leaf.err_lo = static_cast<int32_t>(lo);
+      leaf.err_hi = static_cast<int32_t>(hi);
+    } else {
+      // Empty partition: point at the next rank with zero slope.
+      leaf.model.slope = 0;
+      leaf.model.intercept = static_cast<double>(begin);
+    }
+    begin = end;
+  }
+}
+
+bool Rmi::Get(Key key, Value* value) const {
+  size_t n = keys_.size();
+  if (n == 0) return false;
+  const LeafModel& leaf = models_[LeafFor(key)];
+  size_t pred = leaf.model.PredictClamped(key, n);
+  size_t lo = pred >= static_cast<size_t>(leaf.err_hi)
+                  ? pred - static_cast<size_t>(leaf.err_hi)
+                  : 0;
+  size_t hi = std::min(n, pred + static_cast<size_t>(-leaf.err_lo) + 1);
+  size_t pos = BinarySearchLowerBound(keys_.data(), lo, hi, key);
+  if (pos < n && keys_[pos] == key) {
+    *value = values_[pos];
+    return true;
+  }
+  return false;
+}
+
+size_t Rmi::Scan(Key from, size_t count, std::vector<KeyValue>* out) const {
+  size_t n = keys_.size();
+  if (n == 0 || count == 0) return 0;
+  const LeafModel& leaf = models_[LeafFor(from)];
+  size_t pred = leaf.model.PredictClamped(from, n);
+  size_t lo = pred >= static_cast<size_t>(leaf.err_hi)
+                  ? pred - static_cast<size_t>(leaf.err_hi)
+                  : 0;
+  size_t hi = std::min(n, pred + static_cast<size_t>(-leaf.err_lo) + 1);
+  size_t pos = BinarySearchLowerBound(keys_.data(), lo, hi, from);
+  // The error envelope is only exact for stored keys; for an absent `from`
+  // the window can land past the true lower bound, so walk back if needed.
+  while (pos > 0 && keys_[pos - 1] >= from) --pos;
+  while (pos < n && keys_[pos] < from) ++pos;
+  size_t copied = 0;
+  for (; pos < n && copied < count; ++pos, ++copied) {
+    out->push_back({keys_[pos], values_[pos]});
+  }
+  return copied;
+}
+
+size_t Rmi::IndexSizeBytes() const {
+  return sizeof(root_) + models_.size() * sizeof(LeafModel);
+}
+
+size_t Rmi::TotalSizeBytes() const {
+  return IndexSizeBytes() + keys_.size() * (sizeof(Key) + sizeof(Value));
+}
+
+IndexStats Rmi::Stats() const {
+  IndexStats s;
+  s.leaf_count = models_.size();
+  s.inner_count = 1;
+  s.avg_depth = 2;  // Root model + leaf model.
+  size_t max_err = 0;
+  double sum = 0;
+  for (const LeafModel& m : models_) {
+    size_t span = static_cast<size_t>(
+        std::max<int64_t>(m.err_hi, -static_cast<int64_t>(m.err_lo)));
+    max_err = std::max(max_err, span);
+    sum += static_cast<double>(m.err_hi - m.err_lo) / 2.0;
+  }
+  s.max_error = max_err;
+  s.mean_error = models_.empty() ? 0 : sum / static_cast<double>(models_.size());
+  return s;
+}
+
+}  // namespace pieces

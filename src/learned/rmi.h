@@ -1,0 +1,52 @@
+// A two-stage Recursive Model Index (Kraska et al., SIGMOD'18). The root
+// linear model routes a key to one of `num_models` second-stage linear
+// models; the chosen model predicts the key's rank in the sorted array and
+// a bounded search around the prediction (using the model's true min/max
+// error recorded at build time) finds it. Read-only, like the original.
+#ifndef PIECES_LEARNED_RMI_H_
+#define PIECES_LEARNED_RMI_H_
+
+#include <vector>
+
+#include "common/linear_model.h"
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class Rmi : public OrderedIndex {
+ public:
+  // `num_models` = second-stage size; 0 picks sqrt-scaled default.
+  explicit Rmi(size_t num_models = 0) : num_models_cfg_(num_models) {}
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key, Value) override { return false; }
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "RMI"; }
+  bool SupportsInsert() const override { return false; }
+
+ private:
+  struct LeafModel {
+    LinearModel model;
+    int32_t err_lo = 0;  // Most negative signed error (pred - actual).
+    int32_t err_hi = 0;  // Most positive signed error.
+  };
+
+  size_t LeafFor(Key key) const {
+    return root_.PredictClamped(key, models_.size());
+  }
+
+  size_t num_models_cfg_;
+  LinearModel root_;
+  std::vector<LeafModel> models_;
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_LEARNED_RMI_H_

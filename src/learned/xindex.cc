@@ -1,0 +1,317 @@
+#include "learned/xindex.h"
+
+#include <atomic>
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/search.h"
+#include "common/timer.h"
+
+namespace pieces {
+
+void XIndex::Group::Retrain() {
+  size_t n = keys.size();
+  model = FitLeastSquares(keys.data(), n);
+  max_err = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t pred = model.PredictClamped(keys[i], n);
+    size_t err = pred > i ? pred - i : i - pred;
+    max_err = std::max(max_err, err);
+  }
+}
+
+size_t XIndex::Group::LowerBoundRank(Key key) const {
+  size_t n = keys.size();
+  if (n == 0) return 0;
+  size_t hint = model.PredictClamped(key, n);
+  return ExponentialSearchLowerBound(keys.data(), n, hint, key);
+}
+
+size_t XIndex::RouteToGroup(Key key) const {
+  size_t g = pivots_.size();
+  if (g <= 1) return 0;
+  // Two-stage RMI prediction of the pivot index.
+  size_t bucket = root_stage1_.PredictClamped(key, root_stage2_.size());
+  size_t hint = root_stage2_[bucket].PredictClamped(key, g);
+  // Exact group: last pivot <= key (exponential search tolerates a stale
+  // root after splits).
+  size_t pos = ExponentialSearchLowerBound(pivots_.data(), g, hint, key);
+  // pos = first pivot >= key. The responsible group starts at the
+  // predecessor pivot, except keys below the first pivot stay in group 0.
+  if (pos == g) return g - 1;
+  if (pivots_[pos] == key) return pos;
+  return pos == 0 ? 0 : pos - 1;
+}
+
+void XIndex::RebuildRoot() {
+  size_t g = pivots_.size();
+  root_stage2_.assign(std::max<size_t>(1, g / 64), LinearModel{});
+  if (g == 0) {
+    root_stage1_ = LinearModel{};
+    return;
+  }
+  root_stage1_ = FitLeastSquares(pivots_.data(), g);
+  root_stage1_.Expand(static_cast<double>(root_stage2_.size()) /
+                      static_cast<double>(g));
+  size_t begin = 0;
+  for (size_t m = 0; m < root_stage2_.size(); ++m) {
+    size_t end = begin;
+    while (end < g &&
+           root_stage1_.PredictClamped(pivots_[end],
+                                       root_stage2_.size()) == m) {
+      ++end;
+    }
+    if (end > begin) {
+      LinearModel lm = FitLeastSquares(pivots_.data() + begin, end - begin);
+      lm.intercept += static_cast<double>(begin);
+      root_stage2_[m] = lm;
+    } else {
+      root_stage2_[m].slope = 0;
+      root_stage2_[m].intercept = static_cast<double>(begin);
+    }
+    begin = end;
+  }
+}
+
+void XIndex::BulkLoad(std::span<const KeyValue> data) {
+  std::unique_lock dir_lock(groups_mutex_);
+  groups_.clear();
+  pivots_.clear();
+  {
+    std::unique_lock stats_lock(stats_mutex_);
+    update_stats_ = IndexStats{};
+  }
+  size_t n = data.size();
+  size_t num_groups = std::max<size_t>(1, n / group_size_);
+  for (size_t gi = 0; gi < num_groups; ++gi) {
+    size_t begin = gi * n / num_groups;
+    size_t end = (gi + 1) * n / num_groups;
+    auto g = std::make_shared<Group>();
+    g->keys.reserve(end - begin);
+    g->values.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      g->keys.push_back(data[i].key);
+      g->values.push_back(data[i].value);
+    }
+    g->pivot = g->keys.empty() ? 0 : g->keys.front();
+    g->Retrain();
+    pivots_.push_back(g->pivot);
+    groups_.push_back(std::move(g));
+  }
+  RebuildRoot();
+}
+
+bool XIndex::Get(Key key, Value* value) const {
+  std::shared_lock dir_lock(groups_mutex_);
+  if (groups_.empty()) return false;
+  const Group& g = *groups_[RouteToGroup(key)];
+  std::shared_lock group_lock(g.mutex);
+  // Buffer first: it shadows main for freshly inserted keys.
+  auto it = std::lower_bound(
+      g.buffer.begin(), g.buffer.end(), key,
+      [](const KeyValue& kv, Key k) { return kv.key < k; });
+  if (it != g.buffer.end() && it->key == key) {
+    *value = it->value;
+    return true;
+  }
+  size_t pos = g.LowerBoundRank(key);
+  if (pos < g.keys.size() && g.keys[pos] == key) {
+    *value = g.values[pos];
+    return true;
+  }
+  return false;
+}
+
+void XIndex::CompactGroup(Group* g) {
+  Timer timer;
+  std::vector<Key> merged_keys;
+  std::vector<Value> merged_values;
+  merged_keys.reserve(g->keys.size() + g->buffer.size());
+  merged_values.reserve(g->keys.size() + g->buffer.size());
+  size_t a = 0;
+  size_t b = 0;
+  while (a < g->keys.size() && b < g->buffer.size()) {
+    if (g->keys[a] < g->buffer[b].key) {
+      merged_keys.push_back(g->keys[a]);
+      merged_values.push_back(g->values[a]);
+      ++a;
+    } else {
+      merged_keys.push_back(g->buffer[b].key);
+      merged_values.push_back(g->buffer[b].value);
+      ++b;
+    }
+  }
+  for (; a < g->keys.size(); ++a) {
+    merged_keys.push_back(g->keys[a]);
+    merged_values.push_back(g->values[a]);
+  }
+  for (; b < g->buffer.size(); ++b) {
+    merged_keys.push_back(g->buffer[b].key);
+    merged_values.push_back(g->buffer[b].value);
+  }
+  g->keys = std::move(merged_keys);
+  g->values = std::move(merged_values);
+  g->buffer.clear();
+  g->Retrain();
+  {
+    std::unique_lock stats_lock(stats_mutex_);
+    ++update_stats_.retrain_count;
+    update_stats_.retrain_nanos += timer.ElapsedNanos();
+  }
+}
+
+bool XIndex::Insert(Key key, Value value) {
+  while (true) {
+    bool need_split = false;
+    {
+      std::shared_lock dir_lock(groups_mutex_);
+      if (groups_.empty()) {
+        // Fall through to the exclusive path below to create group 0.
+        need_split = true;
+      } else {
+        Group& g = *groups_[RouteToGroup(key)];
+        std::unique_lock group_lock(g.mutex);
+        // Update-in-place when the key exists in the main array.
+        size_t pos = g.LowerBoundRank(key);
+        if (pos < g.keys.size() && g.keys[pos] == key) {
+          g.values[pos] = value;
+          return true;
+        }
+        auto it = std::lower_bound(
+            g.buffer.begin(), g.buffer.end(), key,
+            [](const KeyValue& kv, Key k) { return kv.key < k; });
+        if (it != g.buffer.end() && it->key == key) {
+          it->value = value;
+          return true;
+        }
+        moved_keys_.fetch_add(static_cast<uint64_t>(g.buffer.end() - it),
+                              std::memory_order_relaxed);
+        g.buffer.insert(it, {key, value});
+        if (g.buffer.size() >= buffer_threshold_) CompactGroup(&g);
+        if (g.keys.size() <= 2 * group_size_) return true;
+        need_split = true;  // Too large: split under the exclusive lock.
+      }
+    }
+    if (!need_split) return true;
+
+    std::unique_lock dir_lock(groups_mutex_);
+    if (groups_.empty()) {
+      auto g = std::make_shared<Group>();
+      g->pivot = key;
+      pivots_.push_back(key);
+      groups_.push_back(std::move(g));
+      RebuildRoot();
+      continue;  // Retry the normal insert path.
+    }
+    size_t gi = RouteToGroup(key);
+    Group& g = *groups_[gi];
+    std::unique_lock group_lock(g.mutex);
+    if (!g.buffer.empty()) CompactGroup(&g);
+    if (g.keys.size() <= 2 * group_size_) continue;  // Raced; retry.
+
+    // Split the group in half and register the new pivot.
+    size_t mid = g.keys.size() / 2;
+    auto right = std::make_shared<Group>();
+    right->keys.assign(g.keys.begin() + static_cast<ptrdiff_t>(mid),
+                       g.keys.end());
+    right->values.assign(g.values.begin() + static_cast<ptrdiff_t>(mid),
+                         g.values.end());
+    right->pivot = right->keys.front();
+    right->Retrain();
+    g.keys.resize(mid);
+    g.values.resize(mid);
+    g.Retrain();
+    // The head group can have absorbed keys below its original pivot;
+    // refresh so pivots_ stays sorted (routing depends on it).
+    g.pivot = g.keys.front();
+    pivots_[gi] = g.pivot;
+    pivots_.insert(pivots_.begin() + static_cast<ptrdiff_t>(gi) + 1,
+                   right->pivot);
+    groups_.insert(groups_.begin() + static_cast<ptrdiff_t>(gi) + 1,
+                   std::move(right));
+    RebuildRoot();
+    {
+      std::unique_lock stats_lock(stats_mutex_);
+      ++update_stats_.retrain_count;
+    }
+    // The key itself was already inserted before the split was requested.
+    return true;
+  }
+}
+
+size_t XIndex::Scan(Key from, size_t count, std::vector<KeyValue>* out)
+    const {
+  std::shared_lock dir_lock(groups_mutex_);
+  if (groups_.empty() || count == 0) return 0;
+  size_t copied = 0;
+  for (size_t gi = RouteToGroup(from); gi < groups_.size() && copied < count;
+       ++gi) {
+    const Group& g = *groups_[gi];
+    std::shared_lock group_lock(g.mutex);
+    size_t a = g.LowerBoundRank(from);
+    auto bit = std::lower_bound(
+        g.buffer.begin(), g.buffer.end(), from,
+        [](const KeyValue& kv, Key k) { return kv.key < k; });
+    while (copied < count &&
+           (a < g.keys.size() || bit != g.buffer.end())) {
+      bool take_main = bit == g.buffer.end() ||
+                       (a < g.keys.size() && g.keys[a] <= bit->key);
+      if (take_main) {
+        out->push_back({g.keys[a], g.values[a]});
+        ++a;
+      } else {
+        out->push_back(*bit);
+        ++bit;
+      }
+      ++copied;
+    }
+    from = 0;
+  }
+  return copied;
+}
+
+size_t XIndex::IndexSizeBytes() const {
+  std::shared_lock dir_lock(groups_mutex_);
+  return sizeof(root_stage1_) + root_stage2_.size() * sizeof(LinearModel) +
+         pivots_.size() * sizeof(Key) + groups_.size() * sizeof(Group);
+}
+
+size_t XIndex::TotalSizeBytes() const {
+  std::shared_lock dir_lock(groups_mutex_);
+  size_t bytes = sizeof(root_stage1_) +
+                 root_stage2_.size() * sizeof(LinearModel) +
+                 pivots_.size() * sizeof(Key) + groups_.size() * sizeof(Group);
+  for (const auto& g : groups_) {
+    bytes += g->keys.capacity() * sizeof(Key) +
+             g->values.capacity() * sizeof(Value) +
+             g->buffer.capacity() * sizeof(KeyValue);
+  }
+  return bytes;
+}
+
+IndexStats XIndex::Stats() const {
+  std::shared_lock dir_lock(groups_mutex_);
+  IndexStats s;
+  {
+    std::shared_lock stats_lock(stats_mutex_);
+    s = update_stats_;
+  }
+  s.moved_keys = moved_keys_.load(std::memory_order_relaxed);
+  s.leaf_count = groups_.size();
+  s.inner_count = 1 + root_stage2_.size();
+  s.avg_depth = 2;  // Root stages + group.
+  size_t max_err = 0;
+  double err_sum = 0;
+  for (const auto& g : groups_) {
+    std::shared_lock group_lock(g->mutex);
+    max_err = std::max(max_err, g->max_err);
+    err_sum += static_cast<double>(g->max_err);
+  }
+  s.max_error = max_err;
+  s.mean_error =
+      groups_.empty() ? 0 : err_sum / static_cast<double>(groups_.size());
+  return s;
+}
+
+}  // namespace pieces

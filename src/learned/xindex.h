@@ -1,0 +1,81 @@
+// XIndex (Tang et al., PPoPP'20): a concurrent updatable learned index.
+// A two-stage RMI root routes keys to *group* nodes; each group holds a
+// sorted main array approximated by a least-squares linear model (LSA)
+// plus a sorted insert buffer. Inserts go to the buffer (offsite strategy);
+// when the buffer fills, the group compacts (merge + retrain) and splits
+// when it grows past the size limit. Concurrency follows the original's
+// spirit with fine-grained locking: a reader-writer lock per group plus a
+// reader-writer lock on the group directory; the root model is rebuilt
+// after splits (lookups tolerate root staleness via exponential search
+// over the pivot array, so correctness never depends on model accuracy).
+#ifndef PIECES_LEARNED_XINDEX_H_
+#define PIECES_LEARNED_XINDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/linear_model.h"
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class XIndex : public OrderedIndex {
+ public:
+  explicit XIndex(size_t group_size = 4096, size_t buffer_threshold = 256)
+      : group_size_(group_size), buffer_threshold_(buffer_threshold) {}
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "XIndex"; }
+  bool SupportsConcurrentWrites() const override { return true; }
+
+ private:
+  struct Group {
+    Key pivot = 0;
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    LinearModel model;     // key -> rank within the group.
+    size_t max_err = 0;    // Model's true max error over the main array.
+    std::vector<KeyValue> buffer;  // Sorted pending inserts.
+    mutable std::shared_mutex mutex;
+
+    void Retrain();
+    // Rank of first main key >= `key` (exp. search from the model hint).
+    size_t LowerBoundRank(Key key) const;
+  };
+
+  // Index into groups_ for `key`; caller holds groups_mutex_ (any mode).
+  size_t RouteToGroup(Key key) const;
+  // Rebuilds the two-stage root over pivots; caller holds groups_mutex_
+  // exclusively (or is single-threaded).
+  void RebuildRoot();
+  // Merges buffer into main; caller holds the group's unique lock.
+  void CompactGroup(Group* g);
+
+  size_t group_size_;
+  size_t buffer_threshold_;
+
+  mutable std::shared_mutex groups_mutex_;  // Guards directory layout.
+  std::vector<std::shared_ptr<Group>> groups_;
+  std::vector<Key> pivots_;
+  // Two-stage RMI over pivots_.
+  LinearModel root_stage1_;
+  std::vector<LinearModel> root_stage2_;
+
+  mutable std::shared_mutex stats_mutex_;
+  IndexStats update_stats_;
+  std::atomic<uint64_t> moved_keys_{0};
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_LEARNED_XINDEX_H_

@@ -1,0 +1,60 @@
+#include "pla/greedy_pla.h"
+
+#include <cassert>
+#include <limits>
+
+namespace pieces {
+
+PlaResult BuildGreedyPla(const uint64_t* keys, size_t n, size_t eps) {
+  assert(eps >= 1);
+  PlaResult result;
+  if (n == 0) return result;
+
+  size_t seg_start = 0;
+  long double slope_lo = 0;
+  long double slope_hi = std::numeric_limits<long double>::infinity();
+
+  auto close_segment = [&](size_t end_rank) {
+    Segment s;
+    s.first_key = keys[seg_start];
+    s.last_key = keys[end_rank - 1];
+    s.base_rank = seg_start;
+    s.count = end_rank - seg_start;
+    long double slope;
+    if (slope_hi == std::numeric_limits<long double>::infinity()) {
+      slope = 0;  // Single-point segment.
+    } else {
+      slope = (slope_lo + slope_hi) / 2.0L;
+    }
+    s.slope = static_cast<double>(slope);
+    s.intercept = 0;  // Anchored exactly at (first_key, base_rank).
+    result.segments.push_back(s);
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    if (i == seg_start) continue;  // The anchor itself always fits.
+    long double dx = static_cast<long double>(keys[i] - keys[seg_start]);
+    long double rel = static_cast<long double>(i - seg_start);
+    long double e = static_cast<long double>(eps);
+    long double lo = (rel - e) / dx;
+    long double hi = (rel + e) / dx;
+    long double new_lo = lo > slope_lo ? lo : slope_lo;
+    long double new_hi = hi < slope_hi ? hi : slope_hi;
+    if (new_lo > new_hi) {
+      close_segment(i);
+      seg_start = i;
+      slope_lo = 0;
+      slope_hi = std::numeric_limits<long double>::infinity();
+    } else {
+      slope_lo = new_lo;
+      slope_hi = new_hi;
+    }
+  }
+  close_segment(n);
+
+  MeasurePlaError(result.segments, keys, n, &result.max_error,
+                  &result.mean_error);
+  return result;
+}
+
+}  // namespace pieces

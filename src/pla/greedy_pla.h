@@ -1,0 +1,22 @@
+// Greedy-PLA: the FITing-tree segmentation (a Feasible Space Window
+// variant). The line of each segment is anchored at the segment's first
+// point; a shrinking slope window [lo, hi] tracks which slopes keep every
+// seen point within eps ranks. Guarantees max error <= eps but generally
+// produces more segments than Opt-PLA (that gap is one of the paper's
+// Fig. 17 findings, asserted as a property test here).
+#ifndef PIECES_PLA_GREEDY_PLA_H_
+#define PIECES_PLA_GREEDY_PLA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pla/segment.h"
+
+namespace pieces {
+
+// Builds a greedy eps-bounded PLA over `keys` (sorted, unique). eps >= 1.
+PlaResult BuildGreedyPla(const uint64_t* keys, size_t n, size_t eps);
+
+}  // namespace pieces
+
+#endif  // PIECES_PLA_GREEDY_PLA_H_

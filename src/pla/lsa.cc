@@ -1,0 +1,79 @@
+#include "pla/lsa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pieces {
+
+PlaResult BuildLsa(const uint64_t* keys, size_t n, size_t seg_size) {
+  assert(seg_size >= 1);
+  PlaResult result;
+  if (n == 0) return result;
+  for (size_t start = 0; start < n; start += seg_size) {
+    size_t count = std::min(seg_size, n - start);
+    Segment s;
+    s.first_key = keys[start];
+    s.last_key = keys[start + count - 1];
+    s.base_rank = start;
+    s.count = count;
+    LinearModel m = FitLeastSquares(keys + start, count);
+    // FitLeastSquares maps absolute key -> local rank; re-anchor at
+    // first_key for the Segment convention.
+    s.slope = m.slope;
+    s.intercept = m.PredictReal(s.first_key);
+    result.segments.push_back(s);
+  }
+  MeasurePlaError(result.segments, keys, n, &result.max_error,
+                  &result.mean_error);
+  return result;
+}
+
+LsaGapResult BuildLsaGap(const uint64_t* keys, size_t n, size_t seg_size,
+                         double density) {
+  assert(seg_size >= 1);
+  assert(density > 0 && density <= 1.0);
+  LsaGapResult result;
+  if (n == 0) return result;
+  size_t max_err = 0;
+  long double err_sum = 0;
+  for (size_t start = 0; start < n; start += seg_size) {
+    size_t count = std::min(seg_size, n - start);
+    GappedSegment g;
+    g.first_key = keys[start];
+    g.last_key = keys[start + count - 1];
+    g.base_rank = start;
+    g.count = count;
+    g.capacity = static_cast<size_t>(
+        std::ceil(static_cast<double>(count) / density));
+    if (g.capacity < count) g.capacity = count;
+
+    // Fit on ranks, then expand to capacity so predictions land in the
+    // gapped array (this is ALEX's model-based insert during bulk load).
+    g.model = FitLeastSquares(keys + start, count);
+    if (count > 1) {
+      g.model.Expand(static_cast<double>(g.capacity) /
+                     static_cast<double>(count));
+    }
+    g.slots.reserve(count);
+    size_t next_free = 0;
+    for (size_t i = 0; i < count; ++i) {
+      size_t pred = g.model.PredictClamped(keys[start + i], g.capacity);
+      size_t slot = std::max(pred, next_free);
+      // Never run past the end: the remaining keys must still fit.
+      size_t max_slot = g.capacity - (count - i);
+      if (slot > max_slot) slot = max_slot;
+      g.slots.push_back(static_cast<uint32_t>(slot));
+      next_free = slot + 1;
+      size_t err = slot > pred ? slot - pred : pred - slot;
+      max_err = std::max(max_err, err);
+      err_sum += static_cast<long double>(err);
+    }
+    result.segments.push_back(std::move(g));
+  }
+  result.max_error = max_err;
+  result.mean_error = static_cast<double>(err_sum / n);
+  return result;
+}
+
+}  // namespace pieces

@@ -1,0 +1,53 @@
+// LSA and LSA-gap approximation algorithms.
+//
+// LSA (least-squares approximation, used by XIndex): the sorted keys are cut
+// into fixed-size segments and each segment gets an independent
+// least-squares linear model. No maximum-error guarantee.
+//
+// LSA-gap (ALEX's algorithm): each fixed-size segment gets a least-squares
+// model that is then *expanded* so it maps keys into a larger gapped array
+// (capacity = count / density). Keys are placed model-based — each key goes
+// to its predicted slot (or the next free slot to keep order) — which
+// actively reshapes the stored CDF so the model fits it almost exactly.
+// This is the paper's central object of study: it attains low error AND few
+// leaves simultaneously (Fig. 17), at the cost of extra space.
+#ifndef PIECES_PLA_LSA_H_
+#define PIECES_PLA_LSA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/linear_model.h"
+#include "pla/segment.h"
+
+namespace pieces {
+
+// Fixed segmentation + least squares. `seg_size` keys per segment.
+PlaResult BuildLsa(const uint64_t* keys, size_t n, size_t seg_size);
+
+// One gapped leaf produced by LSA-gap.
+struct GappedSegment {
+  uint64_t first_key = 0;
+  uint64_t last_key = 0;
+  LinearModel model;          // Maps key -> slot in the gapped array.
+  size_t capacity = 0;        // Gapped-array length (>= count).
+  size_t base_rank = 0;       // Rank of the first covered element.
+  size_t count = 0;
+  std::vector<uint32_t> slots;  // Actual slot of each covered key, in order.
+};
+
+struct LsaGapResult {
+  std::vector<GappedSegment> segments;
+  size_t max_error = 0;   // Max |predicted slot - actual slot|.
+  double mean_error = 0;  // Mean of the same.
+};
+
+// LSA with model-based gapped placement. `density` in (0, 1]; capacity of
+// each leaf is ceil(count / density).
+LsaGapResult BuildLsaGap(const uint64_t* keys, size_t n, size_t seg_size,
+                         double density);
+
+}  // namespace pieces
+
+#endif  // PIECES_PLA_LSA_H_

@@ -1,0 +1,205 @@
+#include "pla/optimal_pla.h"
+
+#include <cassert>
+#include <vector>
+
+namespace pieces {
+namespace {
+
+// A point in the (key-offset, rank +- eps) plane. Coordinates are exact
+// integers: x is the key minus the segment's first key (fits in uint64,
+// promoted to __int128 for products), y is a small signed rank.
+struct Point {
+  __int128 x;
+  __int128 y;
+};
+
+// Cross product (a - o) x (b - o); sign gives the turn direction.
+// |x| < 2^64 and |y| < 2^34, so products stay far below the 2^127 limit.
+__int128 Cross(const Point& o, const Point& a, const Point& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+// Compares slope(p -> q) vs slope(r -> s) exactly. Both dx values are
+// positive in every call site (points are processed with increasing x).
+int CompareSlopes(const Point& p, const Point& q, const Point& r,
+                  const Point& s) {
+  __int128 lhs = (q.y - p.y) * (s.x - r.x);
+  __int128 rhs = (s.y - r.y) * (q.x - p.x);
+  if (lhs < rhs) return -1;
+  if (lhs > rhs) return 1;
+  return 0;
+}
+
+// Streaming feasibility region for a single segment.
+class SegmentFitter {
+ public:
+  explicit SegmentFitter(int64_t eps) : eps_(eps) {}
+
+  // Tries to extend the segment with the point (x_rel, rank_rel); returns
+  // false when no line with error <= eps exists any more (caller then
+  // closes the current segment and starts a new one at this key).
+  bool Add(uint64_t x_rel, int64_t rank_rel) {
+    Point ceil{static_cast<__int128>(x_rel),
+               static_cast<__int128>(rank_rel + eps_)};
+    Point floor{static_cast<__int128>(x_rel),
+                static_cast<__int128>(rank_rel - eps_)};
+    if (points_ == 0) {
+      rect_[0] = ceil;
+      rect_[1] = floor;
+      upper_.clear();
+      lower_.clear();
+      upper_.push_back(ceil);
+      lower_.push_back(floor);
+      upper_start_ = lower_start_ = 0;
+      ++points_;
+      return true;
+    }
+    if (points_ == 1) {
+      rect_[2] = floor;
+      rect_[3] = ceil;
+      upper_.push_back(ceil);
+      lower_.push_back(floor);
+      ++points_;
+      return true;
+    }
+
+    // Min-slope line: rect_[0] -> rect_[2]; max-slope: rect_[1] -> rect_[3].
+    bool outside_min = CompareSlopes(rect_[2], ceil, rect_[0], rect_[2]) < 0;
+    bool outside_max = CompareSlopes(rect_[3], floor, rect_[1], rect_[3]) > 0;
+    if (outside_min || outside_max) return false;
+
+    // Ceiling below the max-slope line: rotate the max-slope line down so it
+    // passes through this ceiling and a pivot on the floor hull.
+    if (CompareSlopes(rect_[1], ceil, rect_[1], rect_[3]) < 0) {
+      size_t min_i = lower_start_;
+      for (size_t i = lower_start_ + 1; i < lower_.size(); ++i) {
+        // Pick the floor-hull pivot minimizing slope(pivot -> ceil).
+        if (CompareSlopes(lower_[i], ceil, lower_[min_i], ceil) > 0) break;
+        min_i = i;
+      }
+      rect_[1] = lower_[min_i];
+      rect_[3] = ceil;
+      lower_start_ = min_i;
+
+      size_t end = upper_.size();
+      while (end >= upper_start_ + 2 &&
+             Cross(upper_[end - 2], upper_[end - 1], ceil) <= 0) {
+        --end;
+      }
+      upper_.resize(end);
+      upper_.push_back(ceil);
+    }
+
+    // Floor above the min-slope line: rotate the min-slope line up so it
+    // passes through this floor and a pivot on the ceiling hull.
+    if (CompareSlopes(rect_[0], floor, rect_[0], rect_[2]) > 0) {
+      size_t max_i = upper_start_;
+      for (size_t i = upper_start_ + 1; i < upper_.size(); ++i) {
+        if (CompareSlopes(upper_[i], floor, upper_[max_i], floor) < 0) break;
+        max_i = i;
+      }
+      rect_[0] = upper_[max_i];
+      rect_[2] = floor;
+      upper_start_ = max_i;
+
+      size_t end = lower_.size();
+      while (end >= lower_start_ + 2 &&
+             Cross(lower_[end - 2], lower_[end - 1], floor) >= 0) {
+        --end;
+      }
+      lower_.resize(end);
+      lower_.push_back(floor);
+    }
+    ++points_;
+    return true;
+  }
+
+  size_t points() const { return points_; }
+
+  // Emits the fitted line (relative to the segment's first key / base rank).
+  void GetLine(double* slope, double* intercept) const {
+    if (points_ == 1) {
+      *slope = 0;
+      *intercept = 0;
+      return;
+    }
+    long double min_slope = SlopeOf(rect_[0], rect_[2]);
+    long double max_slope = SlopeOf(rect_[1], rect_[3]);
+    long double s = (min_slope + max_slope) / 2.0L;
+    // Intersection of the two extreme lines; any feasible line passes
+    // through (or arbitrarily near) it. Falls back to the first point's
+    // rank midpoint when the extremes are parallel.
+    long double ix, iy;
+    long double a1 = min_slope, a2 = max_slope;
+    long double b1 = static_cast<long double>(rect_[0].y) -
+                     a1 * static_cast<long double>(rect_[0].x);
+    long double b2 = static_cast<long double>(rect_[1].y) -
+                     a2 * static_cast<long double>(rect_[1].x);
+    if (a1 == a2) {
+      ix = static_cast<long double>(rect_[0].x);
+      iy = (static_cast<long double>(rect_[0].y) +
+            static_cast<long double>(rect_[1].y)) /
+           2.0L;
+    } else {
+      ix = (b2 - b1) / (a1 - a2);
+      iy = a1 * ix + b1;
+    }
+    *slope = static_cast<double>(s);
+    *intercept = static_cast<double>(iy - s * ix);
+  }
+
+ private:
+  static long double SlopeOf(const Point& p, const Point& q) {
+    return static_cast<long double>(q.y - p.y) /
+           static_cast<long double>(q.x - p.x);
+  }
+
+  int64_t eps_;
+  size_t points_ = 0;
+  Point rect_[4] = {};
+  std::vector<Point> upper_;
+  std::vector<Point> lower_;
+  size_t upper_start_ = 0;
+  size_t lower_start_ = 0;
+};
+
+}  // namespace
+
+PlaResult BuildOptimalPla(const uint64_t* keys, size_t n, size_t eps) {
+  assert(eps >= 1);
+  PlaResult result;
+  if (n == 0) return result;
+
+  SegmentFitter fitter(static_cast<int64_t>(eps));
+  size_t seg_start = 0;  // Rank of the current segment's first key.
+  auto close_segment = [&](size_t end_rank) {
+    Segment s;
+    s.first_key = keys[seg_start];
+    s.last_key = keys[end_rank - 1];
+    s.base_rank = seg_start;
+    s.count = end_rank - seg_start;
+    fitter.GetLine(&s.slope, &s.intercept);
+    result.segments.push_back(s);
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x_rel = keys[i] - keys[seg_start];
+    int64_t rank_rel = static_cast<int64_t>(i - seg_start);
+    if (!fitter.Add(x_rel, rank_rel)) {
+      close_segment(i);
+      seg_start = i;
+      fitter = SegmentFitter(static_cast<int64_t>(eps));
+      bool ok = fitter.Add(0, 0);
+      assert(ok);
+      (void)ok;
+    }
+  }
+  close_segment(n);
+
+  MeasurePlaError(result.segments, keys, n, &result.max_error,
+                  &result.mean_error);
+  return result;
+}
+
+}  // namespace pieces

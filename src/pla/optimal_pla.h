@@ -1,0 +1,29 @@
+// Opt-PLA: the streaming *optimal* piecewise linear approximation
+// (O'Rourke 1981 / Ferragina & Vinciguerra's PGM formulation). Given a
+// maximum rank error eps, it produces the provably minimum number of
+// segments such that every key's predicted rank is within eps of its true
+// rank. This is the approximation algorithm of PGM-Index, and — per the
+// paper's §III-A — also what this repo uses for FITing-tree leaves.
+//
+// The feasible set of (slope, intercept) lines is tracked as a convex
+// polygon whose extreme slopes are maintained with two convex hulls; hull
+// turn tests use exact __int128 arithmetic so the error guarantee is not
+// subject to floating-point rounding.
+#ifndef PIECES_PLA_OPTIMAL_PLA_H_
+#define PIECES_PLA_OPTIMAL_PLA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pla/segment.h"
+
+namespace pieces {
+
+// Builds the optimal eps-bounded PLA over `keys` (sorted, unique).
+// eps must be >= 1. The returned PlaResult has measured max/mean errors
+// (max_error <= eps is asserted by tests as a property).
+PlaResult BuildOptimalPla(const uint64_t* keys, size_t n, size_t eps);
+
+}  // namespace pieces
+
+#endif  // PIECES_PLA_OPTIMAL_PLA_H_

@@ -1,0 +1,44 @@
+#include "pla/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pieces {
+
+void MeasurePlaError(const std::vector<Segment>& segments,
+                     const uint64_t* keys, size_t n, size_t* max_error,
+                     double* mean_error) {
+  size_t max_err = 0;
+  long double sum_err = 0;
+  for (const Segment& s : segments) {
+    for (size_t i = 0; i < s.count; ++i) {
+      size_t rank = s.base_rank + i;
+      size_t pred = s.PredictRank(keys[rank]);
+      size_t err = pred > rank ? pred - rank : rank - pred;
+      max_err = std::max(max_err, err);
+      sum_err += static_cast<long double>(err);
+    }
+  }
+  if (max_error != nullptr) *max_error = max_err;
+  if (mean_error != nullptr) {
+    *mean_error = n == 0 ? 0 : static_cast<double>(sum_err / n);
+  }
+}
+
+size_t FindSegment(const std::vector<Segment>& segments, uint64_t key) {
+  if (segments.empty()) return 0;
+  // First segment with first_key > key, minus one.
+  size_t lo = 0;
+  size_t hi = segments.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (segments[mid].first_key <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+}  // namespace pieces

@@ -1,0 +1,63 @@
+// Piecewise-linear-approximation segment shared by all approximation
+// algorithms. A segment covers the key range [first_key, last_key] of
+// `count` consecutive ranks starting at `base_rank` in the underlying
+// sorted array, and predicts rank = slope*(key - first_key) + intercept +
+// base_rank.
+#ifndef PIECES_PLA_SEGMENT_H_
+#define PIECES_PLA_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pieces {
+
+struct Segment {
+  uint64_t first_key = 0;
+  uint64_t last_key = 0;
+  double slope = 0;       // Ranks per key unit, relative to first_key.
+  double intercept = 0;   // Rank offset at first_key, relative to base_rank.
+  size_t base_rank = 0;   // Rank of the segment's first covered element.
+  size_t count = 0;       // Number of elements covered.
+
+  // Predicted absolute rank of `key` in the full array, clamped to the
+  // segment's own rank range. The key offset is computed in integer space
+  // before the float multiply — converting key and first_key to double
+  // separately loses ~2^11 ulps at the top of the 64-bit domain, which
+  // would break the max-error guarantee on steep segments.
+  size_t PredictRank(uint64_t key) const {
+    double dx = key >= first_key
+                    ? static_cast<double>(key - first_key)
+                    : -static_cast<double>(first_key - key);
+    double rel = slope * dx + intercept;
+    if (!(rel > 0)) rel = 0;
+    size_t r = rel >= static_cast<double>(count)
+                   ? (count == 0 ? 0 : count - 1)
+                   : static_cast<size_t>(rel);
+    return base_rank + r;
+  }
+};
+
+// Result of running an approximation algorithm over a sorted key array.
+struct PlaResult {
+  std::vector<Segment> segments;
+  // Maximum |predicted - actual| rank error observed over all keys, and the
+  // mean absolute error. Filled by the builders (they verify as they go).
+  size_t max_error = 0;
+  double mean_error = 0;
+};
+
+// Computes the actual max/mean rank error of `segments` against `keys`
+// (keys sorted, unique); used by builders and property tests.
+void MeasurePlaError(const std::vector<Segment>& segments,
+                     const uint64_t* keys, size_t n, size_t* max_error,
+                     double* mean_error);
+
+// Finds the segment covering `key` by binary search over first_key
+// (segments are contiguous and sorted). Returns the last segment whose
+// first_key <= key, or segment 0 for keys below the first.
+size_t FindSegment(const std::vector<Segment>& segments, uint64_t key);
+
+}  // namespace pieces
+
+#endif  // PIECES_PLA_SEGMENT_H_

@@ -1,0 +1,84 @@
+#include "pla/spline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pieces {
+
+size_t SplineInterpolate(const SplinePoint& a, const SplinePoint& b,
+                         uint64_t key) {
+  if (b.key == a.key) return a.rank;
+  long double frac = (static_cast<long double>(key) -
+                      static_cast<long double>(a.key)) /
+                     (static_cast<long double>(b.key) -
+                      static_cast<long double>(a.key));
+  long double rank = static_cast<long double>(a.rank) +
+                     frac * (static_cast<long double>(b.rank) -
+                             static_cast<long double>(a.rank));
+  if (rank < 0) rank = 0;
+  return static_cast<size_t>(rank);
+}
+
+SplineResult BuildGreedySpline(const uint64_t* keys, size_t n, size_t eps) {
+  assert(eps >= 1);
+  SplineResult result;
+  if (n == 0) return result;
+  result.points.push_back({keys[0], 0});
+  if (n == 1) return result;
+
+  // Corridor of feasible slopes from the last spline point.
+  long double slope_lo = 0;
+  long double slope_hi = std::numeric_limits<long double>::infinity();
+  size_t anchor = 0;    // Rank of the last spline point.
+  size_t prev = 0;      // Rank of the previously processed key.
+
+  for (size_t i = 1; i < n; ++i) {
+    long double dx = static_cast<long double>(keys[i] - keys[anchor]);
+    long double dy = static_cast<long double>(i - anchor);
+    long double e = static_cast<long double>(eps);
+    long double lo = (dy - e) / dx;
+    long double hi = (dy + e) / dx;
+    long double new_lo = std::max(lo, slope_lo);
+    long double new_hi = std::min(hi, slope_hi);
+    if (new_lo > new_hi) {
+      // The corridor collapsed: the previous key becomes a spline point and
+      // the corridor restarts from it through the current key.
+      result.points.push_back({keys[prev], prev});
+      anchor = prev;
+      long double dx2 = static_cast<long double>(keys[i] - keys[anchor]);
+      long double dy2 = static_cast<long double>(i - anchor);
+      slope_lo = (dy2 - e) / dx2;
+      slope_hi = (dy2 + e) / dx2;
+    } else {
+      slope_lo = new_lo;
+      slope_hi = new_hi;
+    }
+    prev = i;
+  }
+  if (result.points.back().key != keys[n - 1]) {
+    result.points.push_back({keys[n - 1], n - 1});
+  }
+
+  // Measure the achieved interpolation error.
+  if (result.points.size() < 2) return result;
+  size_t max_err = 0;
+  long double err_sum = 0;
+  size_t seg = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (seg + 2 < result.points.size() &&
+           result.points[seg + 1].key < keys[i]) {
+      ++seg;
+    }
+    size_t pred =
+        SplineInterpolate(result.points[seg], result.points[seg + 1], keys[i]);
+    size_t err = pred > i ? pred - i : i - pred;
+    max_err = std::max(max_err, err);
+    err_sum += static_cast<long double>(err);
+  }
+  result.max_error = max_err;
+  result.mean_error = static_cast<double>(err_sum / n);
+  return result;
+}
+
+}  // namespace pieces

@@ -1,0 +1,36 @@
+// One-pass greedy spline fitting (RadixSpline's approximation algorithm,
+// Kipf et al.). Emits a set of spline points (key, rank) such that linear
+// interpolation between consecutive spline points predicts every key's rank
+// within eps. Single pass, O(1) state — which is why RS has the fastest
+// build/recovery time in the paper's Fig. 16.
+#ifndef PIECES_PLA_SPLINE_H_
+#define PIECES_PLA_SPLINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pieces {
+
+struct SplinePoint {
+  uint64_t key;
+  size_t rank;
+};
+
+struct SplineResult {
+  std::vector<SplinePoint> points;  // Includes first and last key.
+  size_t max_error = 0;
+  double mean_error = 0;
+};
+
+// Builds an eps-bounded greedy spline over `keys` (sorted, unique).
+SplineResult BuildGreedySpline(const uint64_t* keys, size_t n, size_t eps);
+
+// Interpolates the rank of `key` between spline points `a` and `b`
+// (a.key <= key <= b.key).
+size_t SplineInterpolate(const SplinePoint& a, const SplinePoint& b,
+                         uint64_t key);
+
+}  // namespace pieces
+
+#endif  // PIECES_PLA_SPLINE_H_

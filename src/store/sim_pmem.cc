@@ -1,0 +1,52 @@
+#include "store/sim_pmem.h"
+
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace pieces {
+
+SimulatedPmem::SimulatedPmem(size_t capacity, uint64_t read_latency_ns,
+                             uint64_t write_latency_ns)
+    : capacity_(capacity),
+      read_latency_ns_(read_latency_ns),
+      write_latency_ns_(write_latency_ns),
+      arena_(new uint8_t[capacity]) {}
+
+uint8_t* SimulatedPmem::Allocate(size_t bytes) {
+  size_t aligned = (bytes + 7) & ~size_t{7};
+  size_t offset = used_.fetch_add(aligned, std::memory_order_relaxed);
+  if (offset + aligned > capacity_) {
+    used_.fetch_sub(aligned, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return arena_.get() + offset;
+}
+
+void SimulatedPmem::Charge(uint64_t ns) const {
+  if (ns == 0) return;
+  uint64_t start = NowNanos();
+  while (NowNanos() - start < ns) {
+    // Busy-wait: models the synchronous stall of an NVM access.
+  }
+}
+
+void SimulatedPmem::Read(const uint8_t* pmem_src, void* dst,
+                         size_t bytes) const {
+  Charge(read_latency_ns_);
+  std::memcpy(dst, pmem_src, bytes);
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void SimulatedPmem::Write(uint8_t* pmem_dst, const void* src, size_t bytes) {
+  Charge(write_latency_ns_);
+  std::memcpy(pmem_dst, src, bytes);
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void SimulatedPmem::Persist(const uint8_t* /*pmem_addr*/, size_t /*bytes*/) {
+  Charge(write_latency_ns_);
+  persist_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pieces

@@ -1,0 +1,59 @@
+// Simulated persistent memory: a DRAM arena with optional injected
+// read/write latency and access accounting. Substitutes for the paper's
+// Intel Optane DCPMM (see DESIGN.md): the end-to-end question is how much
+// a slower persistence medium drags each index, and injecting per-access
+// latency reproduces that drag uniformly. With latencies at 0 (default)
+// it behaves as plain DRAM, which keeps unit tests fast.
+#ifndef PIECES_STORE_SIM_PMEM_H_
+#define PIECES_STORE_SIM_PMEM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace pieces {
+
+class SimulatedPmem {
+ public:
+  // `capacity` bytes; latencies in nanoseconds per access (not per byte).
+  SimulatedPmem(size_t capacity, uint64_t read_latency_ns = 0,
+                uint64_t write_latency_ns = 0);
+
+  SimulatedPmem(const SimulatedPmem&) = delete;
+  SimulatedPmem& operator=(const SimulatedPmem&) = delete;
+
+  // Bump allocation (8-byte aligned). Returns nullptr when exhausted.
+  uint8_t* Allocate(size_t bytes);
+
+  // Latency-charged access. `dst`/`src` are normal DRAM buffers.
+  void Read(const uint8_t* pmem_src, void* dst, size_t bytes) const;
+  void Write(uint8_t* pmem_dst, const void* src, size_t bytes);
+  // Simulated persistence barrier (clwb + fence); counted, and charged
+  // the write latency once.
+  void Persist(const uint8_t* pmem_addr, size_t bytes);
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t bytes_read() const { return bytes_read_.load(); }
+  uint64_t bytes_written() const { return bytes_written_.load(); }
+  uint64_t persist_count() const { return persist_count_.load(); }
+
+ private:
+  void Charge(uint64_t ns) const;
+
+  size_t capacity_;
+  uint64_t read_latency_ns_;
+  uint64_t write_latency_ns_;
+  std::unique_ptr<uint8_t[]> arena_;
+  std::atomic<size_t> used_{0};
+  mutable std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> persist_count_{0};
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_STORE_SIM_PMEM_H_

@@ -1,0 +1,144 @@
+#include "store/viper.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace pieces {
+
+ViperStore::ViperStore(std::unique_ptr<OrderedIndex> index,
+                       const Config& config)
+    : config_(config),
+      pmem_(config.pmem_capacity, config.read_latency_ns,
+            config.write_latency_ns),
+      index_(std::move(index)) {
+  // Pre-reserve the page directory so concurrent readers never observe a
+  // reallocation of pages_ while writers append.
+  size_t page_bytes = RecordBytes() * config_.slots_per_page;
+  pages_.reserve(config_.pmem_capacity / std::max<size_t>(1, page_bytes) + 1);
+}
+
+void ViperStore::FillSynthetic(Key key, uint8_t* buf) const {
+  // Deterministic value derived from the key so tests can verify reads.
+  for (size_t i = 0; i < config_.value_size; ++i) {
+    buf[i] = static_cast<uint8_t>((key >> (8 * (i % 8))) ^ i);
+  }
+}
+
+bool ViperStore::ClaimSlot(uint32_t* page, uint32_t* slot) {
+  std::lock_guard<std::mutex> lock(pages_mutex_);
+  uint32_t s = next_slot_.load(std::memory_order_relaxed);
+  if (pages_.empty() || s >= config_.slots_per_page) {
+    uint8_t* base = pmem_.Allocate(RecordBytes() * config_.slots_per_page);
+    if (base == nullptr) return false;
+    pages_.push_back({base});
+    s = 0;
+  }
+  *page = static_cast<uint32_t>(pages_.size() - 1);
+  *slot = s;
+  next_slot_.store(s + 1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ViperStore::BulkLoad(const std::vector<Key>& keys) {
+  std::vector<KeyValue> entries;
+  entries.reserve(keys.size());
+  std::vector<uint8_t> record(RecordBytes());
+  for (Key key : keys) {
+    uint32_t page;
+    uint32_t slot;
+    if (!ClaimSlot(&page, &slot)) return false;
+    std::memcpy(record.data(), &key, sizeof(Key));
+    FillSynthetic(key, record.data() + sizeof(Key));
+    pmem_.Write(SlotAddr(page, slot), record.data(), record.size());
+    entries.push_back({key, PackHandle(page, slot)});
+  }
+  pmem_.Persist(nullptr, 0);
+  index_->BulkLoad(entries);
+  size_.store(keys.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool ViperStore::Put(Key key, const uint8_t* value) {
+  // Viper is out-of-place: every put writes a fresh slot, then swings the
+  // index. (Stale slots would be garbage-collected; the paper's workloads
+  // never reclaim, so neither do we.)
+  uint32_t page;
+  uint32_t slot;
+  if (!ClaimSlot(&page, &slot)) return false;
+  std::vector<uint8_t> record(RecordBytes());
+  std::memcpy(record.data(), &key, sizeof(Key));
+  std::memcpy(record.data() + sizeof(Key), value, config_.value_size);
+  pmem_.Write(SlotAddr(page, slot), record.data(), record.size());
+  pmem_.Persist(SlotAddr(page, slot), record.size());
+  if (!index_->Insert(key, PackHandle(page, slot))) return false;
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ViperStore::PutSynthetic(Key key) {
+  std::vector<uint8_t> value(config_.value_size);
+  FillSynthetic(key, value.data());
+  return Put(key, value.data());
+}
+
+bool ViperStore::Get(Key key, uint8_t* out) const {
+  Value handle;
+  if (!index_->Get(key, &handle)) return false;
+  const uint8_t* addr = SlotAddr(HandlePage(handle), HandleSlot(handle));
+  pmem_.Read(addr + sizeof(Key), out, config_.value_size);
+  return true;
+}
+
+size_t ViperStore::Scan(Key from, size_t count,
+                        std::vector<Key>* out_keys) const {
+  std::vector<KeyValue> handles;
+  handles.reserve(count);
+  size_t got = index_->Scan(from, count, &handles);
+  std::vector<uint8_t> value(config_.value_size);
+  for (const KeyValue& kv : handles) {
+    const uint8_t* addr = SlotAddr(HandlePage(kv.value), HandleSlot(kv.value));
+    pmem_.Read(addr + sizeof(Key), value.data(), config_.value_size);
+    out_keys->push_back(kv.key);
+  }
+  return got;
+}
+
+uint64_t ViperStore::Recover() {
+  Timer timer;
+  // Scan the persistent pages to re-derive (key, handle) pairs.
+  std::vector<KeyValue> entries;
+  entries.reserve(size_.load(std::memory_order_relaxed));
+  uint32_t last_page_slots = next_slot_.load(std::memory_order_relaxed);
+  for (uint32_t p = 0; p < pages_.size(); ++p) {
+    uint32_t slots = (p + 1 == pages_.size()) ? last_page_slots
+                                              : static_cast<uint32_t>(
+                                                    config_.slots_per_page);
+    for (uint32_t s = 0; s < slots; ++s) {
+      Key key;
+      pmem_.Read(SlotAddr(p, s), &key, sizeof(Key));
+      entries.push_back({key, PackHandle(p, s)});
+    }
+  }
+  // Out-of-place updates can leave several records per key; the newest
+  // (largest handle) wins. Sort by key, then handle.
+  std::sort(entries.begin(), entries.end(),
+            [](const KeyValue& a, const KeyValue& b) {
+              return a.key != b.key ? a.key < b.key : a.value < b.value;
+            });
+  std::vector<KeyValue> unique;
+  unique.reserve(entries.size());
+  for (const KeyValue& kv : entries) {
+    if (!unique.empty() && unique.back().key == kv.key) {
+      unique.back().value = kv.value;
+    } else {
+      unique.push_back(kv);
+    }
+  }
+  index_->BulkLoad(unique);
+  size_.store(unique.size(), std::memory_order_relaxed);
+  return timer.ElapsedNanos();
+}
+
+}  // namespace pieces

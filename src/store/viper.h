@@ -1,0 +1,107 @@
+// ViperStore: a Viper-style hybrid KV store (Benson et al., VLDB'21) — the
+// paper's "fair comparison environment" (Fig. 9). Key/value records live in
+// fixed-slot value pages on (simulated) persistent memory; a *volatile*
+// index in DRAM maps each key to its (page, slot) handle. Every index in
+// this repo plugs in through the OrderedIndex interface, so end-to-end
+// benches exercise identical code paths around the index under test.
+//
+// Recovery (Fig. 16) rebuilds the DRAM index by scanning the PMem pages:
+// collect (key, handle) pairs, sort, bulk-load — its cost is dominated by
+// the index's build time, which is what the paper measures.
+#ifndef PIECES_STORE_VIPER_H_
+#define PIECES_STORE_VIPER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/ordered_index.h"
+#include "store/sim_pmem.h"
+
+namespace pieces {
+
+class ViperStore {
+ public:
+  struct Config {
+    size_t value_size = 200;     // The paper's 200-byte values.
+    size_t slots_per_page = 64;  // Viper's VPage granularity.
+    size_t pmem_capacity = size_t{1} << 30;
+    uint64_t read_latency_ns = 0;
+    uint64_t write_latency_ns = 0;
+  };
+
+  ViperStore(std::unique_ptr<OrderedIndex> index, const Config& config);
+
+  ViperStore(const ViperStore&) = delete;
+  ViperStore& operator=(const ViperStore&) = delete;
+
+  // Bulk-loads `keys` with synthetic values derived from each key.
+  // Returns false when PMem capacity is exceeded.
+  bool BulkLoad(const std::vector<Key>& keys);
+
+  // Inserts or updates. `value` must be exactly value_size bytes.
+  bool Put(Key key, const uint8_t* value);
+  // Convenience: writes a synthetic value derived from `key`.
+  bool PutSynthetic(Key key);
+
+  // Reads the value into `out` (value_size bytes). False when absent.
+  bool Get(Key key, uint8_t* out) const;
+
+  // Ordered scan of up to `count` records starting at `from`; values are
+  // read (charged) but only keys are returned.
+  size_t Scan(Key from, size_t count, std::vector<Key>* out_keys) const;
+
+  // Drops the DRAM index and rebuilds it from the PMem pages. Returns the
+  // rebuild wall time in nanoseconds.
+  uint64_t Recover();
+
+  const OrderedIndex& index() const { return *index_; }
+  OrderedIndex* mutable_index() { return index_.get(); }
+  const SimulatedPmem& pmem() const { return pmem_; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // Table III columns.
+  size_t IndexStructureBytes() const { return index_->IndexSizeBytes(); }
+  size_t IndexPlusKeyBytes() const { return index_->TotalSizeBytes(); }
+  size_t IndexPlusKvBytes() const {
+    return index_->TotalSizeBytes() + pmem_.used();
+  }
+
+ private:
+  struct PageRef {
+    uint8_t* base;
+  };
+
+  static Value PackHandle(uint32_t page, uint32_t slot) {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static uint32_t HandlePage(Value v) {
+    return static_cast<uint32_t>(v >> 16);
+  }
+  static uint32_t HandleSlot(Value v) {
+    return static_cast<uint32_t>(v & 0xffff);
+  }
+
+  size_t RecordBytes() const { return sizeof(Key) + config_.value_size; }
+  uint8_t* SlotAddr(uint32_t page, uint32_t slot) const {
+    return pages_[page].base + slot * RecordBytes();
+  }
+  // Claims a fresh slot, allocating a page if needed; returns false on
+  // PMem exhaustion.
+  bool ClaimSlot(uint32_t* page, uint32_t* slot);
+  void FillSynthetic(Key key, uint8_t* buf) const;
+
+  Config config_;
+  SimulatedPmem pmem_;
+  std::unique_ptr<OrderedIndex> index_;
+  std::vector<PageRef> pages_;
+  mutable std::mutex pages_mutex_;
+  std::atomic<uint32_t> next_slot_{0};  // Slot within the last page.
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_STORE_VIPER_H_

@@ -1,0 +1,436 @@
+#include "traditional/art.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace pieces {
+namespace {
+
+// Big-endian byte i of a key, so byte-wise descent follows key order.
+inline uint8_t KeyByte(Key key, unsigned depth) {
+  return static_cast<uint8_t>(key >> (56 - 8 * depth));
+}
+
+}  // namespace
+
+struct ArtIndex::Node {
+  enum Type : uint8_t { kLeaf, kNode4, kNode16, kNode48, kNode256 };
+  Type type;
+  explicit Node(Type t) : type(t) {}
+};
+
+namespace {
+
+using Node = ArtIndex::Node;
+
+struct Leaf : Node {
+  Leaf(Key k, Value v) : Node(kLeaf), key(k), value(v) {}
+  Key key;
+  Value value;
+};
+
+struct Node4 : Node {
+  Node4() : Node(kNode4) {}
+  uint8_t count = 0;
+  uint8_t keys[4] = {};
+  Node* children[4] = {};
+};
+
+struct Node16 : Node {
+  Node16() : Node(kNode16) {}
+  uint8_t count = 0;
+  uint8_t keys[16] = {};
+  Node* children[16] = {};
+};
+
+struct Node48 : Node {
+  Node48() : Node(kNode48) {
+    std::memset(child_index, 0xff, sizeof(child_index));
+  }
+  uint8_t count = 0;
+  uint8_t child_index[256];
+  Node* children[48] = {};
+};
+
+struct Node256 : Node {
+  Node256() : Node(kNode256) {}
+  uint16_t count = 0;
+  Node* children[256] = {};
+};
+
+Node** FindChild(Node* n, uint8_t byte) {
+  switch (n->type) {
+    case Node::kNode4: {
+      auto* node = static_cast<Node4*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) {
+        if (node->keys[i] == byte) return &node->children[i];
+      }
+      return nullptr;
+    }
+    case Node::kNode16: {
+      auto* node = static_cast<Node16*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) {
+        if (node->keys[i] == byte) return &node->children[i];
+      }
+      return nullptr;
+    }
+    case Node::kNode48: {
+      auto* node = static_cast<Node48*>(n);
+      uint8_t idx = node->child_index[byte];
+      return idx == 0xff ? nullptr : &node->children[idx];
+    }
+    case Node::kNode256: {
+      auto* node = static_cast<Node256*>(n);
+      return node->children[byte] == nullptr ? nullptr
+                                             : &node->children[byte];
+    }
+    default:
+      return nullptr;
+  }
+}
+
+// Adds child to a node, growing it if full. *slot is the pointer holding
+// `n` (so growth can replace it). Updates byte accounting via deltas.
+void AddChild(Node** slot, uint8_t byte, Node* child, size_t* node_bytes) {
+  Node* n = *slot;
+  switch (n->type) {
+    case Node::kNode4: {
+      auto* node = static_cast<Node4*>(n);
+      if (node->count < 4) {
+        uint8_t pos = 0;
+        while (pos < node->count && node->keys[pos] < byte) ++pos;
+        std::copy_backward(node->keys + pos, node->keys + node->count,
+                           node->keys + node->count + 1);
+        std::copy_backward(node->children + pos,
+                           node->children + node->count,
+                           node->children + node->count + 1);
+        node->keys[pos] = byte;
+        node->children[pos] = child;
+        ++node->count;
+        return;
+      }
+      auto* bigger = new Node16();
+      std::copy(node->keys, node->keys + 4, bigger->keys);
+      std::copy(node->children, node->children + 4, bigger->children);
+      bigger->count = 4;
+      *slot = bigger;
+      *node_bytes += sizeof(Node16) - sizeof(Node4);
+      delete node;
+      AddChild(slot, byte, child, node_bytes);
+      return;
+    }
+    case Node::kNode16: {
+      auto* node = static_cast<Node16*>(n);
+      if (node->count < 16) {
+        uint8_t pos = 0;
+        while (pos < node->count && node->keys[pos] < byte) ++pos;
+        std::copy_backward(node->keys + pos, node->keys + node->count,
+                           node->keys + node->count + 1);
+        std::copy_backward(node->children + pos,
+                           node->children + node->count,
+                           node->children + node->count + 1);
+        node->keys[pos] = byte;
+        node->children[pos] = child;
+        ++node->count;
+        return;
+      }
+      auto* bigger = new Node48();
+      for (uint8_t i = 0; i < 16; ++i) {
+        bigger->child_index[node->keys[i]] = i;
+        bigger->children[i] = node->children[i];
+      }
+      bigger->count = 16;
+      *slot = bigger;
+      *node_bytes += sizeof(Node48) - sizeof(Node16);
+      delete node;
+      AddChild(slot, byte, child, node_bytes);
+      return;
+    }
+    case Node::kNode48: {
+      auto* node = static_cast<Node48*>(n);
+      if (node->count < 48) {
+        node->children[node->count] = child;
+        node->child_index[byte] = node->count;
+        ++node->count;
+        return;
+      }
+      auto* bigger = new Node256();
+      for (int b = 0; b < 256; ++b) {
+        if (node->child_index[b] != 0xff) {
+          bigger->children[b] = node->children[node->child_index[b]];
+          ++bigger->count;
+        }
+      }
+      *slot = bigger;
+      *node_bytes += sizeof(Node256) - sizeof(Node48);
+      delete node;
+      AddChild(slot, byte, child, node_bytes);
+      return;
+    }
+    case Node::kNode256: {
+      auto* node = static_cast<Node256*>(n);
+      node->children[byte] = child;
+      ++node->count;
+      return;
+    }
+    default:
+      assert(false);
+  }
+}
+
+void DeleteRec(Node* n) {
+  if (n == nullptr) return;
+  switch (n->type) {
+    case Node::kLeaf:
+      delete static_cast<Leaf*>(n);
+      return;
+    case Node::kNode4: {
+      auto* node = static_cast<Node4*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) DeleteRec(node->children[i]);
+      delete node;
+      return;
+    }
+    case Node::kNode16: {
+      auto* node = static_cast<Node16*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) DeleteRec(node->children[i]);
+      delete node;
+      return;
+    }
+    case Node::kNode48: {
+      auto* node = static_cast<Node48*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) DeleteRec(node->children[i]);
+      delete node;
+      return;
+    }
+    case Node::kNode256: {
+      auto* node = static_cast<Node256*>(n);
+      for (int b = 0; b < 256; ++b) DeleteRec(node->children[b]);
+      delete node;
+      return;
+    }
+  }
+}
+
+// Ordered scan helper: visits leaves with key >= from (when bounded) in key
+// order until `count` pairs are collected.
+bool ScanRec(const Node* n, unsigned depth, Key from, bool bounded,
+             size_t count, std::vector<KeyValue>* out) {
+  if (n == nullptr) return false;
+  if (n->type == Node::kLeaf) {
+    const auto* leaf = static_cast<const Leaf*>(n);
+    if (!bounded || leaf->key >= from) {
+      out->push_back({leaf->key, leaf->value});
+      if (out->size() >= count) return true;
+    }
+    return false;
+  }
+  uint8_t fb = bounded ? KeyByte(from, depth) : 0;
+  auto visit = [&](uint8_t byte, const Node* child) {
+    if (bounded && byte < fb) return false;
+    bool child_bounded = bounded && byte == fb;
+    return ScanRec(child, depth + 1, from, child_bounded, count, out);
+  };
+  switch (n->type) {
+    case Node::kNode4: {
+      const auto* node = static_cast<const Node4*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) {
+        if (visit(node->keys[i], node->children[i])) return true;
+      }
+      return false;
+    }
+    case Node::kNode16: {
+      const auto* node = static_cast<const Node16*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) {
+        if (visit(node->keys[i], node->children[i])) return true;
+      }
+      return false;
+    }
+    case Node::kNode48: {
+      const auto* node = static_cast<const Node48*>(n);
+      for (int b = 0; b < 256; ++b) {
+        if (node->child_index[b] != 0xff &&
+            visit(static_cast<uint8_t>(b),
+                  node->children[node->child_index[b]])) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Node::kNode256: {
+      const auto* node = static_cast<const Node256*>(n);
+      for (int b = 0; b < 256; ++b) {
+        if (node->children[b] != nullptr &&
+            visit(static_cast<uint8_t>(b), node->children[b])) {
+          return true;
+        }
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+void StatsRec(const Node* n, unsigned depth, size_t* leaves,
+              uint64_t* depth_sum, size_t* inner) {
+  if (n == nullptr) return;
+  if (n->type == Node::kLeaf) {
+    ++*leaves;
+    *depth_sum += depth;
+    return;
+  }
+  ++*inner;
+  switch (n->type) {
+    case Node::kNode4: {
+      const auto* node = static_cast<const Node4*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) {
+        StatsRec(node->children[i], depth + 1, leaves, depth_sum, inner);
+      }
+      return;
+    }
+    case Node::kNode16: {
+      const auto* node = static_cast<const Node16*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) {
+        StatsRec(node->children[i], depth + 1, leaves, depth_sum, inner);
+      }
+      return;
+    }
+    case Node::kNode48: {
+      const auto* node = static_cast<const Node48*>(n);
+      for (uint8_t i = 0; i < node->count; ++i) {
+        StatsRec(node->children[i], depth + 1, leaves, depth_sum, inner);
+      }
+      return;
+    }
+    case Node::kNode256: {
+      const auto* node = static_cast<const Node256*>(n);
+      for (int b = 0; b < 256; ++b) {
+        StatsRec(node->children[b], depth + 1, leaves, depth_sum, inner);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+ArtIndex::~ArtIndex() { Clear(); }
+
+void ArtIndex::Clear() {
+  DeleteRec(root_);
+  root_ = nullptr;
+  size_ = 0;
+  node_bytes_ = 0;
+  node_count_ = 0;
+}
+
+void ArtIndex::BulkLoad(std::span<const KeyValue> data) {
+  Clear();
+  for (const KeyValue& kv : data) Insert(kv.key, kv.value);
+}
+
+bool ArtIndex::Get(Key key, Value* value) const {
+  const Node* n = root_;
+  unsigned depth = 0;
+  while (n != nullptr) {
+    if (n->type == Node::kLeaf) {
+      const auto* leaf = static_cast<const Leaf*>(n);
+      if (leaf->key == key) {
+        *value = leaf->value;
+        return true;
+      }
+      return false;
+    }
+    Node** child = FindChild(const_cast<Node*>(n), KeyByte(key, depth));
+    if (child == nullptr) return false;
+    n = *child;
+    ++depth;
+  }
+  return false;
+}
+
+bool ArtIndex::Insert(Key key, Value value) {
+  if (root_ == nullptr) {
+    root_ = new Leaf(key, value);
+    node_bytes_ += sizeof(Leaf);
+    ++node_count_;
+    ++size_;
+    return true;
+  }
+  Node** slot = &root_;
+  unsigned depth = 0;
+  while (true) {
+    Node* n = *slot;
+    if (n->type == Node::kLeaf) {
+      auto* leaf = static_cast<Leaf*>(n);
+      if (leaf->key == key) {
+        leaf->value = value;
+        return true;
+      }
+      // Lazy expansion: extend the path until the keys' bytes diverge.
+      while (KeyByte(leaf->key, depth) == KeyByte(key, depth)) {
+        auto* inner = new Node4();
+        node_bytes_ += sizeof(Node4);
+        ++node_count_;
+        *slot = inner;
+        AddChild(slot, KeyByte(key, depth), leaf, &node_bytes_);
+        // Descend into the single child slot just created (it holds leaf).
+        slot = FindChild(*slot, KeyByte(key, depth));
+        ++depth;
+      }
+      auto* inner = new Node4();
+      node_bytes_ += sizeof(Node4);
+      ++node_count_;
+      *slot = inner;
+      AddChild(slot, KeyByte(leaf->key, depth), leaf, &node_bytes_);
+      auto* new_leaf = new Leaf(key, value);
+      node_bytes_ += sizeof(Leaf);
+      ++node_count_;
+      AddChild(slot, KeyByte(key, depth), new_leaf, &node_bytes_);
+      ++size_;
+      return true;
+    }
+    Node** child = FindChild(n, KeyByte(key, depth));
+    if (child == nullptr) {
+      auto* new_leaf = new Leaf(key, value);
+      node_bytes_ += sizeof(Leaf);
+      ++node_count_;
+      AddChild(slot, KeyByte(key, depth), new_leaf, &node_bytes_);
+      ++size_;
+      return true;
+    }
+    slot = child;
+    ++depth;
+  }
+}
+
+size_t ArtIndex::Scan(Key from, size_t count, std::vector<KeyValue>* out)
+    const {
+  if (count == 0 || root_ == nullptr) return 0;
+  size_t before = out->size();
+  ScanRec(root_, 0, from, true, before + count, out);
+  return out->size() - before;
+}
+
+size_t ArtIndex::IndexSizeBytes() const { return node_bytes_; }
+
+size_t ArtIndex::TotalSizeBytes() const { return node_bytes_; }
+
+IndexStats ArtIndex::Stats() const {
+  IndexStats s;
+  size_t leaves = 0;
+  size_t inner = 0;
+  uint64_t depth_sum = 0;
+  StatsRec(root_, 0, &leaves, &depth_sum, &inner);
+  s.leaf_count = leaves;
+  s.inner_count = inner;
+  s.avg_depth = leaves == 0 ? 0
+                            : static_cast<double>(depth_sum) /
+                                  static_cast<double>(leaves);
+  return s;
+}
+
+}  // namespace pieces

@@ -1,0 +1,47 @@
+// An Adaptive Radix Tree (Leis et al., ICDE'13) over 8-byte big-endian
+// keys, with Node4/16/48/256 and lazy leaf expansion. This covers the
+// paper's trie-structured baseline class (Wormhole's trie component /
+// Masstree's trie-of-trees): comparison-free descent, byte-at-a-time.
+// Single-writer; concurrent reads are safe when no writer is active.
+#ifndef PIECES_TRADITIONAL_ART_H_
+#define PIECES_TRADITIONAL_ART_H_
+
+#include <vector>
+
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class ArtIndex : public OrderedIndex {
+ public:
+  struct Node;  // Public for internal helpers; opaque to users.
+
+  ArtIndex() = default;
+  ~ArtIndex() override;
+
+  ArtIndex(const ArtIndex&) = delete;
+  ArtIndex& operator=(const ArtIndex&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "ART"; }
+
+ private:
+  void Clear();
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  size_t node_bytes_ = 0;
+  size_t node_count_ = 0;
+  uint64_t depth_sum_ = 0;  // Sum of leaf depths for Stats().
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_TRADITIONAL_ART_H_

@@ -1,0 +1,326 @@
+#include "traditional/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/search.h"
+
+namespace pieces {
+
+struct BTree::Node {
+  bool is_leaf;
+  uint16_t count = 0;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BTree::LeafNode : BTree::Node {
+  LeafNode() : Node(true) {}
+  Key keys[kFanout];
+  Value values[kFanout];
+  LeafNode* next = nullptr;
+};
+
+struct BTree::InnerNode : BTree::Node {
+  InnerNode() : Node(false) {}
+  // keys[i] is the smallest key reachable through children[i + 1].
+  Key keys[kFanout];
+  Node* children[kFanout + 1];
+};
+
+namespace {
+
+// First child index to follow for `key` in an inner node.
+size_t ChildIndex(const BTree::InnerNode* inner, Key key) {
+  const Key* keys = inner->keys;
+  size_t lo = 0;
+  size_t hi = inner->count;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (keys[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BTree::BTree() = default;
+
+BTree::~BTree() { Clear(); }
+
+void BTree::Clear() {
+  if (root_ == nullptr) return;
+  // Iterative post-order delete via an explicit stack.
+  std::vector<Node*> stack{root_};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      delete static_cast<LeafNode*>(n);
+    } else {
+      auto* inner = static_cast<InnerNode*>(n);
+      for (size_t i = 0; i <= inner->count; ++i) {
+        stack.push_back(inner->children[i]);
+      }
+      delete inner;
+    }
+  }
+  root_ = nullptr;
+  height_ = 0;
+  size_ = 0;
+  leaf_nodes_ = 0;
+  inner_nodes_ = 0;
+}
+
+void BTree::BulkLoad(std::span<const KeyValue> data) {
+  Clear();
+  // Always materialize a root so Get/Insert need no null checks.
+  if (data.empty()) {
+    root_ = new LeafNode();
+    height_ = 1;
+    leaf_nodes_ = 1;
+    return;
+  }
+
+  // Build leaves at ~90% fill (STX bulk-load default), linked left to right.
+  constexpr size_t kFill = kFanout * 9 / 10;
+  std::vector<Node*> level;
+  std::vector<Key> level_min;  // Smallest key under each node.
+  LeafNode* prev = nullptr;
+  size_t n = data.size();
+  size_t num_leaves = (n + kFill - 1) / kFill;
+  for (size_t leaf = 0; leaf < num_leaves; ++leaf) {
+    size_t begin = leaf * n / num_leaves;
+    size_t end = (leaf + 1) * n / num_leaves;
+    auto* node = new LeafNode();
+    node->count = static_cast<uint16_t>(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      node->keys[i - begin] = data[i].key;
+      node->values[i - begin] = data[i].value;
+    }
+    if (prev != nullptr) prev->next = node;
+    prev = node;
+    level.push_back(node);
+    level_min.push_back(node->keys[0]);
+  }
+  leaf_nodes_ = level.size();
+  height_ = 1;
+
+  // Build inner levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<Node*> parents;
+    std::vector<Key> parents_min;
+    size_t children_per = kFanout * 9 / 10 + 1;
+    size_t m = level.size();
+    size_t num_parents = (m + children_per - 1) / children_per;
+    for (size_t p = 0; p < num_parents; ++p) {
+      size_t begin = p * m / num_parents;
+      size_t end = (p + 1) * m / num_parents;
+      auto* inner = new InnerNode();
+      inner->count = static_cast<uint16_t>(end - begin - 1);
+      for (size_t i = begin; i < end; ++i) {
+        if (i > begin) inner->keys[i - begin - 1] = level_min[i];
+        inner->children[i - begin] = level[i];
+      }
+      parents.push_back(inner);
+      parents_min.push_back(level_min[begin]);
+      ++inner_nodes_;
+    }
+    level = std::move(parents);
+    level_min = std::move(parents_min);
+    ++height_;
+  }
+  root_ = level[0];
+  size_ = n;
+}
+
+BTree::LeafNode* BTree::FindLeaf(Key key) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    node = inner->children[ChildIndex(inner, key)];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+bool BTree::Get(Key key, Value* value) const {
+  if (root_ == nullptr) return false;
+  LeafNode* leaf = FindLeaf(key);
+  size_t pos = BinarySearchLowerBound(leaf->keys, 0, leaf->count, key);
+  if (pos < leaf->count && leaf->keys[pos] == key) {
+    *value = leaf->values[pos];
+    return true;
+  }
+  return false;
+}
+
+bool BTree::Insert(Key key, Value value) {
+  if (root_ == nullptr) BulkLoad({});
+
+  // Recursive insert that reports a split (new right sibling + separator).
+  struct SplitResult {
+    Key sep;
+    Node* right;
+  };
+  struct Helper {
+    BTree* tree;
+    bool updated = false;
+
+    bool InsertRec(Node* node, Key key, Value value, SplitResult* split) {
+      if (node->is_leaf) {
+        auto* leaf = static_cast<LeafNode*>(node);
+        size_t pos = BinarySearchLowerBound(leaf->keys, 0, leaf->count, key);
+        if (pos < leaf->count && leaf->keys[pos] == key) {
+          leaf->values[pos] = value;  // Upsert.
+          updated = true;
+          return false;
+        }
+        if (leaf->count < kFanout) {
+          std::copy_backward(leaf->keys + pos, leaf->keys + leaf->count,
+                             leaf->keys + leaf->count + 1);
+          std::copy_backward(leaf->values + pos, leaf->values + leaf->count,
+                             leaf->values + leaf->count + 1);
+          leaf->keys[pos] = key;
+          leaf->values[pos] = value;
+          ++leaf->count;
+          return false;
+        }
+        // Split the leaf in half, then insert into the proper half.
+        auto* right = new LeafNode();
+        size_t mid = kFanout / 2;
+        right->count = static_cast<uint16_t>(kFanout - mid);
+        std::copy(leaf->keys + mid, leaf->keys + kFanout, right->keys);
+        std::copy(leaf->values + mid, leaf->values + kFanout, right->values);
+        leaf->count = static_cast<uint16_t>(mid);
+        right->next = leaf->next;
+        leaf->next = right;
+        ++tree->leaf_nodes_;
+        if (key >= right->keys[0]) {
+          SplitResult unused;
+          InsertRec(right, key, value, &unused);
+        } else {
+          SplitResult unused;
+          InsertRec(leaf, key, value, &unused);
+        }
+        split->sep = right->keys[0];
+        split->right = right;
+        return true;
+      }
+
+      auto* inner = static_cast<InnerNode*>(node);
+      size_t ci = ChildIndex(inner, key);
+      SplitResult child_split;
+      if (!InsertRec(inner->children[ci], key, value, &child_split)) {
+        return false;
+      }
+      // Insert (sep, right) after position ci.
+      if (inner->count < kFanout) {
+        std::copy_backward(inner->keys + ci, inner->keys + inner->count,
+                           inner->keys + inner->count + 1);
+        std::copy_backward(inner->children + ci + 1,
+                           inner->children + inner->count + 1,
+                           inner->children + inner->count + 2);
+        inner->keys[ci] = child_split.sep;
+        inner->children[ci + 1] = child_split.right;
+        ++inner->count;
+        return false;
+      }
+      // Split the inner node: middle key moves up.
+      auto* right = new InnerNode();
+      size_t mid = kFanout / 2;
+      Key up_key = inner->keys[mid];
+      right->count = static_cast<uint16_t>(kFanout - mid - 1);
+      std::copy(inner->keys + mid + 1, inner->keys + kFanout, right->keys);
+      std::copy(inner->children + mid + 1, inner->children + kFanout + 1,
+                right->children);
+      inner->count = static_cast<uint16_t>(mid);
+      ++tree->inner_nodes_;
+      // Now insert the pending separator into the proper half.
+      InnerNode* target = child_split.sep < up_key ? inner : right;
+      Key sep2 = child_split.sep;
+      size_t pos = ChildIndex(target, sep2);
+      std::copy_backward(target->keys + pos, target->keys + target->count,
+                         target->keys + target->count + 1);
+      std::copy_backward(target->children + pos + 1,
+                         target->children + target->count + 1,
+                         target->children + target->count + 2);
+      target->keys[pos] = sep2;
+      target->children[pos + 1] = child_split.right;
+      ++target->count;
+      split->sep = up_key;
+      split->right = right;
+      return true;
+    }
+  };
+
+  Helper helper{this};
+  SplitResult split;
+  if (helper.InsertRec(root_, key, value, &split)) {
+    auto* new_root = new InnerNode();
+    new_root->count = 1;
+    new_root->keys[0] = split.sep;
+    new_root->children[0] = root_;
+    new_root->children[1] = split.right;
+    root_ = new_root;
+    ++inner_nodes_;
+    ++height_;
+  }
+  if (!helper.updated) ++size_;
+  return true;
+}
+
+bool BTree::FindLessOrEqual(Key key, Key* found_key, Value* value) const {
+  if (root_ == nullptr || size_ == 0) return false;
+  LeafNode* leaf = FindLeaf(key);
+  // First position with keys[pos] > key.
+  size_t pos = 0;
+  size_t hi = leaf->count;
+  while (pos < hi) {
+    size_t mid = pos + (hi - pos) / 2;
+    if (leaf->keys[mid] <= key) {
+      pos = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (pos == 0) return false;  // Key is below this leaf's (and tree's) min.
+  *found_key = leaf->keys[pos - 1];
+  *value = leaf->values[pos - 1];
+  return true;
+}
+
+size_t BTree::Scan(Key from, size_t count, std::vector<KeyValue>* out) const {
+  if (root_ == nullptr || count == 0) return 0;
+  const LeafNode* leaf = FindLeaf(from);
+  size_t pos = BinarySearchLowerBound(leaf->keys, 0, leaf->count, from);
+  size_t copied = 0;
+  while (leaf != nullptr && copied < count) {
+    for (; pos < leaf->count && copied < count; ++pos, ++copied) {
+      out->push_back({leaf->keys[pos], leaf->values[pos]});
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return copied;
+}
+
+size_t BTree::IndexSizeBytes() const {
+  // The whole tree is the index structure (keys live inside the leaves),
+  // matching how the paper charges STX B-Tree in Table III.
+  return leaf_nodes_ * sizeof(LeafNode) + inner_nodes_ * sizeof(InnerNode);
+}
+
+size_t BTree::TotalSizeBytes() const { return IndexSizeBytes(); }
+
+IndexStats BTree::Stats() const {
+  IndexStats s;
+  s.leaf_count = leaf_nodes_;
+  s.inner_count = inner_nodes_;
+  s.avg_depth = height_ > 0 ? static_cast<double>(height_ - 1) : 0;
+  return s;
+}
+
+}  // namespace pieces

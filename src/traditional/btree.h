@@ -1,0 +1,60 @@
+// An in-memory B+Tree in the STX style: high-fanout nodes sized to a few
+// cache lines, leaves linked for scans, bottom-up bulk load. This is the
+// paper's primary traditional sorted baseline ("STX B-Tree").
+// Single-writer; concurrent reads are safe when no writer is active.
+#ifndef PIECES_TRADITIONAL_BTREE_H_
+#define PIECES_TRADITIONAL_BTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class BTree : public OrderedIndex {
+ public:
+  // Node types are public so internal helpers can name them; opaque to
+  // users of the class.
+  struct Node;
+  struct LeafNode;
+  struct InnerNode;
+
+  // Keys per node. 64 * 8B keys = 8 cache lines, matching STX defaults.
+  static constexpr size_t kFanout = 64;
+
+  BTree();
+  ~BTree() override;
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  // Finds the largest stored key <= `key` (predecessor query). Used by
+  // FITing-tree, which routes keys to the leaf segment whose start key is
+  // the predecessor. Returns false when every stored key is > `key`.
+  bool FindLessOrEqual(Key key, Key* found_key, Value* value) const;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "BTree"; }
+
+ private:
+
+  void Clear();
+  LeafNode* FindLeaf(Key key) const;
+
+  Node* root_ = nullptr;
+  size_t height_ = 0;  // 1 = root is a leaf.
+  size_t size_ = 0;
+  size_t leaf_nodes_ = 0;
+  size_t inner_nodes_ = 0;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_TRADITIONAL_BTREE_H_

@@ -1,0 +1,55 @@
+// A CCEH-style extendible hash index (Nam et al., FAST'19): a directory of
+// segments, each segment a fixed array of small buckets probed by the hash's
+// low bits, with per-segment local depth and lazy directory doubling. The
+// paper uses CCEH as the unordered upper-bound reference (the black line in
+// Figs. 10/13/15); like CCEH it does not support scans. Per-segment
+// reader-writer locks give concurrent reads and writes.
+#ifndef PIECES_TRADITIONAL_EXTENDIBLE_HASH_H_
+#define PIECES_TRADITIONAL_EXTENDIBLE_HASH_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class ExtendibleHash : public OrderedIndex {
+ public:
+  ExtendibleHash();
+  ~ExtendibleHash() override;
+
+  ExtendibleHash(const ExtendibleHash&) = delete;
+  ExtendibleHash& operator=(const ExtendibleHash&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  // Hash indexes do not support ordered scans (Table I); always returns 0.
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "Hash"; }
+  bool SupportsScan() const override { return false; }
+  bool SupportsConcurrentWrites() const override { return true; }
+
+ private:
+  struct Segment;
+
+  static uint64_t HashKey(Key key);
+  void Init();
+  // Splits the segment currently mapped for `hash`; caller holds no locks.
+  void SplitSegment(uint64_t hash);
+
+  mutable std::shared_mutex dir_mutex_;  // Guards directory_ layout.
+  std::vector<std::shared_ptr<Segment>> directory_;
+  size_t global_depth_ = 0;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_TRADITIONAL_EXTENDIBLE_HASH_H_

@@ -1,0 +1,412 @@
+#include "traditional/olc_btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "common/search.h"
+
+namespace pieces {
+namespace {
+
+// A version lock: odd = write-locked. Readers snapshot the version and
+// re-validate; writers CAS the version to odd, then bump it on unlock so
+// concurrent readers notice the change and restart.
+class VersionLock {
+ public:
+  // Returns the current (even) version, or false via *ok when locked.
+  uint64_t ReadLock(bool* ok) const {
+    uint64_t v = version_.load(std::memory_order_acquire);
+    *ok = (v & 1) == 0;
+    return v;
+  }
+  bool Validate(uint64_t v) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return version_.load(std::memory_order_acquire) == v;
+  }
+  bool Upgrade(uint64_t v) {
+    return version_.compare_exchange_strong(v, v + 1,
+                                            std::memory_order_acquire);
+  }
+  void WriteLockBlocking() {
+    while (true) {
+      uint64_t v = version_.load(std::memory_order_acquire);
+      if ((v & 1) == 0 && Upgrade(v)) return;
+      std::this_thread::yield();
+    }
+  }
+  void WriteUnlock() { version_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  mutable std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace
+
+struct OlcBTree::Node {
+  VersionLock lock;
+  bool is_leaf;
+  uint16_t count = 0;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct OlcBTree::LeafNode : OlcBTree::Node {
+  LeafNode() : Node(true) {}
+  Key keys[kFanout];
+  Value values[kFanout];
+  std::atomic<LeafNode*> next{nullptr};
+};
+
+struct OlcBTree::InnerNode : OlcBTree::Node {
+  InnerNode() : Node(false) {}
+  Key keys[kFanout];
+  Node* children[kFanout + 1];
+};
+
+namespace {
+
+size_t OlcChildIndex(const OlcBTree::InnerNode* inner, Key key,
+                     uint16_t count) {
+  size_t lo = 0;
+  size_t hi = count;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (inner->keys[mid] <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+OlcBTree::OlcBTree() { root_.store(new LeafNode()); leaf_nodes_ = 1; }
+
+OlcBTree::~OlcBTree() { Clear(); delete root_.load(); }
+
+void OlcBTree::Clear() {
+  Node* root = root_.load();
+  std::vector<Node*> stack{root};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      if (n != root) delete static_cast<LeafNode*>(n);
+    } else {
+      auto* inner = static_cast<InnerNode*>(n);
+      for (size_t i = 0; i <= inner->count; ++i) {
+        stack.push_back(inner->children[i]);
+      }
+      if (n != root) delete inner;
+    }
+  }
+  if (!root->is_leaf) {
+    delete root;
+    root_.store(new LeafNode());
+  } else {
+    static_cast<LeafNode*>(root)->count = 0;
+  }
+  height_ = 1;
+  leaf_nodes_ = 1;
+  inner_nodes_ = 0;
+}
+
+void OlcBTree::BulkLoad(std::span<const KeyValue> data) {
+  // Single-threaded phase by contract (recovery / initial load).
+  Clear();
+  if (data.empty()) return;
+  delete root_.load();
+
+  constexpr size_t kFill = kFanout * 9 / 10;
+  std::vector<Node*> level;
+  std::vector<Key> level_min;
+  LeafNode* prev = nullptr;
+  size_t n = data.size();
+  size_t num_leaves = (n + kFill - 1) / kFill;
+  for (size_t leaf = 0; leaf < num_leaves; ++leaf) {
+    size_t begin = leaf * n / num_leaves;
+    size_t end = (leaf + 1) * n / num_leaves;
+    auto* node = new LeafNode();
+    node->count = static_cast<uint16_t>(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      node->keys[i - begin] = data[i].key;
+      node->values[i - begin] = data[i].value;
+    }
+    if (prev != nullptr) prev->next.store(node);
+    prev = node;
+    level.push_back(node);
+    level_min.push_back(node->keys[0]);
+  }
+  leaf_nodes_ = level.size();
+  size_t height = 1;
+  while (level.size() > 1) {
+    std::vector<Node*> parents;
+    std::vector<Key> parents_min;
+    size_t children_per = kFanout * 9 / 10 + 1;
+    size_t m = level.size();
+    size_t num_parents = (m + children_per - 1) / children_per;
+    for (size_t p = 0; p < num_parents; ++p) {
+      size_t begin = p * m / num_parents;
+      size_t end = (p + 1) * m / num_parents;
+      auto* inner = new InnerNode();
+      inner->count = static_cast<uint16_t>(end - begin - 1);
+      for (size_t i = begin; i < end; ++i) {
+        if (i > begin) inner->keys[i - begin - 1] = level_min[i];
+        inner->children[i - begin] = level[i];
+      }
+      parents.push_back(inner);
+      parents_min.push_back(level_min[begin]);
+      inner_nodes_.fetch_add(1);
+    }
+    level = std::move(parents);
+    level_min = std::move(parents_min);
+    ++height;
+  }
+  root_.store(level[0]);
+  height_ = height;
+}
+
+bool OlcBTree::GetOnce(Key key, Value* value, bool* found) const {
+  bool ok = false;
+  Node* node = root_.load(std::memory_order_acquire);
+  uint64_t v = node->lock.ReadLock(&ok);
+  if (!ok) return false;
+  if (root_.load(std::memory_order_acquire) != node) return false;
+  while (!node->is_leaf) {
+    auto* inner = static_cast<const InnerNode*>(node);
+    uint16_t count = inner->count;
+    size_t ci = OlcChildIndex(inner, key, count);
+    Node* child = inner->children[ci];
+    if (!node->lock.Validate(v)) return false;
+    uint64_t cv = child->lock.ReadLock(&ok);
+    if (!ok) return false;
+    if (!node->lock.Validate(v)) return false;
+    node = child;
+    v = cv;
+  }
+  const auto* leaf = static_cast<const LeafNode*>(node);
+  uint16_t count = leaf->count;
+  size_t pos = BinarySearchLowerBound(leaf->keys, 0, count, key);
+  bool hit = pos < count && leaf->keys[pos] == key;
+  Value val = hit ? leaf->values[pos] : 0;
+  if (!node->lock.Validate(v)) return false;
+  *found = hit;
+  if (hit) *value = val;
+  return true;
+}
+
+bool OlcBTree::Get(Key key, Value* value) const {
+  bool found = false;
+  while (!GetOnce(key, value, &found)) {
+    std::this_thread::yield();
+  }
+  return found;
+}
+
+bool OlcBTree::InsertOnce(Key key, Value value, bool* inserted_new) {
+  bool ok = false;
+  Node* node = root_.load(std::memory_order_acquire);
+  uint64_t v = node->lock.ReadLock(&ok);
+  if (!ok) return false;
+  if (root_.load(std::memory_order_acquire) != node) return false;
+  InnerNode* parent = nullptr;
+  uint64_t pv = 0;
+
+  while (true) {
+    // Eagerly split any full node on the way down so splits never need to
+    // propagate upward more than one level.
+    if (node->count == kFanout) {
+      if (parent != nullptr) {
+        if (!parent->lock.Upgrade(pv)) return false;
+        if (!node->lock.Upgrade(v)) {
+          parent->lock.WriteUnlock();
+          return false;
+        }
+      } else {
+        if (!node->lock.Upgrade(v)) return false;
+        if (root_.load(std::memory_order_acquire) != node) {
+          node->lock.WriteUnlock();
+          return false;
+        }
+      }
+
+      Key sep;
+      Node* right;
+      if (node->is_leaf) {
+        auto* leaf = static_cast<LeafNode*>(node);
+        auto* r = new LeafNode();
+        size_t mid = kFanout / 2;
+        r->count = static_cast<uint16_t>(kFanout - mid);
+        std::copy(leaf->keys + mid, leaf->keys + kFanout, r->keys);
+        std::copy(leaf->values + mid, leaf->values + kFanout, r->values);
+        leaf->count = static_cast<uint16_t>(mid);
+        r->next.store(leaf->next.load());
+        leaf->next.store(r);
+        sep = r->keys[0];
+        right = r;
+        leaf_nodes_.fetch_add(1);
+      } else {
+        auto* inner = static_cast<InnerNode*>(node);
+        auto* r = new InnerNode();
+        size_t mid = kFanout / 2;
+        sep = inner->keys[mid];
+        r->count = static_cast<uint16_t>(kFanout - mid - 1);
+        std::copy(inner->keys + mid + 1, inner->keys + kFanout, r->keys);
+        std::copy(inner->children + mid + 1, inner->children + kFanout + 1,
+                  r->children);
+        inner->count = static_cast<uint16_t>(mid);
+        right = r;
+        inner_nodes_.fetch_add(1);
+      }
+
+      if (parent != nullptr) {
+        // Parent is not full (it would have been split when visited).
+        size_t pos = OlcChildIndex(parent, sep, parent->count);
+        std::copy_backward(parent->keys + pos, parent->keys + parent->count,
+                           parent->keys + parent->count + 1);
+        std::copy_backward(parent->children + pos + 1,
+                           parent->children + parent->count + 1,
+                           parent->children + parent->count + 2);
+        parent->keys[pos] = sep;
+        parent->children[pos + 1] = right;
+        ++parent->count;
+        parent->lock.WriteUnlock();
+      } else {
+        auto* new_root = new InnerNode();
+        new_root->count = 1;
+        new_root->keys[0] = sep;
+        new_root->children[0] = node;
+        new_root->children[1] = right;
+        root_.store(new_root, std::memory_order_release);
+        inner_nodes_.fetch_add(1);
+        height_.fetch_add(1);
+      }
+      node->lock.WriteUnlock();
+      return false;  // Restart the descent from the (possibly new) root.
+    }
+
+    if (node->is_leaf) {
+      if (!node->lock.Upgrade(v)) return false;
+      auto* leaf = static_cast<LeafNode*>(node);
+      size_t pos = BinarySearchLowerBound(leaf->keys, 0, leaf->count, key);
+      if (pos < leaf->count && leaf->keys[pos] == key) {
+        leaf->values[pos] = value;
+        *inserted_new = false;
+      } else {
+        std::copy_backward(leaf->keys + pos, leaf->keys + leaf->count,
+                           leaf->keys + leaf->count + 1);
+        std::copy_backward(leaf->values + pos, leaf->values + leaf->count,
+                           leaf->values + leaf->count + 1);
+        leaf->keys[pos] = key;
+        leaf->values[pos] = value;
+        ++leaf->count;
+        *inserted_new = true;
+      }
+      node->lock.WriteUnlock();
+      return true;
+    }
+
+    auto* inner = static_cast<InnerNode*>(node);
+    size_t ci = OlcChildIndex(inner, key, inner->count);
+    Node* child = inner->children[ci];
+    if (!node->lock.Validate(v)) return false;
+    uint64_t cv = child->lock.ReadLock(&ok);
+    if (!ok) return false;
+    if (!node->lock.Validate(v)) return false;
+    parent = inner;
+    pv = v;
+    node = child;
+    v = cv;
+  }
+}
+
+bool OlcBTree::Insert(Key key, Value value) {
+  bool inserted_new = false;
+  while (!InsertOnce(key, value, &inserted_new)) {
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+size_t OlcBTree::Scan(Key from, size_t count, std::vector<KeyValue>* out)
+    const {
+  if (count == 0) return 0;
+  // Optimistic descent to the first leaf, then a validated walk along the
+  // leaf chain. Every restart begins again from the caller's `from` with
+  // partial output discarded.
+  while (true) {
+    Key cursor = from;  // Reset on every attempt.
+    bool ok = false;
+    Node* node = root_.load(std::memory_order_acquire);
+    uint64_t v = node->lock.ReadLock(&ok);
+    if (!ok) continue;
+    bool restart = false;
+    while (!node->is_leaf) {
+      auto* inner = static_cast<const InnerNode*>(node);
+      size_t ci = OlcChildIndex(inner, cursor, inner->count);
+      Node* child = inner->children[ci];
+      if (!node->lock.Validate(v)) {
+        restart = true;
+        break;
+      }
+      uint64_t cv = child->lock.ReadLock(&ok);
+      if (!ok || !node->lock.Validate(v)) {
+        restart = true;
+        break;
+      }
+      node = child;
+      v = cv;
+    }
+    if (restart) continue;
+
+    size_t copied = 0;
+    auto* leaf = static_cast<LeafNode*>(node);
+    size_t initial = out->size();
+    while (leaf != nullptr && copied < count) {
+      bool leaf_ok = false;
+      uint64_t lv = leaf->lock.ReadLock(&leaf_ok);
+      if (!leaf_ok) {
+        restart = true;
+        break;
+      }
+      size_t before = out->size();
+      size_t pos =
+          BinarySearchLowerBound(leaf->keys, 0, leaf->count, cursor);
+      for (; pos < leaf->count && copied < count; ++pos, ++copied) {
+        out->push_back({leaf->keys[pos], leaf->values[pos]});
+      }
+      LeafNode* next = leaf->next.load(std::memory_order_acquire);
+      if (!leaf->lock.Validate(lv)) {
+        out->resize(before);
+        restart = true;
+        break;
+      }
+      leaf = next;
+      cursor = 0;
+    }
+    if (restart) {
+      out->resize(initial);
+      continue;
+    }
+    return copied;
+  }
+}
+
+size_t OlcBTree::IndexSizeBytes() const {
+  return leaf_nodes_.load() * sizeof(LeafNode) +
+         inner_nodes_.load() * sizeof(InnerNode);
+}
+
+size_t OlcBTree::TotalSizeBytes() const { return IndexSizeBytes(); }
+
+IndexStats OlcBTree::Stats() const {
+  IndexStats s;
+  s.leaf_count = leaf_nodes_.load();
+  s.inner_count = inner_nodes_.load();
+  s.avg_depth = static_cast<double>(height_.load() - 1);
+  return s;
+}
+
+}  // namespace pieces

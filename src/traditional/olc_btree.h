@@ -1,0 +1,58 @@
+// A B+Tree with Optimistic Lock Coupling (Leis et al., "The ART of
+// Practical Synchronization"): every node carries a version lock; readers
+// traverse lock-free and validate versions, writers lock only the nodes
+// they modify and split full children eagerly on the way down. This stands
+// in for the paper's concurrent ordered baselines (Masstree / Bw-tree),
+// which occupy the same design class: a concurrent in-memory ordered tree.
+#ifndef PIECES_TRADITIONAL_OLC_BTREE_H_
+#define PIECES_TRADITIONAL_OLC_BTREE_H_
+
+#include <atomic>
+#include <vector>
+
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class OlcBTree : public OrderedIndex {
+ public:
+  // Node types are public so internal helpers can name them; opaque to
+  // users of the class.
+  struct Node;
+  struct LeafNode;
+  struct InnerNode;
+
+  static constexpr size_t kFanout = 64;
+
+  OlcBTree();
+  ~OlcBTree() override;
+
+  OlcBTree(const OlcBTree&) = delete;
+  OlcBTree& operator=(const OlcBTree&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "OLC-BTree"; }
+  bool SupportsConcurrentWrites() const override { return true; }
+
+ private:
+
+  void Clear();
+  bool GetOnce(Key key, Value* value, bool* found) const;
+  bool InsertOnce(Key key, Value value, bool* inserted_new);
+
+  std::atomic<Node*> root_;
+  std::atomic<size_t> height_{1};
+  std::atomic<size_t> leaf_nodes_{0};
+  std::atomic<size_t> inner_nodes_{0};
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_TRADITIONAL_OLC_BTREE_H_

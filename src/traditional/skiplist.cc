@@ -1,0 +1,216 @@
+#include "traditional/skiplist.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <new>
+
+namespace pieces {
+
+struct SkipList::Node {
+  Key key;
+  std::atomic<Value> value;
+  int height;
+  // Tower of next pointers; allocated inline after the node.
+  std::atomic<Node*> next[1];
+
+  Node* Next(int level) const {
+    return next[level].load(std::memory_order_acquire);
+  }
+  void SetNext(int level, Node* n) {
+    next[level].store(n, std::memory_order_release);
+  }
+  bool CasNext(int level, Node* expected, Node* n) {
+    return next[level].compare_exchange_strong(expected, n,
+                                               std::memory_order_acq_rel);
+  }
+};
+
+SkipList::Node* SkipList::NewNode(Key key, Value value, int height) {
+  size_t bytes =
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (static_cast<size_t>(height) - 1);
+  void* mem = ::operator new(bytes);
+  Node* n = static_cast<Node*>(mem);
+  n->key = key;
+  n->value.store(value, std::memory_order_relaxed);
+  n->height = height;
+  for (int i = 0; i < height; ++i) {
+    new (&n->next[i]) std::atomic<Node*>(nullptr);
+  }
+  return n;
+}
+
+SkipList::SkipList() {
+  head_ = NewNode(0, 0, kMaxHeight);
+  node_bytes_ = 0;
+}
+
+SkipList::~SkipList() {
+  Clear();
+  ::operator delete(head_);
+}
+
+void SkipList::Clear() {
+  Node* n = head_->Next(0);
+  while (n != nullptr) {
+    Node* next = n->Next(0);
+    ::operator delete(n);
+    n = next;
+  }
+  for (int i = 0; i < kMaxHeight; ++i) head_->SetNext(i, nullptr);
+  max_height_ = 1;
+  size_ = 0;
+  node_bytes_ = 0;
+}
+
+int SkipList::RandomHeight() {
+  // xorshift on a shared atomic; races just add harmless entropy.
+  uint64_t x = rnd_.load(std::memory_order_relaxed);
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rnd_.store(x, std::memory_order_relaxed);
+  int height = 1;
+  // p = 1/4 per extra level.
+  while (height < kMaxHeight && ((x >> (2 * height)) & 3) == 0) ++height;
+  return height;
+}
+
+SkipList::Node* SkipList::FindGreaterOrEqual(Key key, Node** prev) const {
+  Node* node = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    Node* next = node->Next(level);
+    if (next != nullptr && next->key < key) {
+      node = next;
+    } else {
+      if (prev != nullptr) prev[level] = node;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+}
+
+void SkipList::BulkLoad(std::span<const KeyValue> data) {
+  Clear();
+  for (const KeyValue& kv : data) Insert(kv.key, kv.value);
+}
+
+bool SkipList::Get(Key key, Value* value) const {
+  Node* n = FindGreaterOrEqual(key, nullptr);
+  if (n != nullptr && n->key == key) {
+    *value = n->value.load(std::memory_order_acquire);
+    return true;
+  }
+  return false;
+}
+
+bool SkipList::Insert(Key key, Value value) {
+  Node* prev[kMaxHeight];
+  while (true) {
+    // Pre-fill with head: FindGreaterOrEqual only fills levels up to the
+    // max height it observed, and a racing insert can raise max_height_
+    // between the search and the height draw below — the untouched upper
+    // prev slots must still be valid splice points.
+    for (int i = 0; i < kMaxHeight; ++i) prev[i] = head_;
+    Node* found = FindGreaterOrEqual(key, prev);
+    if (found != nullptr && found->key == key) {
+      found->value.store(value, std::memory_order_release);
+      return true;
+    }
+    int height = RandomHeight();
+    int cur_max = max_height_.load(std::memory_order_relaxed);
+    while (height > cur_max &&
+           !max_height_.compare_exchange_weak(cur_max, height,
+                                              std::memory_order_relaxed)) {
+      // CAS (rather than a blind store) so concurrent inserts can only
+      // raise max_height_, never lower it below a linked tower.
+    }
+    Node* node = NewNode(key, value, height);
+    // Splice bottom-up. Re-locate the exact level-0 predecessor before
+    // every CAS attempt: prev[0] goes stale the moment a racing insert
+    // lands after it, and a CAS against the re-read successor would link
+    // this node *before* smaller keys (losing them to searches).
+    while (true) {
+      Node* p = prev[0];
+      while (true) {
+        Node* nxt = p->Next(0);
+        if (nxt != nullptr && nxt->key < key) {
+          p = nxt;
+        } else {
+          break;
+        }
+      }
+      prev[0] = p;
+      Node* expected = p->Next(0);
+      if (expected != nullptr && expected->key == key) {
+        // Racing duplicate appeared; update it instead.
+        expected->value.store(value, std::memory_order_release);
+        ::operator delete(node);
+        return true;
+      }
+      node->SetNext(0, expected);
+      if (p->CasNext(0, expected, node)) break;
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    node_bytes_.fetch_add(
+        sizeof(Node) + sizeof(std::atomic<Node*>) *
+                           (static_cast<size_t>(height) - 1),
+        std::memory_order_relaxed);
+    for (int level = 1; level < height; ++level) {
+      while (true) {
+        // Re-locate the splice point before every attempt: a racing insert
+        // may have added nodes after prev since it was computed, and a CAS
+        // against a stale predecessor would break the level's ordering.
+        Node* p = prev[level];
+        while (true) {
+          Node* next = p->Next(level);
+          if (next != nullptr && next->key < key) {
+            p = next;
+          } else {
+            break;
+          }
+        }
+        prev[level] = p;
+        Node* succ = p->Next(level);
+        if (succ == node) break;  // Another helper already linked us here.
+        node->SetNext(level, succ);
+        if (p->CasNext(level, succ, node)) break;
+      }
+    }
+    return true;
+  }
+}
+
+size_t SkipList::Scan(Key from, size_t count, std::vector<KeyValue>* out)
+    const {
+  Node* n = FindGreaterOrEqual(from, nullptr);
+  size_t copied = 0;
+  while (n != nullptr && copied < count) {
+    out->push_back({n->key, n->value.load(std::memory_order_acquire)});
+    ++copied;
+    n = n->Next(0);
+  }
+  return copied;
+}
+
+size_t SkipList::IndexSizeBytes() const {
+  return node_bytes_.load(std::memory_order_relaxed);
+}
+
+size_t SkipList::TotalSizeBytes() const { return IndexSizeBytes(); }
+
+IndexStats SkipList::Stats() const {
+  IndexStats s;
+  s.leaf_count = size_.load(std::memory_order_relaxed);
+  // Expected search depth of a skip list is log_4(n).
+  size_t n = s.leaf_count;
+  double depth = 0;
+  while (n > 1) {
+    n /= 4;
+    depth += 1;
+  }
+  s.avg_depth = depth;
+  return s;
+}
+
+}  // namespace pieces

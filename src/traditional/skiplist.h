@@ -1,0 +1,54 @@
+// A concurrent skip list (the paper's "Skiplist" baseline, modelled on
+// LevelDB's): tower height is geometric with p = 1/4, next pointers are
+// atomic and inserts splice with CAS, so concurrent inserts and reads are
+// safe without locks. No deletion (none of the paper's workloads delete).
+#ifndef PIECES_TRADITIONAL_SKIPLIST_H_
+#define PIECES_TRADITIONAL_SKIPLIST_H_
+
+#include <atomic>
+#include <vector>
+
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class SkipList : public OrderedIndex {
+ public:
+  static constexpr int kMaxHeight = 20;
+
+  SkipList();
+  ~SkipList() override;
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "SkipList"; }
+  bool SupportsConcurrentWrites() const override { return true; }
+
+ private:
+  struct Node;
+
+  static Node* NewNode(Key key, Value value, int height);
+  int RandomHeight();
+  // Finds the first node with key >= `key`; fills prev[] when non-null.
+  Node* FindGreaterOrEqual(Key key, Node** prev) const;
+  void Clear();
+
+  Node* head_;
+  std::atomic<int> max_height_{1};
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> node_bytes_{0};
+  std::atomic<uint64_t> rnd_{0x853c49e6748fea9bull};
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_TRADITIONAL_SKIPLIST_H_

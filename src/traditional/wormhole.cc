@@ -1,0 +1,181 @@
+#include "traditional/wormhole.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/search.h"
+
+namespace pieces {
+
+void WormholeLite::RebuildMetaTrie() {
+  meta_.assign(kNumLevels, {});
+  for (unsigned level = 0; level < kNumLevels; ++level) {
+    auto& map = meta_[level];
+    for (uint32_t i = 0; i < anchors_.size(); ++i) {
+      Key p = Prefix(anchors_[i], level);
+      auto [it, inserted] = map.try_emplace(p, Range{i, i});
+      if (!inserted) it->second.hi = i;  // Anchors sorted: extend range.
+    }
+  }
+  splits_since_rebuild_ = 0;
+}
+
+size_t WormholeLite::RouteLeaf(Key key) const {
+  size_t n = anchors_.size();
+  if (n <= 1) return 0;
+
+  // Binary search over prefix lengths for the longest anchor prefix of
+  // `key` (prefix sets are closed under truncation, so matches form a
+  // prefix of the level sequence). Level 0 (empty prefix) always matches.
+  unsigned lo_level = 0;
+  unsigned hi_level = kNumLevels - 1;
+  Range best = {0, static_cast<uint32_t>(n - 1)};
+  while (lo_level < hi_level) {
+    unsigned mid = (lo_level + hi_level + 1) / 2;
+    auto it = meta_[mid].find(Prefix(key, mid));
+    if (it != meta_[mid].end()) {
+      best = it->second;
+      lo_level = mid;
+    } else {
+      hi_level = mid - 1;
+    }
+  }
+
+  // The predecessor anchor sits in [best.lo - 1, best.hi] at rebuild
+  // time; widen by the splits that have shifted indices since.
+  size_t slack = splits_since_rebuild_ + 1;
+  size_t lo = best.lo > slack ? best.lo - slack : 0;
+  size_t hi = std::min(n, static_cast<size_t>(best.hi) + slack + 1);
+  size_t pos = BinarySearchLowerBound(anchors_.data(), lo, hi, key);
+  // Repair if the widened window still missed (possible only when the
+  // range was maximally stale); correctness never depends on the trie.
+  while (pos > 0 && anchors_[pos - 1] >= key) --pos;
+  while (pos < n && anchors_[pos] < key) ++pos;
+  // pos = first anchor > key (or == key); owner is its predecessor.
+  if (pos < n && anchors_[pos] == key) return pos;
+  return pos == 0 ? 0 : pos - 1;
+}
+
+void WormholeLite::BulkLoad(std::span<const KeyValue> data) {
+  anchors_.clear();
+  leaves_.clear();
+  size_ = data.size();
+  constexpr size_t kFill = kLeafCapacity * 3 / 4;
+  size_t n = data.size();
+  size_t num_leaves = std::max<size_t>(1, (n + kFill - 1) / kFill);
+  for (size_t leaf = 0; leaf < num_leaves; ++leaf) {
+    size_t begin = leaf * n / num_leaves;
+    size_t end = (leaf + 1) * n / num_leaves;
+    auto l = std::make_unique<Leaf>();
+    l->keys.reserve(kLeafCapacity);
+    l->values.reserve(kLeafCapacity);
+    for (size_t i = begin; i < end; ++i) {
+      l->keys.push_back(data[i].key);
+      l->values.push_back(data[i].value);
+    }
+    anchors_.push_back(l->keys.empty() ? 0 : l->keys.front());
+    leaves_.push_back(std::move(l));
+  }
+  RebuildMetaTrie();
+}
+
+bool WormholeLite::Get(Key key, Value* value) const {
+  if (leaves_.empty()) return false;
+  const Leaf& leaf = *leaves_[RouteLeaf(key)];
+  size_t pos = BinarySearchLowerBound(leaf.keys.data(), 0, leaf.keys.size(),
+                                      key);
+  if (pos < leaf.keys.size() && leaf.keys[pos] == key) {
+    *value = leaf.values[pos];
+    return true;
+  }
+  return false;
+}
+
+bool WormholeLite::Insert(Key key, Value value) {
+  if (leaves_.empty()) {
+    BulkLoad(std::vector<KeyValue>{{key, value}});
+    return true;
+  }
+  size_t li = RouteLeaf(key);
+  Leaf& leaf = *leaves_[li];
+  size_t pos = BinarySearchLowerBound(leaf.keys.data(), 0, leaf.keys.size(),
+                                      key);
+  if (pos < leaf.keys.size() && leaf.keys[pos] == key) {
+    leaf.values[pos] = value;
+    return true;
+  }
+  leaf.keys.insert(leaf.keys.begin() + static_cast<ptrdiff_t>(pos), key);
+  leaf.values.insert(leaf.values.begin() + static_cast<ptrdiff_t>(pos),
+                     value);
+  ++size_;
+
+  if (leaf.keys.size() > kLeafCapacity) {
+    // Split in half; the right half becomes a fresh leaf + anchor.
+    size_t mid = leaf.keys.size() / 2;
+    auto right = std::make_unique<Leaf>();
+    right->keys.assign(leaf.keys.begin() + static_cast<ptrdiff_t>(mid),
+                       leaf.keys.end());
+    right->values.assign(leaf.values.begin() + static_cast<ptrdiff_t>(mid),
+                         leaf.values.end());
+    leaf.keys.resize(mid);
+    leaf.values.resize(mid);
+    Key right_anchor = right->keys.front();
+    anchors_.insert(anchors_.begin() + static_cast<ptrdiff_t>(li) + 1,
+                    right_anchor);
+    leaves_.insert(leaves_.begin() + static_cast<ptrdiff_t>(li) + 1,
+                   std::move(right));
+    // The head leaf can absorb keys below its anchor; refresh it so the
+    // anchor array stays a lower bound of each leaf's contents.
+    anchors_[li] = leaf.keys.front();
+    if (++splits_since_rebuild_ >= kMaxStaleSplits) RebuildMetaTrie();
+  } else if (pos == 0) {
+    anchors_[li] = std::min(anchors_[li], key);
+  }
+  return true;
+}
+
+size_t WormholeLite::Scan(Key from, size_t count,
+                          std::vector<KeyValue>* out) const {
+  if (leaves_.empty() || count == 0) return 0;
+  size_t copied = 0;
+  for (size_t li = RouteLeaf(from); li < leaves_.size() && copied < count;
+       ++li) {
+    const Leaf& leaf = *leaves_[li];
+    size_t pos = BinarySearchLowerBound(leaf.keys.data(), 0,
+                                        leaf.keys.size(), from);
+    for (; pos < leaf.keys.size() && copied < count; ++pos, ++copied) {
+      out->push_back({leaf.keys[pos], leaf.values[pos]});
+    }
+    from = 0;
+  }
+  return copied;
+}
+
+size_t WormholeLite::IndexSizeBytes() const {
+  size_t bytes = anchors_.size() * sizeof(Key) +
+                 leaves_.size() * sizeof(Leaf);
+  for (const auto& map : meta_) {
+    bytes += map.size() * (sizeof(Key) + sizeof(Range) + sizeof(void*));
+  }
+  return bytes;
+}
+
+size_t WormholeLite::TotalSizeBytes() const {
+  size_t bytes = IndexSizeBytes();
+  for (const auto& leaf : leaves_) {
+    bytes += leaf->keys.capacity() * sizeof(Key) +
+             leaf->values.capacity() * sizeof(Value);
+  }
+  return bytes;
+}
+
+IndexStats WormholeLite::Stats() const {
+  IndexStats s;
+  s.leaf_count = leaves_.size();
+  s.inner_count = meta_.size();
+  // log2 of the prefix-length levels: the hash-jump depth.
+  s.avg_depth = 5;  // ceil(log2(kNumLevels)) hash probes + leaf search.
+  return s;
+}
+
+}  // namespace pieces

@@ -1,0 +1,78 @@
+// Wormhole-lite (Wu et al., EuroSys'19): an ordered index that replaces
+// the B+Tree's inner search with a *hashed longest-prefix-match jump*.
+// Leaves are small sorted arrays; their anchor (first) keys are kept in a
+// sorted vector; a "meta-trie" of hash sets — one per prefix length —
+// maps each anchor prefix to the anchor-index range it covers. A lookup
+// binary-searches over prefix *lengths* (O(log W) hash probes, W = 64
+// bits) to find the longest anchor prefix of the search key, which pins
+// the predecessor anchor to a tiny range. This is the real Wormhole's
+// MetaTrieHT specialized to fixed 8-byte keys.
+//
+// Anchor-index ranges go stale as leaf splits shift indices; lookups
+// widen ranges by the number of splits since the last rebuild and the
+// meta-trie is rebuilt after a bounded number of splits (amortized O(1)
+// per insert). Single-writer; concurrent reads are safe when no writer
+// is active.
+#ifndef PIECES_TRADITIONAL_WORMHOLE_H_
+#define PIECES_TRADITIONAL_WORMHOLE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "index/ordered_index.h"
+
+namespace pieces {
+
+class WormholeLite : public OrderedIndex {
+ public:
+  static constexpr size_t kLeafCapacity = 128;
+  // Meta-trie prefix lengths: 0, 4, 8, ..., 64 bits.
+  static constexpr unsigned kPrefixStep = 4;
+  static constexpr unsigned kNumLevels = 64 / kPrefixStep + 1;
+  // Rebuild the meta-trie after this many splits.
+  static constexpr size_t kMaxStaleSplits = 64;
+
+  WormholeLite() = default;
+
+  void BulkLoad(std::span<const KeyValue> data) override;
+  bool Get(Key key, Value* value) const override;
+  bool Insert(Key key, Value value) override;
+  size_t Scan(Key from, size_t count,
+              std::vector<KeyValue>* out) const override;
+  size_t IndexSizeBytes() const override;
+  size_t TotalSizeBytes() const override;
+  IndexStats Stats() const override;
+  std::string_view Name() const override { return "Wormhole"; }
+
+ private:
+  struct Leaf {
+    std::vector<Key> keys;
+    std::vector<Value> values;
+  };
+
+  struct Range {
+    uint32_t lo;
+    uint32_t hi;  // Inclusive anchor-index range at rebuild time.
+  };
+
+  static Key Prefix(Key key, unsigned level) {
+    unsigned bits = level * kPrefixStep;
+    return bits == 0 ? 0 : key >> (64 - bits);
+  }
+
+  // Index of the leaf owning `key` via the meta-trie jump.
+  size_t RouteLeaf(Key key) const;
+  void RebuildMetaTrie();
+
+  std::vector<Key> anchors_;               // Sorted leaf first-keys.
+  std::vector<std::unique_ptr<Leaf>> leaves_;  // Parallel to anchors_.
+  // meta_[level]: prefix value -> anchor range covered at rebuild time.
+  std::vector<std::unordered_map<Key, Range>> meta_;
+  size_t splits_since_rebuild_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_TRADITIONAL_WORMHOLE_H_

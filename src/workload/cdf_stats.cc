@@ -1,0 +1,70 @@
+#include "workload/cdf_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/linear_model.h"
+#include "pla/optimal_pla.h"
+
+namespace pieces {
+
+CdfStats AnalyzeCdf(const uint64_t* keys, size_t n) {
+  CdfStats stats;
+  stats.n = n;
+  if (n == 0) return stats;
+
+  // PLA complexity.
+  PlaResult pla = BuildOptimalPla(keys, n, 64);
+  stats.pla_segments_eps64 = pla.segments.size();
+  stats.pla_segments_per_million =
+      static_cast<double>(pla.segments.size()) * 1e6 /
+      static_cast<double>(n);
+
+  // Global linear fit residual.
+  LinearModel m = FitLeastSquares(keys, n);
+  long double err_sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    long double pred = static_cast<long double>(m.PredictReal(keys[i]));
+    err_sum += std::fabs(static_cast<double>(
+        pred - static_cast<long double>(i)));
+  }
+  stats.global_fit_error_frac =
+      static_cast<double>(err_sum / n) / static_cast<double>(n);
+
+  // Top 14-bit prefix concentration.
+  std::unordered_map<uint16_t, size_t> prefixes;
+  for (size_t i = 0; i < n; ++i) {
+    ++prefixes[static_cast<uint16_t>(keys[i] >> 50)];
+  }
+  size_t top = 0;
+  for (const auto& [prefix, count] : prefixes) top = std::max(top, count);
+  stats.top_prefix14_frac =
+      static_cast<double>(top) / static_cast<double>(n);
+
+  // Density variation over 1024 equal-width domain buckets.
+  constexpr size_t kBuckets = 1024;
+  uint64_t lo = keys[0];
+  uint64_t hi = keys[n - 1];
+  std::vector<size_t> counts(kBuckets, 0);
+  if (hi > lo) {
+    long double width = static_cast<long double>(hi - lo);
+    for (size_t i = 0; i < n; ++i) {
+      size_t b = static_cast<size_t>(
+          static_cast<long double>(keys[i] - lo) / width *
+          (kBuckets - 1));
+      ++counts[b];
+    }
+    double mean = static_cast<double>(n) / kBuckets;
+    double var = 0;
+    for (size_t c : counts) {
+      double d = static_cast<double>(c) - mean;
+      var += d * d;
+    }
+    var /= kBuckets;
+    stats.density_cv = std::sqrt(var) / mean;
+  }
+  return stats;
+}
+
+}  // namespace pieces

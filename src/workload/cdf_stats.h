@@ -1,0 +1,40 @@
+// Dataset hardness metrics for learned indexes. The paper repeatedly
+// explains index behaviour through CDF properties — OSM "has a more
+// complex CDF" (needs more segments), FACE "possesses skew
+// characteristics" (defeats radix prefixes). This module quantifies those
+// properties so benches and examples can report *why* a dataset is hard,
+// not just that it is.
+#ifndef PIECES_WORKLOAD_CDF_STATS_H_
+#define PIECES_WORKLOAD_CDF_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pieces {
+
+struct CdfStats {
+  size_t n = 0;
+  // PLA complexity: segments Opt-PLA needs at eps=64 (per million keys).
+  // This is the paper's "complex CDF => more piecewise models" metric.
+  size_t pla_segments_eps64 = 0;
+  double pla_segments_per_million = 0;
+  // Global linear fit quality: mean |rank - linear_fit(key)| / n. Near 0
+  // for uniform, large for clustered or skewed data.
+  double global_fit_error_frac = 0;
+  // Radix concentration: fraction of keys sharing the single most common
+  // 14-bit key prefix (the paper's Fig. 11 observation: FACE makes "the
+  // first 16 bits almost useless" — keys below 2^50 share the zero
+  // 14-bit prefix). ~2^-14 for uniform, ~1.0 under FACE-like skew.
+  double top_prefix14_frac = 0;
+  // Local density variance: stddev/mean of keys per 1/1024 domain bucket.
+  // Uniform ~ small, staircase/clustered CDFs large.
+  double density_cv = 0;
+};
+
+// Computes the metrics over a sorted, unique key array.
+CdfStats AnalyzeCdf(const uint64_t* keys, size_t n);
+
+}  // namespace pieces
+
+#endif  // PIECES_WORKLOAD_CDF_STATS_H_

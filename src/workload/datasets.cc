@@ -1,0 +1,144 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace pieces {
+namespace {
+
+constexpr uint64_t kMaxStorableKey = ~0ull - 1;  // Below the gap sentinel.
+
+// Sorts, deduplicates, clamps to the storable range, and tops up with
+// fresh samples from the *same* distribution (via `sample`) until exactly
+// n unique keys remain, so dedup losses never distort the distribution.
+template <typename Sampler>
+std::vector<uint64_t> Finalize(std::vector<uint64_t> keys, size_t n,
+                               Sampler sample) {
+  for (uint64_t& k : keys) {
+    if (k > kMaxStorableKey) k = kMaxStorableKey;
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  while (keys.size() < n) {
+    size_t missing = n - keys.size();
+    for (size_t i = 0; i < missing; ++i) {
+      uint64_t k = sample();
+      keys.push_back(k > kMaxStorableKey ? kMaxStorableKey : k);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  keys.resize(n);
+  return keys;
+}
+
+}  // namespace
+
+std::vector<uint64_t> MakeUniformKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  auto sample = [&rng] { return rng.Next(); };
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(sample());
+  return Finalize(std::move(keys), n, sample);
+}
+
+std::vector<uint64_t> MakeNormalKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  const double mean = 9.2e18;  // Centered in the 64-bit domain.
+  const double stddev = 1.5e18;
+  auto sample = [&rng, mean, stddev] {
+    double v = mean + stddev * rng.NextGaussian();
+    if (v < 0) v = 0;
+    if (v > 1.8e19) v = 1.8e19;
+    return static_cast<uint64_t>(v);
+  };
+  for (size_t i = 0; i < n; ++i) keys.push_back(sample());
+  return Finalize(std::move(keys), n, sample);
+}
+
+std::vector<uint64_t> MakeLognormalKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  // exp(N(0, 2)) scaled into the 64-bit domain.
+  auto sample = [&rng] {
+    double v = std::exp(2.0 * rng.NextGaussian()) * 1e15;
+    if (v > 1.8e19) v = 1.8e19;
+    return static_cast<uint64_t>(v);
+  };
+  for (size_t i = 0; i < n; ++i) keys.push_back(sample());
+  return Finalize(std::move(keys), n, sample);
+}
+
+std::vector<uint64_t> MakeOsmLikeKeys(size_t n, uint64_t seed) {
+  // Many dense clusters of varying width spread over the domain — the
+  // CDF is a staircase of steep ramps, which forces error-bounded PLA to
+  // spend many segments (the paper's observation about OSM).
+  Rng rng(seed);
+  const size_t clusters = std::max<size_t>(64, n / 4096);
+  std::vector<uint64_t> centers(clusters);
+  for (size_t c = 0; c < clusters; ++c) centers[c] = rng.Next();
+  auto sample = [&rng, &centers, clusters] {
+    uint64_t center = centers[rng.NextUnder(clusters)];
+    // Cluster width varies over five orders of magnitude.
+    uint64_t width = 1ull << (10 + rng.NextUnder(18));
+    return center + rng.NextUnder(width);  // Wraparound is harmless.
+  };
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(sample());
+  return Finalize(std::move(keys), n, sample);
+}
+
+std::vector<uint64_t> MakeFaceLikeKeys(size_t n, uint64_t seed) {
+  // ~99.9% of keys fall in (0, 2^50); a minimal tail reaches (2^59, 2^64-1)
+  // — so the top 14+ bits of almost every key are zero and a fixed radix
+  // prefix cannot discriminate (Fig. 11's RS collapse). Inside the low
+  // region the keys are *clustered* (real Facebook IDs are allocated in
+  // bursts), so the spline still needs many points — they just all fall
+  // into a handful of radix cells.
+  Rng rng(seed);
+  const size_t clusters = std::max<size_t>(64, n / 512);
+  std::vector<uint64_t> centers(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    centers[c] = rng.Next() & ((1ull << 50) - 1);
+  }
+  auto sample = [&rng, &centers, clusters]() -> uint64_t {
+    if (rng.NextUnder(1000) == 0) {
+      return (1ull << 59) + (rng.Next() >> 5);  // Sparse high tail.
+    }
+    uint64_t center = centers[rng.NextUnder(clusters)];
+    uint64_t width = 1ull << (6 + rng.NextUnder(12));
+    return (center + rng.NextUnder(width)) & ((1ull << 50) - 1);
+  };
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(sample());
+  return Finalize(std::move(keys), n, sample);
+}
+
+std::vector<uint64_t> MakeSequentialKeys(size_t n, uint64_t start,
+                                         uint64_t step) {
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  uint64_t k = start;
+  for (size_t i = 0; i < n; ++i, k += step) keys.push_back(k);
+  return keys;
+}
+
+std::vector<uint64_t> MakeKeys(const std::string& dataset, size_t n,
+                               uint64_t seed) {
+  if (dataset == "normal") return MakeNormalKeys(n, seed);
+  if (dataset == "lognormal") return MakeLognormalKeys(n, seed);
+  if (dataset == "osm") return MakeOsmLikeKeys(n, seed);
+  if (dataset == "face") return MakeFaceLikeKeys(n, seed);
+  if (dataset == "sequential") return MakeSequentialKeys(n);
+  return MakeUniformKeys(n, seed);  // "ycsb" and default.
+}
+
+}  // namespace pieces

@@ -1,0 +1,37 @@
+// Key-set generators reproducing the paper's datasets:
+//  * YCSB       — uniform random 64-bit keys (YCSB's hashed key space);
+//  * Normal     — keys from a normal distribution (the paper's §III-A/B
+//                 YCSB configuration follows a normal distribution);
+//  * Lognormal  — a classic hard case for linear approximation;
+//  * OSM-like   — mixture of many dense clusters across the domain,
+//                 matching OSM's "complex CDF needing many more segments";
+//  * FACE-like  — heavy skew: almost all keys in (0, 2^50), a sparse tail
+//                 up to 2^64-1, matching the paper's Fig. 11 description;
+//  * Sequential — dense increasing keys (append workloads).
+// All generators return sorted, deduplicated keys strictly below 2^64-1
+// (the ALEX/gapped-array sentinel).
+#ifndef PIECES_WORKLOAD_DATASETS_H_
+#define PIECES_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pieces {
+
+std::vector<uint64_t> MakeUniformKeys(size_t n, uint64_t seed = 1);
+std::vector<uint64_t> MakeNormalKeys(size_t n, uint64_t seed = 1);
+std::vector<uint64_t> MakeLognormalKeys(size_t n, uint64_t seed = 1);
+std::vector<uint64_t> MakeOsmLikeKeys(size_t n, uint64_t seed = 1);
+std::vector<uint64_t> MakeFaceLikeKeys(size_t n, uint64_t seed = 1);
+std::vector<uint64_t> MakeSequentialKeys(size_t n, uint64_t start = 1,
+                                         uint64_t step = 1);
+
+// Dispatch by dataset name: "ycsb", "normal", "lognormal", "osm", "face",
+// "sequential". Unknown names return uniform keys.
+std::vector<uint64_t> MakeKeys(const std::string& dataset, size_t n,
+                               uint64_t seed = 1);
+
+}  // namespace pieces
+
+#endif  // PIECES_WORKLOAD_DATASETS_H_

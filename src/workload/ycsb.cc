@@ -1,0 +1,148 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/random.h"
+
+namespace pieces {
+
+WorkloadSpec WorkloadSpec::ReadOnly(KeyPick pick) {
+  WorkloadSpec s;
+  s.read_pct = 100;
+  s.pick = pick;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::WriteOnly() {
+  WorkloadSpec s;
+  s.read_pct = 0;
+  s.insert_pct = 100;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbA(KeyPick pick) {
+  WorkloadSpec s;
+  s.read_pct = 50;
+  s.update_pct = 50;
+  s.pick = pick;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbB(KeyPick pick) {
+  WorkloadSpec s;
+  s.read_pct = 95;
+  s.update_pct = 5;
+  s.pick = pick;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbD() {
+  WorkloadSpec s;
+  s.read_pct = 95;
+  s.insert_pct = 5;
+  s.pick = KeyPick::kLatest;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbF(KeyPick pick) {
+  WorkloadSpec s;
+  s.read_pct = 50;
+  s.rmw_pct = 50;
+  s.pick = pick;
+  return s;
+}
+
+void SplitLoadAndInserts(const std::vector<uint64_t>& keys,
+                         size_t hold_out_every,
+                         std::vector<uint64_t>* load,
+                         std::vector<uint64_t>* inserts) {
+  load->clear();
+  inserts->clear();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (hold_out_every > 0 && i % hold_out_every == hold_out_every - 1) {
+      inserts->push_back(keys[i]);
+    } else {
+      load->push_back(keys[i]);
+    }
+  }
+  // Inserts arrive in random order (YCSB inserts are not sorted).
+  Rng rng(7);
+  for (size_t i = inserts->size(); i > 1; --i) {
+    std::swap((*inserts)[i - 1], (*inserts)[rng.NextUnder(i)]);
+  }
+}
+
+std::vector<Op> GenerateOps(const WorkloadSpec& spec, size_t count,
+                            const std::vector<uint64_t>& loaded_keys,
+                            const std::vector<uint64_t>& insert_pool,
+                            uint64_t seed) {
+  assert(spec.read_pct + spec.update_pct + spec.insert_pct + spec.rmw_pct +
+             spec.scan_pct ==
+         100);
+  std::vector<Op> ops;
+  ops.reserve(count);
+  Rng rng(seed);
+  ZipfGenerator zipf(std::max<size_t>(1, loaded_keys.size()), 0.99, seed);
+  size_t next_insert = 0;
+  // "Latest" picks near the most recently inserted keys; before any
+  // insert it behaves zipfian over the tail of the loaded set.
+  size_t inserted_so_far = 0;
+
+  auto pick_existing = [&]() -> uint64_t {
+    if (loaded_keys.empty()) return 0;
+    switch (spec.pick) {
+      case KeyPick::kUniform:
+        return loaded_keys[rng.NextUnder(loaded_keys.size())];
+      case KeyPick::kZipfian:
+        return loaded_keys[zipf.NextScrambled()];
+      case KeyPick::kLatest: {
+        // Prefer recently inserted keys; fall back to the loaded tail.
+        uint64_t r = zipf.Next();  // Skewed toward 0 (the most recent).
+        if (inserted_so_far > 0 && !insert_pool.empty()) {
+          size_t idx = inserted_so_far > r
+                           ? inserted_so_far - 1 - static_cast<size_t>(r)
+                           : 0;
+          if (idx < inserted_so_far) {
+            return insert_pool[idx % insert_pool.size()];
+          }
+        }
+        size_t tail =
+            static_cast<size_t>(r) % std::max<size_t>(1, loaded_keys.size());
+        return loaded_keys[loaded_keys.size() - 1 - tail];
+      }
+    }
+    return loaded_keys[0];
+  };
+
+  for (size_t i = 0; i < count; ++i) {
+    int dice = static_cast<int>(rng.NextUnder(100));
+    Op op;
+    if (dice < spec.read_pct) {
+      op = {OpType::kRead, pick_existing(), 0};
+    } else if (dice < spec.read_pct + spec.update_pct) {
+      op = {OpType::kUpdate, pick_existing(), 0};
+    } else if (dice < spec.read_pct + spec.update_pct + spec.insert_pct) {
+      uint64_t key;
+      if (!insert_pool.empty()) {
+        key = insert_pool[next_insert % insert_pool.size()] +
+              (next_insert / insert_pool.size());
+        ++next_insert;
+        ++inserted_so_far;
+      } else {
+        key = rng.Next() & (~0ull - 1);
+      }
+      op = {OpType::kInsert, key, 0};
+    } else if (dice <
+               spec.read_pct + spec.update_pct + spec.insert_pct +
+                   spec.rmw_pct) {
+      op = {OpType::kReadModifyWrite, pick_existing(), 0};
+    } else {
+      op = {OpType::kScan, pick_existing(), spec.scan_len};
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace pieces

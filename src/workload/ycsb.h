@@ -1,0 +1,73 @@
+// YCSB-style operation stream generator. Produces the paper's workloads:
+//   read-only        (YCSB-C)            — 100% reads;
+//   write-only                           — 100% inserts of fresh keys;
+//   YCSB-A           update mostly       — 50% reads / 50% updates;
+//   YCSB-B           read mostly         — 95% reads / 5% updates;
+//   YCSB-D           read latest         — 95% reads (latest-biased) /
+//                                          5% *inserts* of fresh keys;
+//   YCSB-F           read-modify-update  — 50% reads / 50% RMW.
+// Request keys are drawn uniformly or Zipfian-skewed over the loaded keys;
+// fresh insert keys are drawn from a disjoint reserve pool so inserts are
+// true insertions (the paper's distinction driving the YCSB-D cliff).
+#ifndef PIECES_WORKLOAD_YCSB_H_
+#define PIECES_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pieces {
+
+enum class OpType : uint8_t {
+  kRead = 0,
+  kUpdate = 1,
+  kInsert = 2,
+  kReadModifyWrite = 3,
+  kScan = 4,
+};
+
+struct Op {
+  OpType type;
+  uint64_t key;
+  uint32_t scan_len = 0;
+};
+
+enum class KeyPick { kUniform, kZipfian, kLatest };
+
+struct WorkloadSpec {
+  int read_pct = 100;
+  int update_pct = 0;
+  int insert_pct = 0;
+  int rmw_pct = 0;
+  int scan_pct = 0;
+  KeyPick pick = KeyPick::kUniform;
+  uint32_t scan_len = 100;
+
+  // The paper's named mixes.
+  static WorkloadSpec ReadOnly(KeyPick pick = KeyPick::kUniform);
+  static WorkloadSpec WriteOnly();
+  static WorkloadSpec YcsbA(KeyPick pick = KeyPick::kZipfian);
+  static WorkloadSpec YcsbB(KeyPick pick = KeyPick::kZipfian);
+  static WorkloadSpec YcsbD();
+  static WorkloadSpec YcsbF(KeyPick pick = KeyPick::kZipfian);
+};
+
+// Generates `count` operations over `loaded_keys` (the bulk-loaded key
+// set, sorted). `insert_pool` supplies fresh keys for kInsert ops (must be
+// disjoint from loaded_keys); it is consumed in order and reused with an
+// offset when exhausted.
+std::vector<Op> GenerateOps(const WorkloadSpec& spec, size_t count,
+                            const std::vector<uint64_t>& loaded_keys,
+                            const std::vector<uint64_t>& insert_pool,
+                            uint64_t seed = 42);
+
+// Splits `keys` (sorted unique) into a bulk-load set and an insert pool by
+// taking every `hold_out_every`-th key into the pool.
+void SplitLoadAndInserts(const std::vector<uint64_t>& keys,
+                         size_t hold_out_every,
+                         std::vector<uint64_t>* load,
+                         std::vector<uint64_t>* inserts);
+
+}  // namespace pieces
+
+#endif  // PIECES_WORKLOAD_YCSB_H_

@@ -1,0 +1,125 @@
+// Targeted ALEX tests: gapped-array invariants, expansion, splitting, the
+// asymmetric structure, and heavy insert churn.
+#include "learned/alex.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+std::vector<KeyValue> ToData(const std::vector<uint64_t>& keys) {
+  std::vector<KeyValue> data;
+  data.reserve(keys.size());
+  for (uint64_t k : keys) data.push_back({k, k + 1});
+  return data;
+}
+
+TEST(AlexTest, HeavyInsertChurnMatchesStdMap) {
+  Alex alex;
+  std::map<Key, Value> ref;
+  std::vector<uint64_t> base = MakeUniformKeys(5000, 3);
+  alex.BulkLoad(ToData(base));
+  for (uint64_t k : base) ref[k] = k + 1;
+
+  Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    Key k = rng.Next() & (~0ull - 1);
+    alex.Insert(k, i);
+    ref[k] = static_cast<Value>(i);
+  }
+  for (const auto& [k, val] : ref) {
+    Value v = 0;
+    ASSERT_TRUE(alex.Get(k, &v)) << k;
+    EXPECT_EQ(v, val);
+  }
+  EXPECT_GT(alex.Stats().retrain_count, 0u);
+}
+
+TEST(AlexTest, SequentialAppendTriggersSplits) {
+  Alex alex;
+  alex.BulkLoad(ToData(MakeSequentialKeys(1000, 1, 1)));
+  for (uint64_t k = 1001; k <= 60000; ++k) {
+    ASSERT_TRUE(alex.Insert(k, k));
+  }
+  Value v;
+  for (uint64_t k = 1; k <= 60000; k += 997) {
+    ASSERT_TRUE(alex.Get(k, &v));
+    EXPECT_EQ(v, k <= 1000 ? k + 1 : k);  // Bulk values carry the +1 tag.
+  }
+  // 60k keys cannot fit one data node: the tree must have grown.
+  IndexStats s = alex.Stats();
+  EXPECT_GT(s.leaf_count, 1u);
+}
+
+TEST(AlexTest, DenseClusterInsertDeepensLocally) {
+  // Insert a very dense cluster into a wide uniform key space: ALEX should
+  // deepen only around the cluster (asymmetric growth).
+  Alex alex;
+  alex.BulkLoad(ToData(MakeUniformKeys(50000, 5)));
+  double depth_before = alex.Stats().avg_depth;
+  for (uint64_t i = 0; i < 30000; ++i) {
+    ASSERT_TRUE(alex.Insert((1ull << 60) + i, i));
+  }
+  Value v;
+  for (uint64_t i = 0; i < 30000; i += 271) {
+    ASSERT_TRUE(alex.Get((1ull << 60) + i, &v));
+  }
+  EXPECT_GE(alex.Stats().avg_depth, depth_before);
+}
+
+TEST(AlexTest, GappedLeavesKeepModestDepth) {
+  // Table II: ALEX's average depth over a 200k uniform load is ~2.
+  Alex alex;
+  alex.BulkLoad(ToData(MakeUniformKeys(200000, 11)));
+  IndexStats s = alex.Stats();
+  EXPECT_LE(s.avg_depth, 3.0);
+  EXPECT_GE(s.leaf_count, 200000 / 8192);
+}
+
+TEST(AlexTest, ScanAcrossDataNodes) {
+  std::vector<uint64_t> keys = MakeUniformKeys(30000, 13);
+  Alex alex;
+  alex.BulkLoad(ToData(keys));
+  std::vector<KeyValue> out;
+  size_t n = alex.Scan(keys[1000], 5000, &out);
+  ASSERT_EQ(n, 5000u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].key, keys[1000 + i]);
+    EXPECT_EQ(out[i].value, keys[1000 + i] + 1);
+  }
+}
+
+TEST(AlexTest, ExpansionPreservesContents) {
+  Alex::Config cfg;
+  cfg.max_data_node_keys = 100000;  // Never split; force expansions only.
+  Alex alex(cfg);
+  alex.BulkLoad({});
+  std::vector<uint64_t> keys = MakeUniformKeys(20000, 17);
+  for (uint64_t k : keys) ASSERT_TRUE(alex.Insert(k, k ^ 0xff));
+  for (uint64_t k : keys) {
+    Value v = 0;
+    ASSERT_TRUE(alex.Get(k, &v));
+    EXPECT_EQ(v, k ^ 0xff);
+  }
+  EXPECT_GT(alex.Stats().retrain_count, 0u);
+}
+
+TEST(AlexTest, MovedKeysStayBounded) {
+  // The ALEX-gap insert strategy moves few keys per insert (Fig. 18a).
+  Alex alex;
+  alex.BulkLoad(ToData(MakeUniformKeys(100000, 19)));
+  std::vector<uint64_t> extra = MakeUniformKeys(20000, 23);
+  for (uint64_t k : extra) alex.Insert(k + 1, k);
+  IndexStats s = alex.Stats();
+  // Average moved keys per insert should be tiny compared to node size.
+  EXPECT_LT(static_cast<double>(s.moved_keys) / 20000.0, 64.0);
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,136 @@
+// Tests for the dimension-isolation harness: every inner structure routes
+// identically to a reference predecessor search, and every update policy
+// preserves contents while exposing the paper's Fig. 18 cost profile.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anatomy/inner_structures.h"
+#include "anatomy/update_policies.h"
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+class InnerStructureTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InnerStructureTest, RoutesLikeReferencePredecessor) {
+  for (const char* ds : {"ycsb", "osm", "face"}) {
+    std::vector<Key> pivots = MakeKeys(ds, 20000, 3);
+    auto inner = MakeInnerStructure(GetParam());
+    ASSERT_NE(inner, nullptr);
+    inner->Build(pivots);
+    Rng rng(7);
+    for (int trial = 0; trial < 3000; ++trial) {
+      Key probe = trial % 2 == 0 ? pivots[rng.NextUnder(pivots.size())]
+                                 : rng.Next() & (~0ull - 1);
+      size_t got = inner->Route(probe);
+      size_t ref = static_cast<size_t>(
+          std::upper_bound(pivots.begin(), pivots.end(), probe) -
+          pivots.begin());
+      ref = ref == 0 ? 0 : ref - 1;
+      ASSERT_EQ(got, ref) << GetParam() << " " << ds << " probe=" << probe;
+    }
+    EXPECT_GT(inner->SizeBytes(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, InnerStructureTest,
+                         ::testing::ValuesIn(InnerStructureKinds()));
+
+TEST(InnerStructureTest2, AtsDepthAdaptsToDistribution) {
+  // The ATS tree must route correctly even on extreme clustering.
+  std::vector<Key> pivots;
+  for (uint64_t i = 0; i < 5000; ++i) pivots.push_back(1000000 + i);
+  for (uint64_t i = 0; i < 100; ++i) {
+    pivots.push_back((1ull << 40) + i * (1ull << 20));
+  }
+  std::sort(pivots.begin(), pivots.end());
+  auto ats = MakeInnerStructure("ATS");
+  ats->Build(pivots);
+  for (size_t i = 0; i < pivots.size(); i += 7) {
+    EXPECT_EQ(ats->Route(pivots[i]), i);
+  }
+}
+
+class UpdatePolicyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(UpdatePolicyTest, InsertsAreVisibleAndComplete) {
+  std::vector<Key> base = MakeUniformKeys(20000, 3);
+  std::vector<Key> extra = MakeUniformKeys(20000, 97);
+  auto policy = MakeUpdatePolicy(GetParam(), 256);
+  ASSERT_NE(policy, nullptr);
+  policy->Load(base, 4096);
+  std::set<Key> loaded(base.begin(), base.end());
+  for (Key k : extra) {
+    if (loaded.count(k + 1)) continue;
+    policy->Insert(k + 1);
+  }
+  for (Key k : base) EXPECT_TRUE(policy->Contains(k)) << GetParam();
+  for (Key k : extra) {
+    if (loaded.count(k + 1)) continue;
+    EXPECT_TRUE(policy->Contains(k + 1)) << GetParam();
+  }
+  EXPECT_FALSE(policy->Contains(3));  // Absent tiny key.
+}
+
+TEST_P(UpdatePolicyTest, DuplicateInsertIsNoop) {
+  std::vector<Key> base = MakeUniformKeys(5000, 5);
+  auto policy = MakeUpdatePolicy(GetParam(), 128);
+  policy->Load(base, 1024);
+  UpdatePolicyStats before = policy->Stats();
+  for (Key k : base) policy->Insert(k);
+  UpdatePolicyStats after = policy->Stats();
+  EXPECT_EQ(after.retrain_count, before.retrain_count) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, UpdatePolicyTest,
+                         ::testing::ValuesIn(UpdatePolicyKinds()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(UpdatePolicyFig18Test, GapMovesFewestKeys) {
+  // Fig. 18(a): ALEX-gap shifts far fewer keys per insert than Inplace.
+  std::vector<Key> base = MakeUniformKeys(50000, 7);
+  std::vector<Key> extra = MakeUniformKeys(25000, 177);
+  uint64_t moved_inplace = 0;
+  uint64_t moved_gap = 0;
+  for (const std::string kind : {"Inplace", "ALEX-gap"}) {
+    auto policy = MakeUpdatePolicy(kind, 512);
+    policy->Load(base, 4096);
+    for (Key k : extra) policy->Insert(k + 1);
+    if (kind == "Inplace") {
+      moved_inplace = policy->Stats().moved_keys;
+    } else {
+      moved_gap = policy->Stats().moved_keys;
+    }
+  }
+  EXPECT_GT(moved_inplace, 10 * moved_gap);
+}
+
+TEST(UpdatePolicyFig18Test, LargerReserveFewerRetrainsForBuffer) {
+  // Fig. 18(c): retrain count falls as the reserved space grows.
+  std::vector<Key> base = MakeUniformKeys(50000, 9);
+  std::vector<Key> extra = MakeUniformKeys(25000, 317);
+  size_t prev = ~size_t{0};
+  for (size_t reserve : {128, 256, 512, 1024}) {
+    auto policy = MakeUpdatePolicy("Buffer", reserve);
+    policy->Load(base, 4096);
+    for (Key k : extra) policy->Insert(k + 1);
+    size_t retrains = policy->Stats().retrain_count;
+    EXPECT_LT(retrains, prev) << reserve;
+    prev = retrains;
+  }
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,103 @@
+// Targeted ART tests: node type growth (4 -> 16 -> 48 -> 256), lazy leaf
+// expansion depth, byte-order correctness, and ordered scans across node
+// types.
+#include "traditional/art.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+TEST(ArtTest, NodeGrowthThroughAllTypes) {
+  // 256 children under one byte position forces 4 -> 16 -> 48 -> 256.
+  ArtIndex art;
+  for (uint64_t b = 0; b < 256; ++b) {
+    ASSERT_TRUE(art.Insert(b << 48, b));
+  }
+  Value v;
+  for (uint64_t b = 0; b < 256; ++b) {
+    ASSERT_TRUE(art.Get(b << 48, &v));
+    EXPECT_EQ(v, b);
+  }
+  // All 256 keys diverge at byte 1, so they share one Node256 root.
+  IndexStats s = art.Stats();
+  EXPECT_EQ(s.leaf_count, 256u);
+}
+
+TEST(ArtTest, LazyExpansionKeepsSingleKeySubtreesFlat) {
+  ArtIndex art;
+  ASSERT_TRUE(art.Insert(0x0102030405060708ull, 1));
+  IndexStats s = art.Stats();
+  EXPECT_EQ(s.leaf_count, 1u);
+  EXPECT_EQ(s.inner_count, 0u);  // A lone key is just a leaf pointer.
+  EXPECT_EQ(s.avg_depth, 0.0);
+
+  // A second key differing in the last byte forces a path of inner nodes.
+  ASSERT_TRUE(art.Insert(0x0102030405060709ull, 2));
+  s = art.Stats();
+  EXPECT_EQ(s.leaf_count, 2u);
+  EXPECT_EQ(s.inner_count, 8u);  // One Node4 per shared byte.
+}
+
+TEST(ArtTest, ByteOrderPreservesKeyOrder) {
+  // Keys crafted so little-endian byte comparison would mis-order them.
+  ArtIndex art;
+  std::vector<Key> keys = {0x0100000000000000ull, 0x0000000000000002ull,
+                           0x0000000100000000ull, 0x00000000000000FFull};
+  for (Key k : keys) ASSERT_TRUE(art.Insert(k, k));
+  std::vector<KeyValue> out;
+  art.Scan(0, 10, &out);
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].key, out[i].key);
+  }
+}
+
+TEST(ArtTest, DenseAndSparseMix) {
+  ArtIndex art;
+  std::map<Key, Value> ref;
+  Rng rng(3);
+  // Dense low range + sparse high range stresses different node types.
+  for (uint64_t i = 0; i < 5000; ++i) {
+    art.Insert(i, i);
+    ref[i] = i;
+  }
+  for (int i = 0; i < 5000; ++i) {
+    Key k = rng.Next() & (~0ull - 1);
+    art.Insert(k, k + 1);
+    ref[k] = k + 1;
+  }
+  for (const auto& [k, val] : ref) {
+    Value v = 0;
+    ASSERT_TRUE(art.Get(k, &v)) << k;
+    EXPECT_EQ(v, val);
+  }
+}
+
+TEST(ArtTest, ScanFromMidNode48) {
+  ArtIndex art;
+  // 40 children at the root: a Node48.
+  for (uint64_t b = 0; b < 40; ++b) art.Insert(b << 56, b);
+  std::vector<KeyValue> out;
+  size_t n = art.Scan(20ull << 56, 10, &out);
+  ASSERT_EQ(n, 10u);
+  EXPECT_EQ(out[0].key, 20ull << 56);
+  EXPECT_EQ(out[9].key, 29ull << 56);
+}
+
+TEST(ArtTest, SizeAccountingGrowsWithNodes) {
+  ArtIndex art;
+  art.Insert(1, 1);
+  size_t small = art.IndexSizeBytes();
+  for (uint64_t i = 2; i < 1000; ++i) art.Insert(i * 7919, i);
+  EXPECT_GT(art.IndexSizeBytes(), small);
+}
+
+}  // namespace
+}  // namespace pieces

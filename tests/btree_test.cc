@@ -1,0 +1,141 @@
+// Targeted B+Tree tests beyond the conformance suite: split cascades,
+// predecessor queries, bulk-load structure.
+#include "traditional/btree.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+TEST(BTreeTest, SequentialInsertCausesRightmostSplits) {
+  BTree tree;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(tree.Insert(i, i * 2));
+  }
+  for (uint64_t i = 0; i < 10000; ++i) {
+    Value v = 0;
+    ASSERT_TRUE(tree.Get(i, &v));
+    EXPECT_EQ(v, i * 2);
+  }
+  IndexStats s = tree.Stats();
+  EXPECT_GT(s.leaf_count, 10000 / BTree::kFanout);
+}
+
+TEST(BTreeTest, ReverseSequentialInsert) {
+  BTree tree;
+  for (uint64_t i = 10000; i-- > 0;) ASSERT_TRUE(tree.Insert(i, i));
+  Value v;
+  for (uint64_t i = 0; i < 10000; i += 13) {
+    ASSERT_TRUE(tree.Get(i, &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(BTreeTest, RandomInsertMatchesStdMap) {
+  BTree tree;
+  std::map<Key, Value> ref;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.Next() % 5000;  // Force many updates.
+    Value val = rng.Next();
+    tree.Insert(k, val);
+    ref[k] = val;
+  }
+  for (const auto& [k, val] : ref) {
+    Value v = 0;
+    ASSERT_TRUE(tree.Get(k, &v));
+    EXPECT_EQ(v, val);
+  }
+}
+
+TEST(BTreeTest, FindLessOrEqual) {
+  BTree tree;
+  std::vector<KeyValue> data;
+  for (uint64_t i = 10; i <= 1000; i += 10) data.push_back({i, i});
+  tree.BulkLoad(data);
+
+  Key fk;
+  Value fv;
+  ASSERT_TRUE(tree.FindLessOrEqual(10, &fk, &fv));
+  EXPECT_EQ(fk, 10u);
+  ASSERT_TRUE(tree.FindLessOrEqual(15, &fk, &fv));
+  EXPECT_EQ(fk, 10u);
+  ASSERT_TRUE(tree.FindLessOrEqual(1000, &fk, &fv));
+  EXPECT_EQ(fk, 1000u);
+  ASSERT_TRUE(tree.FindLessOrEqual(99999, &fk, &fv));
+  EXPECT_EQ(fk, 1000u);
+  EXPECT_FALSE(tree.FindLessOrEqual(9, &fk, &fv));
+  EXPECT_FALSE(tree.FindLessOrEqual(0, &fk, &fv));
+}
+
+TEST(BTreeTest, FindLessOrEqualAfterInserts) {
+  BTree tree;
+  tree.BulkLoad({});
+  Rng rng(5);
+  std::map<Key, Value> ref;
+  for (int i = 0; i < 5000; ++i) {
+    Key k = rng.Next() >> 16;
+    tree.Insert(k, k + 1);
+    ref[k] = k + 1;
+  }
+  for (int trial = 0; trial < 1000; ++trial) {
+    Key probe = rng.Next() >> 16;
+    auto it = ref.upper_bound(probe);
+    Key fk;
+    Value fv;
+    bool found = tree.FindLessOrEqual(probe, &fk, &fv);
+    if (it == ref.begin()) {
+      EXPECT_FALSE(found);
+    } else {
+      --it;
+      ASSERT_TRUE(found);
+      EXPECT_EQ(fk, it->first);
+      EXPECT_EQ(fv, it->second);
+    }
+  }
+}
+
+TEST(BTreeTest, BulkLoadStructure) {
+  std::vector<uint64_t> keys = MakeUniformKeys(100000, 9);
+  std::vector<KeyValue> data;
+  for (uint64_t k : keys) data.push_back({k, k});
+  BTree tree;
+  tree.BulkLoad(data);
+  IndexStats s = tree.Stats();
+  // ~90% fill: leaves close to n / (0.9 * fanout).
+  size_t expect_leaves = 100000 / (BTree::kFanout * 9 / 10);
+  EXPECT_NEAR(static_cast<double>(s.leaf_count),
+              static_cast<double>(expect_leaves), expect_leaves * 0.2);
+  EXPECT_GE(s.avg_depth, 2.0);
+  EXPECT_LE(s.avg_depth, 4.0);
+}
+
+TEST(BTreeTest, ScanAcrossLeafBoundaries) {
+  std::vector<KeyValue> data;
+  for (uint64_t i = 0; i < 1000; ++i) data.push_back({i, i});
+  BTree tree;
+  tree.BulkLoad(data);
+  std::vector<KeyValue> out;
+  EXPECT_EQ(tree.Scan(100, 500, &out), 500u);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].key, 100 + i);
+}
+
+TEST(BTreeTest, EmptyTreeOperations) {
+  BTree tree;
+  Value v;
+  EXPECT_FALSE(tree.Get(1, &v));
+  std::vector<KeyValue> out;
+  EXPECT_EQ(tree.Scan(0, 10, &out), 0u);
+  Key fk;
+  EXPECT_FALSE(tree.FindLessOrEqual(10, &fk, &v));
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,54 @@
+// Tests that the CDF hardness metrics discriminate the datasets the way
+// the paper's narrative requires.
+#include "workload/cdf_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+TEST(CdfStatsTest, UniformIsEasy) {
+  auto keys = MakeUniformKeys(100000, 3);
+  CdfStats s = AnalyzeCdf(keys.data(), keys.size());
+  EXPECT_LT(s.pla_segments_per_million, 200.0);
+  EXPECT_LT(s.global_fit_error_frac, 0.01);
+  EXPECT_LT(s.top_prefix14_frac, 0.01);
+  EXPECT_LT(s.density_cv, 0.5);
+}
+
+TEST(CdfStatsTest, OsmIsComplex) {
+  auto uni = MakeUniformKeys(100000, 3);
+  auto osm = MakeOsmLikeKeys(100000, 3);
+  CdfStats su = AnalyzeCdf(uni.data(), uni.size());
+  CdfStats so = AnalyzeCdf(osm.data(), osm.size());
+  EXPECT_GT(so.pla_segments_per_million, 5 * su.pla_segments_per_million);
+  EXPECT_GT(so.density_cv, 2 * su.density_cv);
+}
+
+TEST(CdfStatsTest, FaceIsPrefixSkewed) {
+  auto face = MakeFaceLikeKeys(100000, 3);
+  CdfStats s = AnalyzeCdf(face.data(), face.size());
+  // Nearly every key lives below 2^50, i.e. shares the zero 14-bit prefix.
+  EXPECT_GT(s.top_prefix14_frac, 0.95);
+}
+
+TEST(CdfStatsTest, SequentialIsPerfectlyLinear) {
+  auto seq = MakeSequentialKeys(100000, 1, 1);
+  CdfStats s = AnalyzeCdf(seq.data(), seq.size());
+  EXPECT_EQ(s.pla_segments_eps64, 1u);
+  EXPECT_LT(s.global_fit_error_frac, 1e-6);
+}
+
+TEST(CdfStatsTest, DegenerateInputs) {
+  CdfStats empty = AnalyzeCdf(nullptr, 0);
+  EXPECT_EQ(empty.n, 0u);
+  uint64_t one = 7;
+  CdfStats single = AnalyzeCdf(&one, 1);
+  EXPECT_EQ(single.n, 1u);
+  EXPECT_EQ(single.pla_segments_eps64, 1u);
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,149 @@
+// Concurrency tests for the indexes that advertise concurrent writes
+// (OLC-BTree, SkipList, Hash, XIndex) and concurrent-read safety of the
+// rest. These back the paper's Figs. 12/14 multi-thread evaluations.
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/ordered_index.h"
+#include "index/registry.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+constexpr size_t kThreads = 4;
+
+class ConcurrentWriteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConcurrentWriteTest, ParallelDisjointInserts) {
+  auto index = MakeIndex(GetParam());
+  ASSERT_TRUE(index->SupportsConcurrentWrites());
+  index->BulkLoad({});
+  std::vector<uint64_t> keys = MakeUniformKeys(40000, 3);
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < keys.size(); i += kThreads) {
+        ASSERT_TRUE(index->Insert(keys[i], keys[i] + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (uint64_t k : keys) {
+    Value v = 0;
+    ASSERT_TRUE(index->Get(k, &v)) << GetParam() << " key " << k;
+    EXPECT_EQ(v, k + 1);
+  }
+}
+
+TEST_P(ConcurrentWriteTest, ReadersDuringWrites) {
+  auto index = MakeIndex(GetParam());
+  std::vector<uint64_t> base = MakeUniformKeys(20000, 5);
+  std::vector<KeyValue> data;
+  for (uint64_t k : base) data.push_back({k, k + 1});
+  index->BulkLoad(data);
+  std::vector<uint64_t> extra = MakeUniformKeys(20000, 77);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_errors{0};
+  std::thread writer([&] {
+    for (uint64_t k : extra) index->Insert(k + 2, k);
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kThreads - 1; ++t) {
+    readers.emplace_back([&, t] {
+      size_t i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Value v = 0;
+        // Loaded keys must always be visible with their original value or
+        // a concurrently written one.
+        if (!index->Get(base[i % base.size()], &v)) {
+          read_errors.fetch_add(1);
+        }
+        i += 13;
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(read_errors.load(), 0u) << GetParam();
+}
+
+TEST_P(ConcurrentWriteTest, ConcurrentUpsertsOnSameKeys) {
+  auto index = MakeIndex(GetParam());
+  index->BulkLoad({});
+  std::vector<uint64_t> keys = MakeUniformKeys(2000, 7);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < 5; ++round) {
+        for (uint64_t k : keys) index->Insert(k, t * 1000 + round);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (uint64_t k : keys) {
+    Value v = 12345678;
+    ASSERT_TRUE(index->Get(k, &v)) << GetParam();
+    // Value must be one actually written by some thread.
+    EXPECT_LT(v % 1000, 5u);
+    EXPECT_LT(v / 1000, kThreads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WriteCapable, ConcurrentWriteTest,
+                         ::testing::Values("OLC-BTree", "SkipList", "Hash",
+                                           "XIndex"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+class ConcurrentReadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConcurrentReadTest, ParallelReadsAfterLoad) {
+  auto index = MakeIndex(GetParam());
+  std::vector<uint64_t> keys = MakeUniformKeys(30000, 9);
+  std::vector<KeyValue> data;
+  for (uint64_t k : keys) data.push_back({k, k * 2});
+  index->BulkLoad(data);
+
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < keys.size(); i += kThreads) {
+        Value v = 0;
+        if (!index->Get(keys[i], &v) || v != keys[i] * 2) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, ConcurrentReadTest,
+                         ::testing::ValuesIn(AllIndexNames()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,80 @@
+// Targeted extendible-hash tests: segment splits, directory doubling,
+// and the no-scan contract.
+#include "traditional/extendible_hash.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+TEST(ExtendibleHashTest, GrowsThroughManySplits) {
+  ExtendibleHash hash;
+  // Far more keys than the initial two segments hold (~16K slots each).
+  const size_t n = 200000;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(hash.Insert(i * 2654435761ull, i));
+  }
+  EXPECT_GT(hash.Stats().leaf_count, 2u) << "segments must have split";
+  Value v;
+  for (uint64_t i = 0; i < n; i += 97) {
+    ASSERT_TRUE(hash.Get(i * 2654435761ull, &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(ExtendibleHashTest, UpsertOverwrites) {
+  ExtendibleHash hash;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(hash.Insert(i, i + round));
+    }
+  }
+  Value v;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(hash.Get(i, &v));
+    EXPECT_EQ(v, i + 2);
+  }
+}
+
+TEST(ExtendibleHashTest, ScanIsUnsupported) {
+  ExtendibleHash hash;
+  hash.Insert(1, 1);
+  std::vector<KeyValue> out;
+  EXPECT_EQ(hash.Scan(0, 10, &out), 0u);
+  EXPECT_FALSE(hash.SupportsScan());
+}
+
+TEST(ExtendibleHashTest, AbsentKeys) {
+  ExtendibleHash hash;
+  std::vector<uint64_t> keys = MakeUniformKeys(10000, 3);
+  for (uint64_t k : keys) hash.Insert(k, k);
+  Rng rng(7);
+  Value v;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t probe = rng.Next() | 1ull;  // Odd keys; loaded set is random.
+    bool in_set =
+        std::binary_search(keys.begin(), keys.end(), probe);
+    EXPECT_EQ(hash.Get(probe, &v), in_set);
+  }
+}
+
+TEST(ExtendibleHashTest, BulkLoadResets) {
+  ExtendibleHash hash;
+  hash.Insert(42, 1);
+  std::vector<KeyValue> data = {{7, 70}, {8, 80}};
+  hash.BulkLoad(data);
+  Value v;
+  EXPECT_FALSE(hash.Get(42, &v));
+  EXPECT_TRUE(hash.Get(7, &v));
+  EXPECT_EQ(v, 70u);
+}
+
+}  // namespace
+}  // namespace pieces

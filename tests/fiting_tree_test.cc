@@ -1,0 +1,117 @@
+// Targeted FITing-tree tests: both insertion strategies, retraining, and
+// the moved-keys instrumentation that drives Fig. 18.
+#include "learned/fiting_tree.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+std::vector<KeyValue> ToData(const std::vector<uint64_t>& keys) {
+  std::vector<KeyValue> data;
+  for (uint64_t k : keys) data.push_back({k, k ^ 0xabcd});
+  return data;
+}
+
+class FitingTreeModeTest
+    : public ::testing::TestWithParam<FitingTree::InsertMode> {};
+
+TEST_P(FitingTreeModeTest, InsertChurnMatchesStdMap) {
+  FitingTree tree(GetParam(), 64, 128);
+  std::map<Key, Value> ref;
+  std::vector<uint64_t> base = MakeKeys("osm", 20000, 3);
+  tree.BulkLoad(ToData(base));
+  for (uint64_t k : base) ref[k] = k ^ 0xabcd;
+
+  Rng rng(7);
+  for (int i = 0; i < 30000; ++i) {
+    Key k = rng.Next() & (~0ull - 1);
+    ASSERT_TRUE(tree.Insert(k, i));
+    ref[k] = static_cast<Value>(i);
+  }
+  for (const auto& [k, val] : ref) {
+    Value v = 0;
+    ASSERT_TRUE(tree.Get(k, &v)) << k;
+    EXPECT_EQ(v, val);
+  }
+  EXPECT_GT(tree.Stats().retrain_count, 0u);
+}
+
+TEST_P(FitingTreeModeTest, KeyBelowTreeMinimum) {
+  FitingTree tree(GetParam(), 64, 128);
+  tree.BulkLoad(ToData(MakeSequentialKeys(1000, 1000, 10)));
+  ASSERT_TRUE(tree.Insert(5, 55));
+  Value v = 0;
+  ASSERT_TRUE(tree.Get(5, &v));
+  EXPECT_EQ(v, 55u);
+  std::vector<KeyValue> out;
+  ASSERT_GE(tree.Scan(0, 2, &out), 2u);
+  EXPECT_EQ(out[0].key, 5u);
+  EXPECT_EQ(out[1].key, 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, FitingTreeModeTest,
+                         ::testing::Values(FitingTree::InsertMode::kInplace,
+                                           FitingTree::InsertMode::kBuffer),
+                         [](const auto& info) {
+                           return info.param ==
+                                          FitingTree::InsertMode::kInplace
+                                      ? "Inplace"
+                                      : "Buffer";
+                         });
+
+TEST(FitingTreeTest, InplaceMovesMoreKeysThanBuffer) {
+  // Fig. 18(a): the inplace strategy shifts stored keys on nearly every
+  // insert; the buffer strategy only shifts inside the small buffer.
+  std::vector<uint64_t> base = MakeUniformKeys(50000, 5);
+  std::vector<uint64_t> extra = MakeUniformKeys(10000, 19);
+
+  uint64_t moved[2];
+  int i = 0;
+  for (auto mode : {FitingTree::InsertMode::kInplace,
+                    FitingTree::InsertMode::kBuffer}) {
+    FitingTree tree(mode, 64, 256);
+    tree.BulkLoad(ToData(base));
+    for (uint64_t k : extra) tree.Insert(k + 3, k);
+    moved[i++] = tree.Stats().moved_keys;
+  }
+  EXPECT_GT(moved[0], moved[1]);
+}
+
+TEST(FitingTreeTest, BufferFullTriggersRetrainAndKeepsOrder) {
+  FitingTree tree(FitingTree::InsertMode::kBuffer, 64, 32);
+  std::vector<uint64_t> base = MakeSequentialKeys(5000, 0, 10);
+  tree.BulkLoad(ToData(base));
+  // Flood one region so one leaf's buffer must overflow repeatedly.
+  for (uint64_t k = 1; k < 2000; k += 2) ASSERT_TRUE(tree.Insert(k, k));
+  EXPECT_GT(tree.Stats().retrain_count, 10u);
+  std::vector<KeyValue> out;
+  tree.Scan(0, 100, &out);
+  for (size_t j = 1; j < out.size(); ++j) {
+    EXPECT_LT(out[j - 1].key, out[j].key);
+  }
+}
+
+TEST(FitingTreeTest, LargerReserveFewerRetrains) {
+  // Fig. 18(c): reserved space vs number of retrains.
+  std::vector<uint64_t> base = MakeUniformKeys(50000, 7);
+  std::vector<uint64_t> extra = MakeUniformKeys(20000, 23);
+  size_t prev_retrains = ~size_t{0};
+  for (size_t reserve : {64, 256, 1024}) {
+    FitingTree tree(FitingTree::InsertMode::kBuffer, 64, reserve);
+    tree.BulkLoad(ToData(base));
+    for (uint64_t k : extra) tree.Insert(k + 1, k);
+    size_t retrains = tree.Stats().retrain_count;
+    EXPECT_LT(retrains, prev_retrains) << "reserve=" << reserve;
+    prev_retrains = retrains;
+  }
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,115 @@
+// Differential fuzzing: every updatable index executes long random
+// operation sequences (bulk load, insert, upsert, get, scan) and must
+// agree with a std::map reference model at every step. Parameterized over
+// (index, dataset, seed) for broad, reproducible coverage.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/registry.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+using FuzzParam = std::tuple<std::string, std::string, uint64_t>;
+
+class FuzzModelTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(FuzzModelTest, RandomOpsMatchStdMap) {
+  const auto& [index_name, dataset, seed] = GetParam();
+  auto index = MakeIndex(index_name);
+  ASSERT_NE(index, nullptr);
+
+  std::vector<Key> universe = MakeKeys(dataset, 30000, seed);
+  Rng rng(seed * 7919 + 13);
+
+  // Start from a bulk load of a random prefix of the key universe.
+  size_t load_n = 5000 + rng.NextUnder(10000);
+  std::map<Key, Value> model;
+  std::vector<KeyValue> initial;
+  for (size_t i = 0; i < load_n; ++i) {
+    Key k = universe[i * 2 % universe.size()];
+    if (model.emplace(k, k ^ 1).second) initial.push_back({k, k ^ 1});
+  }
+  std::sort(initial.begin(), initial.end(),
+            [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  index->BulkLoad(initial);
+
+  for (int op = 0; op < 20000; ++op) {
+    uint64_t dice = rng.NextUnder(100);
+    if (dice < 40) {
+      // Insert or upsert a key from the universe.
+      Key k = universe[rng.NextUnder(universe.size())];
+      Value v = rng.Next();
+      ASSERT_TRUE(index->Insert(k, v));
+      model[k] = v;
+    } else if (dice < 80) {
+      // Point lookup: half existing-biased, half arbitrary.
+      Key k = dice % 2 == 0 ? universe[rng.NextUnder(universe.size())]
+                            : (rng.Next() & (~0ull - 1));
+      Value got = 0;
+      bool found = index->Get(k, &got);
+      auto it = model.find(k);
+      ASSERT_EQ(found, it != model.end())
+          << index_name << " key " << k << " op " << op;
+      if (found) {
+        ASSERT_EQ(got, it->second) << index_name << " key " << k;
+      }
+    } else if (dice < 95) {
+      if (!index->SupportsScan()) continue;
+      // Short scan from a random point.
+      Key from = universe[rng.NextUnder(universe.size())];
+      size_t want = 1 + rng.NextUnder(30);
+      std::vector<KeyValue> got;
+      size_t n = index->Scan(from, want, &got);
+      auto it = model.lower_bound(from);
+      size_t checked = 0;
+      for (; it != model.end() && checked < want; ++it, ++checked) {
+        ASSERT_LT(checked, n) << index_name << " scan too short, op " << op;
+        ASSERT_EQ(got[checked].key, it->first) << index_name << " op " << op;
+        ASSERT_EQ(got[checked].value, it->second) << index_name;
+      }
+      ASSERT_EQ(n, checked) << index_name << " scan too long";
+    } else {
+      // Upsert an existing key to a fresh value.
+      if (model.empty()) continue;
+      auto it = model.begin();
+      std::advance(it, static_cast<ptrdiff_t>(rng.NextUnder(
+                           std::min<size_t>(model.size(), 50))));
+      Value v = rng.Next();
+      ASSERT_TRUE(index->Insert(it->first, v));
+      it->second = v;
+    }
+  }
+}
+
+std::vector<FuzzParam> FuzzParams() {
+  std::vector<FuzzParam> params;
+  for (const std::string& name : UpdatableIndexNames()) {
+    params.emplace_back(name, "ycsb", 1);
+    params.emplace_back(name, "osm", 2);
+    params.emplace_back(name, "sequential", 3);
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzModelTest, ::testing::ValuesIn(FuzzParams()),
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_s" +
+                         std::to_string(std::get<2>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace pieces

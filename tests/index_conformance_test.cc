@@ -1,0 +1,227 @@
+// The cross-cutting conformance suite: every index in the registry must
+// behave identically through the OrderedIndex interface. Parameterized
+// over (index name x dataset), mirroring the paper's requirement that all
+// indexes run in the same environment.
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/ordered_index.h"
+#include "index/registry.h"
+#include "workload/datasets.h"
+#include "workload/ycsb.h"
+
+namespace pieces {
+namespace {
+
+using ConformanceParam = std::tuple<std::string, std::string>;
+
+class IndexConformanceTest
+    : public ::testing::TestWithParam<ConformanceParam> {
+ protected:
+  void SetUp() override {
+    index_ = MakeIndex(std::get<0>(GetParam()));
+    ASSERT_NE(index_, nullptr);
+    keys_ = MakeKeys(std::get<1>(GetParam()), kN, 17);
+    data_.reserve(keys_.size());
+    for (Key k : keys_) data_.push_back({k, k ^ kValueTag});
+  }
+
+  static constexpr size_t kN = 20000;
+  static constexpr Value kValueTag = 0x5a5a5a5a5a5a5a5aull;
+
+  std::unique_ptr<OrderedIndex> index_;
+  std::vector<Key> keys_;
+  std::vector<KeyValue> data_;
+};
+
+TEST_P(IndexConformanceTest, BulkLoadThenGetEveryKey) {
+  index_->BulkLoad(data_);
+  for (const KeyValue& kv : data_) {
+    Value v = 0;
+    ASSERT_TRUE(index_->Get(kv.key, &v)) << index_->Name() << " key "
+                                         << kv.key;
+    EXPECT_EQ(v, kv.value);
+  }
+}
+
+TEST_P(IndexConformanceTest, AbsentKeysAreAbsent) {
+  index_->BulkLoad(data_);
+  std::set<Key> present(keys_.begin(), keys_.end());
+  Rng rng(23);
+  size_t checked = 0;
+  while (checked < 2000) {
+    Key probe = rng.Next() & (~0ull - 1);
+    if (present.count(probe)) continue;
+    Value v;
+    EXPECT_FALSE(index_->Get(probe, &v)) << index_->Name();
+    ++checked;
+  }
+  // Also probe just-off neighbors of stored keys (the hard case for
+  // learned indexes' bounded searches).
+  for (size_t i = 0; i < keys_.size(); i += 97) {
+    for (Key probe : {keys_[i] - 1, keys_[i] + 1}) {
+      if (present.count(probe) || probe == ~0ull) continue;
+      Value v;
+      EXPECT_FALSE(index_->Get(probe, &v)) << index_->Name();
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, ScanMatchesReference) {
+  if (!index_->SupportsScan()) GTEST_SKIP();
+  index_->BulkLoad(data_);
+  Rng rng(29);
+  for (int trial = 0; trial < 50; ++trial) {
+    Key from = trial % 2 == 0 ? keys_[rng.NextUnder(keys_.size())]
+                              : rng.Next() & (~0ull - 1);
+    size_t want = 1 + rng.NextUnder(200);
+    std::vector<KeyValue> got;
+    size_t n = index_->Scan(from, want, &got);
+    ASSERT_EQ(n, got.size());
+
+    size_t ref_begin = static_cast<size_t>(
+        std::lower_bound(keys_.begin(), keys_.end(), from) - keys_.begin());
+    size_t ref_count = std::min(want, keys_.size() - ref_begin);
+    ASSERT_EQ(n, ref_count) << index_->Name() << " from=" << from;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i].key, keys_[ref_begin + i]) << index_->Name();
+      EXPECT_EQ(got[i].value, keys_[ref_begin + i] ^ kValueTag);
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, ScanPastEndAndEmpty) {
+  if (!index_->SupportsScan()) GTEST_SKIP();
+  index_->BulkLoad(data_);
+  std::vector<KeyValue> got;
+  EXPECT_EQ(index_->Scan(keys_.back() + 1, 10, &got), 0u);
+  EXPECT_EQ(index_->Scan(keys_.front(), 0, &got), 0u);
+}
+
+TEST_P(IndexConformanceTest, InsertNewKeysThenGetAll) {
+  if (!index_->SupportsInsert()) {
+    EXPECT_FALSE(index_->Insert(1, 2));
+    return;
+  }
+  std::vector<Key> load;
+  std::vector<Key> inserts;
+  SplitLoadAndInserts(keys_, 4, &load, &inserts);
+  std::vector<KeyValue> load_data;
+  for (Key k : load) load_data.push_back({k, k ^ kValueTag});
+  index_->BulkLoad(load_data);
+  for (Key k : inserts) {
+    ASSERT_TRUE(index_->Insert(k, k ^ kValueTag)) << index_->Name();
+  }
+  for (Key k : keys_) {
+    Value v = 0;
+    ASSERT_TRUE(index_->Get(k, &v)) << index_->Name() << " key " << k;
+    EXPECT_EQ(v, k ^ kValueTag);
+  }
+}
+
+TEST_P(IndexConformanceTest, InsertIsUpsert) {
+  if (!index_->SupportsInsert()) GTEST_SKIP();
+  index_->BulkLoad(data_);
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    Key k = keys_[rng.NextUnder(keys_.size())];
+    ASSERT_TRUE(index_->Insert(k, 777));
+    Value v = 0;
+    ASSERT_TRUE(index_->Get(k, &v));
+    EXPECT_EQ(v, 777u) << index_->Name();
+  }
+}
+
+TEST_P(IndexConformanceTest, InsertIntoEmptyIndex) {
+  if (!index_->SupportsInsert()) GTEST_SKIP();
+  index_->BulkLoad({});
+  Value v;
+  EXPECT_FALSE(index_->Get(keys_[0], &v));
+  for (size_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(index_->Insert(keys_[i], i));
+  }
+  for (size_t i = 0; i < 3000; ++i) {
+    Value got = 0;
+    ASSERT_TRUE(index_->Get(keys_[i], &got)) << index_->Name();
+    EXPECT_EQ(got, i);
+  }
+}
+
+TEST_P(IndexConformanceTest, ScanAfterInserts) {
+  if (!index_->SupportsInsert() || !index_->SupportsScan()) GTEST_SKIP();
+  std::vector<Key> load;
+  std::vector<Key> inserts;
+  SplitLoadAndInserts(keys_, 3, &load, &inserts);
+  std::vector<KeyValue> load_data;
+  for (Key k : load) load_data.push_back({k, k ^ kValueTag});
+  index_->BulkLoad(load_data);
+  for (Key k : inserts) ASSERT_TRUE(index_->Insert(k, k ^ kValueTag));
+
+  Rng rng(37);
+  for (int trial = 0; trial < 30; ++trial) {
+    Key from = keys_[rng.NextUnder(keys_.size())];
+    size_t want = 1 + rng.NextUnder(150);
+    std::vector<KeyValue> got;
+    size_t n = index_->Scan(from, want, &got);
+    size_t ref_begin = static_cast<size_t>(
+        std::lower_bound(keys_.begin(), keys_.end(), from) - keys_.begin());
+    size_t ref_count = std::min(want, keys_.size() - ref_begin);
+    ASSERT_EQ(n, ref_count) << index_->Name();
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i].key, keys_[ref_begin + i]) << index_->Name();
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, SizeAccountingIsPositive) {
+  index_->BulkLoad(data_);
+  EXPECT_GT(index_->IndexSizeBytes(), 0u) << index_->Name();
+  EXPECT_GE(index_->TotalSizeBytes(), index_->IndexSizeBytes());
+}
+
+TEST_P(IndexConformanceTest, StatsAreSane) {
+  index_->BulkLoad(data_);
+  IndexStats s = index_->Stats();
+  EXPECT_GE(s.leaf_count, 1u) << index_->Name();
+  EXPECT_GE(s.avg_depth, 0.0);
+  EXPECT_LT(s.avg_depth, 64.0);
+}
+
+TEST_P(IndexConformanceTest, RebuildAfterBulkLoadTwice) {
+  index_->BulkLoad(data_);
+  // Second bulk load fully replaces the first (recovery semantics).
+  std::vector<KeyValue> half(data_.begin(),
+                             data_.begin() + static_cast<ptrdiff_t>(kN / 2));
+  index_->BulkLoad(half);
+  Value v;
+  EXPECT_TRUE(index_->Get(half.front().key, &v));
+  EXPECT_TRUE(index_->Get(half.back().key, &v));
+  // A key only in the dropped half must be gone.
+  EXPECT_FALSE(index_->Get(data_[kN / 2 + 1].key, &v)) << index_->Name();
+}
+
+std::vector<std::string> AllNames() { return AllIndexNames(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, IndexConformanceTest,
+    ::testing::Combine(::testing::ValuesIn(AllNames()),
+                       ::testing::Values("ycsb", "osm", "face",
+                                         "sequential")),
+    [](const ::testing::TestParamInfo<ConformanceParam>& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace pieces

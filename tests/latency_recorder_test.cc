@@ -1,0 +1,72 @@
+// Unit tests for the log-bucketed latency recorder.
+#include "common/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace pieces {
+namespace {
+
+TEST(LatencyRecorderTest, EmptyRecorder) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.Count(), 0u);
+  EXPECT_EQ(r.P50(), 0u);
+  EXPECT_EQ(r.MeanNanos(), 0.0);
+}
+
+TEST(LatencyRecorderTest, SingleSample) {
+  LatencyRecorder r;
+  r.Record(1000);
+  EXPECT_EQ(r.Count(), 1u);
+  // Bucket resolution is ~1/16: the reported quantile is an upper bound
+  // within 7% of the true value.
+  EXPECT_GE(r.P50(), 1000u);
+  EXPECT_LE(r.P50(), 1100u);
+}
+
+TEST(LatencyRecorderTest, QuantilesOrdering) {
+  LatencyRecorder r;
+  for (uint64_t i = 1; i <= 10000; ++i) r.Record(i);
+  EXPECT_LE(r.P50(), r.P99());
+  EXPECT_LE(r.P99(), r.P999());
+  // P50 of 1..10000 is ~5000.
+  EXPECT_GE(r.P50(), 4500u);
+  EXPECT_LE(r.P50(), 5500u);
+  EXPECT_GE(r.P999(), 9500u);
+}
+
+TEST(LatencyRecorderTest, TailDominatedDistribution) {
+  LatencyRecorder r;
+  for (int i = 0; i < 9980; ++i) r.Record(100);
+  for (int i = 0; i < 20; ++i) r.Record(1'000'000);
+  EXPECT_LE(r.P50(), 120u);
+  EXPECT_LE(r.P99(), 120u);
+  EXPECT_GE(r.P999(), 900'000u);
+}
+
+TEST(LatencyRecorderTest, MergeCombinesSamples) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 200u);
+  EXPECT_LE(a.P50(), 20u);
+  EXPECT_GE(a.P999(), 900u);
+}
+
+TEST(LatencyRecorderTest, MeanIsExact) {
+  LatencyRecorder r;
+  r.Record(100);
+  r.Record(300);
+  EXPECT_DOUBLE_EQ(r.MeanNanos(), 200.0);
+}
+
+TEST(LatencyRecorderTest, HugeValuesDoNotOverflow) {
+  LatencyRecorder r;
+  r.Record(~0ull >> 1);
+  EXPECT_EQ(r.Count(), 1u);
+  EXPECT_GT(r.P999(), 0u);
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,75 @@
+// Unit tests for LinearModel and its fitting routines.
+#include "common/linear_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+TEST(LinearModelTest, ExactLinearDataFitsExactly) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 1000; ++i) keys.push_back(1000 + 7 * i);
+  LinearModel m = FitLeastSquares(keys.data(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_NEAR(m.PredictReal(keys[i]), static_cast<double>(i), 1e-3);
+  }
+}
+
+TEST(LinearModelTest, DegenerateInputs) {
+  LinearModel empty = FitLeastSquares(nullptr, 0);
+  EXPECT_EQ(empty.slope, 0.0);
+  uint64_t one = 5;
+  LinearModel single = FitLeastSquares(&one, 1);
+  EXPECT_EQ(single.PredictClamped(5, 1), 0u);
+}
+
+TEST(LinearModelTest, PredictClampedStaysInRange) {
+  std::vector<uint64_t> keys = MakeUniformKeys(1000, 3);
+  LinearModel m = FitLeastSquares(keys.data(), keys.size());
+  EXPECT_LT(m.PredictClamped(0, 1000), 1000u);
+  EXPECT_LT(m.PredictClamped(~0ull, 1000), 1000u);
+}
+
+TEST(LinearModelTest, SlopeNonNegativeOnSortedData) {
+  for (const char* ds : {"ycsb", "osm", "face", "lognormal"}) {
+    std::vector<uint64_t> keys = MakeKeys(ds, 5000, 13);
+    LinearModel m = FitLeastSquares(keys.data(), keys.size());
+    EXPECT_GE(m.slope, 0.0) << ds;
+  }
+}
+
+TEST(LinearModelTest, ExpandScalesPredictions) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 100; ++i) keys.push_back(10 * i);
+  LinearModel m = FitLeastSquares(keys.data(), keys.size());
+  double before = m.PredictReal(500);
+  m.Expand(2.0);
+  EXPECT_NEAR(m.PredictReal(500), 2.0 * before, 1e-6);
+}
+
+TEST(LinearModelTest, EndpointFitHitsEndpoints) {
+  std::vector<uint64_t> keys = MakeUniformKeys(1000, 5);
+  LinearModel m = FitEndpoints(keys.data(), keys.size());
+  EXPECT_NEAR(m.PredictReal(keys.front()), 0.0, 1e-6);
+  EXPECT_NEAR(m.PredictReal(keys.back()), 999.0, 1.0);
+}
+
+TEST(LinearModelTest, FullDomainPrecision) {
+  // Keys spanning nearly the whole 64-bit domain must not lose the fit.
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    keys.push_back(i * 18'000'000'000'000'000ull);
+  }
+  LinearModel m = FitLeastSquares(keys.data(), keys.size());
+  for (size_t i = 0; i < keys.size(); i += 17) {
+    EXPECT_NEAR(m.PredictReal(keys[i]), static_cast<double>(i), 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace pieces

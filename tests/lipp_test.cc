@@ -1,0 +1,80 @@
+// Targeted LIPP tests: precise-position lookups, conflict-driven child
+// creation, and the kicked-down-the-tree depth behaviour.
+#include "learned/lipp.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+std::vector<KeyValue> ToData(const std::vector<uint64_t>& keys) {
+  std::vector<KeyValue> data;
+  for (uint64_t k : keys) data.push_back({k, k * 5});
+  return data;
+}
+
+TEST(LippTest, BulkLoadAllDatasets) {
+  for (const char* ds : {"ycsb", "osm", "face", "lognormal", "sequential"}) {
+    LippIndex lipp;
+    std::vector<uint64_t> keys = MakeKeys(ds, 30000, 3);
+    lipp.BulkLoad(ToData(keys));
+    Value v = 0;
+    for (size_t i = 0; i < keys.size(); i += 11) {
+      ASSERT_TRUE(lipp.Get(keys[i], &v)) << ds;
+      EXPECT_EQ(v, keys[i] * 5);
+    }
+  }
+}
+
+TEST(LippTest, ConflictInsertsCreateChildren) {
+  LippIndex lipp;
+  lipp.BulkLoad(ToData(MakeSequentialKeys(1000, 0, 1000)));
+  // Keys falling between dense neighbors collide with existing entries.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(lipp.Insert(i * 1000 + 1, i));
+  }
+  EXPECT_GT(lipp.Stats().retrain_count, 0u);
+  Value v;
+  for (uint64_t i = 0; i < 1000; i += 13) {
+    ASSERT_TRUE(lipp.Get(i * 1000 + 1, &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(LippTest, DepthStaysLogarithmicUnderChurn) {
+  LippIndex lipp;
+  std::vector<uint64_t> keys = MakeUniformKeys(50000, 5);
+  lipp.BulkLoad(ToData(keys));
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(lipp.Insert(rng.Next() & (~0ull - 1), i));
+  }
+  EXPECT_LT(lipp.Stats().avg_depth, 8.0);
+}
+
+TEST(LippTest, PreciseLookupHasNoErrorWindow) {
+  LippIndex lipp;
+  lipp.BulkLoad(ToData(MakeUniformKeys(10000, 7)));
+  EXPECT_EQ(lipp.Stats().max_error, 0u);
+}
+
+TEST(LippTest, ScanIsOrderedAndComplete) {
+  std::vector<uint64_t> keys = MakeKeys("osm", 20000, 11);
+  LippIndex lipp;
+  lipp.BulkLoad(ToData(keys));
+  std::vector<KeyValue> out;
+  size_t n = lipp.Scan(keys[5000], 3000, &out);
+  ASSERT_EQ(n, 3000u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].key, keys[5000 + i]);
+  }
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,84 @@
+// Targeted OLC-BTree tests: eager splits on the way down, root growth,
+// and single-threaded semantics (the concurrent paths are covered by
+// concurrent_test and stress_concurrent_test).
+#include "traditional/olc_btree.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+TEST(OlcBTreeTest, RootGrowsThroughLevels) {
+  OlcBTree tree;
+  size_t last_depth = 0;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(tree.Insert(i * 3, i));
+    if (i % 20000 == 19999) {
+      size_t depth = static_cast<size_t>(tree.Stats().avg_depth);
+      EXPECT_GE(depth, last_depth);
+      last_depth = depth;
+    }
+  }
+  EXPECT_GE(last_depth, 2u);
+  Value v;
+  for (uint64_t i = 0; i < 100000; i += 111) {
+    ASSERT_TRUE(tree.Get(i * 3, &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(OlcBTreeTest, RandomChurnMatchesStdMap) {
+  OlcBTree tree;
+  std::map<Key, Value> ref;
+  Rng rng(5);
+  for (int i = 0; i < 30000; ++i) {
+    Key k = rng.Next() % 10000;
+    Value v = rng.Next();
+    tree.Insert(k, v);
+    ref[k] = v;
+  }
+  for (const auto& [k, val] : ref) {
+    Value v = 0;
+    ASSERT_TRUE(tree.Get(k, &v));
+    EXPECT_EQ(v, val);
+  }
+  Value v;
+  EXPECT_FALSE(tree.Get(20000, &v));
+}
+
+TEST(OlcBTreeTest, BulkLoadThenScan) {
+  std::vector<uint64_t> keys = MakeUniformKeys(50000, 7);
+  std::vector<KeyValue> data;
+  for (uint64_t k : keys) data.push_back({k, k});
+  OlcBTree tree;
+  tree.BulkLoad(data);
+  std::vector<KeyValue> out;
+  size_t n = tree.Scan(keys[100], 1000, &out);
+  ASSERT_EQ(n, 1000u);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(out[i].key, keys[100 + i]);
+}
+
+TEST(OlcBTreeTest, ScanDuringSplitsStaysSorted) {
+  OlcBTree tree;
+  tree.BulkLoad({});
+  // Interleave inserts and scans from the same thread: scans must stay
+  // sorted even though leaves keep splitting.
+  Rng rng(9);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 500; ++i) tree.Insert(rng.Next(), 1);
+    std::vector<KeyValue> out;
+    tree.Scan(0, 200, &out);
+    for (size_t i = 1; i < out.size(); ++i) {
+      ASSERT_LT(out[i - 1].key, out[i].key);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,119 @@
+// Targeted PGM tests: the static recursive structure's bounded search and
+// the dynamic LSM-style level behaviour.
+#include "learned/pgm.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+std::vector<KeyValue> ToData(const std::vector<uint64_t>& keys) {
+  std::vector<KeyValue> data;
+  for (uint64_t k : keys) data.push_back({k, k * 3});
+  return data;
+}
+
+TEST(StaticPgmTest, LowerBoundMatchesReference) {
+  std::vector<uint64_t> keys = MakeKeys("osm", 100000, 3);
+  StaticPgm pgm(32);
+  pgm.Build(ToData(keys));
+  Rng rng(5);
+  for (int trial = 0; trial < 5000; ++trial) {
+    uint64_t probe = trial % 2 == 0 ? keys[rng.NextUnder(keys.size())]
+                                    : rng.Next();
+    size_t ref = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    EXPECT_EQ(pgm.LowerBoundRank(probe), ref) << probe;
+  }
+}
+
+TEST(StaticPgmTest, RecursiveLevelsTerminate) {
+  std::vector<uint64_t> keys = MakeKeys("osm", 200000, 7);
+  StaticPgm pgm(16);
+  pgm.Build(ToData(keys));
+  EXPECT_GE(pgm.Height(), 2u);
+  EXPECT_LT(pgm.Height(), 10u);
+  EXPECT_GT(pgm.LeafCount(), 1u);
+}
+
+TEST(StaticPgmTest, SmallerEpsMoreLeaves) {
+  std::vector<uint64_t> keys = MakeKeys("lognormal", 100000, 9);
+  StaticPgm coarse(256);
+  StaticPgm fine(8);
+  coarse.Build(ToData(keys));
+  fine.Build(ToData(keys));
+  EXPECT_GT(fine.LeafCount(), coarse.LeafCount());
+}
+
+TEST(StaticPgmTest, EmptyAndSingle) {
+  StaticPgm pgm(16);
+  pgm.Build({});
+  Value v;
+  EXPECT_FALSE(pgm.Get(5, &v));
+  pgm.Build(std::vector<KeyValue>{{42, 1}});
+  EXPECT_TRUE(pgm.Get(42, &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_FALSE(pgm.Get(41, &v));
+}
+
+TEST(DynamicPgmTest, LsmLevelsGrowLogarithmically) {
+  DynamicPgm pgm(64, 64);
+  pgm.BulkLoad({});
+  std::vector<uint64_t> keys = MakeUniformKeys(20000, 11);
+  for (uint64_t k : keys) ASSERT_TRUE(pgm.Insert(k, k));
+  for (uint64_t k : keys) {
+    Value v = 0;
+    ASSERT_TRUE(pgm.Get(k, &v));
+    EXPECT_EQ(v, k);
+  }
+  IndexStats s = pgm.Stats();
+  EXPECT_GT(s.retrain_count, keys.size() / 64)
+      << "LSM merges count as retrains";
+}
+
+TEST(DynamicPgmTest, NewerLevelsShadowOlder) {
+  DynamicPgm pgm;
+  std::vector<uint64_t> keys = MakeUniformKeys(10000, 13);
+  pgm.BulkLoad(ToData(keys));
+  // Update a loaded key: the value in a smaller level must win.
+  ASSERT_TRUE(pgm.Insert(keys[5000], 999));
+  Value v = 0;
+  ASSERT_TRUE(pgm.Get(keys[5000], &v));
+  EXPECT_EQ(v, 999u);
+  // And scans must not emit the shadowed duplicate.
+  std::vector<KeyValue> out;
+  pgm.Scan(keys[4999], 3, &out);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out[1].key, keys[5000]);
+  EXPECT_EQ(out[1].value, 999u);
+  EXPECT_NE(out[0].key, out[1].key);
+}
+
+TEST(DynamicPgmTest, MixedLoadInsertScan) {
+  DynamicPgm pgm;
+  std::vector<uint64_t> all = MakeUniformKeys(30000, 17);
+  std::vector<uint64_t> load(all.begin(), all.begin() + 20000);
+  pgm.BulkLoad(ToData(load));
+  for (size_t i = 20000; i < all.size(); ++i) {
+    ASSERT_TRUE(pgm.Insert(all[i], all[i] * 3));
+  }
+  std::vector<uint64_t> sorted = all;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<KeyValue> out;
+  size_t n = pgm.Scan(sorted[100], 1000, &out);
+  ASSERT_EQ(n, 1000u);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].key, sorted[100 + i]);
+    EXPECT_EQ(out[i].value, sorted[100 + i] * 3);
+  }
+}
+
+}  // namespace
+}  // namespace pieces

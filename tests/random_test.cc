@@ -1,0 +1,86 @@
+// Tests for the PRNG and the Zipfian generator used by the YCSB workloads.
+#include "common/random.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pieces {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextUnderInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextUnder(13), 13u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0;
+  double sumsq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(ZipfTest, InRange) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(), 1000u);
+}
+
+TEST(ZipfTest, SkewTowardHead) {
+  ZipfGenerator zipf(10000, 0.99, 5);
+  size_t head_hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 100) ++head_hits;  // Top 1% of items.
+  }
+  // Zipf(0.99): the top 1% draws far more than 1% of requests.
+  EXPECT_GT(head_hits, static_cast<size_t>(0.3 * n));
+}
+
+TEST(ZipfTest, ScrambledSpreadsHotKeys) {
+  ZipfGenerator zipf(10000, 0.99, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.NextScrambled()];
+  // The hottest scrambled key should not be rank 0.
+  auto hottest = counts.begin();
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    if (it->second > hottest->second) hottest = it;
+  }
+  EXPECT_LT(hottest->first, 10000u);
+  EXPECT_GT(hottest->second, 100);  // Still clearly hot.
+}
+
+}  // namespace
+}  // namespace pieces

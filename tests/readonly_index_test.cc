@@ -1,0 +1,108 @@
+// Targeted tests for the read-only learned indexes (RMI, RadixSpline),
+// including the Fig. 11 radix-collapse behaviour on FACE-like skew.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "learned/radix_spline.h"
+#include "learned/rmi.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+std::vector<KeyValue> ToData(const std::vector<uint64_t>& keys) {
+  std::vector<KeyValue> data;
+  for (uint64_t k : keys) data.push_back({k, k + 9});
+  return data;
+}
+
+TEST(RmiTest, InsertIsRejected) {
+  Rmi rmi;
+  rmi.BulkLoad(ToData(MakeUniformKeys(1000, 3)));
+  EXPECT_FALSE(rmi.Insert(1, 2));
+  EXPECT_FALSE(rmi.SupportsInsert());
+}
+
+TEST(RmiTest, ModelCountConfigurable) {
+  std::vector<uint64_t> keys = MakeUniformKeys(50000, 5);
+  Rmi small(16);
+  Rmi large(4096);
+  small.BulkLoad(ToData(keys));
+  large.BulkLoad(ToData(keys));
+  EXPECT_LT(small.IndexSizeBytes(), large.IndexSizeBytes());
+  // More second-stage models => lower per-model error.
+  EXPECT_GE(small.Stats().max_error, large.Stats().max_error);
+  Value v;
+  EXPECT_TRUE(small.Get(keys[17], &v));
+  EXPECT_TRUE(large.Get(keys[17], &v));
+}
+
+TEST(RmiTest, ErrorEnvelopeIsExactForAllKeys) {
+  for (const char* ds : {"ycsb", "osm", "face", "lognormal"}) {
+    std::vector<uint64_t> keys = MakeKeys(ds, 30000, 7);
+    Rmi rmi;
+    rmi.BulkLoad(ToData(keys));
+    Value v = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE(rmi.Get(keys[i], &v)) << ds << " i=" << i;
+      ASSERT_EQ(v, keys[i] + 9);
+    }
+  }
+}
+
+TEST(RadixSplineTest, InsertIsRejected) {
+  RadixSpline rs;
+  rs.BulkLoad(ToData(MakeUniformKeys(1000, 3)));
+  EXPECT_FALSE(rs.Insert(1, 2));
+}
+
+TEST(RadixSplineTest, ErrorBoundHonoredOnLookups) {
+  for (const char* ds : {"ycsb", "osm", "face"}) {
+    std::vector<uint64_t> keys = MakeKeys(ds, 50000, 9);
+    RadixSpline rs(18, 32);
+    rs.BulkLoad(ToData(keys));
+    Value v = 0;
+    for (size_t i = 0; i < keys.size(); i += 3) {
+      ASSERT_TRUE(rs.Get(keys[i], &v)) << ds;
+      ASSERT_EQ(v, keys[i] + 9);
+    }
+  }
+}
+
+TEST(RadixSplineTest, FaceSkewCollapsesRadixTable) {
+  // Fig. 11: on FACE-like data nearly all keys share the same radix
+  // prefix, so used cells span far more spline points than on uniform.
+  std::vector<uint64_t> uniform = MakeUniformKeys(100000, 11);
+  std::vector<uint64_t> face = MakeFaceLikeKeys(100000, 11);
+  RadixSpline rs_uni(18, 32);
+  RadixSpline rs_face(18, 32);
+  rs_uni.BulkLoad(ToData(uniform));
+  rs_face.BulkLoad(ToData(face));
+  EXPECT_GT(rs_face.AvgSplinePointsPerUsedCell(),
+            4.0 * rs_uni.AvgSplinePointsPerUsedCell());
+}
+
+TEST(RadixSplineTest, SmallerErrorMoreSplinePoints) {
+  std::vector<uint64_t> keys = MakeKeys("osm", 50000, 13);
+  RadixSpline coarse(18, 256);
+  RadixSpline fine(18, 8);
+  coarse.BulkLoad(ToData(keys));
+  fine.BulkLoad(ToData(keys));
+  EXPECT_GT(fine.Stats().leaf_count, coarse.Stats().leaf_count);
+}
+
+TEST(RadixSplineTest, TinyInputs) {
+  RadixSpline rs;
+  rs.BulkLoad({});
+  Value v;
+  EXPECT_FALSE(rs.Get(1, &v));
+  rs.BulkLoad(std::vector<KeyValue>{{5, 50}});
+  EXPECT_TRUE(rs.Get(5, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_FALSE(rs.Get(4, &v));
+  EXPECT_FALSE(rs.Get(6, &v));
+}
+
+}  // namespace
+}  // namespace pieces

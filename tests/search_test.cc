@@ -1,0 +1,87 @@
+// Unit + property tests for the in-leaf search routines: every variant
+// must agree with std::lower_bound on every input.
+#include "common/search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+size_t RefLowerBound(const std::vector<uint64_t>& v, uint64_t key) {
+  return static_cast<size_t>(
+      std::lower_bound(v.begin(), v.end(), key) - v.begin());
+}
+
+TEST(SearchTest, BinarySearchBasics) {
+  std::vector<uint64_t> v = {2, 4, 4, 8, 16};
+  EXPECT_EQ(BinarySearchLowerBound(v.data(), 0, v.size(), 1), 0u);
+  EXPECT_EQ(BinarySearchLowerBound(v.data(), 0, v.size(), 2), 0u);
+  EXPECT_EQ(BinarySearchLowerBound(v.data(), 0, v.size(), 3), 1u);
+  EXPECT_EQ(BinarySearchLowerBound(v.data(), 0, v.size(), 4), 1u);
+  EXPECT_EQ(BinarySearchLowerBound(v.data(), 0, v.size(), 17), 5u);
+}
+
+TEST(SearchTest, EmptyRange) {
+  std::vector<uint64_t> v = {1, 2, 3};
+  EXPECT_EQ(BinarySearchLowerBound(v.data(), 1, 1, 2), 1u);
+  EXPECT_EQ(BranchlessLowerBound(v.data(), 1, 1, 2), 1u);
+}
+
+TEST(SearchTest, ExponentialFromAnyHint) {
+  std::vector<uint64_t> v;
+  for (uint64_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  for (uint64_t key : {0ull, 1ull, 2997ull, 2999ull, 1500ull}) {
+    for (size_t hint : {size_t{0}, size_t{500}, size_t{999}}) {
+      EXPECT_EQ(ExponentialSearchLowerBound(v.data(), v.size(), hint, key),
+                RefLowerBound(v, key))
+          << "key=" << key << " hint=" << hint;
+    }
+  }
+}
+
+class SearchPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SearchPropertyTest, AllVariantsMatchStdLowerBound) {
+  std::vector<uint64_t> keys = MakeKeys(GetParam(), 5000, 3);
+  Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint64_t key;
+    switch (trial % 3) {
+      case 0:  // Existing key.
+        key = keys[rng.NextUnder(keys.size())];
+        break;
+      case 1:  // Near an existing key.
+        key = keys[rng.NextUnder(keys.size())] + (rng.NextUnder(3) - 1);
+        break;
+      default:  // Arbitrary.
+        key = rng.Next();
+    }
+    size_t ref = RefLowerBound(keys, key);
+    EXPECT_EQ(BinarySearchLowerBound(keys.data(), 0, keys.size(), key), ref);
+    EXPECT_EQ(BranchlessLowerBound(keys.data(), 0, keys.size(), key), ref);
+    EXPECT_EQ(InterpolationSearchLowerBound(keys.data(), 0, keys.size(), key),
+              ref);
+    EXPECT_EQ(ThreePointSearchLowerBound(keys.data(), 0, keys.size(), key),
+              ref);
+    for (size_t hint :
+         {size_t{0}, keys.size() / 2, keys.size() - 1,
+          rng.NextUnder(keys.size())}) {
+      EXPECT_EQ(
+          ExponentialSearchLowerBound(keys.data(), keys.size(), hint, key),
+          ref);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, SearchPropertyTest,
+                         ::testing::Values("ycsb", "normal", "lognormal",
+                                           "osm", "face", "sequential"));
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,139 @@
+// Fault-injection and edge-path tests for the KV substrate: PMem
+// exhaustion mid-stream, recovery after mixed insert/update traffic,
+// recovery idempotence, and latency accounting.
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/registry.h"
+#include "store/viper.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+TEST(StoreFaultTest, PutFailsCleanlyOnPmemExhaustion) {
+  ViperStore::Config cfg;
+  cfg.value_size = 200;
+  cfg.slots_per_page = 8;
+  cfg.pmem_capacity = 64 << 10;  // Room for ~300 records.
+  ViperStore store(MakeIndex("BTree"), cfg);
+  ASSERT_TRUE(store.BulkLoad(MakeSequentialKeys(100, 1, 1)));
+
+  size_t accepted = 0;
+  bool failed = false;
+  for (Key k = 1000; k < 2000; ++k) {
+    if (store.PutSynthetic(k)) {
+      ++accepted;
+    } else {
+      failed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(failed) << "capacity should eventually be exhausted";
+  EXPECT_GT(accepted, 0u);
+  // Everything accepted before the failure must still be readable.
+  std::vector<uint8_t> buf(200);
+  for (Key k = 1000; k < 1000 + accepted; ++k) {
+    EXPECT_TRUE(store.Get(k, buf.data())) << k;
+  }
+}
+
+TEST(StoreFaultTest, RecoveryAfterMixedTraffic) {
+  ViperStore::Config cfg;
+  cfg.pmem_capacity = 256 << 20;
+  ViperStore store(MakeIndex("ALEX"), cfg);
+  std::vector<Key> keys = MakeUniformKeys(20000, 3);
+  ASSERT_TRUE(store.BulkLoad(keys));
+
+  // Mixed traffic: fresh inserts and updates of loaded keys.
+  Rng rng(5);
+  std::map<Key, uint8_t> expect_first_byte;
+  for (Key k : keys) {
+    expect_first_byte[k] = static_cast<uint8_t>(k & 0xff);
+  }
+  std::vector<uint8_t> value(200);
+  for (int i = 0; i < 5000; ++i) {
+    if (i % 2 == 0) {
+      Key fresh = rng.Next() & (~0ull - 1);
+      std::memset(value.data(), 0xAB, value.size());
+      ASSERT_TRUE(store.Put(fresh, value.data()));
+      expect_first_byte[fresh] = 0xAB;
+    } else {
+      Key existing = keys[rng.NextUnder(keys.size())];
+      std::memset(value.data(), 0xCD, value.size());
+      ASSERT_TRUE(store.Put(existing, value.data()));
+      expect_first_byte[existing] = 0xCD;
+    }
+  }
+
+  store.Recover();
+  EXPECT_EQ(store.size(), expect_first_byte.size());
+  std::vector<uint8_t> buf(200);
+  for (const auto& [k, byte] : expect_first_byte) {
+    ASSERT_TRUE(store.Get(k, buf.data())) << k;
+    EXPECT_EQ(buf[0], byte) << "newest version must win for " << k;
+  }
+}
+
+TEST(StoreFaultTest, RecoveryIsIdempotent) {
+  ViperStore::Config cfg;
+  cfg.pmem_capacity = 64 << 20;
+  ViperStore store(MakeIndex("PGM"), cfg);
+  std::vector<Key> keys = MakeUniformKeys(5000, 7);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  store.Recover();
+  store.Recover();
+  EXPECT_EQ(store.size(), keys.size());
+  std::vector<uint8_t> buf(200);
+  EXPECT_TRUE(store.Get(keys[1234], buf.data()));
+}
+
+TEST(StoreFaultTest, RecoveryOnEmptyStore) {
+  ViperStore::Config cfg;
+  cfg.pmem_capacity = 1 << 20;
+  ViperStore store(MakeIndex("BTree"), cfg);
+  store.Recover();
+  EXPECT_EQ(store.size(), 0u);
+  std::vector<uint8_t> buf(200);
+  EXPECT_FALSE(store.Get(42, buf.data()));
+}
+
+TEST(StoreFaultTest, LatencyInjectionChargesOps) {
+  ViperStore::Config cfg;
+  cfg.pmem_capacity = 8 << 20;
+  cfg.read_latency_ns = 5000;
+  cfg.write_latency_ns = 5000;
+  ViperStore store(MakeIndex("BTree"), cfg);
+  std::vector<Key> keys = MakeSequentialKeys(100, 1, 1);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  std::vector<uint8_t> buf(200);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100; ++i) store.Get(keys[i % 100], buf.data());
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  EXPECT_GT(ns, 100 * 4000) << "injected read latency must be observable";
+}
+
+TEST(StoreFaultTest, KeyZeroAndBoundaryKeys) {
+  // Keys 0 and 2^64-2 are valid; 2^64-1 is reserved as the gap sentinel.
+  for (const std::string& name : UpdatableIndexNames()) {
+    auto index = MakeIndex(name);
+    index->BulkLoad({});
+    ASSERT_TRUE(index->Insert(0, 100)) << name;
+    ASSERT_TRUE(index->Insert(~0ull - 1, 200)) << name;
+    Value v = 0;
+    ASSERT_TRUE(index->Get(0, &v)) << name;
+    EXPECT_EQ(v, 100u);
+    ASSERT_TRUE(index->Get(~0ull - 1, &v)) << name;
+    EXPECT_EQ(v, 200u);
+    EXPECT_FALSE(index->Get(12345, &v)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pieces

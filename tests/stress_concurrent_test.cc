@@ -1,0 +1,122 @@
+// High-contention stress tests beyond the basic concurrency suite:
+// mixed readers/writers/scanners hammering the concurrent indexes, and
+// targeted contention patterns (all threads in one key region — the split
+// and compaction hot paths).
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/registry.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+class StressTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StressTest, MixedReadWriteScanStorm) {
+  auto index = MakeIndex(GetParam());
+  std::vector<Key> base = MakeUniformKeys(10000, 3);
+  std::vector<KeyValue> data;
+  for (Key k : base) data.push_back({k, k});
+  index->BulkLoad(data);
+  std::vector<Key> extra = MakeUniformKeys(30000, 71);
+
+  std::atomic<uint64_t> errors{0};
+  std::atomic<size_t> insert_cursor{0};
+  auto writer = [&] {
+    size_t i;
+    while ((i = insert_cursor.fetch_add(1)) < extra.size()) {
+      if (!index->Insert(extra[i] + 7, extra[i])) errors.fetch_add(1);
+    }
+  };
+  std::atomic<bool> stop{false};
+  auto reader = [&](uint64_t seed) {
+    Rng rng(seed);
+    Value v;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Key k = base[rng.NextUnder(base.size())];
+      if (!index->Get(k, &v) || v != k) errors.fetch_add(1);
+    }
+  };
+  auto scanner = [&] {
+    std::vector<KeyValue> out;
+    Rng rng(5);
+    while (!stop.load(std::memory_order_relaxed)) {
+      out.clear();
+      Key from = base[rng.NextUnder(base.size())];
+      size_t n = index->Scan(from, 50, &out);
+      // Scanned keys must be sorted and >= from.
+      Key prev = from;
+      for (size_t i = 0; i < n; ++i) {
+        if (out[i].key < prev) {
+          errors.fetch_add(1);
+          break;
+        }
+        prev = out[i].key;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.emplace_back(writer);
+  pool.emplace_back(writer);
+  pool.emplace_back(reader, 11);
+  if (index->SupportsScan()) pool.emplace_back(scanner);
+  pool[0].join();
+  pool[1].join();
+  stop.store(true);
+  for (size_t i = 2; i < pool.size(); ++i) pool[i].join();
+
+  EXPECT_EQ(errors.load(), 0u) << GetParam();
+  // Final state complete.
+  Value v;
+  for (Key k : extra) {
+    ASSERT_TRUE(index->Get(k + 7, &v)) << GetParam() << " " << (k + 7);
+  }
+}
+
+TEST_P(StressTest, HotRegionContention) {
+  // Every thread inserts into one narrow region: exercises repeated
+  // splits/compactions under contention.
+  auto index = MakeIndex(GetParam());
+  index->BulkLoad({});
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        Key k = (1ull << 40) + t + i * kThreads;
+        ASSERT_TRUE(index->Insert(k, k));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  Value v;
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < kPerThread; i += 17) {
+      Key k = (1ull << 40) + t + i * kThreads;
+      ASSERT_TRUE(index->Get(k, &v)) << GetParam();
+      EXPECT_EQ(v, k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Concurrent, StressTest,
+                         ::testing::Values("OLC-BTree", "SkipList", "Hash",
+                                           "XIndex"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace pieces

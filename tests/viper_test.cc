@@ -1,0 +1,151 @@
+// ViperStore integration tests: the end-to-end KV path over every index,
+// plus PMem accounting and crash recovery (Fig. 16 semantics).
+#include "store/viper.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/registry.h"
+#include "store/sim_pmem.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+ViperStore::Config SmallConfig() {
+  ViperStore::Config cfg;
+  cfg.value_size = 200;
+  cfg.pmem_capacity = size_t{64} << 20;
+  return cfg;
+}
+
+TEST(SimPmemTest, AllocateAndAccount) {
+  SimulatedPmem pmem(1024);
+  uint8_t* a = pmem.Allocate(100);
+  ASSERT_NE(a, nullptr);
+  uint8_t* b = pmem.Allocate(100);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GE(b - a, 100);
+  uint64_t data = 42;
+  pmem.Write(a, &data, sizeof(data));
+  uint64_t back = 0;
+  pmem.Read(a, &back, sizeof(back));
+  EXPECT_EQ(back, 42u);
+  EXPECT_EQ(pmem.bytes_written(), sizeof(data));
+  EXPECT_EQ(pmem.bytes_read(), sizeof(back));
+}
+
+TEST(SimPmemTest, ExhaustionReturnsNull) {
+  SimulatedPmem pmem(256);
+  EXPECT_NE(pmem.Allocate(200), nullptr);
+  EXPECT_EQ(pmem.Allocate(200), nullptr);
+}
+
+TEST(SimPmemTest, LatencyInjectionSlowsAccess) {
+  SimulatedPmem fast(4096, 0, 0);
+  SimulatedPmem slow(4096, 20000, 20000);
+  uint8_t* fa = fast.Allocate(8);
+  uint8_t* sa = slow.Allocate(8);
+  uint64_t v = 7;
+  auto time_writes = [&](SimulatedPmem& p, uint8_t* addr) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 50; ++i) p.Write(addr, &v, sizeof(v));
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  EXPECT_GT(time_writes(slow, sa), time_writes(fast, fa) + 500000);
+}
+
+class ViperStoreTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ViperStoreTest, PutGetRoundtrip) {
+  ViperStore store(MakeIndex(GetParam()), SmallConfig());
+  std::vector<Key> keys = MakeUniformKeys(5000, 3);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  std::vector<uint8_t> value(200);
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    ASSERT_TRUE(store.Get(keys[i], value.data())) << GetParam();
+    // Synthetic values are key-derived: verify a prefix.
+    EXPECT_EQ(value[0], static_cast<uint8_t>(keys[i] & 0xff));
+  }
+  Value unused;
+  (void)unused;
+  EXPECT_EQ(store.size(), keys.size());
+}
+
+TEST_P(ViperStoreTest, RecoveryRebuildsIndexExactly) {
+  ViperStore store(MakeIndex(GetParam()), SmallConfig());
+  std::vector<Key> keys = MakeUniformKeys(5000, 5);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  uint64_t nanos = store.Recover();
+  EXPECT_GT(nanos, 0u);
+  std::vector<uint8_t> value(200);
+  for (size_t i = 0; i < keys.size(); i += 11) {
+    ASSERT_TRUE(store.Get(keys[i], value.data())) << GetParam();
+  }
+  EXPECT_EQ(store.size(), keys.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, ViperStoreTest,
+                         ::testing::ValuesIn(AllIndexNames()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ViperStoreTest2, UpdatesWriteOutOfPlaceAndRecoverNewest) {
+  ViperStore store(MakeIndex("BTree"), SmallConfig());
+  std::vector<Key> keys = MakeUniformKeys(100, 7);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  std::vector<uint8_t> value(200, 0xEE);
+  ASSERT_TRUE(store.Put(keys[0], value.data()));
+
+  std::vector<uint8_t> got(200);
+  ASSERT_TRUE(store.Get(keys[0], got.data()));
+  EXPECT_EQ(got[0], 0xEE);
+
+  // Recovery must keep the newest version despite two records on PMem.
+  store.Recover();
+  EXPECT_EQ(store.size(), keys.size());
+  ASSERT_TRUE(store.Get(keys[0], got.data()));
+  EXPECT_EQ(got[0], 0xEE);
+}
+
+TEST(ViperStoreTest2, ScanReadsValues) {
+  ViperStore store(MakeIndex("ALEX"), SmallConfig());
+  std::vector<Key> keys = MakeSequentialKeys(1000, 100, 10);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  uint64_t reads_before = store.pmem().bytes_read();
+  std::vector<Key> out;
+  EXPECT_EQ(store.Scan(100, 50, &out), 50u);
+  EXPECT_EQ(out.size(), 50u);
+  EXPECT_EQ(out[0], 100u);
+  EXPECT_GT(store.pmem().bytes_read(), reads_before);
+}
+
+TEST(ViperStoreTest2, TableIIISizeOrdering) {
+  ViperStore store(MakeIndex("PGM"), SmallConfig());
+  std::vector<Key> keys = MakeUniformKeys(20000, 9);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  // Index-structure bytes << index+keys << index+KV (Table III pattern).
+  EXPECT_LT(store.IndexStructureBytes(), store.IndexPlusKeyBytes());
+  EXPECT_LT(store.IndexPlusKeyBytes(), store.IndexPlusKvBytes());
+}
+
+TEST(ViperStoreTest2, CapacityExhaustion) {
+  ViperStore::Config cfg;
+  cfg.pmem_capacity = 16 << 10;
+  ViperStore store(MakeIndex("BTree"), cfg);
+  std::vector<Key> keys = MakeSequentialKeys(1000, 1, 1);
+  EXPECT_FALSE(store.BulkLoad(keys));
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,120 @@
+// Tests for the dataset generators and the YCSB operation streams —
+// these verify the *simulated* real-world datasets actually have the
+// properties the paper relies on (OSM complexity, FACE skew).
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+#include "workload/ycsb.h"
+
+namespace pieces {
+namespace {
+
+TEST(DatasetTest, SortedUniqueExactCount) {
+  for (const char* ds : {"ycsb", "normal", "lognormal", "osm", "face"}) {
+    std::vector<uint64_t> keys = MakeKeys(ds, 10000, 3);
+    ASSERT_EQ(keys.size(), 10000u) << ds;
+    for (size_t i = 1; i < keys.size(); ++i) {
+      ASSERT_LT(keys[i - 1], keys[i]) << ds;
+    }
+    EXPECT_LT(keys.back(), ~0ull);  // Below the gap sentinel.
+  }
+}
+
+TEST(DatasetTest, Deterministic) {
+  EXPECT_EQ(MakeKeys("osm", 1000, 7), MakeKeys("osm", 1000, 7));
+  EXPECT_NE(MakeKeys("osm", 1000, 7), MakeKeys("osm", 1000, 8));
+}
+
+TEST(DatasetTest, FaceSkewMatchesPaperDescription) {
+  std::vector<uint64_t> keys = MakeFaceLikeKeys(100000, 3);
+  size_t below_2_50 = 0;
+  size_t above_2_59 = 0;
+  for (uint64_t k : keys) {
+    if (k < (1ull << 50)) ++below_2_50;
+    if (k > (1ull << 59)) ++above_2_59;
+  }
+  EXPECT_GT(below_2_50, size_t{99000});  // ~99.9% low.
+  EXPECT_GT(above_2_59, size_t{10});     // A real (sparse) high tail.
+}
+
+TEST(DatasetTest, SequentialIsContiguous) {
+  std::vector<uint64_t> keys = MakeSequentialKeys(100, 5, 3);
+  EXPECT_EQ(keys[0], 5u);
+  EXPECT_EQ(keys[99], 5u + 99 * 3);
+}
+
+TEST(YcsbTest, MixProportions) {
+  std::vector<uint64_t> keys = MakeUniformKeys(10000, 3);
+  std::vector<uint64_t> pool = MakeUniformKeys(1000, 99);
+  auto ops = GenerateOps(WorkloadSpec::YcsbA(), 100000, keys, pool);
+  size_t reads = 0;
+  size_t updates = 0;
+  for (const Op& op : ops) {
+    reads += op.type == OpType::kRead;
+    updates += op.type == OpType::kUpdate;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / 100000.0, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(updates) / 100000.0, 0.5, 0.02);
+}
+
+TEST(YcsbTest, WriteOnlyUsesFreshKeys) {
+  std::vector<uint64_t> keys = MakeUniformKeys(1000, 3);
+  std::vector<uint64_t> pool = MakeUniformKeys(5000, 99);
+  auto ops = GenerateOps(WorkloadSpec::WriteOnly(), 5000, keys, pool);
+  std::set<uint64_t> loaded(keys.begin(), keys.end());
+  for (const Op& op : ops) {
+    EXPECT_EQ(op.type, OpType::kInsert);
+  }
+}
+
+TEST(YcsbTest, ZipfianConcentratesRequests) {
+  std::vector<uint64_t> keys = MakeUniformKeys(10000, 3);
+  std::vector<uint64_t> pool;
+  auto ops =
+      GenerateOps(WorkloadSpec::ReadOnly(KeyPick::kZipfian), 50000, keys,
+                  pool);
+  std::set<uint64_t> distinct;
+  for (const Op& op : ops) distinct.insert(op.key);
+  // Zipfian touches far fewer distinct keys than uniform would.
+  EXPECT_LT(distinct.size(), size_t{9000});
+  auto uni_ops =
+      GenerateOps(WorkloadSpec::ReadOnly(KeyPick::kUniform), 50000, keys,
+                  pool);
+  std::set<uint64_t> uni_distinct;
+  for (const Op& op : uni_ops) uni_distinct.insert(op.key);
+  EXPECT_GT(uni_distinct.size(), distinct.size());
+}
+
+TEST(YcsbTest, YcsbDInsertsAreInsertsNotUpdates) {
+  std::vector<uint64_t> keys = MakeUniformKeys(10000, 3);
+  std::vector<uint64_t> pool = MakeUniformKeys(10000, 4242);
+  auto ops = GenerateOps(WorkloadSpec::YcsbD(), 20000, keys, pool);
+  std::set<uint64_t> loaded(keys.begin(), keys.end());
+  size_t inserts = 0;
+  for (const Op& op : ops) {
+    if (op.type == OpType::kInsert) {
+      ++inserts;
+      EXPECT_EQ(loaded.count(op.key), 0u) << "YCSB-D must insert new keys";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(inserts) / 20000.0, 0.05, 0.01);
+}
+
+TEST(YcsbTest, SplitLoadAndInsertsPartitions) {
+  std::vector<uint64_t> keys = MakeUniformKeys(1000, 5);
+  std::vector<uint64_t> load;
+  std::vector<uint64_t> inserts;
+  SplitLoadAndInserts(keys, 4, &load, &inserts);
+  EXPECT_EQ(load.size() + inserts.size(), keys.size());
+  EXPECT_EQ(inserts.size(), keys.size() / 4);
+  std::set<uint64_t> all(load.begin(), load.end());
+  for (uint64_t k : inserts) EXPECT_TRUE(all.insert(k).second);
+  EXPECT_EQ(all.size(), keys.size());
+}
+
+}  // namespace
+}  // namespace pieces

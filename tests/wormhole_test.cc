@@ -1,0 +1,91 @@
+// Targeted Wormhole-lite tests: meta-trie jump correctness under
+// staleness, prefix-match routing, and split/rebuild behaviour. (Broad
+// behaviour is covered by the registry-parameterized conformance, fuzz
+// and concurrent-read suites.)
+#include "traditional/wormhole.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+TEST(WormholeTest, StaleMetaTrieStaysCorrect) {
+  // Insert just under the rebuild threshold repeatedly so lookups run
+  // against a maximally stale meta-trie.
+  WormholeLite wh;
+  std::vector<uint64_t> base = MakeUniformKeys(50000, 3);
+  std::vector<KeyValue> data;
+  for (uint64_t k : base) data.push_back({k, k});
+  wh.BulkLoad(data);
+
+  Rng rng(7);
+  std::map<Key, Value> ref;
+  for (uint64_t k : base) ref[k] = k;
+  for (int i = 0; i < 30000; ++i) {
+    Key k = rng.Next() & (~0ull - 1);
+    ASSERT_TRUE(wh.Insert(k, i));
+    ref[k] = static_cast<Value>(i);
+    if (i % 1000 == 0) {
+      // Spot-check lookups mid-stream (stale trie in effect).
+      Value v = 0;
+      ASSERT_TRUE(wh.Get(k, &v));
+      EXPECT_EQ(v, static_cast<Value>(i));
+    }
+  }
+  for (const auto& [k, val] : ref) {
+    Value v = 0;
+    ASSERT_TRUE(wh.Get(k, &v)) << k;
+    EXPECT_EQ(v, val);
+  }
+}
+
+TEST(WormholeTest, PrefixClusteredKeys) {
+  // All keys share a long prefix: the longest-prefix search must descend
+  // many levels and still route correctly.
+  WormholeLite wh;
+  std::vector<KeyValue> data;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    data.push_back({(0xABCDEF0000000000ull) | i, i});
+  }
+  wh.BulkLoad(data);
+  Value v;
+  for (uint64_t i = 0; i < 10000; i += 7) {
+    ASSERT_TRUE(wh.Get(0xABCDEF0000000000ull | i, &v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(wh.Get(0xABCDEF0000000000ull | 10001, &v));
+  EXPECT_FALSE(wh.Get(1, &v));
+}
+
+TEST(WormholeTest, KeysBelowFirstAnchor) {
+  WormholeLite wh;
+  wh.BulkLoad(std::vector<KeyValue>{{1000, 1}, {2000, 2}, {3000, 3}});
+  ASSERT_TRUE(wh.Insert(5, 50));
+  Value v = 0;
+  ASSERT_TRUE(wh.Get(5, &v));
+  EXPECT_EQ(v, 50u);
+  std::vector<KeyValue> out;
+  ASSERT_EQ(wh.Scan(0, 2, &out), 2u);
+  EXPECT_EQ(out[0].key, 5u);
+  EXPECT_EQ(out[1].key, 1000u);
+}
+
+TEST(WormholeTest, SplitsGrowLeafCount) {
+  WormholeLite wh;
+  wh.BulkLoad({});
+  for (uint64_t i = 0; i < 5000; ++i) ASSERT_TRUE(wh.Insert(i, i));
+  IndexStats s = wh.Stats();
+  EXPECT_GT(s.leaf_count, 5000 / WormholeLite::kLeafCapacity);
+  std::vector<KeyValue> out;
+  ASSERT_EQ(wh.Scan(0, 5000, &out), 5000u);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].key, i);
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,90 @@
+// Targeted XIndex tests: group compaction, splitting, and root staleness
+// tolerance.
+#include "learned/xindex.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+std::vector<KeyValue> ToData(const std::vector<uint64_t>& keys) {
+  std::vector<KeyValue> data;
+  for (uint64_t k : keys) data.push_back({k, k + 7});
+  return data;
+}
+
+TEST(XIndexTest, CompactionPreservesContents) {
+  XIndex idx(1024, 32);  // Small buffers: frequent compactions.
+  std::vector<uint64_t> base = MakeUniformKeys(20000, 3);
+  idx.BulkLoad(ToData(base));
+  std::map<Key, Value> ref;
+  for (uint64_t k : base) ref[k] = k + 7;
+
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.Next() & (~0ull - 1);
+    ASSERT_TRUE(idx.Insert(k, i));
+    ref[k] = static_cast<Value>(i);
+  }
+  EXPECT_GT(idx.Stats().retrain_count, 100u);
+  for (const auto& [k, val] : ref) {
+    Value v = 0;
+    ASSERT_TRUE(idx.Get(k, &v)) << k;
+    EXPECT_EQ(v, val);
+  }
+}
+
+TEST(XIndexTest, GroupSplitOnHotRegion) {
+  XIndex idx(512, 64);
+  idx.BulkLoad(ToData(MakeUniformKeys(4096, 7)));
+  size_t groups_before = idx.Stats().leaf_count;
+  // Hammer one narrow region until its group must split.
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(idx.Insert((1ull << 32) + i * 3, i));
+  }
+  EXPECT_GT(idx.Stats().leaf_count, groups_before);
+  Value v;
+  for (uint64_t i = 0; i < 5000; i += 97) {
+    ASSERT_TRUE(idx.Get((1ull << 32) + i * 3, &v));
+  }
+}
+
+TEST(XIndexTest, UpdateHitsMainInPlace) {
+  XIndex idx;
+  std::vector<uint64_t> keys = MakeUniformKeys(10000, 9);
+  idx.BulkLoad(ToData(keys));
+  size_t retrains_before = idx.Stats().retrain_count;
+  // Updates of existing keys go in place: no buffer growth, no compaction.
+  for (uint64_t k : keys) ASSERT_TRUE(idx.Insert(k, 1234));
+  EXPECT_EQ(idx.Stats().retrain_count, retrains_before);
+  Value v = 0;
+  ASSERT_TRUE(idx.Get(keys[42], &v));
+  EXPECT_EQ(v, 1234u);
+}
+
+TEST(XIndexTest, ScanMergesBufferAndMain) {
+  XIndex idx(4096, 1024);  // Large buffer: pending keys stay buffered.
+  std::vector<uint64_t> even;
+  for (uint64_t i = 0; i < 2000; ++i) even.push_back(i * 2);
+  idx.BulkLoad(ToData(even));
+  for (uint64_t i = 0; i < 500; ++i) ASSERT_TRUE(idx.Insert(i * 2 + 1, i));
+  std::vector<KeyValue> out;
+  size_t n = idx.Scan(0, 100, &out);
+  ASSERT_EQ(n, 100u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].key, out[i].key);
+  }
+  // First 100 keys are 0,1,2,...,99 interleaved from main and buffer.
+  EXPECT_EQ(out[0].key, 0u);
+  EXPECT_EQ(out[1].key, 1u);
+  EXPECT_EQ(out[99].key, 99u);
+}
+
+}  // namespace
+}  // namespace pieces

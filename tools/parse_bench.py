@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Parse bench_output.txt into per-experiment CSV files.
+
+The bench binaries print human-readable tables; this tool turns a full
+sweep (`for b in build/bench/*; do $b; done | tee bench_output.txt`) into
+machine-readable CSVs under out_dir (default: bench_csv/), one file per
+experiment section, ready for pandas/gnuplot.
+
+Usage:
+    tools/parse_bench.py bench_output.txt [out_dir]
+"""
+import csv
+import os
+import re
+import sys
+
+
+SECTION_RE = re.compile(r"^=== (.+) ===$")
+SUBSECTION_RE = re.compile(r"^-- (.+) --$")
+# "NAME   1.234 Mops/s   p50   543 ns   p99.9   7423 ns"
+THROUGHPUT_RE = re.compile(
+    r"^(\S[\S ]*?)\s+([\d.]+)\s+Mops/s\s+p50\s+(\d+)\s+ns\s+p99\.9\s+(\d+)\s+ns"
+)
+# "NAME   123.4 Kscans/s   p50  543 ns"
+SCAN_RE = re.compile(r"^(\S[\S ]*?)\s+([\d.]+)\s+Kscans/s\s+p50\s+(\d+)\s+ns")
+# "NAME   12.3 ms" or fig16's two-column "NAME  build  recover"
+MS_RE = re.compile(r"^(\S[\S ]*?)\s+([\d.]+)\s+ms$")
+TWO_MS_RE = re.compile(r"^(\S[\S ]*?)\s+([\d.]+)\s+([\d.]+)$")
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return slug[:60]
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    path = sys.argv[1]
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    os.makedirs(out_dir, exist_ok=True)
+
+    section = None
+    subsection = ""
+    rows = {}  # slug -> list of row dicts
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            m = SECTION_RE.match(line)
+            if m:
+                section = slugify(m.group(1))
+                subsection = ""
+                continue
+            m = SUBSECTION_RE.match(line)
+            if m:
+                subsection = m.group(1)
+                continue
+            if section is None:
+                continue
+            m = THROUGHPUT_RE.match(line)
+            if m:
+                rows.setdefault(section, []).append({
+                    "config": subsection,
+                    "index": m.group(1).strip(),
+                    "mops": float(m.group(2)),
+                    "p50_ns": int(m.group(3)),
+                    "p999_ns": int(m.group(4)),
+                })
+                continue
+            m = SCAN_RE.match(line)
+            if m:
+                rows.setdefault(section, []).append({
+                    "config": subsection,
+                    "index": m.group(1).strip(),
+                    "kscans": float(m.group(2)),
+                    "p50_ns": int(m.group(3)),
+                })
+                continue
+            m = MS_RE.match(line)
+            if m:
+                rows.setdefault(section, []).append({
+                    "config": subsection,
+                    "index": m.group(1).strip(),
+                    "ms": float(m.group(2)),
+                })
+
+    for slug, data in rows.items():
+        out_path = os.path.join(out_dir, f"{slug}.csv")
+        fields = []
+        for row in data:
+            for key in row:
+                if key not in fields:
+                    fields.append(key)
+        with open(out_path, "w", newline="", encoding="utf-8") as f:
+            writer = csv.DictWriter(f, fieldnames=fields)
+            writer.writeheader()
+            writer.writerows(data)
+        print(f"wrote {out_path} ({len(data)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
