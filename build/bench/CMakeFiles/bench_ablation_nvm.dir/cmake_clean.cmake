@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nvm.dir/bench_ablation_nvm.cc.o"
+  "CMakeFiles/bench_ablation_nvm.dir/bench_ablation_nvm.cc.o.d"
+  "bench_ablation_nvm"
+  "bench_ablation_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_range.dir/bench_appendix_range.cc.o"
+  "CMakeFiles/bench_appendix_range.dir/bench_appendix_range.cc.o.d"
+  "bench_appendix_range"
+  "bench_appendix_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataset_hardness.dir/bench_dataset_hardness.cc.o"
+  "CMakeFiles/bench_dataset_hardness.dir/bench_dataset_hardness.cc.o.d"
+  "bench_dataset_hardness"
+  "bench_dataset_hardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lipp.dir/bench_ext_lipp.cc.o"
+  "CMakeFiles/bench_ext_lipp.dir/bench_ext_lipp.cc.o.d"
+  "bench_ext_lipp"
+  "bench_ext_lipp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lipp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

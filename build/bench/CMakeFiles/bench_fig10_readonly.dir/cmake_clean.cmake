@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_readonly.dir/bench_fig10_readonly.cc.o"
+  "CMakeFiles/bench_fig10_readonly.dir/bench_fig10_readonly.cc.o.d"
+  "bench_fig10_readonly"
+  "bench_fig10_readonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_readonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

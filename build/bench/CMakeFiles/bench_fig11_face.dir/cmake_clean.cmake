@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_face.dir/bench_fig11_face.cc.o"
+  "CMakeFiles/bench_fig11_face.dir/bench_fig11_face.cc.o.d"
+  "bench_fig11_face"
+  "bench_fig11_face.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_face.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mt_read.dir/bench_fig12_mt_read.cc.o"
+  "CMakeFiles/bench_fig12_mt_read.dir/bench_fig12_mt_read.cc.o.d"
+  "bench_fig12_mt_read"
+  "bench_fig12_mt_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mt_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

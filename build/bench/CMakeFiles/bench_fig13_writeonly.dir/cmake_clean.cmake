@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_writeonly.dir/bench_fig13_writeonly.cc.o"
+  "CMakeFiles/bench_fig13_writeonly.dir/bench_fig13_writeonly.cc.o.d"
+  "bench_fig13_writeonly"
+  "bench_fig13_writeonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_writeonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_mt_write.dir/bench_fig14_mt_write.cc.o"
+  "CMakeFiles/bench_fig14_mt_write.dir/bench_fig14_mt_write.cc.o.d"
+  "bench_fig14_mt_write"
+  "bench_fig14_mt_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mt_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_mixed.dir/bench_fig15_mixed.cc.o"
+  "CMakeFiles/bench_fig15_mixed.dir/bench_fig15_mixed.cc.o.d"
+  "bench_fig15_mixed"
+  "bench_fig15_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

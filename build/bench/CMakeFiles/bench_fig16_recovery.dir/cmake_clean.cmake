@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_recovery.dir/bench_fig16_recovery.cc.o"
+  "CMakeFiles/bench_fig16_recovery.dir/bench_fig16_recovery.cc.o.d"
+  "bench_fig16_recovery"
+  "bench_fig16_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_approx.dir/bench_fig17_approx.cc.o"
+  "CMakeFiles/bench_fig17_approx.dir/bench_fig17_approx.cc.o.d"
+  "bench_fig17_approx"
+  "bench_fig17_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

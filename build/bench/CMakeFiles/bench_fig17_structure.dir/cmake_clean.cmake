@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_structure.dir/bench_fig17_structure.cc.o"
+  "CMakeFiles/bench_fig17_structure.dir/bench_fig17_structure.cc.o.d"
+  "bench_fig17_structure"
+  "bench_fig17_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_update.dir/bench_fig18_update.cc.o"
+  "CMakeFiles/bench_fig18_update.dir/bench_fig18_update.cc.o.d"
+  "bench_fig18_update"
+  "bench_fig18_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_taxonomy.dir/bench_table1_taxonomy.cc.o"
+  "CMakeFiles/bench_table1_taxonomy.dir/bench_table1_taxonomy.cc.o.d"
+  "bench_table1_taxonomy"
+  "bench_table1_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

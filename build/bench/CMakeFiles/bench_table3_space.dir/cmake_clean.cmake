@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_space.dir/bench_table3_space.cc.o"
+  "CMakeFiles/bench_table3_space.dir/bench_table3_space.cc.o.d"
+  "bench_table3_space"
+  "bench_table3_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

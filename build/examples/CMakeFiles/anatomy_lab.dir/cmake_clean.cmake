@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_lab.dir/anatomy_lab.cpp.o"
+  "CMakeFiles/anatomy_lab.dir/anatomy_lab.cpp.o.d"
+  "anatomy_lab"
+  "anatomy_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

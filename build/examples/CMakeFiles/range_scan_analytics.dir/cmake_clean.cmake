@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_scan_analytics.dir/range_scan_analytics.cpp.o"
+  "CMakeFiles/range_scan_analytics.dir/range_scan_analytics.cpp.o.d"
+  "range_scan_analytics"
+  "range_scan_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_scan_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

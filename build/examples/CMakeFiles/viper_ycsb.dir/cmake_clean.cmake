@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_ycsb.dir/viper_ycsb.cpp.o"
+  "CMakeFiles/viper_ycsb.dir/viper_ycsb.cpp.o.d"
+  "viper_ycsb"
+  "viper_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anatomy/inner_structures.cc" "src/CMakeFiles/pieces.dir/anatomy/inner_structures.cc.o" "gcc" "src/CMakeFiles/pieces.dir/anatomy/inner_structures.cc.o.d"
+  "/root/repo/src/anatomy/update_policies.cc" "src/CMakeFiles/pieces.dir/anatomy/update_policies.cc.o" "gcc" "src/CMakeFiles/pieces.dir/anatomy/update_policies.cc.o.d"
+  "/root/repo/src/common/latency_recorder.cc" "src/CMakeFiles/pieces.dir/common/latency_recorder.cc.o" "gcc" "src/CMakeFiles/pieces.dir/common/latency_recorder.cc.o.d"
+  "/root/repo/src/index/registry.cc" "src/CMakeFiles/pieces.dir/index/registry.cc.o" "gcc" "src/CMakeFiles/pieces.dir/index/registry.cc.o.d"
+  "/root/repo/src/learned/alex.cc" "src/CMakeFiles/pieces.dir/learned/alex.cc.o" "gcc" "src/CMakeFiles/pieces.dir/learned/alex.cc.o.d"
+  "/root/repo/src/learned/fiting_tree.cc" "src/CMakeFiles/pieces.dir/learned/fiting_tree.cc.o" "gcc" "src/CMakeFiles/pieces.dir/learned/fiting_tree.cc.o.d"
+  "/root/repo/src/learned/lipp.cc" "src/CMakeFiles/pieces.dir/learned/lipp.cc.o" "gcc" "src/CMakeFiles/pieces.dir/learned/lipp.cc.o.d"
+  "/root/repo/src/learned/pgm.cc" "src/CMakeFiles/pieces.dir/learned/pgm.cc.o" "gcc" "src/CMakeFiles/pieces.dir/learned/pgm.cc.o.d"
+  "/root/repo/src/learned/radix_spline.cc" "src/CMakeFiles/pieces.dir/learned/radix_spline.cc.o" "gcc" "src/CMakeFiles/pieces.dir/learned/radix_spline.cc.o.d"
+  "/root/repo/src/learned/rmi.cc" "src/CMakeFiles/pieces.dir/learned/rmi.cc.o" "gcc" "src/CMakeFiles/pieces.dir/learned/rmi.cc.o.d"
+  "/root/repo/src/learned/xindex.cc" "src/CMakeFiles/pieces.dir/learned/xindex.cc.o" "gcc" "src/CMakeFiles/pieces.dir/learned/xindex.cc.o.d"
+  "/root/repo/src/pla/greedy_pla.cc" "src/CMakeFiles/pieces.dir/pla/greedy_pla.cc.o" "gcc" "src/CMakeFiles/pieces.dir/pla/greedy_pla.cc.o.d"
+  "/root/repo/src/pla/lsa.cc" "src/CMakeFiles/pieces.dir/pla/lsa.cc.o" "gcc" "src/CMakeFiles/pieces.dir/pla/lsa.cc.o.d"
+  "/root/repo/src/pla/optimal_pla.cc" "src/CMakeFiles/pieces.dir/pla/optimal_pla.cc.o" "gcc" "src/CMakeFiles/pieces.dir/pla/optimal_pla.cc.o.d"
+  "/root/repo/src/pla/segment.cc" "src/CMakeFiles/pieces.dir/pla/segment.cc.o" "gcc" "src/CMakeFiles/pieces.dir/pla/segment.cc.o.d"
+  "/root/repo/src/pla/spline.cc" "src/CMakeFiles/pieces.dir/pla/spline.cc.o" "gcc" "src/CMakeFiles/pieces.dir/pla/spline.cc.o.d"
+  "/root/repo/src/store/sim_pmem.cc" "src/CMakeFiles/pieces.dir/store/sim_pmem.cc.o" "gcc" "src/CMakeFiles/pieces.dir/store/sim_pmem.cc.o.d"
+  "/root/repo/src/store/viper.cc" "src/CMakeFiles/pieces.dir/store/viper.cc.o" "gcc" "src/CMakeFiles/pieces.dir/store/viper.cc.o.d"
+  "/root/repo/src/traditional/art.cc" "src/CMakeFiles/pieces.dir/traditional/art.cc.o" "gcc" "src/CMakeFiles/pieces.dir/traditional/art.cc.o.d"
+  "/root/repo/src/traditional/btree.cc" "src/CMakeFiles/pieces.dir/traditional/btree.cc.o" "gcc" "src/CMakeFiles/pieces.dir/traditional/btree.cc.o.d"
+  "/root/repo/src/traditional/extendible_hash.cc" "src/CMakeFiles/pieces.dir/traditional/extendible_hash.cc.o" "gcc" "src/CMakeFiles/pieces.dir/traditional/extendible_hash.cc.o.d"
+  "/root/repo/src/traditional/olc_btree.cc" "src/CMakeFiles/pieces.dir/traditional/olc_btree.cc.o" "gcc" "src/CMakeFiles/pieces.dir/traditional/olc_btree.cc.o.d"
+  "/root/repo/src/traditional/skiplist.cc" "src/CMakeFiles/pieces.dir/traditional/skiplist.cc.o" "gcc" "src/CMakeFiles/pieces.dir/traditional/skiplist.cc.o.d"
+  "/root/repo/src/traditional/wormhole.cc" "src/CMakeFiles/pieces.dir/traditional/wormhole.cc.o" "gcc" "src/CMakeFiles/pieces.dir/traditional/wormhole.cc.o.d"
+  "/root/repo/src/workload/cdf_stats.cc" "src/CMakeFiles/pieces.dir/workload/cdf_stats.cc.o" "gcc" "src/CMakeFiles/pieces.dir/workload/cdf_stats.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/CMakeFiles/pieces.dir/workload/datasets.cc.o" "gcc" "src/CMakeFiles/pieces.dir/workload/datasets.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/pieces.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/pieces.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

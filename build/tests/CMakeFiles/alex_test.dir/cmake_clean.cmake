@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alex_test.dir/alex_test.cc.o"
+  "CMakeFiles/alex_test.dir/alex_test.cc.o.d"
+  "alex_test"
+  "alex_test.pdb"
+  "alex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

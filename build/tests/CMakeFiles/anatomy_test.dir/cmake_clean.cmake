@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_test.dir/anatomy_test.cc.o"
+  "CMakeFiles/anatomy_test.dir/anatomy_test.cc.o.d"
+  "anatomy_test"
+  "anatomy_test.pdb"
+  "anatomy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/art_test.dir/art_test.cc.o"
+  "CMakeFiles/art_test.dir/art_test.cc.o.d"
+  "art_test"
+  "art_test.pdb"
+  "art_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/art_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdf_stats_test.dir/cdf_stats_test.cc.o"
+  "CMakeFiles/cdf_stats_test.dir/cdf_stats_test.cc.o.d"
+  "cdf_stats_test"
+  "cdf_stats_test.pdb"
+  "cdf_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdf_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

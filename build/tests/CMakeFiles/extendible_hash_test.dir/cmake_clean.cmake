@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extendible_hash_test.dir/extendible_hash_test.cc.o"
+  "CMakeFiles/extendible_hash_test.dir/extendible_hash_test.cc.o.d"
+  "extendible_hash_test"
+  "extendible_hash_test.pdb"
+  "extendible_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extendible_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

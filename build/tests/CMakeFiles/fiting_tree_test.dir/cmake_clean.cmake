@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiting_tree_test.dir/fiting_tree_test.cc.o"
+  "CMakeFiles/fiting_tree_test.dir/fiting_tree_test.cc.o.d"
+  "fiting_tree_test"
+  "fiting_tree_test.pdb"
+  "fiting_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiting_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

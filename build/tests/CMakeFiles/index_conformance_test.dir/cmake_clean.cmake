@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_conformance_test.dir/index_conformance_test.cc.o"
+  "CMakeFiles/index_conformance_test.dir/index_conformance_test.cc.o.d"
+  "index_conformance_test"
+  "index_conformance_test.pdb"
+  "index_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

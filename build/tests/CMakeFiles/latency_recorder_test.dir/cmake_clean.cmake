@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_recorder_test.dir/latency_recorder_test.cc.o"
+  "CMakeFiles/latency_recorder_test.dir/latency_recorder_test.cc.o.d"
+  "latency_recorder_test"
+  "latency_recorder_test.pdb"
+  "latency_recorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

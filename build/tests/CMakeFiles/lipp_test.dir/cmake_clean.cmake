@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipp_test.dir/lipp_test.cc.o"
+  "CMakeFiles/lipp_test.dir/lipp_test.cc.o.d"
+  "lipp_test"
+  "lipp_test.pdb"
+  "lipp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

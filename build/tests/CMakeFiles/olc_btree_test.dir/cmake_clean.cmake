@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olc_btree_test.dir/olc_btree_test.cc.o"
+  "CMakeFiles/olc_btree_test.dir/olc_btree_test.cc.o.d"
+  "olc_btree_test"
+  "olc_btree_test.pdb"
+  "olc_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olc_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

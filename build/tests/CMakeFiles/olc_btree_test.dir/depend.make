@@ -1,0 +1,2 @@
+# Empty dependencies file for olc_btree_test.
+# This may be replaced when dependencies are built.

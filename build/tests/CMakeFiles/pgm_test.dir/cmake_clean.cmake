@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgm_test.dir/pgm_test.cc.o"
+  "CMakeFiles/pgm_test.dir/pgm_test.cc.o.d"
+  "pgm_test"
+  "pgm_test.pdb"
+  "pgm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readonly_index_test.dir/readonly_index_test.cc.o"
+  "CMakeFiles/readonly_index_test.dir/readonly_index_test.cc.o.d"
+  "readonly_index_test"
+  "readonly_index_test.pdb"
+  "readonly_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readonly_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_fault_test.dir/store_fault_test.cc.o"
+  "CMakeFiles/store_fault_test.dir/store_fault_test.cc.o.d"
+  "store_fault_test"
+  "store_fault_test.pdb"
+  "store_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

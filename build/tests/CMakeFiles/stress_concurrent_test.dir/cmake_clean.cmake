@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_concurrent_test.dir/stress_concurrent_test.cc.o"
+  "CMakeFiles/stress_concurrent_test.dir/stress_concurrent_test.cc.o.d"
+  "stress_concurrent_test"
+  "stress_concurrent_test.pdb"
+  "stress_concurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_test.dir/viper_test.cc.o"
+  "CMakeFiles/viper_test.dir/viper_test.cc.o.d"
+  "viper_test"
+  "viper_test.pdb"
+  "viper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_test.dir/wormhole_test.cc.o"
+  "CMakeFiles/wormhole_test.dir/wormhole_test.cc.o.d"
+  "wormhole_test"
+  "wormhole_test.pdb"
+  "wormhole_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xindex_test.dir/xindex_test.cc.o"
+  "CMakeFiles/xindex_test.dir/xindex_test.cc.o.d"
+  "xindex_test"
+  "xindex_test.pdb"
+  "xindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/linear_model_test[1]_include.cmake")
+include("/root/repo/build/tests/latency_recorder_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/pla_test[1]_include.cmake")
+include("/root/repo/build/tests/index_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/alex_test[1]_include.cmake")
+include("/root/repo/build/tests/pgm_test[1]_include.cmake")
+include("/root/repo/build/tests/fiting_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/xindex_test[1]_include.cmake")
+include("/root/repo/build/tests/lipp_test[1]_include.cmake")
+include("/root/repo/build/tests/readonly_index_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/viper_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/anatomy_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_model_test[1]_include.cmake")
+include("/root/repo/build/tests/store_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/cdf_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/art_test[1]_include.cmake")
+include("/root/repo/build/tests/olc_btree_test[1]_include.cmake")
+include("/root/repo/build/tests/extendible_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/wormhole_test[1]_include.cmake")
