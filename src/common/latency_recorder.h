@@ -41,14 +41,17 @@ class LatencyRecorder {
   uint64_t P99() const { return QuantileNanos(0.99); }
   uint64_t P999() const { return QuantileNanos(0.999); }
 
- private:
   // 64 power-of-two decades x 16 linear sub-buckets.
   static constexpr size_t kSubBuckets = 16;
   static constexpr size_t kNumBuckets = 64 * kSubBuckets;
 
+  // Pure bucketing functions, public so the boundary behaviour (decade
+  // edges, the log==63 top decade) is directly testable: for every nanos
+  // value, BucketUpperBound(BucketFor(nanos)) >= nanos must hold.
   static size_t BucketFor(uint64_t nanos);
   static uint64_t BucketUpperBound(size_t bucket);
 
+ private:
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   uint64_t total_ = 0;

@@ -1,10 +1,9 @@
 #include "traditional/olc_btree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <thread>
-
-#include "common/search.h"
 
 namespace pieces {
 namespace {
@@ -65,13 +64,66 @@ struct OlcBTree::InnerNode : OlcBTree::Node {
 
 namespace {
 
+// Optimistic readers walk nodes a locked writer may be mutating; the
+// version validation discards anything torn, but under the C++ memory
+// model the racing loads/stores themselves must be atomic to be defined
+// (TSan flags the plain versions). Relaxed atomic_ref keeps both sides
+// defined and compiles to ordinary loads/stores on x86-64.
+template <typename T>
+T RelaxedLoad(const T& field) {
+  return std::atomic_ref<T>(const_cast<T&>(field))
+      .load(std::memory_order_relaxed);
+}
+
+template <typename T>
+void RelaxedStore(T& field, T v) {
+  std::atomic_ref<T>(field).store(v, std::memory_order_relaxed);
+}
+
+// Child-pointer publication needs release/acquire: a reader that wins the
+// race to a freshly spliced-in node must see its constructed fields, not
+// just a valid pointer.
+template <typename T>
+T AcquireLoad(const T& field) {
+  return std::atomic_ref<T>(const_cast<T&>(field))
+      .load(std::memory_order_acquire);
+}
+
+template <typename T>
+void ReleaseStore(T& field, T v) {
+  std::atomic_ref<T>(field).store(v, std::memory_order_release);
+}
+
+// Shift arr[pos, count) right by one slot, element-wise with relaxed
+// stores (std::copy_backward would race with optimistic readers).
+template <typename T>
+void RelaxedShiftRight(T* arr, size_t pos, size_t count) {
+  for (size_t i = count; i > pos; --i) {
+    RelaxedStore(arr[i], RelaxedLoad(arr[i - 1]));
+  }
+}
+
 size_t OlcChildIndex(const OlcBTree::InnerNode* inner, Key key,
                      uint16_t count) {
   size_t lo = 0;
   size_t hi = count;
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
-    if (inner->keys[mid] <= key) {
+    if (RelaxedLoad(inner->keys[mid]) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t OlcLeafLowerBound(const Key* keys, size_t n, Key key) {
+  size_t lo = 0;
+  size_t hi = n;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (RelaxedLoad(keys[mid]) < key) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -82,9 +134,24 @@ size_t OlcChildIndex(const OlcBTree::InnerNode* inner, Key key,
 
 }  // namespace
 
+namespace {
+
+// Node has no virtual destructor (keeping nodes POD-sized and vtable-free
+// matters for cache behaviour), so deleting through the base pointer is
+// undefined behaviour — always downcast to the concrete type first.
+void DeleteNode(OlcBTree::Node* n) {
+  if (n->is_leaf) {
+    delete static_cast<OlcBTree::LeafNode*>(n);
+  } else {
+    delete static_cast<OlcBTree::InnerNode*>(n);
+  }
+}
+
+}  // namespace
+
 OlcBTree::OlcBTree() { root_.store(new LeafNode()); leaf_nodes_ = 1; }
 
-OlcBTree::~OlcBTree() { Clear(); delete root_.load(); }
+OlcBTree::~OlcBTree() { Clear(); DeleteNode(root_.load()); }
 
 void OlcBTree::Clear() {
   Node* root = root_.load();
@@ -92,18 +159,16 @@ void OlcBTree::Clear() {
   while (!stack.empty()) {
     Node* n = stack.back();
     stack.pop_back();
-    if (n->is_leaf) {
-      if (n != root) delete static_cast<LeafNode*>(n);
-    } else {
+    if (!n->is_leaf) {
       auto* inner = static_cast<InnerNode*>(n);
       for (size_t i = 0; i <= inner->count; ++i) {
         stack.push_back(inner->children[i]);
       }
-      if (n != root) delete inner;
     }
+    if (n != root) DeleteNode(n);
   }
   if (!root->is_leaf) {
-    delete root;
+    DeleteNode(root);
     root_.store(new LeafNode());
   } else {
     static_cast<LeafNode*>(root)->count = 0;
@@ -117,7 +182,7 @@ void OlcBTree::BulkLoad(std::span<const KeyValue> data) {
   // Single-threaded phase by contract (recovery / initial load).
   Clear();
   if (data.empty()) return;
-  delete root_.load();
+  DeleteNode(root_.load());
 
   constexpr size_t kFill = kFanout * 9 / 10;
   std::vector<Node*> level;
@@ -176,9 +241,9 @@ bool OlcBTree::GetOnce(Key key, Value* value, bool* found) const {
   if (root_.load(std::memory_order_acquire) != node) return false;
   while (!node->is_leaf) {
     auto* inner = static_cast<const InnerNode*>(node);
-    uint16_t count = inner->count;
+    uint16_t count = RelaxedLoad(inner->count);
     size_t ci = OlcChildIndex(inner, key, count);
-    Node* child = inner->children[ci];
+    Node* child = AcquireLoad(inner->children[ci]);
     if (!node->lock.Validate(v)) return false;
     uint64_t cv = child->lock.ReadLock(&ok);
     if (!ok) return false;
@@ -187,10 +252,10 @@ bool OlcBTree::GetOnce(Key key, Value* value, bool* found) const {
     v = cv;
   }
   const auto* leaf = static_cast<const LeafNode*>(node);
-  uint16_t count = leaf->count;
-  size_t pos = BinarySearchLowerBound(leaf->keys, 0, count, key);
-  bool hit = pos < count && leaf->keys[pos] == key;
-  Value val = hit ? leaf->values[pos] : 0;
+  uint16_t count = RelaxedLoad(leaf->count);
+  size_t pos = OlcLeafLowerBound(leaf->keys, count, key);
+  bool hit = pos < count && RelaxedLoad(leaf->keys[pos]) == key;
+  Value val = hit ? RelaxedLoad(leaf->values[pos]) : 0;
   if (!node->lock.Validate(v)) return false;
   *found = hit;
   if (hit) *value = val;
@@ -217,7 +282,7 @@ bool OlcBTree::InsertOnce(Key key, Value value, bool* inserted_new) {
   while (true) {
     // Eagerly split any full node on the way down so splits never need to
     // propagate upward more than one level.
-    if (node->count == kFanout) {
+    if (RelaxedLoad(node->count) == kFanout) {
       if (parent != nullptr) {
         if (!parent->lock.Upgrade(pv)) return false;
         if (!node->lock.Upgrade(v)) {
@@ -241,7 +306,7 @@ bool OlcBTree::InsertOnce(Key key, Value value, bool* inserted_new) {
         r->count = static_cast<uint16_t>(kFanout - mid);
         std::copy(leaf->keys + mid, leaf->keys + kFanout, r->keys);
         std::copy(leaf->values + mid, leaf->values + kFanout, r->values);
-        leaf->count = static_cast<uint16_t>(mid);
+        RelaxedStore(leaf->count, static_cast<uint16_t>(mid));
         r->next.store(leaf->next.load());
         leaf->next.store(r);
         sep = r->keys[0];
@@ -256,22 +321,20 @@ bool OlcBTree::InsertOnce(Key key, Value value, bool* inserted_new) {
         std::copy(inner->keys + mid + 1, inner->keys + kFanout, r->keys);
         std::copy(inner->children + mid + 1, inner->children + kFanout + 1,
                   r->children);
-        inner->count = static_cast<uint16_t>(mid);
+        RelaxedStore(inner->count, static_cast<uint16_t>(mid));
         right = r;
         inner_nodes_.fetch_add(1);
       }
 
       if (parent != nullptr) {
         // Parent is not full (it would have been split when visited).
-        size_t pos = OlcChildIndex(parent, sep, parent->count);
-        std::copy_backward(parent->keys + pos, parent->keys + parent->count,
-                           parent->keys + parent->count + 1);
-        std::copy_backward(parent->children + pos + 1,
-                           parent->children + parent->count + 1,
-                           parent->children + parent->count + 2);
-        parent->keys[pos] = sep;
-        parent->children[pos + 1] = right;
-        ++parent->count;
+        uint16_t pcount = parent->count;
+        size_t pos = OlcChildIndex(parent, sep, pcount);
+        RelaxedShiftRight(parent->keys, pos, pcount);
+        RelaxedShiftRight(parent->children, pos + 1, pcount + size_t{1});
+        RelaxedStore(parent->keys[pos], sep);
+        ReleaseStore(parent->children[pos + 1], right);
+        RelaxedStore(parent->count, static_cast<uint16_t>(pcount + 1));
         parent->lock.WriteUnlock();
       } else {
         auto* new_root = new InnerNode();
@@ -290,18 +353,17 @@ bool OlcBTree::InsertOnce(Key key, Value value, bool* inserted_new) {
     if (node->is_leaf) {
       if (!node->lock.Upgrade(v)) return false;
       auto* leaf = static_cast<LeafNode*>(node);
-      size_t pos = BinarySearchLowerBound(leaf->keys, 0, leaf->count, key);
-      if (pos < leaf->count && leaf->keys[pos] == key) {
-        leaf->values[pos] = value;
+      uint16_t lcount = leaf->count;
+      size_t pos = OlcLeafLowerBound(leaf->keys, lcount, key);
+      if (pos < lcount && leaf->keys[pos] == key) {
+        RelaxedStore(leaf->values[pos], value);
         *inserted_new = false;
       } else {
-        std::copy_backward(leaf->keys + pos, leaf->keys + leaf->count,
-                           leaf->keys + leaf->count + 1);
-        std::copy_backward(leaf->values + pos, leaf->values + leaf->count,
-                           leaf->values + leaf->count + 1);
-        leaf->keys[pos] = key;
-        leaf->values[pos] = value;
-        ++leaf->count;
+        RelaxedShiftRight(leaf->keys, pos, lcount);
+        RelaxedShiftRight(leaf->values, pos, lcount);
+        RelaxedStore(leaf->keys[pos], key);
+        RelaxedStore(leaf->values[pos], value);
+        RelaxedStore(leaf->count, static_cast<uint16_t>(lcount + 1));
         *inserted_new = true;
       }
       node->lock.WriteUnlock();
@@ -309,8 +371,8 @@ bool OlcBTree::InsertOnce(Key key, Value value, bool* inserted_new) {
     }
 
     auto* inner = static_cast<InnerNode*>(node);
-    size_t ci = OlcChildIndex(inner, key, inner->count);
-    Node* child = inner->children[ci];
+    size_t ci = OlcChildIndex(inner, key, RelaxedLoad(inner->count));
+    Node* child = AcquireLoad(inner->children[ci]);
     if (!node->lock.Validate(v)) return false;
     uint64_t cv = child->lock.ReadLock(&ok);
     if (!ok) return false;
@@ -345,8 +407,8 @@ size_t OlcBTree::Scan(Key from, size_t count, std::vector<KeyValue>* out)
     bool restart = false;
     while (!node->is_leaf) {
       auto* inner = static_cast<const InnerNode*>(node);
-      size_t ci = OlcChildIndex(inner, cursor, inner->count);
-      Node* child = inner->children[ci];
+      size_t ci = OlcChildIndex(inner, cursor, RelaxedLoad(inner->count));
+      Node* child = AcquireLoad(inner->children[ci]);
       if (!node->lock.Validate(v)) {
         restart = true;
         break;
@@ -372,10 +434,11 @@ size_t OlcBTree::Scan(Key from, size_t count, std::vector<KeyValue>* out)
         break;
       }
       size_t before = out->size();
-      size_t pos =
-          BinarySearchLowerBound(leaf->keys, 0, leaf->count, cursor);
-      for (; pos < leaf->count && copied < count; ++pos, ++copied) {
-        out->push_back({leaf->keys[pos], leaf->values[pos]});
+      uint16_t lcount = RelaxedLoad(leaf->count);
+      size_t pos = OlcLeafLowerBound(leaf->keys, lcount, cursor);
+      for (; pos < lcount && copied < count; ++pos, ++copied) {
+        out->push_back(
+            {RelaxedLoad(leaf->keys[pos]), RelaxedLoad(leaf->values[pos])});
       }
       LeafNode* next = leaf->next.load(std::memory_order_acquire);
       if (!leaf->lock.Validate(lv)) {

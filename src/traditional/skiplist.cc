@@ -127,21 +127,19 @@ bool SkipList::Insert(Key key, Value value) {
     }
     Node* node = NewNode(key, value, height);
     // Splice bottom-up. Re-locate the exact level-0 predecessor before
-    // every CAS attempt: prev[0] goes stale the moment a racing insert
-    // lands after it, and a CAS against the re-read successor would link
-    // this node *before* smaller keys (losing them to searches).
+    // every CAS attempt, and CAS against the *same* successor pointer the
+    // walk examined: re-reading p->Next(0) after the walk opens a window
+    // where a racing insert lands a smaller key after p — the CAS would
+    // still succeed and link this node *before* it, losing that key to
+    // every future search.
     while (true) {
       Node* p = prev[0];
-      while (true) {
-        Node* nxt = p->Next(0);
-        if (nxt != nullptr && nxt->key < key) {
-          p = nxt;
-        } else {
-          break;
-        }
+      Node* expected = p->Next(0);
+      while (expected != nullptr && expected->key < key) {
+        p = expected;
+        expected = p->Next(0);
       }
       prev[0] = p;
-      Node* expected = p->Next(0);
       if (expected != nullptr && expected->key == key) {
         // Racing duplicate appeared; update it instead.
         expected->value.store(value, std::memory_order_release);
@@ -158,21 +156,16 @@ bool SkipList::Insert(Key key, Value value) {
         std::memory_order_relaxed);
     for (int level = 1; level < height; ++level) {
       while (true) {
-        // Re-locate the splice point before every attempt: a racing insert
-        // may have added nodes after prev since it was computed, and a CAS
-        // against a stale predecessor would break the level's ordering.
+        // Re-locate the splice point before every attempt and CAS against
+        // the successor the walk saw (same lost-key hazard as level 0).
         Node* p = prev[level];
-        while (true) {
-          Node* next = p->Next(level);
-          if (next != nullptr && next->key < key) {
-            p = next;
-          } else {
-            break;
-          }
+        Node* succ = p->Next(level);
+        while (succ != nullptr && succ->key < key) {
+          p = succ;
+          succ = p->Next(level);
         }
         prev[level] = p;
-        Node* succ = p->Next(level);
-        if (succ == node) break;  // Another helper already linked us here.
+        if (succ == node) break;  // Another insert already linked us here.
         node->SetNext(level, succ);
         if (p->CasNext(level, succ, node)) break;
       }

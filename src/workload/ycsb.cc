@@ -1,7 +1,8 @@
 #include "workload/ycsb.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/random.h"
 
@@ -77,9 +78,20 @@ std::vector<Op> GenerateOps(const WorkloadSpec& spec, size_t count,
                             const std::vector<uint64_t>& loaded_keys,
                             const std::vector<uint64_t>& insert_pool,
                             uint64_t seed) {
-  assert(spec.read_pct + spec.update_pct + spec.insert_pct + spec.rmw_pct +
-             spec.scan_pct ==
-         100);
+  // Always-on validation (assert compiles out in Release, and a malformed
+  // spec would silently generate a wrong op mix under every bench).
+  int total = spec.read_pct + spec.update_pct + spec.insert_pct +
+              spec.rmw_pct + spec.scan_pct;
+  if (total != 100 || spec.read_pct < 0 || spec.update_pct < 0 ||
+      spec.insert_pct < 0 || spec.rmw_pct < 0 || spec.scan_pct < 0) {
+    std::fprintf(stderr,
+                 "GenerateOps: workload percentages must be non-negative and "
+                 "sum to 100, got read=%d update=%d insert=%d rmw=%d scan=%d "
+                 "(sum %d)\n",
+                 spec.read_pct, spec.update_pct, spec.insert_pct, spec.rmw_pct,
+                 spec.scan_pct, total);
+    std::abort();
+  }
   std::vector<Op> ops;
   ops.reserve(count);
   Rng rng(seed);
@@ -130,7 +142,12 @@ std::vector<Op> GenerateOps(const WorkloadSpec& spec, size_t count,
         ++next_insert;
         ++inserted_so_far;
       } else {
-        key = rng.Next() & (~0ull - 1);
+        // Fallback when no insert pool is supplied: any key except the
+        // ~0ull gapped-array sentinel. Remap the sentinel instead of
+        // masking it away — `& (~0ull - 1)` would clear the *low* bit,
+        // making every fallback key even and skewing learned-model fits.
+        key = rng.Next();
+        if (key == ~0ull) key = ~0ull - 1;
       }
       op = {OpType::kInsert, key, 0};
     } else if (dice <

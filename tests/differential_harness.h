@@ -1,0 +1,89 @@
+// Differential conformance harness: drives any registered index (and
+// ViperStore stacked on any updatable index) through long seeded streams
+// of interleaved operations — bulk-load, point read, insert, update
+// (upsert), scan, recover — and checks every single result against a
+// std::map oracle. On divergence it delta-minimizes the op stream and
+// reports the seed, index name and the minimized op prefix so the failure
+// can be replayed deterministically.
+//
+// This is the correctness floor under the paper's cross-index numbers:
+// all 14 indexes must behave identically through OrderedIndex before any
+// throughput comparison between them means anything.
+#ifndef PIECES_TESTS_DIFFERENTIAL_HARNESS_H_
+#define PIECES_TESTS_DIFFERENTIAL_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/ordered_index.h"
+#include "workload/ycsb.h"
+
+namespace pieces {
+
+// One operation in a differential stream. kPut covers insert, update and
+// the write half of read-modify-write (all upserts through OrderedIndex);
+// kRecover rebuilds the index from a sorted snapshot of the oracle
+// (ViperStore runs use ViperStore::Recover instead).
+struct DiffOp {
+  enum Kind : uint8_t { kGet = 0, kPut = 1, kScan = 2, kRecover = 3 };
+  Kind kind;
+  Key key = 0;
+  Value value = 0;
+  uint32_t scan_len = 0;
+};
+
+struct DiffConfig {
+  uint64_t seed = 1;
+  // Key pattern: any MakeKeys dataset name ("ycsb", "osm", "face",
+  // "sequential", ...) or "adversarial" (dense runs, near-UINT64_MAX
+  // tail, wide gaps, duplicate-heavy op keys).
+  std::string dataset = "ycsb";
+  size_t load_keys = 20000;  // Bulk-loaded before the op stream.
+  size_t ops = 50000;        // Interleaved ops after the load.
+  // Percentages must sum to 100. For indexes without insert support the
+  // write shares are folded into reads; without scan support the scan
+  // share is folded into reads (the unsupported paths are still probed).
+  int read_pct = 40;
+  int update_pct = 20;
+  int insert_pct = 20;
+  int rmw_pct = 5;
+  int scan_pct = 15;
+  uint32_t scan_len = 64;
+  KeyPick pick = KeyPick::kZipfian;
+  size_t recover_every = 0;  // 0 = never; else a kRecover op every N ops.
+  // ViperStore runs only: value payload bytes (small keeps memcmp cheap).
+  size_t store_value_size = 24;
+};
+
+struct DiffResult {
+  bool ok = true;
+  size_t ops_executed = 0;
+  // On divergence: seed, index, dataset, failing op, minimized prefix.
+  std::string report;
+};
+
+// Deterministically generates the op stream for `cfg` (exposed so a
+// failing seed can be replayed and inspected from other tests/tools).
+std::vector<DiffOp> GenerateDiffOps(const DiffConfig& cfg,
+                                    const std::vector<Key>& load_keys,
+                                    const std::vector<Key>& insert_pool);
+
+// Loads the dataset named by `cfg`, split into bulk-load keys and a
+// disjoint insert pool.
+void MakeDiffKeys(const DiffConfig& cfg, std::vector<Key>* load,
+                  std::vector<Key>* inserts);
+
+// Runs `index_name` (any AllIndexNames() entry) against the oracle.
+DiffResult RunIndexDifferential(const std::string& index_name,
+                                const DiffConfig& cfg);
+
+// Runs the same stream end-to-end through a ViperStore built on
+// `index_name` (must support insert), verifying full value payloads and
+// using ViperStore::Recover for kRecover ops.
+DiffResult RunStoreDifferential(const std::string& index_name,
+                                const DiffConfig& cfg);
+
+}  // namespace pieces
+
+#endif  // PIECES_TESTS_DIFFERENTIAL_HARNESS_H_

@@ -57,8 +57,8 @@ TEST_P(IndexConformanceTest, AbsentKeysAreAbsent) {
   Rng rng(23);
   size_t checked = 0;
   while (checked < 2000) {
-    Key probe = rng.Next() & (~0ull - 1);
-    if (present.count(probe)) continue;
+    Key probe = rng.Next();  // Skip the ~0ull sentinel, keep odd keys.
+    if (probe == ~0ull || present.count(probe)) continue;
     Value v;
     EXPECT_FALSE(index_->Get(probe, &v)) << index_->Name();
     ++checked;
@@ -80,7 +80,7 @@ TEST_P(IndexConformanceTest, ScanMatchesReference) {
   Rng rng(29);
   for (int trial = 0; trial < 50; ++trial) {
     Key from = trial % 2 == 0 ? keys_[rng.NextUnder(keys_.size())]
-                              : rng.Next() & (~0ull - 1);
+                              : rng.Next() % (~0ull - 1);
     size_t want = 1 + rng.NextUnder(200);
     std::vector<KeyValue> got;
     size_t n = index_->Scan(from, want, &got);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+
 namespace pieces {
 namespace {
 
@@ -66,6 +68,85 @@ TEST(LatencyRecorderTest, HugeValuesDoNotOverflow) {
   r.Record(~0ull >> 1);
   EXPECT_EQ(r.Count(), 1u);
   EXPECT_GT(r.P999(), 0u);
+}
+
+TEST(LatencyRecorderTest, QuantileEdgesWithSingleSample) {
+  LatencyRecorder r;
+  r.Record(12345);
+  // Every quantile of a single sample is an upper bound on that sample.
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_GE(r.QuantileNanos(q), 12345u) << "q=" << q;
+    EXPECT_LE(r.QuantileNanos(q), 12345u + 12345u / 14) << "q=" << q;
+  }
+  // Out-of-range q is clamped, not UB.
+  EXPECT_EQ(r.QuantileNanos(-1.0), r.QuantileNanos(0.0));
+  EXPECT_EQ(r.QuantileNanos(2.0), r.QuantileNanos(1.0));
+}
+
+TEST(LatencyRecorderTest, QuantileZeroAndOneBracketTheData) {
+  LatencyRecorder r;
+  for (uint64_t v : {10u, 500u, 90000u}) r.Record(v);
+  EXPECT_GE(r.QuantileNanos(0.0), 10u);
+  EXPECT_LT(r.QuantileNanos(0.0), 500u);
+  EXPECT_GE(r.QuantileNanos(1.0), 90000u);
+}
+
+TEST(LatencyRecorderTest, BucketRoundTripAtDecadeBoundaries) {
+  // The dense low range [0, 16) is exact; 15 -> 16 crosses into the first
+  // log-spaced decade.
+  EXPECT_EQ(LatencyRecorder::BucketFor(15), 15u);
+  EXPECT_EQ(LatencyRecorder::BucketUpperBound(LatencyRecorder::BucketFor(15)),
+            15u);
+  EXPECT_EQ(LatencyRecorder::BucketUpperBound(LatencyRecorder::BucketFor(16)),
+            16u);
+  EXPECT_GT(LatencyRecorder::BucketFor(16), LatencyRecorder::BucketFor(15));
+  // 2^k - 1 is the last (exact) value of its decade; 2^k starts the next.
+  for (int k = 5; k < 64; ++k) {
+    uint64_t top = (1ull << k) - 1;
+    size_t top_bucket = LatencyRecorder::BucketFor(top);
+    size_t next_bucket = LatencyRecorder::BucketFor(top + 1);
+    EXPECT_EQ(LatencyRecorder::BucketUpperBound(top_bucket), top) << k;
+    EXPECT_EQ(next_bucket, top_bucket + 1) << k;
+    EXPECT_GE(LatencyRecorder::BucketUpperBound(next_bucket), top + 1) << k;
+  }
+}
+
+TEST(LatencyRecorderTest, BucketForLog63DoesNotOverflow) {
+  // The top decade (log == 63): every value up to UINT64_MAX must land in
+  // a valid bucket whose upper bound still covers it.
+  for (uint64_t v : {1ull << 63, (1ull << 63) + 1, ~0ull - 1, ~0ull}) {
+    size_t b = LatencyRecorder::BucketFor(v);
+    ASSERT_LT(b, LatencyRecorder::kNumBuckets) << v;
+    EXPECT_GE(LatencyRecorder::BucketUpperBound(b), v) << v;
+  }
+  EXPECT_EQ(LatencyRecorder::BucketUpperBound(LatencyRecorder::kNumBuckets - 1),
+            ~0ull);
+}
+
+TEST(LatencyRecorderTest, BucketPropertyUpperBoundCoversAndIsMonotone) {
+  // Note buckets 16..63 are unreachable by construction (values < 16 use
+  // the dense range, values >= 16 start at bucket 64), so the properties
+  // are stated over BucketFor's image, not over raw bucket indices.
+  Rng rng(1234);
+  for (int trial = 0; trial < 100000; ++trial) {
+    // Bias toward interesting magnitudes: random bit width.
+    int width = static_cast<int>(rng.NextUnder(64)) + 1;
+    uint64_t v = rng.Next() >> (64 - width);
+    size_t b = LatencyRecorder::BucketFor(v);
+    uint64_t upper = LatencyRecorder::BucketUpperBound(b);
+    ASSERT_LT(b, LatencyRecorder::kNumBuckets);
+    // The upper bound covers v, lives in the same bucket, and is tight:
+    // the next value starts a strictly later bucket.
+    EXPECT_GE(upper, v);
+    EXPECT_EQ(LatencyRecorder::BucketFor(upper), b) << v;
+    if (upper < ~0ull) {
+      EXPECT_GT(LatencyRecorder::BucketFor(upper + 1), b) << v;
+    }
+    // BucketFor is monotone in v.
+    if (v > 0) {
+      EXPECT_LE(LatencyRecorder::BucketFor(v - 1), b) << v;
+    }
+  }
 }
 
 }  // namespace

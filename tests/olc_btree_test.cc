@@ -3,7 +3,9 @@
 // concurrent_test and stress_concurrent_test).
 #include "traditional/olc_btree.h"
 
+#include <atomic>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -62,6 +64,71 @@ TEST(OlcBTreeTest, BulkLoadThenScan) {
   size_t n = tree.Scan(keys[100], 1000, &out);
   ASSERT_EQ(n, 1000u);
   for (size_t i = 0; i < n; ++i) EXPECT_EQ(out[i].key, keys[100 + i]);
+}
+
+TEST(OlcBTreeTest, TypedNodeDeallocationOnRebuildAndDestruction) {
+  // Regression: BulkLoad, Clear and the destructor used to `delete` nodes
+  // through the vtable-less Node base pointer — undefined behaviour that
+  // ASan reports as new-delete-type-mismatch. This test walks every
+  // deallocation path (leaf root, multi-level root, rebuild, destruction)
+  // so the sanitizer CI job catches any recurrence.
+  {
+    OlcBTree tree;  // Destroy with the initial empty leaf root.
+  }
+  {
+    OlcBTree tree;
+    std::vector<KeyValue> data;
+    for (uint64_t k = 0; k < 10000; ++k) data.push_back({k * 2, k});
+    tree.BulkLoad(data);        // Leaf root replaced, inner levels built.
+    tree.BulkLoad(data);        // Rebuild deletes the multi-level tree.
+    tree.BulkLoad({});          // Back to a single empty leaf.
+    tree.BulkLoad(data);
+    for (uint64_t k = 0; k < 5000; ++k) tree.Insert(k * 2 + 1, k);
+    Value v = 0;
+    ASSERT_TRUE(tree.Get(9999, &v));
+    EXPECT_EQ(v, 4999u);
+  }  // Destroy a tree grown by splits.
+}
+
+TEST(OlcBTreeTest, ConcurrentReadersDuringLeafShiftsAreRaceFree) {
+  // Regression: optimistic readers used to do plain loads of keys/values/
+  // count while a locked writer shifted them with std::copy_backward — a
+  // data race under the C++ memory model (the version check discards the
+  // torn results, but the racing accesses themselves were undefined; TSan
+  // flagged them). Both sides now go through relaxed atomic_ref. This
+  // hammers Get/Scan against inserts into the same leaves so the TSan CI
+  // job catches any plain access creeping back in.
+  OlcBTree tree;
+  std::vector<KeyValue> data;
+  for (uint64_t k = 0; k < 4000; ++k) data.push_back({k * 4, k});
+  tree.BulkLoad(data);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (uint64_t k = 0; k < 16000; ++k) tree.Insert(k | 1, k);
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t i = static_cast<uint64_t>(t);
+      std::vector<KeyValue> out;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Value v = 0;
+        ASSERT_TRUE(tree.Get((i % 4000) * 4, &v));
+        EXPECT_EQ(v, i % 4000);
+        if (i % 64 == 0) {
+          out.clear();
+          tree.Scan(i % 16000, 32, &out);
+          for (size_t j = 1; j < out.size(); ++j) {
+            ASSERT_LT(out[j - 1].key, out[j].key);
+          }
+        }
+        i += 7;
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
 }
 
 TEST(OlcBTreeTest, ScanDuringSplitsStaysSorted) {

@@ -83,5 +83,69 @@ INSTANTIATE_TEST_SUITE_P(Datasets, SearchPropertyTest,
                          ::testing::Values("ycsb", "normal", "lognormal",
                                            "osm", "face", "sequential"));
 
+TEST(SearchTest, AllVariantsMatchStdLowerBoundWithDuplicates) {
+  // MakeKeys returns unique keys, so the parameterized property test never
+  // sees duplicates — but in-leaf arrays can hold runs of equal keys
+  // (buffered FITing-tree merges, anatomy experiments). lower_bound must
+  // land on the *first* of a duplicate run for every routine.
+  Rng rng(4242);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> keys;
+    size_t n = 1 + rng.NextUnder(2000);
+    uint64_t k = rng.NextUnder(1000);
+    while (keys.size() < n) {
+      size_t run = 1 + rng.NextUnder(8);  // Duplicate runs up to 8 long.
+      for (size_t i = 0; i < run && keys.size() < n; ++i) keys.push_back(k);
+      k += 1 + rng.NextUnder(100);
+    }
+    ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    for (int trial = 0; trial < 200; ++trial) {
+      uint64_t key = trial % 2 == 0 ? keys[rng.NextUnder(keys.size())]
+                                    : rng.NextUnder(keys.back() + 3);
+      size_t ref = RefLowerBound(keys, key);
+      EXPECT_EQ(BinarySearchLowerBound(keys.data(), 0, keys.size(), key), ref);
+      EXPECT_EQ(BranchlessLowerBound(keys.data(), 0, keys.size(), key), ref);
+      EXPECT_EQ(
+          InterpolationSearchLowerBound(keys.data(), 0, keys.size(), key),
+          ref);
+      EXPECT_EQ(ThreePointSearchLowerBound(keys.data(), 0, keys.size(), key),
+                ref);
+      // Hint positions at the extremes and in between.
+      for (size_t hint : {size_t{0}, keys.size() - 1,
+                          rng.NextUnder(keys.size())}) {
+        EXPECT_EQ(
+            ExponentialSearchLowerBound(keys.data(), keys.size(), hint, key),
+            ref)
+            << "key=" << key << " hint=" << hint;
+      }
+    }
+  }
+}
+
+TEST(SearchTest, SingleElementAndAllEqualArrays) {
+  // All-equal segments: every position predicts the same key.
+  std::vector<uint64_t> same(257, 42);
+  for (uint64_t key : {41ull, 42ull, 43ull}) {
+    size_t ref = RefLowerBound(same, key);
+    EXPECT_EQ(BinarySearchLowerBound(same.data(), 0, same.size(), key), ref);
+    EXPECT_EQ(BranchlessLowerBound(same.data(), 0, same.size(), key), ref);
+    EXPECT_EQ(InterpolationSearchLowerBound(same.data(), 0, same.size(), key),
+              ref);
+    EXPECT_EQ(ThreePointSearchLowerBound(same.data(), 0, same.size(), key),
+              ref);
+    for (size_t hint : {size_t{0}, same.size() - 1}) {
+      EXPECT_EQ(
+          ExponentialSearchLowerBound(same.data(), same.size(), hint, key),
+          ref);
+    }
+  }
+  std::vector<uint64_t> one = {7};
+  for (uint64_t key : {6ull, 7ull, 8ull}) {
+    size_t ref = RefLowerBound(one, key);
+    EXPECT_EQ(ExponentialSearchLowerBound(one.data(), 1, 0, key), ref);
+    EXPECT_EQ(BranchlessLowerBound(one.data(), 0, 1, key), ref);
+  }
+}
+
 }  // namespace
 }  // namespace pieces

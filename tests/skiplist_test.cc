@@ -1,0 +1,86 @@
+// Targeted SkipList tests. The single-threaded semantics are covered by
+// index_conformance_test; these pin down the lock-free insert protocol.
+#include "traditional/skiplist.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace pieces {
+namespace {
+
+TEST(SkipListTest, ConcurrentNeighborInsertsLoseNoKeys) {
+  // Regression: the level-0 splice used to re-read the successor pointer
+  // after walking to the predecessor, so a racing insert could land a
+  // smaller key in that window and the CAS would still succeed — linking
+  // the new node *before* the smaller key and hiding it from every
+  // search. Threads inserting interleaved neighbors (t, t+T, t+2T, ...)
+  // continuously share predecessors, which is exactly the collision the
+  // bug needs.
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  for (int round = 0; round < 3; ++round) {
+    SkipList list;
+    list.BulkLoad({});
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&list, t] {
+        for (uint64_t i = 0; i < kPerThread; ++i) {
+          uint64_t k = i * kThreads + static_cast<uint64_t>(t) + 1;
+          ASSERT_TRUE(list.Insert(k, k * 2));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (uint64_t k = 1; k <= kPerThread * kThreads; ++k) {
+      Value v = 0;
+      ASSERT_TRUE(list.Get(k, &v)) << "round " << round << " key " << k;
+      EXPECT_EQ(v, k * 2);
+    }
+    // The level-0 chain must also be fully ordered and complete.
+    std::vector<KeyValue> out;
+    ASSERT_EQ(list.Scan(1, kPerThread * kThreads, &out),
+              kPerThread * kThreads);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i].key, i + 1);
+    }
+  }
+}
+
+TEST(SkipListTest, ConcurrentInsertsOnClusteredRandomKeys) {
+  // Same hazard with random keys packed into a narrow range so most
+  // inserts contend for the same few predecessors.
+  constexpr int kThreads = 4;
+  SkipList list;
+  list.BulkLoad({});
+  std::vector<std::vector<uint64_t>> per_thread(kThreads);
+  Rng rng(1234);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < 10000; ++i) {
+      per_thread[t].push_back(rng.Next() % 4096);
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&list, &per_thread, t] {
+      for (uint64_t k : per_thread[t]) {
+        ASSERT_TRUE(list.Insert(k, k + 7));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t k : per_thread[t]) {
+      Value v = 0;
+      ASSERT_TRUE(list.Get(k, &v)) << "key " << k;
+      EXPECT_EQ(v, k + 7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pieces

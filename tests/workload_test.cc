@@ -104,6 +104,38 @@ TEST(YcsbTest, YcsbDInsertsAreInsertsNotUpdates) {
   EXPECT_NEAR(static_cast<double>(inserts) / 20000.0, 0.05, 0.01);
 }
 
+TEST(YcsbTest, FallbackInsertKeysIncludeOddKeys) {
+  // Regression: the pool-less insert fallback used to mask with
+  // `& (~0ull - 1)`, which clears the low bit — every generated key was
+  // even, halving the effective key space and skewing dataset CDFs.
+  std::vector<uint64_t> keys = MakeUniformKeys(100, 3);
+  std::vector<uint64_t> empty_pool;
+  auto ops = GenerateOps(WorkloadSpec::WriteOnly(), 2000, keys, empty_pool);
+  size_t odd = 0;
+  for (const Op& op : ops) {
+    ASSERT_EQ(op.type, OpType::kInsert);
+    ASSERT_NE(op.key, ~0ull);  // The gapped-array sentinel stays excluded.
+    odd += op.key & 1;
+  }
+  // ~half of uniform random keys must be odd (0 before the fix).
+  EXPECT_GT(odd, size_t{800});
+  EXPECT_LT(odd, size_t{1200});
+}
+
+TEST(YcsbTest, MalformedSpecDiesInReleaseBuilds) {
+  WorkloadSpec bad;
+  bad.read_pct = 50;  // Sums to 50, not 100.
+  std::vector<uint64_t> keys = MakeUniformKeys(10, 3);
+  std::vector<uint64_t> pool;
+  EXPECT_DEATH(GenerateOps(bad, 10, keys, pool),
+               "percentages must be non-negative and sum to 100");
+  WorkloadSpec negative;
+  negative.read_pct = 150;
+  negative.update_pct = -50;
+  EXPECT_DEATH(GenerateOps(negative, 10, keys, pool),
+               "percentages must be non-negative and sum to 100");
+}
+
 TEST(YcsbTest, SplitLoadAndInsertsPartitions) {
   std::vector<uint64_t> keys = MakeUniformKeys(1000, 5);
   std::vector<uint64_t> load;
