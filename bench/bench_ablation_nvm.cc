@@ -4,26 +4,20 @@
 // injected NVM latency from 0 (pure DRAM) upward and watch the relative
 // gap between the fastest learned index, the B+Tree and the hash index
 // compress as the medium dominates.
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Ablation: NVM latency sensitivity",
-              "as the medium slows, index differences compress — but the "
-              "ordering (learned > tree) survives (the paper's Viper "
-              "finding)");
-  const size_t n = BaseKeys();
+void RunAblationNvm(Context& ctx) {
+  const size_t n = ctx.base_keys;
   std::vector<Key> keys = MakeKeys("ycsb", n, 17);
-  auto ops = GenerateOps(WorkloadSpec::ReadOnly(), 100'000, keys, {});
+  auto ops = GenerateOps(WorkloadSpec::ReadOnly(),
+                         std::max<size_t>(1, ctx.ops / 2), keys, {});
 
-  std::printf("%-12s %12s %12s %12s %14s\n", "nvm-ns", "ALEX", "BTree",
-              "Hash", "ALEX/BTree");
   for (uint64_t latency : {0ull, 200ull, 500ull, 1000ull, 3000ull}) {
-    double mops[3];
+    ctx.sink.Section("nvm latency " + std::to_string(latency) + " ns");
+    double mops[3] = {0, 0, 0};
     int i = 0;
     for (const char* name : {"ALEX", "BTree", "Hash"}) {
       ViperStore::Config cfg;
@@ -32,19 +26,33 @@ void Run() {
       cfg.read_latency_ns = latency;
       cfg.write_latency_ns = latency;
       ViperStore store(MakeIndex(name), cfg);
-      if (!store.BulkLoad(keys)) return;
-      mops[i++] = RunStoreOps(&store, ops).mops;
+      if (!store.BulkLoad(keys)) {
+        ctx.sink.Add(ResultRow(name)
+                         .Status("bulk_load_failed")
+                         .Label("nvm_ns", std::to_string(latency)));
+        ++i;
+        continue;
+      }
+      RunStats r = RunStoreOps(&store, ops, ExecOptions(ctx));
+      mops[i++] = r.mops;
+      ctx.sink.Add(ResultRow(name)
+                       .Label("nvm_ns", std::to_string(latency))
+                       .Metric("mops", r.mops));
     }
-    std::printf("%-12llu %12.3f %12.3f %12.3f %14.2f\n",
-                static_cast<unsigned long long>(latency), mops[0], mops[1],
-                mops[2], mops[0] / mops[1]);
+    if (mops[1] > 0) {
+      ctx.sink.Add(ResultRow("ALEX/BTree")
+                       .Label("nvm_ns", std::to_string(latency))
+                       .Metric("ratio", mops[0] / mops[1]));
+    }
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    ablation_nvm, "ablation_nvm", "§III-A2",
+    "Ablation: NVM latency sensitivity",
+    "as the medium slows, index differences compress — but the ordering "
+    "(learned > tree) survives (the paper's Viper finding)",
+    RunAblationNvm)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

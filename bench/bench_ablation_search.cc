@@ -1,141 +1,147 @@
 // Ablation (paper §VI): the in-leaf "last mile" search algorithms —
-// binary, branchless binary, exponential (from a model hint),
-// interpolation, and three-point interpolation — measured with
-// google-benchmark over dataset distributions and error-window sizes.
-#include <benchmark/benchmark.h>
-
+// binary, branchless binary, interpolation and three-point interpolation
+// over full sorted arrays per dataset distribution, plus exponential
+// search from a model hint and bounded binary search inside a +-eps
+// window (the error regimes every learned index lives in).
+#include <algorithm>
+#include <cstdio>
+#include <functional>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "common/search.h"
-#include "workload/datasets.h"
+#include "common/timer.h"
 
-namespace pieces {
+namespace pieces::bench {
 namespace {
 
-const std::vector<uint64_t>& Keys(int dataset) {
-  static const std::vector<uint64_t> ycsb = MakeKeys("ycsb", 1 << 20, 7);
-  static const std::vector<uint64_t> osm = MakeKeys("osm", 1 << 20, 7);
-  static const std::vector<uint64_t> face = MakeKeys("face", 1 << 20, 7);
-  switch (dataset) {
-    case 1: return osm;
-    case 2: return face;
-    default: return ycsb;
-  }
-}
-
 // Pre-generates probe keys (existing) for a run.
-std::vector<uint64_t> Probes(const std::vector<uint64_t>& keys, size_t n) {
-  Rng rng(11);
-  std::vector<uint64_t> probes(n);
-  for (uint64_t& p : probes) p = keys[rng.NextUnder(keys.size())];
+std::vector<Key> Probes(Rng& rng, const std::vector<Key>& keys, size_t n) {
+  std::vector<Key> probes(n);
+  for (Key& p : probes) p = keys[rng.NextUnder(keys.size())];
   return probes;
 }
 
-void BM_BinarySearch(benchmark::State& state) {
-  const auto& keys = Keys(static_cast<int>(state.range(0)));
-  auto probes = Probes(keys, 4096);
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BinarySearchLowerBound(
-        keys.data(), 0, keys.size(), probes[i++ & 4095]));
-  }
+// Times `fn(probe)` over the probe set; ns per lookup.
+double MeasureNs(const std::vector<Key>& probes,
+                 const std::function<size_t(Key)>& fn) {
+  Timer timer;
+  uint64_t sink = 0;
+  for (Key p : probes) sink += fn(p);
+  double ns = static_cast<double>(timer.ElapsedNanos()) /
+              static_cast<double>(probes.size());
+  if (sink == 42) std::printf("#");  // Defeat dead-code elimination.
+  return ns;
 }
-BENCHMARK(BM_BinarySearch)->Arg(0)->Arg(1)->Arg(2);
 
-void BM_BranchlessSearch(benchmark::State& state) {
-  const auto& keys = Keys(static_cast<int>(state.range(0)));
-  auto probes = Probes(keys, 4096);
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BranchlessLowerBound(keys.data(), 0,
-                                                  keys.size(),
-                                                  probes[i++ & 4095]));
-  }
-}
-BENCHMARK(BM_BranchlessSearch)->Arg(0)->Arg(1)->Arg(2);
+void RunAblationSearch(Context& ctx) {
+  const size_t n = std::min<size_t>(
+      size_t{1} << 20, std::max<size_t>(ctx.base_keys, size_t{1} << 12));
+  const size_t lookups = std::max<size_t>(1000, ctx.ops);
 
-void BM_InterpolationSearch(benchmark::State& state) {
-  const auto& keys = Keys(static_cast<int>(state.range(0)));
-  auto probes = Probes(keys, 4096);
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(InterpolationSearchLowerBound(
-        keys.data(), 0, keys.size(), probes[i++ & 4095]));
+  ctx.sink.Section("full-array search per dataset distribution");
+  for (const char* ds : {"ycsb", "osm", "face"}) {
+    std::vector<Key> keys = MakeKeys(ds, n, 7);
+    Rng rng(11);
+    auto probes = Probes(rng, keys, lookups);
+    struct Algo {
+      const char* name;
+      std::function<size_t(Key)> fn;
+    };
+    const Key* data = keys.data();
+    size_t count = keys.size();
+    const Algo algos[] = {
+        {"binary",
+         [=](Key k) { return BinarySearchLowerBound(data, 0, count, k); }},
+        {"branchless",
+         [=](Key k) { return BranchlessLowerBound(data, 0, count, k); }},
+        {"interpolation",
+         [=](Key k) {
+           return InterpolationSearchLowerBound(data, 0, count, k);
+         }},
+        {"three-point",
+         [=](Key k) {
+           return ThreePointSearchLowerBound(data, 0, count, k);
+         }},
+    };
+    for (const Algo& algo : algos) {
+      ctx.sink.Add(ResultRow(algo.name)
+                       .Label("dataset", ds)
+                       .Metric("ns_per_lookup",
+                               MeasureNs(probes, algo.fn)));
+    }
   }
-}
-BENCHMARK(BM_InterpolationSearch)->Arg(0)->Arg(1)->Arg(2);
 
-void BM_ThreePointSearch(benchmark::State& state) {
-  const auto& keys = Keys(static_cast<int>(state.range(0)));
-  auto probes = Probes(keys, 4096);
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ThreePointSearchLowerBound(
-        keys.data(), 0, keys.size(), probes[i++ & 4095]));
+  // Exponential search from a hint that is off by up to `err` positions —
+  // the model-error regime every learned index lives in.
+  ctx.sink.Section("exponential search from model hint (ycsb)");
+  std::vector<Key> keys = MakeKeys("ycsb", n, 7);
+  for (size_t err : {0, 8, 64, 512, 4096}) {
+    Rng rng(13);
+    struct Probe {
+      Key key;
+      size_t hint;
+    };
+    std::vector<Probe> probes(lookups);
+    for (Probe& p : probes) {
+      size_t rank = rng.NextUnder(keys.size());
+      p.key = keys[rank];
+      size_t off = rng.NextUnder(2 * err + 1);
+      size_t hint = rank + off >= err ? rank + off - err : 0;
+      p.hint = hint >= keys.size() ? keys.size() - 1 : hint;
+    }
+    Timer timer;
+    uint64_t sink = 0;
+    for (const Probe& p : probes) {
+      sink += ExponentialSearchLowerBound(keys.data(), keys.size(), p.hint,
+                                          p.key);
+    }
+    double ns = static_cast<double>(timer.ElapsedNanos()) /
+                static_cast<double>(probes.size());
+    if (sink == 42) std::printf("#");
+    ctx.sink.Add(ResultRow("exponential-from-hint")
+                     .Label("hint_err", std::to_string(err))
+                     .Metric("ns_per_lookup", ns));
   }
-}
-BENCHMARK(BM_ThreePointSearch)->Arg(0)->Arg(1)->Arg(2);
 
-// Exponential search from a hint that is off by `range(1)` positions —
-// the model-error regime every learned index lives in.
-void BM_ExponentialFromHint(benchmark::State& state) {
-  const auto& keys = Keys(0);
-  Rng rng(13);
-  struct Probe {
-    uint64_t key;
-    size_t hint;
-  };
-  std::vector<Probe> probes(4096);
-  size_t err = static_cast<size_t>(state.range(1));
-  for (Probe& p : probes) {
-    size_t rank = rng.NextUnder(keys.size());
-    p.key = keys[rank];
-    size_t off = rng.NextUnder(2 * err + 1);
-    size_t hint = rank + off >= err ? rank + off - err : 0;
-    p.hint = hint >= keys.size() ? keys.size() - 1 : hint;
-  }
-  size_t i = 0;
-  for (auto _ : state) {
-    const Probe& p = probes[i++ & 4095];
-    benchmark::DoNotOptimize(
-        ExponentialSearchLowerBound(keys.data(), keys.size(), p.hint, p.key));
+  // Bounded binary search inside a +-eps window (the PGM/FITing last
+  // mile).
+  ctx.sink.Section("bounded binary search in +-eps window (ycsb)");
+  for (size_t eps : {8, 64, 512, 4096}) {
+    Rng rng(13);
+    struct Probe {
+      Key key;
+      size_t lo;
+      size_t hi;
+    };
+    std::vector<Probe> probes(lookups);
+    for (Probe& p : probes) {
+      size_t rank = rng.NextUnder(keys.size());
+      p.key = keys[rank];
+      p.lo = rank > eps ? rank - eps : 0;
+      p.hi = std::min(keys.size(), rank + eps + 1);
+    }
+    Timer timer;
+    uint64_t sink = 0;
+    for (const Probe& p : probes) {
+      sink += BinarySearchLowerBound(keys.data(), p.lo, p.hi, p.key);
+    }
+    double ns = static_cast<double>(timer.ElapsedNanos()) /
+                static_cast<double>(probes.size());
+    if (sink == 42) std::printf("#");
+    ctx.sink.Add(ResultRow("bounded-binary-window")
+                     .Label("eps", std::to_string(eps))
+                     .Metric("ns_per_lookup", ns));
   }
 }
-BENCHMARK(BM_ExponentialFromHint)
-    ->Args({0, 0})
-    ->Args({0, 8})
-    ->Args({0, 64})
-    ->Args({0, 512})
-    ->Args({0, 4096});
 
-// Bounded binary search inside a +-eps window (the PGM/FITing last mile).
-void BM_BoundedBinaryWindow(benchmark::State& state) {
-  const auto& keys = Keys(0);
-  Rng rng(13);
-  size_t eps = static_cast<size_t>(state.range(0));
-  struct Probe {
-    uint64_t key;
-    size_t lo;
-    size_t hi;
-  };
-  std::vector<Probe> probes(4096);
-  for (Probe& p : probes) {
-    size_t rank = rng.NextUnder(keys.size());
-    p.key = keys[rank];
-    p.lo = rank > eps ? rank - eps : 0;
-    p.hi = std::min(keys.size(), rank + eps + 1);
-  }
-  size_t i = 0;
-  for (auto _ : state) {
-    const Probe& p = probes[i++ & 4095];
-    benchmark::DoNotOptimize(
-        BinarySearchLowerBound(keys.data(), p.lo, p.hi, p.key));
-  }
-}
-BENCHMARK(BM_BoundedBinaryWindow)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+PIECES_REGISTER_EXPERIMENT(
+    ablation_search, "ablation_search", "§VI ablation",
+    "Ablation: in-leaf search algorithms (§VI)",
+    "interpolation wins on uniform data and loses under skew; "
+    "exponential-search cost grows with log(model error)",
+    RunAblationSearch)
 
 }  // namespace
-}  // namespace pieces
-
-BENCHMARK_MAIN();
+}  // namespace pieces::bench

@@ -4,43 +4,42 @@
 // by the lookup (learned indexes win like Fig. 10); long scans are
 // dominated by sequential leaf traversal, where layout matters — gapped
 // arrays (ALEX) touch more slots than packed arrays (PGM/FITing).
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Appendix: range queries (scan length sweep)",
-              "short scans follow the lookup ranking; long scans narrow "
-              "the gap and favour packed leaf layouts");
-  const size_t n = BaseKeys();
+void RunAppendixRange(Context& ctx) {
+  const size_t n = ctx.base_keys;
   std::vector<Key> keys = MakeKeys("ycsb", n, 17);
   for (uint32_t len : {10u, 100u, 1000u}) {
     WorkloadSpec spec;
     spec.read_pct = 0;
     spec.scan_pct = 100;
     spec.scan_len = len;
-    auto ops = GenerateOps(spec, 20'000, keys, {});
-    std::printf("\n-- scan length %u --\n", len);
+    auto ops = GenerateOps(spec, std::max<size_t>(1, ctx.ops / 10), keys, {});
+    ctx.sink.Section("scan length " + std::to_string(len));
     for (const char* name : {"RMI", "RS", "FITing-tree-buf", "PGM", "ALEX",
                              "XIndex", "LIPP", "BTree", "ART", "Wormhole",
                              "SkipList"}) {
-      auto store = MakeStore(name, keys);
+      auto store = MakeStore(ctx, name, keys);
       if (store == nullptr) continue;
-      RunResult r = RunStoreOps(store.get(), ops);
-      std::printf("%-18s %10.1f Kscans/s   p50 %8llu ns\n", name,
-                  r.mops * 1000.0,
-                  static_cast<unsigned long long>(r.latency.P50()));
+      RunStats r = RunStoreOps(store.get(), ops, ExecOptions(ctx));
+      ctx.sink.Add(
+          ResultRow(name)
+              .Label("scan_len", std::to_string(len))
+              .Metric("kscans", r.mops * 1000.0)
+              .Metric("p50_ns", static_cast<double>(r.scans().P50())));
     }
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    appendix_range, "appendix_range", "appendix",
+    "Appendix: range queries (scan length sweep)",
+    "short scans follow the lookup ranking; long scans narrow the gap and "
+    "favour packed leaf layouts",
+    RunAppendixRange)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

@@ -1,36 +1,34 @@
 // Dataset characterization: the quantitative backing for the paper's
 // dataset narratives — OSM's complex CDF (more PLA segments, deeper
 // indexes), FACE's prefix skew (radix collapse), lognormal's heavy tail.
-// Prints the CdfStats metrics for every dataset the benches use.
-#include <cstdio>
-
+// Emits the CdfStats metrics for every dataset the benches use.
 #include "bench/bench_util.h"
 #include "workload/cdf_stats.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Dataset hardness (CDF characterization)",
-              "OSM needs far more PLA segments (complex CDF); FACE "
-              "concentrates nearly all keys under one 14-bit prefix");
-  const size_t n = BaseKeys();
-  std::printf("%-12s %14s %14s %14s %12s\n", "dataset", "segs/1M(eps64)",
-              "global-fit-err", "top-prefix14", "density-cv");
+void RunDatasetHardness(Context& ctx) {
+  const size_t n = ctx.base_keys;
   for (const char* ds :
        {"ycsb", "normal", "lognormal", "osm", "face", "sequential"}) {
     std::vector<Key> keys = MakeKeys(ds, n, 17);
     CdfStats s = AnalyzeCdf(keys.data(), keys.size());
-    std::printf("%-12s %14.1f %14.5f %14.4f %12.2f\n", ds,
-                s.pla_segments_per_million, s.global_fit_error_frac,
-                s.top_prefix14_frac, s.density_cv);
+    ctx.sink.Add(ResultRow(ds)
+                     .Metric("segs_per_million_eps64",
+                             s.pla_segments_per_million)
+                     .Metric("global_fit_err", s.global_fit_error_frac)
+                     .Metric("top_prefix14", s.top_prefix14_frac)
+                     .Metric("density_cv", s.density_cv));
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    dataset_hardness, "dataset_hardness", "dataset char.",
+    "Dataset hardness (CDF characterization)",
+    "OSM needs far more PLA segments (complex CDF); FACE concentrates "
+    "nearly all keys under one 14-bit prefix",
+    RunDatasetHardness)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

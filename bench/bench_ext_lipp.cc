@@ -3,20 +3,16 @@
 // which was not open source at the time — should beat the evaluated
 // indexes on lookups. This bench tests that prediction: LIPP vs ALEX vs
 // PGM vs BTree on read-only lookups and on inserts.
-#include <cstdio>
-
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/timer.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Extension: LIPP (the paper's §V-B1 prediction)",
-              "precise positions should make lookups faster than any "
-              "search-based learned index, at extra space cost");
-  const size_t n = BaseKeys();
-  const size_t ops_n = 400'000;
+void RunExtLipp(Context& ctx) {
+  const size_t n = ctx.base_keys;
+  const size_t ops_n = ctx.ops * 2;
   for (const char* ds : {"ycsb", "osm"}) {
     std::vector<Key> all = MakeKeys(ds, n + n / 3, 17);
     std::vector<Key> load;
@@ -25,9 +21,8 @@ void Run() {
     std::vector<KeyValue> data;
     for (Key k : load) data.push_back({k, k});
 
-    std::printf("\n-- dataset %s (bare index, no KV store) --\n", ds);
-    std::printf("%-10s %14s %14s %10s %12s\n", "index", "lookup-Mops",
-                "insert-Mops", "avg-depth", "index-MB");
+    ctx.sink.Section(std::string("dataset ") + ds +
+                     " (bare index, no KV store)");
     for (const char* name : {"LIPP", "ALEX", "PGM", "BTree"}) {
       auto index = MakeIndex(name);
       index->BulkLoad(data);
@@ -41,7 +36,9 @@ void Run() {
       for (Key p : probes) found += index->Get(p, &v);
       double lookup_mops =
           static_cast<double>(ops_n) / timer.ElapsedSeconds() / 1e6;
-      if (found != probes.size()) std::printf("(lookup misses!)");
+      if (found != probes.size()) {
+        ctx.sink.Note(std::string(name) + ": lookup misses!");
+      }
 
       Timer ins_timer;
       for (Key k : inserts) index->Insert(k, k);
@@ -49,17 +46,24 @@ void Run() {
                            ins_timer.ElapsedSeconds() / 1e6;
 
       IndexStats s = index->Stats();
-      std::printf("%-10s %14.3f %14.3f %10.2f %12.2f\n", name, lookup_mops,
-                  insert_mops, s.avg_depth,
-                  static_cast<double>(index->TotalSizeBytes()) / 1e6);
+      ctx.sink.Add(
+          ResultRow(name)
+              .Label("dataset", ds)
+              .Metric("lookup_mops", lookup_mops)
+              .Metric("insert_mops", insert_mops)
+              .Metric("avg_depth", s.avg_depth)
+              .Metric("index_mb",
+                      static_cast<double>(index->TotalSizeBytes()) / 1e6));
     }
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    ext_lipp, "ext_lipp", "§V-B1 ext.",
+    "Extension: LIPP (the paper's §V-B1 prediction)",
+    "precise positions should make lookups faster than any search-based "
+    "learned index, at extra space cost",
+    RunExtLipp)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

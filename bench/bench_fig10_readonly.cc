@@ -5,38 +5,36 @@
 // tree indexes; ALEX/RMI tails grow with data size (no max-error bound);
 // RS degrades as data outgrows its fixed radix prefix; everything learned
 // slows on OSM.
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Fig. 10: read-only end-to-end (Viper)",
-              "ALEX best overall; learned > traditional trees; tails of "
-              "unbounded-error indexes grow with dataset size");
-  const size_t ops_n = 200'000;
+void RunFig10(Context& ctx) {
   for (const char* ds : {"ycsb", "osm"}) {
     for (size_t mult : {1, 4}) {
-      size_t n = BaseKeys() * mult;
+      size_t n = ctx.base_keys * mult;
       std::vector<Key> keys = MakeKeys(ds, n, 17);
-      auto ops = GenerateOps(WorkloadSpec::ReadOnly(), ops_n, keys, {});
-      std::printf("\n-- dataset %s, %zu keys --\n", ds, n);
+      auto ops = GenerateOps(WorkloadSpec::ReadOnly(), ctx.ops, keys, {});
+      ctx.sink.Section(std::string("dataset ") + ds + ", " +
+                       std::to_string(n) + " keys");
       for (const std::string& name : AllIndexNames()) {
-        auto store = MakeStore(name, keys);
+        auto store = MakeStore(ctx, name, keys);
         if (store == nullptr) continue;
-        RunResult r = RunStoreOps(store.get(), ops);
-        PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+        RunStats r = RunStoreOps(store.get(), ops, ExecOptions(ctx));
+        ctx.sink.Add(ThroughputRow(name, r)
+                         .Label("dataset", ds)
+                         .Label("keys", std::to_string(n)));
       }
     }
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    fig10, "fig10", "Fig. 10", "Fig. 10: read-only end-to-end (Viper)",
+    "ALEX best overall; learned > traditional trees; tails of "
+    "unbounded-error indexes grow with dataset size",
+    RunFig10)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

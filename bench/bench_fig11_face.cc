@@ -2,46 +2,44 @@
 // Paper finding: RS collapses because almost every key shares the same
 // r-bit prefix (its radix table stops discriminating), while the other
 // learned indexes keep their ordering.
-#include <cstdio>
-
 #include "bench/bench_util.h"
 #include "learned/radix_spline.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Fig. 11: FACE-like skew",
-              "RS degrades sharply (radix prefix useless under skew); "
-              "other learned indexes hold up");
-  const size_t n = BaseKeys();
-  const size_t ops_n = 200'000;
+void RunFig11(Context& ctx) {
+  const size_t n = ctx.base_keys;
   for (const char* ds : {"ycsb", "face"}) {
     std::vector<Key> keys = MakeKeys(ds, n, 17);
-    auto ops = GenerateOps(WorkloadSpec::ReadOnly(), ops_n, keys, {});
-    std::printf("\n-- dataset %s --\n", ds);
+    auto ops = GenerateOps(WorkloadSpec::ReadOnly(), ctx.ops, keys, {});
+    ctx.sink.Section(std::string("dataset ") + ds);
     for (const char* name :
          {"RS", "RMI", "PGM", "ALEX", "FITing-tree-buf", "BTree"}) {
-      auto store = MakeStore(name, keys);
+      auto store = MakeStore(ctx, name, keys);
       if (store == nullptr) continue;
-      RunResult r = RunStoreOps(store.get(), ops);
-      PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+      RunStats r = RunStoreOps(store.get(), ops, ExecOptions(ctx));
+      ctx.sink.Add(ThroughputRow(name, r).Label("dataset", ds));
     }
     // Show the mechanism: spline points per used radix cell.
     RadixSpline rs(18, 32);
     std::vector<KeyValue> data;
     for (Key k : keys) data.push_back({k, k});
     rs.BulkLoad(data);
-    std::printf("RS radix-table degeneracy: %.1f spline points per used "
-                "cell (%zu spline points total)\n",
-                rs.AvgSplinePointsPerUsedCell(), rs.Stats().leaf_count + 1);
+    ctx.sink.Add(
+        ResultRow("RS-radix-degeneracy")
+            .Label("dataset", ds)
+            .Metric("spline_pts_per_used_cell", rs.AvgSplinePointsPerUsedCell())
+            .Metric("spline_points",
+                    static_cast<double>(rs.Stats().leaf_count + 1)));
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    fig11, "fig11", "Fig. 11", "Fig. 11: FACE-like skew",
+    "RS degrades sharply (radix prefix useless under skew); other learned "
+    "indexes hold up",
+    RunFig11)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

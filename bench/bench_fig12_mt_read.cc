@@ -3,39 +3,34 @@
 // scales best; learned indexes scale with threads until the memory
 // bandwidth saturates. (On this simulated substrate the shape of interest
 // is the relative scaling, not the absolute saturation point.)
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Fig. 12: multi-threaded read-only",
-              "hash scales best; all indexes gain with threads until "
-              "bandwidth saturates");
-  const size_t n = BaseKeys();
-  const size_t ops_n = 200'000;
+void RunFig12(Context& ctx) {
+  const size_t n = ctx.base_keys;
   std::vector<Key> keys = MakeKeys("ycsb", n, 17);
-  auto ops = GenerateOps(WorkloadSpec::ReadOnly(), ops_n, keys, {});
-  size_t max_threads = BenchMaxThreads();
-  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
-    std::printf("\n-- %zu thread(s) --\n", threads);
+  auto ops = GenerateOps(WorkloadSpec::ReadOnly(), ctx.ops, keys, {});
+  for (size_t threads = 1; threads <= ctx.max_threads; threads *= 2) {
+    ctx.sink.Section(std::to_string(threads) + " thread(s)");
     for (const char* name : {"ALEX", "PGM", "XIndex", "RS",
                              "FITing-tree-buf", "BTree", "OLC-BTree",
                              "SkipList", "ART", "Wormhole", "Hash"}) {
-      auto store = MakeStore(name, keys);
+      auto store = MakeStore(ctx, name, keys);
       if (store == nullptr) continue;
-      RunResult r = RunStoreOps(store.get(), ops, threads);
-      PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+      RunStats r = RunStoreOps(store.get(), ops, ExecOptions(ctx, threads));
+      ctx.sink.Add(ThroughputRow(name, r)
+                       .Label("threads", std::to_string(threads)));
     }
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    fig12, "fig12", "Fig. 12", "Fig. 12: multi-threaded read-only",
+    "hash scales best; all indexes gain with threads until bandwidth "
+    "saturates",
+    RunFig12)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

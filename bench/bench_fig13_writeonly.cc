@@ -3,42 +3,41 @@
 // indexes (gapped inserts); FITing-tree-inp is worst with >100us tails
 // (mass key movement); offsite-buffer indexes (XIndex, FITing-tree-buf)
 // degrade most as the dataset grows (batch retrain storms).
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Fig. 13: write-only end-to-end (Viper)",
-              "ALEX best; FITing-tree-inp worst with huge tails; buffer "
-              "strategies degrade as data grows");
-  const size_t ops_n = 200'000;
+void RunFig13(Context& ctx) {
   for (const char* ds : {"ycsb", "osm"}) {
     for (size_t mult : {1, 4}) {
-      size_t n = BaseKeys() * mult;
+      size_t n = ctx.base_keys * mult;
       // Hold out every 4th key as the insert stream.
       std::vector<Key> all = MakeKeys(ds, n + n / 3, 17);
       std::vector<Key> load;
       std::vector<Key> inserts;
       SplitLoadAndInserts(all, 4, &load, &inserts);
-      auto ops = GenerateOps(WorkloadSpec::WriteOnly(), ops_n, load, inserts);
-      std::printf("\n-- dataset %s, %zu loaded keys --\n", ds, load.size());
+      auto ops = GenerateOps(WorkloadSpec::WriteOnly(), ctx.ops, load,
+                             inserts);
+      ctx.sink.Section(std::string("dataset ") + ds + ", " +
+                       std::to_string(load.size()) + " loaded keys");
       for (const std::string& name : UpdatableIndexNames()) {
-        auto store = MakeStore(name, load);
+        auto store = MakeStore(ctx, name, load);
         if (store == nullptr) continue;
-        RunResult r = RunStoreOps(store.get(), ops);
-        PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+        RunStats r = RunStoreOps(store.get(), ops, ExecOptions(ctx));
+        ctx.sink.Add(ThroughputRow(name, r)
+                         .Label("dataset", ds)
+                         .Label("keys", std::to_string(load.size())));
       }
     }
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    fig13, "fig13", "Fig. 13", "Fig. 13: write-only end-to-end (Viper)",
+    "ALEX best; FITing-tree-inp worst with huge tails; buffer strategies "
+    "degrade as data grows",
+    RunFig13)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

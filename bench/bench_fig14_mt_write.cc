@@ -3,40 +3,35 @@
 // concurrent traditional indexes and finds it lands in the same band
 // (close to Masstree). Here the traditional side is OLC-BTree (the
 // Masstree/Bw-tree class), SkipList and the hash index.
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Fig. 14: multi-threaded write-only",
-              "XIndex (the only concurrent-write learned index) lands in "
-              "the same band as the concurrent traditional indexes");
-  const size_t n = BaseKeys();
-  const size_t ops_n = 200'000;
+void RunFig14(Context& ctx) {
+  const size_t n = ctx.base_keys;
   std::vector<Key> all = MakeKeys("ycsb", n + n / 3, 17);
   std::vector<Key> load;
   std::vector<Key> inserts;
   SplitLoadAndInserts(all, 4, &load, &inserts);
-  auto ops = GenerateOps(WorkloadSpec::WriteOnly(), ops_n, load, inserts);
-  size_t max_threads = BenchMaxThreads();
-  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
-    std::printf("\n-- %zu thread(s) --\n", threads);
+  auto ops = GenerateOps(WorkloadSpec::WriteOnly(), ctx.ops, load, inserts);
+  for (size_t threads = 1; threads <= ctx.max_threads; threads *= 2) {
+    ctx.sink.Section(std::to_string(threads) + " thread(s)");
     for (const char* name : {"XIndex", "OLC-BTree", "SkipList", "Hash"}) {
-      auto store = MakeStore(name, load);
+      auto store = MakeStore(ctx, name, load);
       if (store == nullptr) continue;
-      RunResult r = RunStoreOps(store.get(), ops, threads);
-      PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+      RunStats r = RunStoreOps(store.get(), ops, ExecOptions(ctx, threads));
+      ctx.sink.Add(ThroughputRow(name, r)
+                       .Label("threads", std::to_string(threads)));
     }
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    fig14, "fig14", "Fig. 14", "Fig. 14: multi-threaded write-only",
+    "XIndex (the only concurrent-write learned index) lands in the same "
+    "band as the concurrent traditional indexes",
+    RunFig14)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

@@ -2,19 +2,13 @@
 // skew). Paper findings: ALEX keeps its lead across all mixes; every
 // other learned index drops hard on YCSB-D because its writes are true
 // *insertions* (not updates), stressing the insert + retrain path.
-#include <cstdio>
-
 #include "bench/bench_util.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Fig. 15: read-write-mixed (YCSB-A/B/D/F)",
-              "ALEX stays strong everywhere; other learned indexes cliff "
-              "on YCSB-D (inserts, not updates)");
-  const size_t n = BaseKeys();
-  const size_t ops_n = 200'000;
+void RunFig15(Context& ctx) {
+  const size_t n = ctx.base_keys;
   std::vector<Key> all = MakeKeys("ycsb", n + n / 3, 17);
   std::vector<Key> load;
   std::vector<Key> inserts;
@@ -31,21 +25,22 @@ void Run() {
       {"YCSB-F", WorkloadSpec::YcsbF()},
   };
   for (const Mix& mix : mixes) {
-    auto ops = GenerateOps(mix.spec, ops_n, load, inserts);
-    std::printf("\n-- %s --\n", mix.name);
+    auto ops = GenerateOps(mix.spec, ctx.ops, load, inserts);
+    ctx.sink.Section(mix.name);
     for (const std::string& name : UpdatableIndexNames()) {
-      auto store = MakeStore(name, load);
+      auto store = MakeStore(ctx, name, load);
       if (store == nullptr) continue;
-      RunResult r = RunStoreOps(store.get(), ops);
-      PrintRow(name, r.mops, r.latency.P50(), r.latency.P999());
+      RunStats r = RunStoreOps(store.get(), ops, ExecOptions(ctx));
+      ctx.sink.Add(ThroughputRow(name, r).Label("workload", mix.name));
     }
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    fig15, "fig15", "Fig. 15", "Fig. 15: read-write-mixed (YCSB-A/B/D/F)",
+    "ALEX stays strong everywhere; other learned indexes cliff on YCSB-D "
+    "(inserts, not updates)",
+    RunFig15)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

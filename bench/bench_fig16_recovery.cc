@@ -3,26 +3,20 @@
 // findings: BTree(-family) recovers fastest among ordered indexes; RS is
 // the fastest learned index (single pass); PGM is moderate; ALEX and
 // XIndex are the slowest learned indexes and the gap widens with scale.
-#include <cstdio>
-
 #include "bench/bench_util.h"
+#include "common/timer.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Fig. 16: recovery (index rebuild) time",
-              "RS fastest learned (single pass); ALEX/XIndex slowest and "
-              "the spread widens with dataset size");
+void RunFig16(Context& ctx) {
   for (size_t mult : {1, 4}) {
-    size_t n = BaseKeys() * mult;
+    size_t n = ctx.base_keys * mult;
     std::vector<Key> keys = MakeUniformKeys(n, 17);
     std::vector<KeyValue> entries;
     entries.reserve(n);
     for (Key k : keys) entries.push_back({k, k});
-    std::printf("\n-- %zu keys --\n", n);
-    std::printf("%-18s %14s %16s\n", "index", "build-ms",
-                "total-recover-ms");
+    ctx.sink.Section(std::to_string(n) + " keys");
     for (const std::string& name : AllIndexNames()) {
       // Pure index (re)build time: the paper's Fig. 16 quantity.
       auto index = MakeIndex(name);
@@ -30,19 +24,23 @@ void Run() {
       index->BulkLoad(entries);
       double build_ms = static_cast<double>(timer.ElapsedNanos()) / 1e6;
       // End-to-end recovery: PMem page scan + sort + rebuild.
-      auto store = MakeStore(name, keys);
+      auto store = MakeStore(ctx, name, keys);
       if (store == nullptr) continue;
       uint64_t nanos = store->Recover();
-      std::printf("%-18s %14.1f %16.1f\n", name.c_str(), build_ms,
-                  static_cast<double>(nanos) / 1e6);
+      ctx.sink.Add(ResultRow(name)
+                       .Label("keys", std::to_string(n))
+                       .Metric("build_ms", build_ms)
+                       .Metric("total_recover_ms",
+                               static_cast<double>(nanos) / 1e6));
     }
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    fig16, "fig16", "Fig. 16", "Fig. 16: recovery (index rebuild) time",
+    "RS fastest learned (single pass); ALEX/XIndex slowest and the spread "
+    "widens with dataset size",
+    RunFig16)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

@@ -6,12 +6,13 @@
 // Paper findings: Opt-PLA produces ~2 orders of magnitude fewer leaves
 // than LSA at comparable error; LSA-gap escapes the error-vs-leaf-count
 // conflict entirely by reshaping the CDF (low error AND few leaves).
-#include <cstdio>
+#include <algorithm>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "common/search.h"
+#include "common/timer.h"
 #include "pla/lsa.h"
 #include "pla/optimal_pla.h"
 #include "pla/segment.h"
@@ -19,17 +20,16 @@
 namespace pieces::bench {
 namespace {
 
-constexpr size_t kLookups = 100'000;
-
 // Measures in-leaf lookup cost for a PLA layout: locate the segment (not
 // timed), then search the true rank inside the error window (timed).
-double MeasurePlaLeafNs(const PlaResult& pla, const std::vector<Key>& keys) {
+double MeasurePlaLeafNs(const PlaResult& pla, const std::vector<Key>& keys,
+                        size_t lookups) {
   Rng rng(7);
   // Pre-resolve lookup keys and their segments so timing covers only the
   // in-leaf search.
   std::vector<std::pair<Key, const Segment*>> probes;
-  probes.reserve(kLookups);
-  for (size_t i = 0; i < kLookups; ++i) {
+  probes.reserve(lookups);
+  for (size_t i = 0; i < lookups; ++i) {
     Key k = keys[rng.NextUnder(keys.size())];
     probes.push_back({k, &pla.segments[FindSegment(pla.segments, k)]});
   }
@@ -42,7 +42,7 @@ double MeasurePlaLeafNs(const PlaResult& pla, const std::vector<Key>& keys) {
     size_t hi = std::min(keys.size(), pred + err + 1);
     sink += BinarySearchLowerBound(keys.data(), lo, hi, k);
   }
-  double ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+  double ns = static_cast<double>(timer.ElapsedNanos()) / lookups;
   if (sink == 42) std::printf("#");  // Defeat dead-code elimination.
   return ns;
 }
@@ -78,14 +78,14 @@ GappedArrays Materialize(const LsaGapResult& gap,
 }
 
 double MeasureGapLeafNs(const LsaGapResult& gap, const GappedArrays& arrays,
-                        const std::vector<Key>& keys) {
+                        const std::vector<Key>& keys, size_t lookups) {
   Rng rng(7);
   std::vector<std::pair<Key, size_t>> probes;
-  probes.reserve(kLookups);
+  probes.reserve(lookups);
   // Segment routing mirrors FindSegment: binary search on first_key.
   std::vector<Key> firsts;
   for (const GappedSegment& g : gap.segments) firsts.push_back(g.first_key);
-  for (size_t i = 0; i < kLookups; ++i) {
+  for (size_t i = 0; i < lookups; ++i) {
     Key k = keys[rng.NextUnder(keys.size())];
     size_t seg = BinarySearchLowerBound(firsts.data(), 0, firsts.size(), k);
     if (seg == firsts.size() || (firsts[seg] > k && seg > 0)) --seg;
@@ -100,46 +100,52 @@ double MeasureGapLeafNs(const LsaGapResult& gap, const GappedArrays& arrays,
     sink += ExponentialSearchLowerBound(slot_keys.data(), g.capacity, hint,
                                         k);
   }
-  double ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+  double ns = static_cast<double>(timer.ElapsedNanos()) / lookups;
   if (sink == 42) std::printf("#");
   return ns;
 }
 
-void Run() {
-  PrintHeader("Fig. 17(a)(b): approximation algorithms in isolation",
-              "Opt-PLA needs far fewer leaves than LSA at equal error; "
-              "LSA-gap gets low error AND few leaves simultaneously");
-  const size_t n = BaseKeys();
-  std::vector<Key> keys = MakeKeys("ycsb", n, 17);
+ResultRow AlgoRow(const char* algo, size_t param, size_t leaves,
+                  double mean_err, double ns) {
+  return ResultRow(algo)
+      .Label("param", std::to_string(param))
+      .Metric("leaves", static_cast<double>(leaves))
+      .Metric("mean_err", mean_err)
+      .Metric("in_leaf_ns", ns);
+}
 
-  std::printf("%-10s %10s %10s %12s %14s\n", "algo", "param", "leaves",
-              "mean-err", "in-leaf-ns");
+void RunFig17Approx(Context& ctx) {
+  const size_t n = ctx.base_keys;
+  const size_t lookups = std::max<size_t>(1000, ctx.ops / 2);
+  std::vector<Key> keys = MakeKeys("ycsb", n, 17);
 
   for (size_t seg : {256, 1024, 4096, 16384}) {
     PlaResult lsa = BuildLsa(keys.data(), keys.size(), seg);
-    double ns = MeasurePlaLeafNs(lsa, keys);
-    std::printf("%-10s %10zu %10zu %12.2f %14.1f\n", "LSA", seg,
-                lsa.segments.size(), lsa.mean_error, ns);
+    double ns = MeasurePlaLeafNs(lsa, keys, lookups);
+    ctx.sink.Add(
+        AlgoRow("LSA", seg, lsa.segments.size(), lsa.mean_error, ns));
   }
   for (size_t eps : {8, 32, 128, 512}) {
     PlaResult opt = BuildOptimalPla(keys.data(), keys.size(), eps);
-    double ns = MeasurePlaLeafNs(opt, keys);
-    std::printf("%-10s %10zu %10zu %12.2f %14.1f\n", "Opt-PLA", eps,
-                opt.segments.size(), opt.mean_error, ns);
+    double ns = MeasurePlaLeafNs(opt, keys, lookups);
+    ctx.sink.Add(
+        AlgoRow("Opt-PLA", eps, opt.segments.size(), opt.mean_error, ns));
   }
   for (size_t seg : {256, 1024, 4096, 16384}) {
     LsaGapResult gap = BuildLsaGap(keys.data(), keys.size(), seg, 0.7);
     GappedArrays arrays = Materialize(gap, keys);
-    double ns = MeasureGapLeafNs(gap, arrays, keys);
-    std::printf("%-10s %10zu %10zu %12.2f %14.1f\n", "LSA-gap", seg,
-                gap.segments.size(), gap.mean_error, ns);
+    double ns = MeasureGapLeafNs(gap, arrays, keys, lookups);
+    ctx.sink.Add(
+        AlgoRow("LSA-gap", seg, gap.segments.size(), gap.mean_error, ns));
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    fig17ab, "fig17ab", "Fig. 17(a)(b)",
+    "Fig. 17(a)(b): approximation algorithms in isolation",
+    "Opt-PLA needs far fewer leaves than LSA at equal error; LSA-gap gets "
+    "low error AND few leaves simultaneously",
+    RunFig17Approx)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

@@ -14,13 +14,12 @@
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "common/search.h"
+#include "common/timer.h"
 #include "pla/lsa.h"
 #include "pla/optimal_pla.h"
 
 namespace pieces::bench {
 namespace {
-
-constexpr size_t kLookups = 200'000;
 
 // Predecessor index of `key` in sorted `pivots`.
 size_t FindSegmentIdx(const std::vector<Key>& pivots, Key key) {
@@ -30,45 +29,41 @@ size_t FindSegmentIdx(const std::vector<Key>& pivots, Key key) {
 }
 
 double MeasureRouteNs(const InnerStructure& inner,
-                      const std::vector<Key>& keys) {
+                      const std::vector<Key>& keys, size_t lookups) {
   Rng rng(5);
-  std::vector<Key> probes(kLookups);
+  std::vector<Key> probes(lookups);
   for (Key& p : probes) p = keys[rng.NextUnder(keys.size())];
   Timer timer;
   uint64_t sink = 0;
   for (Key p : probes) sink += inner.Route(p);
-  double ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+  double ns = static_cast<double>(timer.ElapsedNanos()) / lookups;
   if (sink == 42) std::printf("#");
   return ns;
 }
 
-void PartC(const std::vector<Key>& keys) {
-  std::printf("\n(c) inner-structure routing time vs leaf count\n");
-  std::printf("%-8s %12s %12s %12s\n", "leaves", "", "", "");
-  std::printf("%-8s", "leaves");
-  for (const std::string& kind : InnerStructureKinds()) {
-    std::printf(" %9s-ns", kind.c_str());
-  }
-  std::printf("\n");
+void PartC(Context& ctx, const std::vector<Key>& keys, size_t lookups) {
+  ctx.sink.Section("(c) inner-structure routing time vs leaf count");
   for (size_t leaves : {1000, 4000, 16000, 64000}) {
     if (leaves > keys.size()) continue;
     // Pivots: every (n/leaves)-th key, mimicking leaf start keys.
     std::vector<Key> pivots;
     size_t stride = keys.size() / leaves;
     for (size_t i = 0; i < keys.size(); i += stride) pivots.push_back(keys[i]);
-    std::printf("%-8zu", pivots.size());
     for (const std::string& kind : InnerStructureKinds()) {
       auto inner = MakeInnerStructure(kind);
       inner->Build(pivots);
-      std::printf(" %12.1f", MeasureRouteNs(*inner, keys));
+      ctx.sink.Add(ResultRow(kind)
+                       .Label("leaves", std::to_string(pivots.size()))
+                       .Metric("route_ns",
+                               MeasureRouteNs(*inner, keys, lookups)));
     }
-    std::printf("\n");
   }
 }
 
-void PartD(const std::vector<Key>& keys) {
-  std::printf("\n(d) composition plane: (structure-ns, leaf-ns) per "
-              "archetype; closer to origin = better\n");
+void PartD(Context& ctx, const std::vector<Key>& keys, size_t lookups) {
+  ctx.sink.Section(
+      "(d) composition plane: (structure-ns, leaf-ns) per archetype; "
+      "closer to origin = better");
   struct Archetype {
     const char* name;
     const char* structure;
@@ -81,8 +76,6 @@ void PartD(const std::vector<Key>& keys) {
       {"XIndex (RMI+LSA)", "RMI", "lsa", 2048},
       {"ALEX   (ATS+LSA-gap)", "ATS", "gap", 8192},
   };
-  std::printf("%-26s %10s %14s %12s\n", "archetype", "leaves",
-              "structure-ns", "leaf-ns");
   for (const Archetype& a : archetypes) {
     std::vector<Key> pivots;
     double leaf_ns = 0;
@@ -116,8 +109,8 @@ void PartD(const std::vector<Key>& keys) {
         arrays.push_back(std::move(slot_keys));
       }
       std::vector<std::pair<Key, size_t>> probes;
-      probes.reserve(kLookups);
-      for (size_t i = 0; i < kLookups; ++i) {
+      probes.reserve(lookups);
+      for (size_t i = 0; i < lookups; ++i) {
         Key k = keys[rng.NextUnder(keys.size())];
         probes.push_back({k, FindSegmentIdx(pivots, k)});
       }
@@ -129,7 +122,7 @@ void PartD(const std::vector<Key>& keys) {
         sink += ExponentialSearchLowerBound(arrays[seg].data(), g.capacity,
                                             hint, k);
       }
-      leaf_ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+      leaf_ns = static_cast<double>(timer.ElapsedNanos()) / lookups;
       if (sink == 42) std::printf("#");
     } else {
       PlaResult pla =
@@ -140,8 +133,8 @@ void PartD(const std::vector<Key>& keys) {
       for (const Segment& s : pla.segments) pivots.push_back(s.first_key);
       size_t err = pla.max_error + 1;
       std::vector<std::pair<Key, const Segment*>> probes;
-      probes.reserve(kLookups);
-      for (size_t i = 0; i < kLookups; ++i) {
+      probes.reserve(lookups);
+      for (size_t i = 0; i < lookups; ++i) {
         Key k = keys[rng.NextUnder(keys.size())];
         probes.push_back({k, &pla.segments[FindSegment(pla.segments, k)]});
       }
@@ -153,32 +146,36 @@ void PartD(const std::vector<Key>& keys) {
         size_t hi = std::min(keys.size(), pred + err + 1);
         sink += BinarySearchLowerBound(keys.data(), lo, hi, k);
       }
-      leaf_ns = static_cast<double>(timer.ElapsedNanos()) / kLookups;
+      leaf_ns = static_cast<double>(timer.ElapsedNanos()) / lookups;
       if (sink == 42) std::printf("#");
     }
 
     auto inner = MakeInnerStructure(a.structure);
     inner->Build(pivots);
-    double structure_ns = MeasureRouteNs(*inner, keys);
-    std::printf("%-26s %10zu %14.1f %12.1f\n", a.name, leaves, structure_ns,
-                leaf_ns);
+    double structure_ns = MeasureRouteNs(*inner, keys, lookups);
+    ctx.sink.Add(ResultRow(a.name)
+                     .Label("structure", a.structure)
+                     .Label("leaf_algo", a.leaf_algo)
+                     .Metric("leaves", static_cast<double>(leaves))
+                     .Metric("structure_ns", structure_ns)
+                     .Metric("leaf_ns", leaf_ns));
   }
 }
 
-void Run() {
-  PrintHeader("Fig. 17(c)(d): index structures in isolation",
-              "ATS fastest at any leaf count; LRS > BTREE at high leaf "
-              "counts; ALEX's combination sits nearest the origin");
-  const size_t n = BaseKeys();
+void RunFig17Structure(Context& ctx) {
+  const size_t n = ctx.base_keys;
+  const size_t lookups = std::max<size_t>(1000, ctx.ops);
   std::vector<Key> keys = MakeKeys("ycsb", n, 17);
-  PartC(keys);
-  PartD(keys);
+  PartC(ctx, keys, lookups);
+  PartD(ctx, keys, lookups);
 }
+
+PIECES_REGISTER_EXPERIMENT(
+    fig17cd, "fig17cd", "Fig. 17(c)(d)",
+    "Fig. 17(c)(d): index structures in isolation",
+    "ATS fastest at any leaf count; LRS > BTREE at high leaf counts; "
+    "ALEX's combination sits nearest the origin",
+    RunFig17Structure)
 
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

@@ -8,40 +8,41 @@
 // flat and fastest; ALEX retrains rarely but each retrain is long, PGM
 // retrains constantly but cheaply; totals rank ALEX < PGM < FIT-buf <
 // FIT-inp.
-#include <cstdio>
 #include <memory>
 
 #include "anatomy/update_policies.h"
 #include "bench/bench_util.h"
+#include "common/timer.h"
 
 namespace pieces::bench {
 namespace {
 
-void PartA(const std::vector<Key>& base, const std::vector<Key>& inserts) {
-  std::printf("\n(a) insert time per strategy vs reserved space\n");
-  std::printf("%-10s %10s %14s %14s %12s\n", "strategy", "reserve",
-              "insert-ns/op", "moved/insert", "retrains");
+void PartA(Context& ctx, const std::vector<Key>& base,
+           const std::vector<Key>& inserts) {
+  ctx.sink.Section("(a) insert time per strategy vs reserved space");
   for (const std::string& kind : UpdatePolicyKinds()) {
     for (size_t reserve : {128, 256, 512, 1024}) {
       auto policy = MakeUpdatePolicy(kind, reserve);
       policy->Load(base, 4096);
       for (Key k : inserts) policy->Insert(k);
       UpdatePolicyStats s = policy->Stats();
-      std::printf("%-10s %10zu %14.1f %14.2f %12llu\n", kind.c_str(),
-                  reserve,
-                  static_cast<double>(s.insert_nanos) / inserts.size(),
-                  static_cast<double>(s.moved_keys) / inserts.size(),
-                  static_cast<unsigned long long>(s.retrain_count));
+      ctx.sink.Add(
+          ResultRow(kind)
+              .Label("reserve", std::to_string(reserve))
+              .Metric("insert_ns_per_op",
+                      static_cast<double>(s.insert_nanos) / inserts.size())
+              .Metric("moved_per_insert",
+                      static_cast<double>(s.moved_keys) / inserts.size())
+              .Metric("retrains", static_cast<double>(s.retrain_count)));
       if (kind == "ALEX-gap") break;  // Gap sizing ignores the reserve.
     }
   }
 }
 
-void PartBD(const std::vector<Key>& base, const std::vector<Key>& inserts) {
-  std::printf("\n(b)+(d) real-index retraining profile over %zu inserts\n",
-              inserts.size());
-  std::printf("%-18s %10s %14s %14s %14s\n", "index", "retrains",
-              "avg-retrain-us", "total-retrain-ms", "total-insert-ms");
+void PartBD(Context& ctx, const std::vector<Key>& base,
+            const std::vector<Key>& inserts) {
+  ctx.sink.Section("(b)+(d) real-index retraining profile over " +
+                   std::to_string(inserts.size()) + " inserts");
   for (const char* name :
        {"FITing-tree-inp", "FITing-tree-buf", "PGM", "ALEX"}) {
     auto index = MakeIndex(name);
@@ -56,16 +57,20 @@ void PartBD(const std::vector<Key>& base, const std::vector<Key>& inserts) {
                         ? 0
                         : static_cast<double>(s.retrain_nanos) /
                               static_cast<double>(s.retrain_count) / 1e3;
-    std::printf("%-18s %10zu %14.2f %14.2f %14.2f\n", name, s.retrain_count,
-                avg_us, static_cast<double>(s.retrain_nanos) / 1e6,
-                static_cast<double>(total_ns) / 1e6);
+    ctx.sink.Add(
+        ResultRow(name)
+            .Metric("retrains", static_cast<double>(s.retrain_count))
+            .Metric("avg_retrain_us", avg_us)
+            .Metric("total_retrain_ms",
+                    static_cast<double>(s.retrain_nanos) / 1e6)
+            .Metric("total_insert_ms",
+                    static_cast<double>(total_ns) / 1e6));
   }
 }
 
-void PartC(const std::vector<Key>& base, const std::vector<Key>& inserts) {
-  std::printf("\n(c) Buffer strategy: reserve vs retrain count and time\n");
-  std::printf("%-10s %12s %16s %16s\n", "reserve", "retrains",
-              "avg-retrain-us", "total-retrain-ms");
+void PartC(Context& ctx, const std::vector<Key>& base,
+           const std::vector<Key>& inserts) {
+  ctx.sink.Section("(c) Buffer strategy: reserve vs retrain count and time");
   for (size_t reserve : {128, 256, 512, 1024, 2048}) {
     auto policy = MakeUpdatePolicy("Buffer", reserve);
     policy->Load(base, 4096);
@@ -75,31 +80,34 @@ void PartC(const std::vector<Key>& base, const std::vector<Key>& inserts) {
                         ? 0
                         : static_cast<double>(s.retrain_nanos) /
                               static_cast<double>(s.retrain_count) / 1e3;
-    std::printf("%-10zu %12llu %16.2f %16.2f\n", reserve,
-                static_cast<unsigned long long>(s.retrain_count), avg_us,
-                static_cast<double>(s.retrain_nanos) / 1e6);
+    ctx.sink.Add(
+        ResultRow("Buffer")
+            .Label("reserve", std::to_string(reserve))
+            .Metric("retrains", static_cast<double>(s.retrain_count))
+            .Metric("avg_retrain_us", avg_us)
+            .Metric("total_retrain_ms",
+                    static_cast<double>(s.retrain_nanos) / 1e6));
   }
 }
 
-void Run() {
-  PrintHeader("Fig. 18: insertion & retraining strategies",
-              "Inplace worst and larger reserve hurts it; ALEX-gap flat "
-              "and fastest; ALEX retrains rarely/long, PGM often/cheap; "
-              "total update time ALEX < PGM < FIT-buf < FIT-inp");
-  const size_t n = BaseKeys();
+void RunFig18(Context& ctx) {
+  const size_t n = ctx.base_keys;
   std::vector<Key> all = MakeUniformKeys(n + n / 3, 17);
   std::vector<Key> base;
   std::vector<Key> inserts;
   SplitLoadAndInserts(all, 4, &base, &inserts);
-  PartA(base, inserts);
-  PartBD(base, inserts);
-  PartC(base, inserts);
+  PartA(ctx, base, inserts);
+  PartBD(ctx, base, inserts);
+  PartC(ctx, base, inserts);
 }
+
+PIECES_REGISTER_EXPERIMENT(
+    fig18, "fig18", "Fig. 18",
+    "Fig. 18: insertion & retraining strategies",
+    "Inplace worst and larger reserve hurts it; ALEX-gap flat and "
+    "fastest; ALEX retrains rarely/long, PGM often/cheap; total update "
+    "time ALEX < PGM < FIT-buf < FIT-inp",
+    RunFig18)
 
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

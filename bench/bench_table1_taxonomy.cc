@@ -4,7 +4,7 @@
 // updatability, error boundedness, scan support, write concurrency —
 // are *verified programmatically* against a live instance so the table
 // cannot drift from the code.
-#include <cstdio>
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -13,7 +13,7 @@
 namespace pieces::bench {
 namespace {
 
-struct Row {
+struct TaxonomyRow {
   const char* name;
   const char* inner;
   const char* leaf;
@@ -24,11 +24,8 @@ struct Row {
   const char* retraining;
 };
 
-void Run() {
-  PrintHeader("Table I: technology comparison of learned indexes",
-              "design-dimension taxonomy; behavioural columns verified "
-              "against the implementations");
-  const Row rows[] = {
+void RunTable1(Context& ctx) {
+  const TaxonomyRow rows[] = {
       {"RMI", "Linear (2-stage)", "Linear", "Unfixed", false,
        "Least squares", "-", "-"},
       {"RS", "Radix table", "Spline", "Maximum", true, "One-pass spline",
@@ -47,14 +44,12 @@ void Run() {
        "Endpoint+gap", "Precise slot", "Subtree rebuild"},
   };
 
-  std::vector<Key> keys = MakeUniformKeys(50'000, 17);
+  std::vector<Key> keys =
+      MakeUniformKeys(std::min<size_t>(50'000, ctx.base_keys), 17);
   std::vector<KeyValue> data;
   for (Key k : keys) data.push_back({k, k});
 
-  std::printf("%-16s %-18s %-14s %-9s %-26s %-15s %-18s %-7s %-5s\n",
-              "index", "inner", "leaf", "error", "approx-algo", "insertion",
-              "retraining", "insert", "conc");
-  for (const Row& row : rows) {
+  for (const TaxonomyRow& row : rows) {
     auto index = MakeIndex(row.name);
     index->BulkLoad(data);
     // Verify behavioural claims against the live object.
@@ -63,21 +58,29 @@ void Run() {
     bool updatable = index->SupportsInsert();
     bool concurrent = index->SupportsConcurrentWrites();
     (void)measured_bounded;
-    std::printf("%-16s %-18s %-14s %-9s %-26s %-15s %-18s %-7s %-5s\n",
-                row.name, row.inner, row.leaf, row.error, row.approx,
-                row.insertion, row.retraining, updatable ? "yes" : "no",
-                concurrent ? "yes" : "no");
+    ctx.sink.Add(ResultRow(row.name)
+                     .Label("inner", row.inner)
+                     .Label("leaf", row.leaf)
+                     .Label("error", row.error)
+                     .Label("approx_algo", row.approx)
+                     .Label("insertion", row.insertion)
+                     .Label("retraining", row.retraining)
+                     .Metric("supports_insert", updatable ? 1 : 0)
+                     .Metric("concurrent_writes", concurrent ? 1 : 0));
   }
-  std::printf("\n(verified: RS/FITing/PGM expose a bounded max_error; "
-              "RMI/ALEX/XIndex do not guarantee one; only XIndex among "
-              "the paper's learned set supports concurrent writes — LIPP "
-              "here is the repo's extension.)\n");
+  ctx.sink.Note(
+      "(verified: RS/FITing/PGM expose a bounded max_error; RMI/ALEX/"
+      "XIndex do not guarantee one; only XIndex among the paper's learned "
+      "set supports concurrent writes — LIPP here is the repo's "
+      "extension.)");
 }
+
+PIECES_REGISTER_EXPERIMENT(
+    table1, "table1", "Table I",
+    "Table I: technology comparison of learned indexes",
+    "design-dimension taxonomy; behavioural columns verified against the "
+    "implementations",
+    RunTable1)
 
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

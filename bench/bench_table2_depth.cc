@@ -1,27 +1,19 @@
 // Table II: the average depth of the learned indexes under YCSB and
 // OSM(-like) key sets. Paper values (200M): RMI 2, FITing-tree 3, PGM 3,
 // ALEX 1.03, XIndex 2 on YCSB; OSM pushes PGM to 6 and ALEX to 1.89.
-#include <cstdio>
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "index/registry.h"
-#include "workload/datasets.h"
 
 namespace pieces::bench {
 namespace {
 
-void Run() {
-  PrintHeader("Table II: average depth of learned indexes",
-              "ALEX has the lowest depth (~1-2); OSM's complex CDF deepens "
-              "every learned index, PGM the most");
-  const size_t n = BaseKeys();
+void RunTable2(Context& ctx) {
+  const size_t n = ctx.base_keys;
   const char* indexes[] = {"RMI", "FITing-tree-buf", "PGM", "ALEX",
                            "XIndex", "RS", "LIPP"};
-  std::printf("%-18s %12s %12s\n", "index", "ycsb-depth", "osm-depth");
   for (const char* name : indexes) {
-    double depth[2];
-    int d = 0;
+    ResultRow row(name);
     for (const char* ds : {"ycsb", "osm"}) {
       auto index = MakeIndex(name);
       std::vector<Key> keys = MakeKeys(ds, n, 17);
@@ -29,16 +21,18 @@ void Run() {
       data.reserve(n);
       for (Key k : keys) data.push_back({k, k});
       index->BulkLoad(data);
-      depth[d++] = index->Stats().avg_depth;
+      row.Metric(std::string(ds) + "_depth", index->Stats().avg_depth);
     }
-    std::printf("%-18s %12.2f %12.2f\n", name, depth[0], depth[1]);
+    ctx.sink.Add(row);
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    table2, "table2", "Table II",
+    "Table II: average depth of learned indexes",
+    "ALEX has the lowest depth (~1-2); OSM's complex CDF deepens every "
+    "learned index, PGM the most",
+    RunTable2)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

@@ -4,6 +4,7 @@
 // traditional ones, but the advantage vanishes once keys (let alone
 // values) are charged.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 
@@ -25,28 +26,33 @@ std::string Human(size_t bytes) {
   return buf;
 }
 
-void Run() {
-  PrintHeader("Table III: space overhead (index / index+key / index+KV)",
-              "learned index structures are orders of magnitude smaller "
-              "than BTree/Hash, but index+key and index+KV sizes converge");
-  const size_t n = BaseKeys();
+void RunTable3(Context& ctx) {
+  const size_t n = ctx.base_keys;
   std::vector<Key> keys = MakeUniformKeys(n, 17);
-  std::printf("%-18s %12s %16s %14s\n", "index", "index-size",
-              "index+key-size", "index+KV-size");
   for (const std::string& name : AllIndexNames()) {
-    auto store = MakeStore(name, keys);
+    auto store = MakeStore(ctx, name, keys);
     if (store == nullptr) continue;
-    std::printf("%-18s %12s %16s %14s\n", name.c_str(),
-                Human(store->IndexStructureBytes()).c_str(),
-                Human(store->IndexPlusKeyBytes()).c_str(),
-                Human(store->IndexPlusKvBytes()).c_str());
+    size_t index_bytes = store->IndexStructureBytes();
+    size_t index_key_bytes = store->IndexPlusKeyBytes();
+    size_t index_kv_bytes = store->IndexPlusKvBytes();
+    ctx.sink.Add(ResultRow(name)
+                     .Label("index_size", Human(index_bytes))
+                     .Label("index_key_size", Human(index_key_bytes))
+                     .Label("index_kv_size", Human(index_kv_bytes))
+                     .Metric("index_bytes", static_cast<double>(index_bytes))
+                     .Metric("index_key_bytes",
+                             static_cast<double>(index_key_bytes))
+                     .Metric("index_kv_bytes",
+                             static_cast<double>(index_kv_bytes)));
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    table3, "table3", "Table III",
+    "Table III: space overhead (index / index+key / index+KV)",
+    "learned index structures are orders of magnitude smaller than "
+    "BTree/Hash, but index+key and index+KV sizes converge",
+    RunTable3)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

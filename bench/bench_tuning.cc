@@ -3,11 +3,11 @@
 // and choose their configurations with the best performance"). One sweep
 // per tunable learned index: lookup throughput against the knob, bare
 // index (no KV store) so the knob's effect is undamped.
-#include <cstdio>
 #include <memory>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "learned/alex.h"
 #include "learned/fiting_tree.h"
 #include "learned/lipp.h"
@@ -19,98 +19,122 @@
 namespace pieces::bench {
 namespace {
 
-constexpr size_t kLookups = 300'000;
-
-double MeasureLookupMops(OrderedIndex* index, const std::vector<Key>& keys) {
+double MeasureLookupMops(Context& ctx, OrderedIndex* index,
+                         const std::vector<Key>& keys) {
+  const size_t lookups = std::max<size_t>(1000, ctx.ops);
   Rng rng(5);
-  std::vector<Key> probes(kLookups);
+  std::vector<Key> probes(lookups);
   for (Key& p : probes) p = keys[rng.NextUnder(keys.size())];
   Timer timer;
   Value v = 0;
   uint64_t found = 0;
   for (Key p : probes) found += index->Get(p, &v);
-  double mops = static_cast<double>(kLookups) / timer.ElapsedSeconds() / 1e6;
-  if (found != probes.size()) std::printf("  (misses!)\n");
+  double mops =
+      static_cast<double>(lookups) / timer.ElapsedSeconds() / 1e6;
+  if (found != probes.size()) ctx.sink.Note("  (misses!)");
   return mops;
 }
 
-void Run() {
-  PrintHeader("Hyperparameter tuning sweeps (paper §III-A1)",
-              "each learned index has a throughput-optimal knob setting; "
-              "the benches elsewhere use the winners");
-  const size_t n = BaseKeys();
+void RunTuning(Context& ctx) {
+  const size_t n = ctx.base_keys;
   std::vector<Key> keys = MakeKeys("ycsb", n, 17);
   std::vector<KeyValue> data;
   for (Key k : keys) data.push_back({k, k});
 
-  std::printf("\nRMI: second-stage model count\n");
+  ctx.sink.Section("RMI: second-stage model count");
   for (size_t models : {64, 256, 1024, 4096, 16384}) {
     Rmi rmi(models);
     rmi.BulkLoad(data);
-    std::printf("  models=%-7zu %8.3f Mops/s  (max err %zu)\n", models,
-                MeasureLookupMops(&rmi, keys), rmi.Stats().max_error);
+    ctx.sink.Add(ResultRow("RMI")
+                     .Label("models", std::to_string(models))
+                     .Metric("mops", MeasureLookupMops(ctx, &rmi, keys))
+                     .Metric("max_error",
+                             static_cast<double>(rmi.Stats().max_error)));
   }
 
-  std::printf("\nRS: radix bits x spline error\n");
+  ctx.sink.Section("RS: radix bits x spline error");
   for (size_t bits : {10, 14, 18}) {
     for (size_t err : {8, 32, 128}) {
       RadixSpline rs(bits, err);
       rs.BulkLoad(data);
-      std::printf("  r=%-3zu eps=%-4zu %8.3f Mops/s  (%zu spline pts)\n",
-                  bits, err, MeasureLookupMops(&rs, keys),
-                  rs.Stats().leaf_count + 1);
+      ctx.sink.Add(
+          ResultRow("RS")
+              .Label("radix_bits", std::to_string(bits))
+              .Label("eps", std::to_string(err))
+              .Metric("mops", MeasureLookupMops(ctx, &rs, keys))
+              .Metric("spline_points",
+                      static_cast<double>(rs.Stats().leaf_count + 1)));
     }
   }
 
-  std::printf("\nPGM: leaf epsilon\n");
+  ctx.sink.Section("PGM: leaf epsilon");
   for (size_t eps : {16, 64, 256, 1024}) {
     DynamicPgm pgm(eps);
     pgm.BulkLoad(data);
-    std::printf("  eps=%-5zu %8.3f Mops/s  (%zu leaves)\n", eps,
-                MeasureLookupMops(&pgm, keys), pgm.Stats().leaf_count);
+    ctx.sink.Add(ResultRow("PGM")
+                     .Label("eps", std::to_string(eps))
+                     .Metric("mops", MeasureLookupMops(ctx, &pgm, keys))
+                     .Metric("leaves",
+                             static_cast<double>(pgm.Stats().leaf_count)));
   }
 
-  std::printf("\nFITing-tree: leaf epsilon (buffered)\n");
+  ctx.sink.Section("FITing-tree: leaf epsilon (buffered)");
   for (size_t eps : {16, 64, 256, 1024}) {
     FitingTree fit(FitingTree::InsertMode::kBuffer, eps, 256);
     fit.BulkLoad(data);
-    std::printf("  eps=%-5zu %8.3f Mops/s  (%zu leaves)\n", eps,
-                MeasureLookupMops(&fit, keys), fit.Stats().leaf_count);
+    ctx.sink.Add(ResultRow("FITing-tree-buf")
+                     .Label("eps", std::to_string(eps))
+                     .Metric("mops", MeasureLookupMops(ctx, &fit, keys))
+                     .Metric("leaves",
+                             static_cast<double>(fit.Stats().leaf_count)));
   }
 
-  std::printf("\nALEX: max data node keys\n");
+  ctx.sink.Section("ALEX: max data node keys");
   for (size_t node_keys : {2048, 8192, 32768}) {
     Alex::Config cfg;
     cfg.max_data_node_keys = node_keys;
     cfg.target_leaf_keys = node_keys / 4;
     Alex alex(cfg);
     alex.BulkLoad(data);
-    std::printf("  node=%-6zu %8.3f Mops/s  (depth %.2f)\n", node_keys,
-                MeasureLookupMops(&alex, keys), alex.Stats().avg_depth);
+    ctx.sink.Add(ResultRow("ALEX")
+                     .Label("node_keys", std::to_string(node_keys))
+                     .Metric("mops", MeasureLookupMops(ctx, &alex, keys))
+                     .Metric("avg_depth", alex.Stats().avg_depth));
   }
 
-  std::printf("\nXIndex: group size\n");
+  ctx.sink.Section("XIndex: group size");
   for (size_t group : {1024, 4096, 16384}) {
     XIndex xi(group, 256);
     xi.BulkLoad(data);
-    std::printf("  group=%-6zu %8.3f Mops/s  (%zu groups)\n", group,
-                MeasureLookupMops(&xi, keys), xi.Stats().leaf_count);
+    ctx.sink.Add(ResultRow("XIndex")
+                     .Label("group", std::to_string(group))
+                     .Metric("mops", MeasureLookupMops(ctx, &xi, keys))
+                     .Metric("groups",
+                             static_cast<double>(xi.Stats().leaf_count)));
   }
 
-  std::printf("\nLIPP: gap factor\n");
+  ctx.sink.Section("LIPP: gap factor");
   for (double gap : {1.25, 2.0, 4.0}) {
     LippIndex lipp(gap);
     lipp.BulkLoad(data);
-    std::printf("  gap=%-5.2f %8.3f Mops/s  (depth %.2f, %.1f MB)\n", gap,
-                MeasureLookupMops(&lipp, keys), lipp.Stats().avg_depth,
-                static_cast<double>(lipp.TotalSizeBytes()) / 1e6);
+    char gap_label[16];
+    std::snprintf(gap_label, sizeof(gap_label), "%.2f", gap);
+    ctx.sink.Add(
+        ResultRow("LIPP")
+            .Label("gap", gap_label)
+            .Metric("mops", MeasureLookupMops(ctx, &lipp, keys))
+            .Metric("avg_depth", lipp.Stats().avg_depth)
+            .Metric("index_mb",
+                    static_cast<double>(lipp.TotalSizeBytes()) / 1e6));
   }
 }
 
+PIECES_REGISTER_EXPERIMENT(
+    tuning, "tuning", "§III-A1",
+    "Hyperparameter tuning sweeps (paper §III-A1)",
+    "each learned index has a throughput-optimal knob setting; the "
+    "benches elsewhere use the winners",
+    RunTuning)
+
 }  // namespace
 }  // namespace pieces::bench
-
-int main() {
-  pieces::bench::Run();
-  return 0;
-}

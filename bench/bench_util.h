@@ -1,20 +1,19 @@
-// Shared bench harness: dataset prep, op-stream execution against a
-// ViperStore (the paper's end-to-end environment) or a bare index, and
-// table printing. Every bench binary prints the paper's rows plus the
-// qualitative claim it reproduces; PIECES_SCALE scales dataset sizes
-// toward the paper's 200M-800M keys (default sizes are 1000x smaller).
+// Shared helpers for the registered experiments: ViperStore construction
+// around a named index (with explicit failure rows — a bulk-load failure
+// becomes a status="bulk_load_failed" result instead of silently
+// vanishing from the sweep) and the standard throughput row shape.
+// Dataset/op scaling lives in Context (see experiment.h); execution lives
+// in executor.h.
 #ifndef PIECES_BENCH_BENCH_UTIL_H_
 #define PIECES_BENCH_BENCH_UTIL_H_
 
-#include <cstdio>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "bench/executor.h"
+#include "bench/experiment.h"
 #include "common/config.h"
-#include "common/latency_recorder.h"
-#include "common/timer.h"
 #include "index/registry.h"
 #include "store/viper.h"
 #include "workload/datasets.h"
@@ -22,63 +21,11 @@
 
 namespace pieces::bench {
 
-// The paper's 200M baseline, scaled 1000x down by default.
-inline size_t BaseKeys() { return 200'000 * BenchScale(); }
-
-struct RunResult {
-  double mops = 0;          // Throughput in million ops/s.
-  LatencyRecorder latency;  // Per-op latency.
-};
-
-// Executes `ops` against the store across `threads` threads (ops are
-// partitioned round-robin). Values use the store's synthetic generator.
-inline RunResult RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
-                             size_t threads = 1) {
-  RunResult result;
-  std::vector<LatencyRecorder> recorders(threads);
-  Timer wall;
-  auto worker = [&](size_t t) {
-    std::vector<uint8_t> buf(256);
-    std::vector<Key> scan_out;
-    LatencyRecorder& rec = recorders[t];
-    for (size_t i = t; i < ops.size(); i += threads) {
-      const Op& op = ops[i];
-      Timer timer;
-      switch (op.type) {
-        case OpType::kRead:
-          store->Get(op.key, buf.data());
-          break;
-        case OpType::kUpdate:
-        case OpType::kInsert:
-          store->PutSynthetic(op.key);
-          break;
-        case OpType::kReadModifyWrite:
-          store->Get(op.key, buf.data());
-          store->PutSynthetic(op.key);
-          break;
-        case OpType::kScan:
-          scan_out.clear();
-          store->Scan(op.key, op.scan_len, &scan_out);
-          break;
-      }
-      rec.Record(timer.ElapsedNanos());
-    }
-  };
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (auto& th : pool) th.join();
-  }
-  double secs = wall.ElapsedSeconds();
-  result.mops = secs > 0 ? static_cast<double>(ops.size()) / secs / 1e6 : 0;
-  for (const auto& rec : recorders) result.latency.Merge(rec);
-  return result;
-}
-
 // Builds a ViperStore around the named index, bulk-loaded with `keys`.
-inline std::unique_ptr<ViperStore> MakeStore(const std::string& index_name,
+// On bulk-load failure, records an explicit failure row in the sink and
+// returns nullptr.
+inline std::unique_ptr<ViperStore> MakeStore(Context& ctx,
+                                             const std::string& index_name,
                                              const std::vector<Key>& keys) {
   ViperStore::Config cfg;
   cfg.value_size = 200;
@@ -88,22 +35,32 @@ inline std::unique_ptr<ViperStore> MakeStore(const std::string& index_name,
   cfg.write_latency_ns = NvmWriteLatencyNs();
   auto store = std::make_unique<ViperStore>(MakeIndex(index_name), cfg);
   if (!store->BulkLoad(keys)) {
-    std::fprintf(stderr, "bulk load failed for %s\n", index_name.c_str());
+    ctx.sink.Add(ResultRow(index_name)
+                     .Status("bulk_load_failed")
+                     .Label("error", "bulk load failed"));
     return nullptr;
   }
   return store;
 }
 
-inline void PrintHeader(const char* title, const char* claim) {
-  std::printf("\n=== %s ===\n", title);
-  std::printf("paper claim: %s\n", claim);
+// The standard end-to-end row: throughput plus point-op tail percentiles
+// (scan latencies are tracked separately by the executor and do not
+// pollute these).
+inline ResultRow ThroughputRow(const std::string& name,
+                               const RunStats& stats) {
+  return ResultRow(name)
+      .Metric("mops", stats.mops)
+      .Metric("p50_ns", static_cast<double>(stats.point.P50()))
+      .Metric("p999_ns", static_cast<double>(stats.point.P999()));
 }
 
-inline void PrintRow(const std::string& name, double mops, uint64_t p50,
-                     uint64_t p999) {
-  std::printf("%-18s %10.3f Mops/s   p50 %8llu ns   p99.9 %10llu ns\n",
-              name.c_str(), mops, static_cast<unsigned long long>(p50),
-              static_cast<unsigned long long>(p999));
+// Executor options seeded from the context's warmup/repeat defaults.
+inline ExecutorOptions ExecOptions(const Context& ctx, size_t threads = 1) {
+  ExecutorOptions opts;
+  opts.threads = threads;
+  opts.warmup_ops = ctx.warmup_ops;
+  opts.repeats = ctx.repeats;
+  return opts;
 }
 
 }  // namespace pieces::bench

@@ -1,0 +1,115 @@
+#include "bench/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace pieces::bench {
+namespace {
+
+constexpr size_t kNumOpTypes = 5;
+
+// Executes ops [0, count) partitioned round-robin across threads. When
+// `recorders` is null the pass is untimed warmup. Returns the measured
+// wall time in nanoseconds: clock start is taken *after* every worker has
+// spawned and checked in at the barrier, and clock end is the finish time
+// of the slowest worker — thread spawn/join never counts.
+uint64_t RunPass(ViperStore* store, const std::vector<Op>& ops, size_t count,
+                 size_t threads,
+                 std::vector<std::vector<LatencyRecorder>>* recorders) {
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> max_finish{0};
+  const bool timed = recorders != nullptr;
+
+  auto worker = [&](size_t t) {
+    std::vector<uint8_t> buf(256);
+    std::vector<Key> scan_out;
+    LatencyRecorder* recs = timed ? (*recorders)[t].data() : nullptr;
+    ready.fetch_add(1, std::memory_order_release);
+    while (!go.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    for (size_t i = t; i < count; i += threads) {
+      const Op& op = ops[i];
+      Timer timer;
+      switch (op.type) {
+        case OpType::kRead:
+          store->Get(op.key, buf.data());
+          break;
+        case OpType::kUpdate:
+        case OpType::kInsert:
+          store->PutSynthetic(op.key);
+          break;
+        case OpType::kReadModifyWrite:
+          store->Get(op.key, buf.data());
+          store->PutSynthetic(op.key);
+          break;
+        case OpType::kScan:
+          scan_out.clear();
+          store->Scan(op.key, op.scan_len, &scan_out);
+          break;
+      }
+      if (timed) recs[static_cast<size_t>(op.type)].Record(timer.ElapsedNanos());
+    }
+    uint64_t finish = NowNanos();
+    uint64_t seen = max_finish.load(std::memory_order_relaxed);
+    while (finish > seen &&
+           !max_finish.compare_exchange_weak(seen, finish,
+                                             std::memory_order_relaxed)) {
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  while (ready.load(std::memory_order_acquire) < threads) {
+    std::this_thread::yield();
+  }
+  uint64_t start = NowNanos();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  return max_finish.load(std::memory_order_relaxed) - start;
+}
+
+}  // namespace
+
+RunStats RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
+                     const ExecutorOptions& opts) {
+  RunStats stats;
+  if (ops.empty()) return stats;
+  const size_t threads = std::max<size_t>(1, opts.threads);
+  const size_t repeats = std::max<size_t>(1, opts.repeats);
+
+  if (opts.warmup_ops > 0) {
+    RunPass(store, ops, std::min(opts.warmup_ops, ops.size()), threads,
+            nullptr);
+  }
+
+  uint64_t total_ns = 0;
+  std::vector<std::vector<LatencyRecorder>> recorders(
+      threads, std::vector<LatencyRecorder>(kNumOpTypes));
+  for (size_t rep = 0; rep < repeats; ++rep) {
+    total_ns += RunPass(store, ops, ops.size(), threads, &recorders);
+    stats.ops_executed += ops.size();
+  }
+
+  stats.wall_seconds = static_cast<double>(total_ns) * 1e-9;
+  stats.mops = stats.wall_seconds > 0
+                   ? static_cast<double>(stats.ops_executed) /
+                         stats.wall_seconds / 1e6
+                   : 0;
+  for (const auto& per_thread : recorders) {
+    for (size_t t = 0; t < kNumOpTypes; ++t) {
+      stats.per_type[t].Merge(per_thread[t]);
+      if (t != static_cast<size_t>(OpType::kScan)) {
+        stats.point.Merge(per_thread[t]);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace pieces::bench

@@ -1,0 +1,54 @@
+// Op-stream executor for the end-to-end (ViperStore) experiments.
+// Fixes the two measurement defects of the old inline RunStoreOps:
+//  * worker threads are spawned *before* the wall clock starts and
+//    released together through a start barrier, so multi-thread Mops/s no
+//    longer charges thread creation/join to the measured ops;
+//  * latencies are recorded per op type, so scan latencies no longer
+//    pollute the point-op (read/write) p99.9 tails.
+// Optional warmup ops run untimed before measurement, and the measured
+// pass can be repeated with the throughput averaged across repeats.
+#ifndef PIECES_BENCH_EXECUTOR_H_
+#define PIECES_BENCH_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/latency_recorder.h"
+#include "store/viper.h"
+#include "workload/ycsb.h"
+
+namespace pieces::bench {
+
+struct ExecutorOptions {
+  size_t threads = 1;
+  // Ops replayed untimed before the measured pass (capped at ops.size()).
+  size_t warmup_ops = 0;
+  // Measured passes over the op stream; mops averages across passes and
+  // latency histograms merge all passes.
+  size_t repeats = 1;
+};
+
+struct RunStats {
+  double mops = 0;           // total measured ops / total measured wall time
+  double wall_seconds = 0;   // summed across repeats
+  size_t ops_executed = 0;   // summed across repeats
+
+  // Latency histograms by op type (indexed by OpType), plus the merged
+  // point-op view (read/update/insert/RMW — excludes scans).
+  std::vector<LatencyRecorder> per_type =
+      std::vector<LatencyRecorder>(5);
+  LatencyRecorder point;
+
+  const LatencyRecorder& scans() const {
+    return per_type[static_cast<size_t>(OpType::kScan)];
+  }
+};
+
+// Executes `ops` against the store across `opts.threads` threads (ops are
+// partitioned round-robin). Values use the store's synthetic generator.
+RunStats RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
+                     const ExecutorOptions& opts = {});
+
+}  // namespace pieces::bench
+
+#endif  // PIECES_BENCH_EXECUTOR_H_

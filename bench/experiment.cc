@@ -1,0 +1,32 @@
+#include "bench/experiment.h"
+
+namespace pieces::bench {
+namespace {
+
+std::vector<Experiment>& Registry() {
+  static std::vector<Experiment> experiments;
+  return experiments;
+}
+
+}  // namespace
+
+ExperimentRegistrar::ExperimentRegistrar(Experiment e) {
+  Registry().push_back(std::move(e));
+}
+
+const std::vector<Experiment>& AllExperiments() { return Registry(); }
+
+const Experiment* FindExperiment(const std::string& name) {
+  for (const Experiment& e : Registry()) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ExperimentNames() {
+  std::vector<std::string> names;
+  for (const Experiment& e : Registry()) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace pieces::bench

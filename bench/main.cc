@@ -1,0 +1,143 @@
+// pieces_bench: the single declarative experiment driver. Every paper
+// table/figure is a registered experiment (see experiment.h); this binary
+// enumerates, filters and runs them, rendering human tables and/or
+// machine-readable JSONL/CSV through a shared ResultSink.
+//
+//   pieces_bench --list
+//   pieces_bench --experiment=fig10,fig15 --format=json --out=results/
+//   pieces_bench --smoke --format=json,csv --out=results/
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/experiment.h"
+#include "common/cli.h"
+#include "common/config.h"
+#include "common/report.h"
+
+namespace pieces::bench {
+namespace {
+
+constexpr const char* kUsage = R"(pieces_bench — declarative experiment driver
+
+Usage: pieces_bench [flags]
+  --list                 list registered experiments and exit
+  --experiment=a,b,...   run only the named experiments (default: all)
+  --format=table,json,csv  output formats (default: table)
+  --out=DIR              write json/csv to DIR/<experiment>.{jsonl,csv}
+                         (default: stdout)
+  --keys=N               dataset-size baseline (default: 200000 x PIECES_SCALE)
+  --ops=N                op-stream length baseline (default: 200000)
+  --warmup=N             untimed warmup ops before each measured run (default 0)
+  --repeats=N            measured repetitions, throughput averaged (default 1)
+  --threads=N            thread ceiling for multi-threaded experiments
+                         (default: PIECES_THREADS or 4)
+  --smoke                tiny-scale preset (keys=4096 ops=2000) for CI smoke
+  --help                 this text
+
+Env knobs: PIECES_SCALE, PIECES_NVM_READ_NS, PIECES_NVM_WRITE_NS,
+PIECES_THREADS (see README.md).
+)";
+
+const std::vector<std::string> kKnownFlags = {
+    "list", "experiment", "format",  "out",   "keys",
+    "ops",  "warmup",     "repeats", "threads", "smoke", "help"};
+
+int Main(int argc, char** argv) {
+  CliFlags flags = CliFlags::Parse(argc, argv);
+  for (const std::string& name : flags.Names()) {
+    bool known = false;
+    for (const std::string& k : kKnownFlags) known = known || k == name;
+    if (!known) {
+      std::fprintf(stderr, "pieces_bench: unknown flag --%s\n%s",
+                   name.c_str(), kUsage);
+      return 2;
+    }
+  }
+  if (!flags.positional().empty()) {
+    std::fprintf(stderr, "pieces_bench: unexpected argument '%s'\n%s",
+                 flags.positional()[0].c_str(), kUsage);
+    return 2;
+  }
+  if (flags.GetBool("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  if (flags.GetBool("list")) {
+    std::printf("%-18s %-12s %s\n", "name", "figure", "title");
+    for (const Experiment& e : AllExperiments()) {
+      std::printf("%-18s %-12s %s\n", e.name.c_str(), e.figure.c_str(),
+                  e.title.c_str());
+    }
+    return 0;
+  }
+
+  ResultSink::Options sink_opts;
+  sink_opts.table = false;
+  for (const std::string& fmt : flags.Has("format")
+                                    ? flags.GetList("format")
+                                    : std::vector<std::string>{"table"}) {
+    if (fmt == "table") {
+      sink_opts.table = true;
+    } else if (fmt == "json" || fmt == "jsonl") {
+      sink_opts.json = true;
+    } else if (fmt == "csv") {
+      sink_opts.csv = true;
+    } else {
+      std::fprintf(stderr,
+                   "pieces_bench: unknown format '%s' "
+                   "(expected table, json or csv)\n",
+                   fmt.c_str());
+      return 2;
+    }
+  }
+  sink_opts.out_dir = flags.GetString("out");
+
+  const bool smoke = flags.GetBool("smoke");
+  ResultSink sink(sink_opts);
+  Context ctx{sink};
+  ctx.base_keys = flags.GetU64(
+      "keys", smoke ? 4096 : 200'000 * BenchScale());
+  ctx.ops = flags.GetU64("ops", smoke ? 2000 : 200'000);
+  ctx.warmup_ops = flags.GetU64("warmup", 0);
+  ctx.repeats = flags.GetU64("repeats", 1);
+  ctx.max_threads = flags.GetU64("threads", BenchMaxThreads());
+  if (!flags.errors().empty()) {
+    for (const std::string& err : flags.errors()) {
+      std::fprintf(stderr, "pieces_bench: %s\n", err.c_str());
+    }
+    return 2;
+  }
+
+  std::vector<const Experiment*> selected;
+  if (!flags.Has("experiment") ||
+      flags.GetString("experiment") == "all") {
+    for (const Experiment& e : AllExperiments()) selected.push_back(&e);
+  } else {
+    for (const std::string& name : flags.GetList("experiment")) {
+      const Experiment* e = FindExperiment(name);
+      if (e == nullptr) {
+        std::fprintf(stderr,
+                     "pieces_bench: unknown experiment '%s' "
+                     "(--list shows the registered names)\n",
+                     name.c_str());
+        return 2;
+      }
+      selected.push_back(e);
+    }
+  }
+
+  for (const Experiment* e : selected) {
+    std::fprintf(stderr, "[pieces_bench] running %s (%s)...\n",
+                 e->name.c_str(), e->figure.c_str());
+    sink.BeginExperiment(e->name, e->figure, e->title, e->claim);
+    e->run(ctx);
+    sink.EndExperiment();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pieces::bench
+
+int main(int argc, char** argv) { return pieces::bench::Main(argc, argv); }

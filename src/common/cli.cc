@@ -1,0 +1,94 @@
+#include "common/cli.h"
+
+#include "common/config.h"
+
+namespace pieces {
+
+CliFlags CliFlags::Parse(int argc, const char* const* argv) {
+  CliFlags out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() == 2) {
+      out.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      out.flags_.emplace_back(body.substr(0, eq), body.substr(eq + 1));
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; otherwise a
+    // bare boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.flags_.emplace_back(body, argv[++i]);
+    } else {
+      out.flags_.emplace_back(body, "true");
+    }
+  }
+  return out;
+}
+
+bool CliFlags::Has(const std::string& name) const {
+  for (const auto& [k, v] : flags_) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+std::string CliFlags::GetString(const std::string& name,
+                                const std::string& def) const {
+  // Last occurrence wins, matching common flag-parser behaviour.
+  std::string value = def;
+  for (const auto& [k, v] : flags_) {
+    if (k == name) value = v;
+  }
+  return value;
+}
+
+uint64_t CliFlags::GetU64(const std::string& name, uint64_t def) const {
+  if (!Has(name)) return def;
+  uint64_t parsed = 0;
+  std::string v = GetString(name);
+  if (!ParseU64Strict(v.c_str(), &parsed)) {
+    errors_.push_back("--" + name + "=" + v +
+                      " is not a valid unsigned integer");
+    return def;
+  }
+  return parsed;
+}
+
+bool CliFlags::GetBool(const std::string& name, bool def) const {
+  if (!Has(name)) return def;
+  std::string v = GetString(name);
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  errors_.push_back("--" + name + "=" + v + " is not a boolean");
+  return def;
+}
+
+std::vector<std::string> CliFlags::GetList(const std::string& name) const {
+  std::vector<std::string> out;
+  if (!Has(name)) return out;
+  std::string v = GetString(name);
+  size_t start = 0;
+  while (start <= v.size()) {
+    size_t comma = v.find(',', start);
+    if (comma == std::string::npos) comma = v.size();
+    if (comma > start) out.push_back(v.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> CliFlags::Names() const {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : flags_) {
+    bool seen = false;
+    for (const std::string& n : names) seen = seen || n == k;
+    if (!seen) names.push_back(k);
+  }
+  return names;
+}
+
+}  // namespace pieces

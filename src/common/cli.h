@@ -1,0 +1,52 @@
+// Minimal command-line flag parser for the bench driver and tools.
+// Supports `--name=value`, `--name value` and bare boolean `--name`;
+// everything that does not start with "--" is a positional argument.
+#ifndef PIECES_COMMON_CLI_H_
+#define PIECES_COMMON_CLI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pieces {
+
+class CliFlags {
+ public:
+  // Parses argv[1..argc). Never throws; malformed numeric values are
+  // reported by the typed getters below.
+  static CliFlags Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  // Returns the flag's value, or `def` when absent. A bare `--name` has
+  // the value "true".
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+
+  // Strict unsigned parse (ParseU64Strict); an unparsable value returns
+  // `def` and records the flag in errors().
+  uint64_t GetU64(const std::string& name, uint64_t def) const;
+
+  // "true"/"1" -> true, "false"/"0" -> false; bare `--name` is true.
+  bool GetBool(const std::string& name, bool def = false) const;
+
+  // Comma-split value list; an absent flag yields an empty vector.
+  std::vector<std::string> GetList(const std::string& name) const;
+
+  // Flag names in first-appearance order (for unknown-flag validation).
+  std::vector<std::string> Names() const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Accumulated typed-getter parse errors ("--repeats=twice" etc.).
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<std::string> positional_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_COMMON_CLI_H_

@@ -5,21 +5,54 @@
 #ifndef PIECES_COMMON_CONFIG_H_
 #define PIECES_COMMON_CONFIG_H_
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <string>
 
 namespace pieces {
 
+// Strictly parses a base-10 unsigned integer: the whole string must be
+// digits (no sign, no leading/trailing garbage, no overflow). Returns
+// false without touching *out on any violation, so "10x" or "-1" cannot
+// silently become a valid knob value.
+inline bool ParseU64Strict(const char* s, uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  *out = static_cast<uint64_t>(parsed);
+  return true;
+}
+
 // Returns the integer value of environment variable `name`, or `def` when
-// unset or unparsable.
+// unset. A set-but-unparsable value (e.g. PIECES_SCALE=10x) falls back to
+// `def` and prints a one-time warning to stderr instead of silently
+// truncating at the first non-digit.
 inline uint64_t GetEnvU64(const char* name, uint64_t def) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return def;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (end == v) return def;
-  return static_cast<uint64_t>(parsed);
+  uint64_t parsed = 0;
+  if (!ParseU64Strict(v, &parsed)) {
+    static std::mutex mu;
+    static std::set<std::string> warned;
+    std::lock_guard<std::mutex> lock(mu);
+    if (warned.insert(name).second) {
+      std::fprintf(stderr,
+                   "pieces: env %s=\"%s\" is not a valid unsigned integer; "
+                   "using default %llu\n",
+                   name, v, static_cast<unsigned long long>(def));
+    }
+    return def;
+  }
+  return parsed;
 }
 
 // Global multiplier applied to bench dataset sizes (default 1).

@@ -1,0 +1,315 @@
+#include "common/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+namespace pieces {
+namespace {
+
+// Union of keys across a set of rows, in first-appearance order.
+template <typename Pairs>
+void CollectKeys(const Pairs& pairs, std::vector<std::string>* keys) {
+  for (const auto& [k, v] : pairs) {
+    if (std::find(keys->begin(), keys->end(), k) == keys->end()) {
+      keys->push_back(k);
+    }
+  }
+}
+
+std::string LabelValue(const ResultRow& row, const std::string& key) {
+  for (const auto& [k, v] : row.labels()) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+bool MetricValue(const ResultRow& row, const std::string& key, double* out) {
+  for (const auto& [k, v] : row.metrics()) {
+    if (k == key) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+// CSV-quotes a field when it contains a comma, quote or newline.
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+ResultSink::ResultSink() : ResultSink(Options{}) {}
+
+ResultSink::ResultSink(Options opts) : opts_(std::move(opts)) {}
+
+void ResultSink::BeginExperiment(const std::string& name,
+                                 const std::string& figure,
+                                 const std::string& title,
+                                 const std::string& claim) {
+  if (in_experiment_) EndExperiment();
+  in_experiment_ = true;
+  exp_name_ = name;
+  exp_figure_ = figure;
+  exp_title_ = title;
+  exp_claim_ = claim;
+  cur_section_.clear();
+  events_.clear();
+}
+
+void ResultSink::Section(const std::string& section) {
+  cur_section_ = section;
+  events_.push_back({Event::kSection, section, 0});
+}
+
+void ResultSink::Note(const std::string& text) {
+  events_.push_back({Event::kNote, text, 0});
+}
+
+void ResultSink::Add(ResultRow row) {
+  events_.push_back({Event::kRow, "", rows_.size()});
+  rows_.push_back({exp_name_, exp_figure_, cur_section_, std::move(row)});
+}
+
+void ResultSink::EndExperiment() {
+  if (!in_experiment_) return;
+  if (opts_.table) {
+    RenderTable(opts_.table_out != nullptr ? *opts_.table_out : std::cout);
+  }
+  if (opts_.json) {
+    if (!opts_.out_dir.empty()) {
+      std::filesystem::create_directories(opts_.out_dir);
+      std::ofstream f(std::filesystem::path(opts_.out_dir) /
+                      (exp_name_ + ".jsonl"));
+      WriteJson(f);
+    } else {
+      WriteJson(opts_.json_out != nullptr ? *opts_.json_out : std::cout);
+    }
+  }
+  if (opts_.csv) {
+    if (!opts_.out_dir.empty()) {
+      std::filesystem::create_directories(opts_.out_dir);
+      std::ofstream f(std::filesystem::path(opts_.out_dir) /
+                      (exp_name_ + ".csv"));
+      WriteCsv(f);
+    } else {
+      WriteCsv(opts_.csv_out != nullptr ? *opts_.csv_out : std::cout);
+    }
+  }
+  in_experiment_ = false;
+  events_.clear();
+}
+
+void ResultSink::RenderTable(std::ostream& os) const {
+  os << "\n=== " << exp_title_ << " ===\n";
+  os << "paper claim: " << exp_claim_ << "\n";
+  // Rows render in contiguous runs (broken by sections/notes); each run
+  // gets one aligned header from the union of its columns.
+  size_t i = 0;
+  while (i < events_.size()) {
+    const Event& ev = events_[i];
+    if (ev.kind == Event::kSection) {
+      os << "\n-- " << ev.text << " --\n";
+      ++i;
+      continue;
+    }
+    if (ev.kind == Event::kNote) {
+      os << ev.text << "\n";
+      ++i;
+      continue;
+    }
+    size_t run_end = i;
+    while (run_end < events_.size() &&
+           events_[run_end].kind == Event::kRow) {
+      ++run_end;
+    }
+    std::vector<const ResultRow*> run;
+    bool any_failure = false;
+    for (size_t j = i; j < run_end; ++j) {
+      const ResultRow& row = rows_[events_[j].row].row;
+      run.push_back(&row);
+      any_failure = any_failure || !row.ok();
+    }
+    std::vector<std::string> label_keys, metric_keys;
+    for (const ResultRow* row : run) {
+      CollectKeys(row->labels(), &label_keys);
+      CollectKeys(row->metrics(), &metric_keys);
+    }
+    // Column set: name, labels, metrics [, status if any row failed].
+    std::vector<std::string> headers = {"name"};
+    headers.insert(headers.end(), label_keys.begin(), label_keys.end());
+    headers.insert(headers.end(), metric_keys.begin(), metric_keys.end());
+    if (any_failure) headers.push_back("status");
+    std::vector<std::vector<std::string>> cells;
+    for (const ResultRow* row : run) {
+      std::vector<std::string> line = {row->name()};
+      for (const std::string& k : label_keys) {
+        line.push_back(LabelValue(*row, k));
+      }
+      for (const std::string& k : metric_keys) {
+        double v = 0;
+        line.push_back(MetricValue(*row, k, &v) ? FormatMetric(v) : "-");
+      }
+      if (any_failure) line.push_back(row->status());
+      cells.push_back(std::move(line));
+    }
+    std::vector<size_t> widths;
+    for (size_t c = 0; c < headers.size(); ++c) {
+      size_t w = headers[c].size();
+      for (const auto& line : cells) w = std::max(w, line[c].size());
+      widths.push_back(w);
+    }
+    auto emit = [&](const std::vector<std::string>& line) {
+      for (size_t c = 0; c < line.size(); ++c) {
+        // Name/labels left-aligned, numbers right-aligned.
+        bool left = c < 1 + label_keys.size();
+        size_t pad = widths[c] - line[c].size();
+        if (c > 0) os << "  ";
+        if (left) {
+          os << line[c] << std::string(pad, ' ');
+        } else {
+          os << std::string(pad, ' ') << line[c];
+        }
+      }
+      os << "\n";
+    };
+    emit(headers);
+    for (const auto& line : cells) emit(line);
+    i = run_end;
+  }
+  os.flush();
+}
+
+void ResultSink::WriteJson(std::ostream& os) const {
+  os << "{\"type\":\"experiment\",\"experiment\":\"" << JsonEscape(exp_name_)
+     << "\",\"figure\":\"" << JsonEscape(exp_figure_) << "\",\"title\":\""
+     << JsonEscape(exp_title_) << "\",\"claim\":\"" << JsonEscape(exp_claim_)
+     << "\"}\n";
+  for (const Event& ev : events_) {
+    if (ev.kind == Event::kNote) {
+      os << "{\"type\":\"note\",\"experiment\":\"" << JsonEscape(exp_name_)
+         << "\",\"text\":\"" << JsonEscape(ev.text) << "\"}\n";
+      continue;
+    }
+    if (ev.kind != Event::kRow) continue;
+    const StoredRow& sr = rows_[ev.row];
+    os << "{\"type\":\"row\",\"experiment\":\"" << JsonEscape(sr.experiment)
+       << "\",\"figure\":\"" << JsonEscape(sr.figure) << "\",\"section\":\""
+       << JsonEscape(sr.section) << "\",\"name\":\""
+       << JsonEscape(sr.row.name()) << "\",\"status\":\""
+       << JsonEscape(sr.row.status()) << "\",\"labels\":{";
+    bool first = true;
+    for (const auto& [k, v] : sr.row.labels()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << JsonEscape(k) << "\":\"" << JsonEscape(v) << "\"";
+    }
+    os << "},\"metrics\":{";
+    first = true;
+    for (const auto& [k, v] : sr.row.metrics()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << JsonEscape(k) << "\":" << FormatMetricJson(v);
+    }
+    os << "}}\n";
+  }
+  os.flush();
+}
+
+void ResultSink::WriteCsv(std::ostream& os) const {
+  std::vector<const StoredRow*> exp_rows;
+  std::vector<std::string> label_keys, metric_keys;
+  for (const Event& ev : events_) {
+    if (ev.kind != Event::kRow) continue;
+    const StoredRow& sr = rows_[ev.row];
+    exp_rows.push_back(&sr);
+    CollectKeys(sr.row.labels(), &label_keys);
+    CollectKeys(sr.row.metrics(), &metric_keys);
+  }
+  os << "experiment,section,name,status";
+  for (const std::string& k : label_keys) os << "," << CsvField(k);
+  for (const std::string& k : metric_keys) os << "," << CsvField(k);
+  os << "\n";
+  for (const StoredRow* sr : exp_rows) {
+    os << CsvField(sr->experiment) << "," << CsvField(sr->section) << ","
+       << CsvField(sr->row.name()) << "," << CsvField(sr->row.status());
+    for (const std::string& k : label_keys) {
+      os << "," << CsvField(LabelValue(sr->row, k));
+    }
+    for (const std::string& k : metric_keys) {
+      double v = 0;
+      os << ",";
+      if (MetricValue(sr->row, k, &v)) os << FormatMetricJson(v);
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+std::string ResultSink::JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ResultSink::FormatMetric(double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%f", v);
+  } else if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else if (std::fabs(v) >= 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  }
+  return buf;
+}
+
+std::string ResultSink::FormatMetricJson(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace pieces

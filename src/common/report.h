@@ -1,0 +1,122 @@
+// Structured result reporting for the bench driver. Every experiment
+// writes typed ResultRows (a subject name + ordered string labels +
+// ordered numeric metrics) into a ResultSink, which renders them as the
+// human-readable per-figure tables and/or emits them as machine-readable
+// JSONL and CSV — one stream per experiment, with explicit rows for
+// subjects that fail (status != "ok") so failures cannot silently vanish
+// from a sweep.
+#ifndef PIECES_COMMON_REPORT_H_
+#define PIECES_COMMON_REPORT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pieces {
+
+// One typed result row: the subject (index, algorithm or dataset name),
+// a status, descriptive labels and numeric metrics. Label/metric order is
+// preserved so tables keep their column order.
+class ResultRow {
+ public:
+  explicit ResultRow(std::string name) : name_(std::move(name)) {}
+
+  ResultRow& Label(std::string key, std::string value) {
+    labels_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  ResultRow& Metric(std::string key, double value) {
+    metrics_.emplace_back(std::move(key), value);
+    return *this;
+  }
+  // "ok" (default), "bulk_load_failed", "skipped", ...
+  ResultRow& Status(std::string status) {
+    status_ = std::move(status);
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& status() const { return status_; }
+  bool ok() const { return status_ == "ok"; }
+  const std::vector<std::pair<std::string, std::string>>& labels() const {
+    return labels_;
+  }
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  std::string name_;
+  std::string status_ = "ok";
+  std::vector<std::pair<std::string, std::string>> labels_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+class ResultSink {
+ public:
+  struct Options {
+    bool table = true;
+    bool json = false;
+    bool csv = false;
+    // When non-empty, JSONL/CSV go to <out_dir>/<experiment>.{jsonl,csv}
+    // (the directory is created); when empty they go to *json_out /
+    // *csv_out (default stdout).
+    std::string out_dir;
+    std::ostream* table_out = nullptr;
+    std::ostream* json_out = nullptr;
+    std::ostream* csv_out = nullptr;
+  };
+
+  ResultSink();  // default Options (table to stdout)
+  explicit ResultSink(Options opts);
+
+  // Experiment lifecycle. Output is buffered per experiment and rendered
+  // at EndExperiment (the driver calls these around each Run).
+  void BeginExperiment(const std::string& name, const std::string& figure,
+                       const std::string& title, const std::string& claim);
+  void Section(const std::string& section);  // "-- section --" subgroup
+  void Note(const std::string& text);        // free-text commentary line
+  void Add(ResultRow row);
+  void EndExperiment();
+
+  // Every row ever added, with its experiment/section context — the
+  // in-memory view the smoke tests validate against.
+  struct StoredRow {
+    std::string experiment;
+    std::string figure;
+    std::string section;
+    ResultRow row;
+  };
+  const std::vector<StoredRow>& rows() const { return rows_; }
+
+  static std::string JsonEscape(const std::string& s);
+  // Human-table number formatting: integral values print as integers,
+  // everything else with a sensible precision.
+  static std::string FormatMetric(double v);
+  // Machine formatting (JSON/CSV): round-trip-precision; non-finite
+  // values become "null" (JSON has no NaN/Inf literals).
+  static std::string FormatMetricJson(double v);
+
+ private:
+  struct Event {
+    enum Kind { kSection, kNote, kRow } kind;
+    std::string text;  // section name or note text
+    size_t row = 0;    // index into rows_ for kRow
+  };
+
+  void RenderTable(std::ostream& os) const;
+  void WriteJson(std::ostream& os) const;
+  void WriteCsv(std::ostream& os) const;
+
+  Options opts_;
+  bool in_experiment_ = false;
+  std::string exp_name_, exp_figure_, exp_title_, exp_claim_, cur_section_;
+  std::vector<Event> events_;  // current experiment only
+  std::vector<StoredRow> rows_;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_COMMON_REPORT_H_

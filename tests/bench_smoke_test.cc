@@ -1,0 +1,193 @@
+// Bench smoke suite (ctest label: bench_smoke): runs every registered
+// experiment at minimum scale and validates both the in-memory rows and
+// the emitted JSONL against the expected schema — experiment name, row
+// name, finite metrics, syntactically valid JSON — so a new experiment
+// cannot ship with broken emission.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/experiment.h"
+#include "common/report.h"
+
+namespace pieces::bench {
+namespace {
+
+// Minimal JSON syntax checker for the sink's flat output: an object of
+// string keys mapping to strings, numbers, null, or one-level-nested
+// objects of the same. Returns false on any syntax violation.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Object(/*depth=*/0)) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool String() {
+    if (!Consume('"')) return false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char esc = s_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+    }
+    return false;  // Unterminated.
+  }
+  bool Number() {
+    SkipWs();
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            std::string(".eE+-").find(s_[pos_]) != std::string::npos)) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value(int depth) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '"') return String();
+    if (c == '{') return depth < 2 && Object(depth + 1);
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return Number();
+  }
+  bool Object(int depth) {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      if (!String()) return false;
+      if (!Consume(':')) return false;
+      if (!Value(depth)) return false;
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+class BenchSmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchSmokeTest, RunsAndEmitsValidRows) {
+  const Experiment* exp = FindExperiment(GetParam());
+  ASSERT_NE(exp, nullptr);
+  EXPECT_FALSE(exp->figure.empty());
+  EXPECT_FALSE(exp->title.empty());
+  EXPECT_FALSE(exp->claim.empty());
+
+  std::ostringstream json;
+  ResultSink::Options opts;
+  opts.table = false;
+  opts.json = true;
+  opts.json_out = &json;
+  ResultSink sink(opts);
+
+  Context ctx{sink};
+  ctx.base_keys = 2048;
+  ctx.ops = 1000;
+  ctx.max_threads = 2;
+
+  sink.BeginExperiment(exp->name, exp->figure, exp->title, exp->claim);
+  exp->run(ctx);
+  sink.EndExperiment();
+
+  // Every experiment must produce at least one row, each row a nonempty
+  // subject name and finite metric values.
+  ASSERT_FALSE(sink.rows().empty())
+      << exp->name << " produced no result rows";
+  for (const ResultSink::StoredRow& sr : sink.rows()) {
+    EXPECT_EQ(sr.experiment, exp->name);
+    EXPECT_FALSE(sr.row.name().empty());
+    EXPECT_FALSE(sr.row.status().empty());
+    for (const auto& [key, value] : sr.row.metrics()) {
+      EXPECT_FALSE(key.empty());
+      EXPECT_TRUE(std::isfinite(value))
+          << exp->name << " row " << sr.row.name() << " metric " << key
+          << " is not finite";
+    }
+  }
+
+  // The JSONL stream: one meta line + one line per row/note, all
+  // syntactically valid JSON with the schema's required fields.
+  std::istringstream in(json.str());
+  std::string line;
+  size_t line_no = 0, row_lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonChecker(line).Valid())
+        << exp->name << " line " << line_no << " is not valid JSON: "
+        << line;
+    if (line_no == 0) {
+      EXPECT_NE(line.find("\"type\":\"experiment\""), std::string::npos);
+      EXPECT_NE(line.find("\"experiment\":\"" + exp->name + "\""),
+                std::string::npos);
+    }
+    if (line.find("\"type\":\"row\"") != std::string::npos) {
+      ++row_lines;
+      EXPECT_NE(line.find("\"name\":\""), std::string::npos);
+      EXPECT_NE(line.find("\"status\":\""), std::string::npos);
+      EXPECT_NE(line.find("\"metrics\":{"), std::string::npos);
+    }
+    ++line_no;
+  }
+  EXPECT_EQ(row_lines, sink.rows().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExperiments, BenchSmokeTest,
+                         ::testing::ValuesIn(ExperimentNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(BenchRegistryTest, AllNineteenExperimentsRegistered) {
+  std::vector<std::string> names = ExperimentNames();
+  EXPECT_EQ(names.size(), 19u);
+  // Names are unique and lookup round-trips.
+  for (const std::string& name : names) {
+    const Experiment* exp = FindExperiment(name);
+    ASSERT_NE(exp, nullptr);
+    EXPECT_EQ(exp->name, name);
+  }
+  EXPECT_EQ(FindExperiment("no_such_experiment"), nullptr);
+}
+
+}  // namespace
+}  // namespace pieces::bench

@@ -1,0 +1,84 @@
+// CliFlags: the pieces_bench flag parser.
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace pieces {
+namespace {
+
+CliFlags ParseArgs(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliFlags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliFlagsTest, EqualsForm) {
+  CliFlags f = ParseArgs({"--experiment=fig10", "--keys=4096"});
+  EXPECT_TRUE(f.Has("experiment"));
+  EXPECT_EQ(f.GetString("experiment"), "fig10");
+  EXPECT_EQ(f.GetU64("keys", 0), 4096u);
+}
+
+TEST(CliFlagsTest, SpaceForm) {
+  CliFlags f = ParseArgs({"--format", "json", "--ops", "2000"});
+  EXPECT_EQ(f.GetString("format"), "json");
+  EXPECT_EQ(f.GetU64("ops", 0), 2000u);
+  EXPECT_TRUE(f.positional().empty());
+}
+
+TEST(CliFlagsTest, BareBooleanFlag) {
+  CliFlags f = ParseArgs({"--list", "--smoke"});
+  EXPECT_TRUE(f.Has("list"));
+  EXPECT_TRUE(f.GetBool("list"));
+  EXPECT_TRUE(f.GetBool("smoke"));
+  EXPECT_FALSE(f.GetBool("absent"));
+  EXPECT_TRUE(f.GetBool("absent", true));
+}
+
+TEST(CliFlagsTest, BoolValueForms) {
+  CliFlags f = ParseArgs({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c"));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(CliFlagsTest, ListSplitsOnComma) {
+  CliFlags f = ParseArgs({"--experiment=fig10,fig15,table1"});
+  EXPECT_EQ(f.GetList("experiment"),
+            (std::vector<std::string>{"fig10", "fig15", "table1"}));
+  EXPECT_TRUE(f.GetList("absent").empty());
+}
+
+TEST(CliFlagsTest, LastOccurrenceWins) {
+  CliFlags f = ParseArgs({"--keys=1", "--keys=2"});
+  EXPECT_EQ(f.GetU64("keys", 0), 2u);
+}
+
+TEST(CliFlagsTest, AbsentFlagUsesDefault) {
+  CliFlags f = ParseArgs({});
+  EXPECT_FALSE(f.Has("keys"));
+  EXPECT_EQ(f.GetU64("keys", 99), 99u);
+  EXPECT_EQ(f.GetString("format", "table"), "table");
+}
+
+TEST(CliFlagsTest, MalformedU64RecordsError) {
+  CliFlags f = ParseArgs({"--repeats=twice"});
+  EXPECT_EQ(f.GetU64("repeats", 3), 3u);
+  ASSERT_FALSE(f.errors().empty());
+  EXPECT_NE(f.errors()[0].find("repeats"), std::string::npos);
+}
+
+TEST(CliFlagsTest, PositionalArguments) {
+  CliFlags f = ParseArgs({"pos1", "--flag=v", "pos2"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(CliFlagsTest, NamesInFirstAppearanceOrder) {
+  CliFlags f = ParseArgs({"--b=1", "--a=2", "--b=3"});
+  EXPECT_EQ(f.Names(), (std::vector<std::string>{"b", "a"}));
+}
+
+}  // namespace
+}  // namespace pieces

@@ -1,0 +1,117 @@
+// Executor: barrier-started op replay with per-op-type latency recording.
+#include "bench/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "index/registry.h"
+#include "store/viper.h"
+#include "workload/datasets.h"
+#include "workload/ycsb.h"
+
+namespace pieces::bench {
+namespace {
+
+std::unique_ptr<ViperStore> MakeTestStore(const std::vector<Key>& keys) {
+  ViperStore::Config cfg;
+  cfg.value_size = 200;
+  cfg.pmem_capacity = keys.size() * 208 * 8 + (16 << 20);
+  auto store = std::make_unique<ViperStore>(MakeIndex("BTree"), cfg);
+  EXPECT_TRUE(store->BulkLoad(keys));
+  return store;
+}
+
+TEST(ExecutorTest, ReadOnlySingleThread) {
+  std::vector<Key> keys = MakeUniformKeys(2048, 3);
+  auto store = MakeTestStore(keys);
+  std::vector<Op> ops = GenerateOps(WorkloadSpec::ReadOnly(), 1000, keys, {});
+
+  RunStats stats = RunStoreOps(store.get(), ops);
+  EXPECT_EQ(stats.ops_executed, 1000u);
+  EXPECT_GT(stats.mops, 0.0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  // All ops are reads; read recorder and merged point view both saw them.
+  EXPECT_EQ(stats.per_type[static_cast<size_t>(OpType::kRead)].Count(),
+            1000u);
+  EXPECT_EQ(stats.point.Count(), 1000u);
+  EXPECT_EQ(stats.scans().Count(), 0u);
+}
+
+TEST(ExecutorTest, MultiThreadExecutesEveryOp) {
+  std::vector<Key> keys = MakeUniformKeys(2048, 3);
+  auto store = MakeTestStore(keys);
+  std::vector<Op> ops = GenerateOps(WorkloadSpec::ReadOnly(), 999, keys, {});
+
+  ExecutorOptions opts;
+  opts.threads = 4;
+  RunStats stats = RunStoreOps(store.get(), ops, opts);
+  // 999 does not divide by 4: round-robin partitioning must still cover
+  // every op exactly once.
+  EXPECT_EQ(stats.ops_executed, 999u);
+  EXPECT_EQ(stats.point.Count(), 999u);
+}
+
+TEST(ExecutorTest, ScansDoNotPollutePointLatencies) {
+  std::vector<Key> keys = MakeUniformKeys(2048, 3);
+  auto store = MakeTestStore(keys);
+  WorkloadSpec spec;
+  spec.read_pct = 50;
+  spec.scan_pct = 50;
+  spec.scan_len = 10;
+  std::vector<Op> ops = GenerateOps(spec, 1000, keys, {});
+  size_t scan_ops = 0;
+  for (const Op& op : ops) scan_ops += op.type == OpType::kScan ? 1 : 0;
+  ASSERT_GT(scan_ops, 0u);
+
+  RunStats stats = RunStoreOps(store.get(), ops);
+  EXPECT_EQ(stats.scans().Count(), scan_ops);
+  // The merged point view excludes scans entirely.
+  EXPECT_EQ(stats.point.Count(), 1000u - scan_ops);
+  EXPECT_EQ(stats.per_type[static_cast<size_t>(OpType::kRead)].Count(),
+            1000u - scan_ops);
+}
+
+TEST(ExecutorTest, WarmupIsNotMeasured) {
+  std::vector<Key> keys = MakeUniformKeys(2048, 3);
+  auto store = MakeTestStore(keys);
+  std::vector<Op> ops = GenerateOps(WorkloadSpec::ReadOnly(), 500, keys, {});
+
+  ExecutorOptions opts;
+  opts.warmup_ops = 200;
+  RunStats stats = RunStoreOps(store.get(), ops, opts);
+  // Warmup ops appear in neither the measured count nor the histograms.
+  EXPECT_EQ(stats.ops_executed, 500u);
+  EXPECT_EQ(stats.point.Count(), 500u);
+}
+
+TEST(ExecutorTest, RepeatsAccumulate) {
+  std::vector<Key> keys = MakeUniformKeys(2048, 3);
+  auto store = MakeTestStore(keys);
+  std::vector<Op> ops = GenerateOps(WorkloadSpec::ReadOnly(), 300, keys, {});
+
+  ExecutorOptions opts;
+  opts.repeats = 3;
+  RunStats stats = RunStoreOps(store.get(), ops, opts);
+  EXPECT_EQ(stats.ops_executed, 900u);
+  EXPECT_EQ(stats.point.Count(), 900u);
+  EXPECT_GT(stats.mops, 0.0);
+}
+
+TEST(ExecutorTest, WritesLandInTheStore) {
+  std::vector<Key> keys = MakeUniformKeys(2048, 3);
+  std::vector<Key> load, inserts;
+  SplitLoadAndInserts(keys, 4, &load, &inserts);
+  auto store = MakeTestStore(load);
+  std::vector<Op> ops =
+      GenerateOps(WorkloadSpec::WriteOnly(), inserts.size(), load, inserts);
+
+  size_t before = store->size();
+  RunStats stats = RunStoreOps(store.get(), ops);
+  EXPECT_EQ(stats.per_type[static_cast<size_t>(OpType::kInsert)].Count(),
+            ops.size());
+  EXPECT_GT(store->size(), before);
+}
+
+}  // namespace
+}  // namespace pieces::bench

@@ -1,0 +1,174 @@
+// ResultSink: human-table rendering, JSONL/CSV emission, escaping and
+// number formatting — the result layer every experiment reports through.
+#include "common/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace pieces {
+namespace {
+
+std::vector<std::string> Lines(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(ResultRowTest, ChainingAndAccessors) {
+  ResultRow row = ResultRow("ALEX")
+                      .Label("dataset", "ycsb")
+                      .Metric("mops", 1.5)
+                      .Metric("p50_ns", 120);
+  EXPECT_EQ(row.name(), "ALEX");
+  EXPECT_TRUE(row.ok());
+  EXPECT_EQ(row.status(), "ok");
+  ASSERT_EQ(row.labels().size(), 1u);
+  EXPECT_EQ(row.labels()[0].first, "dataset");
+  ASSERT_EQ(row.metrics().size(), 2u);
+  EXPECT_EQ(row.metrics()[1].first, "p50_ns");
+
+  ResultRow failed = ResultRow("PGM").Status("bulk_load_failed");
+  EXPECT_FALSE(failed.ok());
+}
+
+TEST(ResultSinkTest, TableHasTitleClaimSectionsAndAlignment) {
+  std::ostringstream table;
+  ResultSink::Options opts;
+  opts.table_out = &table;
+  ResultSink sink(opts);
+  sink.BeginExperiment("fig10", "Fig. 10", "Fig. 10: read-only", "claim X");
+  sink.Section("ycsb, 200k keys");
+  sink.Add(ResultRow("ALEX").Metric("mops", 2.5));
+  sink.Add(ResultRow("BTree").Metric("mops", 1.25));
+  sink.Note("a commentary line");
+  sink.EndExperiment();
+
+  std::string out = table.str();
+  EXPECT_NE(out.find("=== Fig. 10: read-only ==="), std::string::npos);
+  EXPECT_NE(out.find("paper claim: claim X"), std::string::npos);
+  EXPECT_NE(out.find("-- ycsb, 200k keys --"), std::string::npos);
+  EXPECT_NE(out.find("a commentary line"), std::string::npos);
+  EXPECT_NE(out.find("mops"), std::string::npos);
+  EXPECT_NE(out.find("2.500"), std::string::npos);
+  // All rows are ok -> no status column.
+  EXPECT_EQ(out.find("status"), std::string::npos);
+}
+
+TEST(ResultSinkTest, TableShowsStatusColumnOnFailure) {
+  std::ostringstream table;
+  ResultSink::Options opts;
+  opts.table_out = &table;
+  ResultSink sink(opts);
+  sink.BeginExperiment("fig13", "Fig. 13", "Fig. 13: write-only", "c");
+  sink.Add(ResultRow("ALEX").Metric("mops", 2.0));
+  sink.Add(ResultRow("PGM").Status("bulk_load_failed"));
+  sink.EndExperiment();
+
+  std::string out = table.str();
+  EXPECT_NE(out.find("status"), std::string::npos);
+  EXPECT_NE(out.find("bulk_load_failed"), std::string::npos);
+}
+
+TEST(ResultSinkTest, JsonlEmitsMetaAndRows) {
+  std::ostringstream json;
+  ResultSink::Options opts;
+  opts.table = false;
+  opts.json = true;
+  opts.json_out = &json;
+  ResultSink sink(opts);
+  sink.BeginExperiment("fig10", "Fig. 10", "title \"quoted\"", "claim");
+  sink.Section("sec");
+  sink.Add(ResultRow("ALEX")
+               .Label("dataset", "ycsb")
+               .Metric("mops", 2.5)
+               .Metric("count", 1000));
+  sink.Add(ResultRow("PGM").Status("bulk_load_failed"));
+  sink.EndExperiment();
+
+  std::vector<std::string> lines = Lines(json.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"type\":\"experiment\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"experiment\":\"fig10\""), std::string::npos);
+  EXPECT_NE(lines[0].find("title \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"row\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"section\":\"sec\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"ALEX\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"dataset\":\"ycsb\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"mops\":2.5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"count\":1000"), std::string::npos);
+  // The failure row is an explicit JSON row, not a silent omission.
+  EXPECT_NE(lines[2].find("\"status\":\"bulk_load_failed\""),
+            std::string::npos);
+}
+
+TEST(ResultSinkTest, CsvUnionColumnsAndQuoting) {
+  std::ostringstream csv;
+  ResultSink::Options opts;
+  opts.table = false;
+  opts.csv = true;
+  opts.csv_out = &csv;
+  ResultSink sink(opts);
+  sink.BeginExperiment("fig11", "Fig. 11", "t", "c");
+  sink.Section("skew, \"face\"");
+  sink.Add(ResultRow("ALEX").Label("dataset", "ycsb").Metric("mops", 1.5));
+  sink.Add(ResultRow("RMI").Metric("depth", 3));  // Different metric set.
+  sink.EndExperiment();
+
+  std::vector<std::string> lines = Lines(csv.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "experiment,section,name,status,dataset,mops,depth");
+  // Section containing a quote+comma gets CSV-escaped.
+  EXPECT_NE(lines[1].find("\"skew, \"\"face\"\"\""), std::string::npos);
+  EXPECT_NE(lines[1].find(",1.5,"), std::string::npos);
+  // RMI has no dataset label and no mops metric -> empty cells.
+  EXPECT_NE(lines[2].find("fig11,"), std::string::npos);
+  EXPECT_NE(lines[2].find(",,3"), std::string::npos);
+}
+
+TEST(ResultSinkTest, RowsAccessorKeepsExperimentContext) {
+  ResultSink::Options opts;
+  opts.table = false;
+  ResultSink sink(opts);
+  sink.BeginExperiment("fig10", "Fig. 10", "t", "c");
+  sink.Section("s1");
+  sink.Add(ResultRow("A"));
+  sink.EndExperiment();
+  sink.BeginExperiment("fig11", "Fig. 11", "t", "c");
+  sink.Add(ResultRow("B"));
+  sink.EndExperiment();
+
+  ASSERT_EQ(sink.rows().size(), 2u);
+  EXPECT_EQ(sink.rows()[0].experiment, "fig10");
+  EXPECT_EQ(sink.rows()[0].section, "s1");
+  EXPECT_EQ(sink.rows()[0].row.name(), "A");
+  EXPECT_EQ(sink.rows()[1].experiment, "fig11");
+  EXPECT_EQ(sink.rows()[1].section, "");
+}
+
+TEST(ResultSinkTest, JsonEscape) {
+  EXPECT_EQ(ResultSink::JsonEscape("plain"), "plain");
+  EXPECT_EQ(ResultSink::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(ResultSink::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(ResultSink::JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(ResultSink::JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ResultSinkTest, MetricFormatting) {
+  EXPECT_EQ(ResultSink::FormatMetric(1000), "1000");
+  EXPECT_EQ(ResultSink::FormatMetric(2.5), "2.500");
+  EXPECT_EQ(ResultSink::FormatMetric(0.00123), "0.00123");
+  EXPECT_EQ(ResultSink::FormatMetricJson(2.5), "2.5");
+  EXPECT_EQ(ResultSink::FormatMetricJson(1000), "1000");
+  // JSON has no NaN/Inf literals.
+  EXPECT_EQ(ResultSink::FormatMetricJson(std::nan("")), "null");
+  EXPECT_EQ(ResultSink::FormatMetricJson(INFINITY), "null");
+}
+
+}  // namespace
+}  // namespace pieces

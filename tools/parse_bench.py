@@ -1,103 +1,109 @@
 #!/usr/bin/env python3
-"""Parse bench_output.txt into per-experiment CSV files.
+"""Convert pieces_bench JSONL output into per-experiment CSV files.
 
-The bench binaries print human-readable tables; this tool turns a full
-sweep (`for b in build/bench/*; do $b; done | tee bench_output.txt`) into
-machine-readable CSVs under out_dir (default: bench_csv/), one file per
-experiment section, ready for pandas/gnuplot.
+`pieces_bench --format=json --out=results/` writes one `<experiment>.jsonl`
+per experiment (a meta line plus one line per result row). This tool
+flattens those row lines into CSVs ready for pandas/gnuplot — the columns
+are experiment,section,name,status plus the union of every label and
+metric key in first-appearance order.
+
+Note: `pieces_bench --format=csv` emits the same CSVs directly; this tool
+exists for converting JSONL archives after the fact.
 
 Usage:
-    tools/parse_bench.py bench_output.txt [out_dir]
+    tools/parse_bench.py results/*.jsonl [--out-dir bench_csv]
+    tools/parse_bench.py results/          # every .jsonl in the directory
 """
 import csv
+import json
 import os
-import re
 import sys
 
 
-SECTION_RE = re.compile(r"^=== (.+) ===$")
-SUBSECTION_RE = re.compile(r"^-- (.+) --$")
-# "NAME   1.234 Mops/s   p50   543 ns   p99.9   7423 ns"
-THROUGHPUT_RE = re.compile(
-    r"^(\S[\S ]*?)\s+([\d.]+)\s+Mops/s\s+p50\s+(\d+)\s+ns\s+p99\.9\s+(\d+)\s+ns"
-)
-# "NAME   123.4 Kscans/s   p50  543 ns"
-SCAN_RE = re.compile(r"^(\S[\S ]*?)\s+([\d.]+)\s+Kscans/s\s+p50\s+(\d+)\s+ns")
-# "NAME   12.3 ms" or fig16's two-column "NAME  build  recover"
-MS_RE = re.compile(r"^(\S[\S ]*?)\s+([\d.]+)\s+ms$")
-TWO_MS_RE = re.compile(r"^(\S[\S ]*?)\s+([\d.]+)\s+([\d.]+)$")
+def convert(path: str, out_dir: str) -> int:
+    """Converts one .jsonl file; returns the number of rows written."""
+    rows = []
+    label_keys, metric_keys = [], []
+    experiment = os.path.splitext(os.path.basename(path))[0]
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"{path}:{line_no}: bad JSON: {e}", file=sys.stderr)
+                return -1
+            if obj.get("type") == "experiment":
+                experiment = obj.get("experiment", experiment)
+            if obj.get("type") != "row":
+                continue
+            rows.append(obj)
+            for key in obj.get("labels", {}):
+                if key not in label_keys:
+                    label_keys.append(key)
+            for key in obj.get("metrics", {}):
+                if key not in metric_keys:
+                    metric_keys.append(key)
 
+    if not rows:
+        print(f"{path}: no row lines, skipped", file=sys.stderr)
+        return 0
 
-def slugify(title: str) -> str:
-    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
-    return slug[:60]
+    out_path = os.path.join(out_dir, f"{experiment}.csv")
+    fields = ["experiment", "section", "name", "status"]
+    fields += label_keys + metric_keys
+    with open(out_path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.DictWriter(f, fieldnames=fields)
+        writer.writeheader()
+        for obj in rows:
+            record = {
+                "experiment": obj.get("experiment", experiment),
+                "section": obj.get("section", ""),
+                "name": obj.get("name", ""),
+                "status": obj.get("status", ""),
+            }
+            record.update(obj.get("labels", {}))
+            record.update(obj.get("metrics", {}))
+            writer.writerow(record)
+    print(f"wrote {out_path} ({len(rows)} rows)")
+    return len(rows)
 
 
 def main() -> int:
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    out_dir = "bench_csv"
+    if "--out-dir" in args:
+        i = args.index("--out-dir")
+        if i + 1 >= len(args):
+            print(__doc__)
+            return 1
+        out_dir = args[i + 1]
+        del args[i:i + 2]
+    if not args:
         print(__doc__)
         return 1
-    path = sys.argv[1]
-    out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+
+    paths = []
+    for arg in args:
+        if os.path.isdir(arg):
+            paths += sorted(
+                os.path.join(arg, f)
+                for f in os.listdir(arg)
+                if f.endswith(".jsonl")
+            )
+        else:
+            paths.append(arg)
+    if not paths:
+        print("no .jsonl inputs found", file=sys.stderr)
+        return 1
+
     os.makedirs(out_dir, exist_ok=True)
-
-    section = None
-    subsection = ""
-    rows = {}  # slug -> list of row dicts
-    with open(path, encoding="utf-8") as f:
-        for line in f:
-            line = line.rstrip("\n")
-            m = SECTION_RE.match(line)
-            if m:
-                section = slugify(m.group(1))
-                subsection = ""
-                continue
-            m = SUBSECTION_RE.match(line)
-            if m:
-                subsection = m.group(1)
-                continue
-            if section is None:
-                continue
-            m = THROUGHPUT_RE.match(line)
-            if m:
-                rows.setdefault(section, []).append({
-                    "config": subsection,
-                    "index": m.group(1).strip(),
-                    "mops": float(m.group(2)),
-                    "p50_ns": int(m.group(3)),
-                    "p999_ns": int(m.group(4)),
-                })
-                continue
-            m = SCAN_RE.match(line)
-            if m:
-                rows.setdefault(section, []).append({
-                    "config": subsection,
-                    "index": m.group(1).strip(),
-                    "kscans": float(m.group(2)),
-                    "p50_ns": int(m.group(3)),
-                })
-                continue
-            m = MS_RE.match(line)
-            if m:
-                rows.setdefault(section, []).append({
-                    "config": subsection,
-                    "index": m.group(1).strip(),
-                    "ms": float(m.group(2)),
-                })
-
-    for slug, data in rows.items():
-        out_path = os.path.join(out_dir, f"{slug}.csv")
-        fields = []
-        for row in data:
-            for key in row:
-                if key not in fields:
-                    fields.append(key)
-        with open(out_path, "w", newline="", encoding="utf-8") as f:
-            writer = csv.DictWriter(f, fieldnames=fields)
-            writer.writeheader()
-            writer.writerows(data)
-        print(f"wrote {out_path} ({len(data)} rows)")
-    return 0
+    ok = True
+    for path in paths:
+        ok = convert(path, out_dir) >= 0 and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
