@@ -45,21 +45,27 @@ inline std::unique_ptr<ViperStore> MakeStore(Context& ctx,
 
 // The standard end-to-end row: throughput plus point-op tail percentiles
 // (scan latencies are tracked separately by the executor and do not
-// pollute these).
+// pollute these), plus per-worker throughput spread so thread stragglers
+// are visible in the structured output.
 inline ResultRow ThroughputRow(const std::string& name,
                                const RunStats& stats) {
   return ResultRow(name)
       .Metric("mops", stats.mops)
       .Metric("p50_ns", static_cast<double>(stats.point.P50()))
-      .Metric("p999_ns", static_cast<double>(stats.point.P999()));
+      .Metric("p999_ns", static_cast<double>(stats.point.P999()))
+      .Metric("worker_mops_min", stats.WorkerMopsMin())
+      .Metric("worker_mops_max", stats.WorkerMopsMax())
+      .Metric("worker_mops_stddev", stats.WorkerMopsStddev());
 }
 
-// Executor options seeded from the context's warmup/repeat defaults.
+// Executor options seeded from the context's warmup/repeat/duration
+// defaults.
 inline ExecutorOptions ExecOptions(const Context& ctx, size_t threads = 1) {
   ExecutorOptions opts;
   opts.threads = threads;
   opts.warmup_ops = ctx.warmup_ops;
   opts.repeats = ctx.repeats;
+  opts.duration_seconds = ctx.duration_seconds;
   return opts;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <thread>
 
 #include "common/timer.h"
@@ -11,18 +12,31 @@ namespace {
 
 constexpr size_t kNumOpTypes = 5;
 
+// Per-worker measurement of one pass: ops executed and the worker's own
+// wall time (barrier release -> that worker's finish). The per-worker
+// numbers expose stragglers; the pass wall time is the slowest worker's.
+struct PassResult {
+  uint64_t wall_ns = 0;
+  std::vector<uint64_t> thread_ops;
+  std::vector<uint64_t> thread_ns;
+};
+
 // Executes ops [0, count) partitioned round-robin across threads. When
-// `recorders` is null the pass is untimed warmup. Returns the measured
-// wall time in nanoseconds: clock start is taken *after* every worker has
-// spawned and checked in at the barrier, and clock end is the finish time
-// of the slowest worker — thread spawn/join never counts.
-uint64_t RunPass(ViperStore* store, const std::vector<Op>& ops, size_t count,
-                 size_t threads,
-                 std::vector<std::vector<LatencyRecorder>>* recorders) {
+// `recorders` is null the pass is untimed warmup. When duration_ns > 0
+// each worker wraps around its partition until the deadline. Clock start
+// is taken *after* every worker has spawned and checked in at the
+// barrier, and clock end is the finish time of the slowest worker —
+// thread spawn/join never counts.
+PassResult RunPass(ViperStore* store, const std::vector<Op>& ops,
+                   size_t count, size_t threads, uint64_t duration_ns,
+                   std::vector<std::vector<LatencyRecorder>>* recorders) {
   std::atomic<size_t> ready{0};
   std::atomic<bool> go{false};
   std::atomic<uint64_t> max_finish{0};
   const bool timed = recorders != nullptr;
+  PassResult result;
+  result.thread_ops.assign(threads, 0);
+  result.thread_ns.assign(threads, 0);
 
   auto worker = [&](size_t t) {
     std::vector<uint8_t> buf(256);
@@ -32,7 +46,17 @@ uint64_t RunPass(ViperStore* store, const std::vector<Op>& ops, size_t count,
     while (!go.load(std::memory_order_acquire)) {
       std::this_thread::yield();
     }
-    for (size_t i = t; i < count; i += threads) {
+    const uint64_t t_start = NowNanos();
+    const uint64_t deadline = duration_ns > 0 ? t_start + duration_ns : 0;
+    uint64_t executed = 0;
+    size_t i = deadline == 0 ? t : t % count;
+    while (true) {
+      if (deadline == 0) {
+        // Single traversal: stop once the stride leaves [0, count).
+        if (i >= count) break;
+      } else if (NowNanos() >= deadline) {
+        break;
+      }
       const Op& op = ops[i];
       Timer timer;
       switch (op.type) {
@@ -53,8 +77,13 @@ uint64_t RunPass(ViperStore* store, const std::vector<Op>& ops, size_t count,
           break;
       }
       if (timed) recs[static_cast<size_t>(op.type)].Record(timer.ElapsedNanos());
+      ++executed;
+      i += threads;
+      if (deadline != 0 && i >= count) i %= count;  // wrap in duration mode
     }
     uint64_t finish = NowNanos();
+    result.thread_ops[t] = executed;
+    result.thread_ns[t] = finish - t_start;
     uint64_t seen = max_finish.load(std::memory_order_relaxed);
     while (finish > seen &&
            !max_finish.compare_exchange_weak(seen, finish,
@@ -71,10 +100,36 @@ uint64_t RunPass(ViperStore* store, const std::vector<Op>& ops, size_t count,
   uint64_t start = NowNanos();
   go.store(true, std::memory_order_release);
   for (auto& th : pool) th.join();
-  return max_finish.load(std::memory_order_relaxed) - start;
+  result.wall_ns = max_finish.load(std::memory_order_relaxed) - start;
+  return result;
 }
 
 }  // namespace
+
+double RunStats::WorkerMopsMin() const {
+  double m = 0;
+  for (size_t i = 0; i < per_worker_mops.size(); ++i) {
+    m = i == 0 ? per_worker_mops[i] : std::min(m, per_worker_mops[i]);
+  }
+  return m;
+}
+
+double RunStats::WorkerMopsMax() const {
+  double m = 0;
+  for (double v : per_worker_mops) m = std::max(m, v);
+  return m;
+}
+
+double RunStats::WorkerMopsStddev() const {
+  if (per_worker_mops.size() < 2) return 0;
+  double mean = 0;
+  for (double v : per_worker_mops) mean += v;
+  mean /= static_cast<double>(per_worker_mops.size());
+  double var = 0;
+  for (double v : per_worker_mops) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(per_worker_mops.size());
+  return std::sqrt(var);
+}
 
 RunStats RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
                      const ExecutorOptions& opts) {
@@ -82,18 +137,30 @@ RunStats RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
   if (ops.empty()) return stats;
   const size_t threads = std::max<size_t>(1, opts.threads);
   const size_t repeats = std::max<size_t>(1, opts.repeats);
+  const uint64_t duration_ns =
+      opts.duration_seconds > 0
+          ? static_cast<uint64_t>(opts.duration_seconds * 1e9)
+          : 0;
 
   if (opts.warmup_ops > 0) {
     RunPass(store, ops, std::min(opts.warmup_ops, ops.size()), threads,
-            nullptr);
+            /*duration_ns=*/0, nullptr);
   }
 
   uint64_t total_ns = 0;
+  std::vector<uint64_t> worker_ops(threads, 0);
+  std::vector<uint64_t> worker_ns(threads, 0);
   std::vector<std::vector<LatencyRecorder>> recorders(
       threads, std::vector<LatencyRecorder>(kNumOpTypes));
   for (size_t rep = 0; rep < repeats; ++rep) {
-    total_ns += RunPass(store, ops, ops.size(), threads, &recorders);
-    stats.ops_executed += ops.size();
+    PassResult pass =
+        RunPass(store, ops, ops.size(), threads, duration_ns, &recorders);
+    total_ns += pass.wall_ns;
+    for (size_t t = 0; t < threads; ++t) {
+      stats.ops_executed += pass.thread_ops[t];
+      worker_ops[t] += pass.thread_ops[t];
+      worker_ns[t] += pass.thread_ns[t];
+    }
   }
 
   stats.wall_seconds = static_cast<double>(total_ns) * 1e-9;
@@ -101,6 +168,13 @@ RunStats RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
                    ? static_cast<double>(stats.ops_executed) /
                          stats.wall_seconds / 1e6
                    : 0;
+  stats.per_worker_mops.resize(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    stats.per_worker_mops[t] =
+        worker_ns[t] > 0 ? 1e3 * static_cast<double>(worker_ops[t]) /
+                               static_cast<double>(worker_ns[t])
+                         : 0;
+  }
   for (const auto& per_thread : recorders) {
     for (size_t t = 0; t < kNumOpTypes; ++t) {
       stats.per_type[t].Merge(per_thread[t]);

@@ -26,12 +26,25 @@ struct ExecutorOptions {
   // Measured passes over the op stream; mops averages across passes and
   // latency histograms merge all passes.
   size_t repeats = 1;
+  // Time-based mode (the bench driver's --duration flag): when > 0, each
+  // measured pass replays the op stream in a loop, wrapping around, until
+  // the deadline — instead of stopping after one traversal. Warmup stays
+  // op-count based.
+  double duration_seconds = 0;
 };
 
 struct RunStats {
   double mops = 0;           // total measured ops / total measured wall time
   double wall_seconds = 0;   // summed across repeats
   size_t ops_executed = 0;   // summed across repeats
+
+  // Per-worker throughput (ops the worker executed / that worker's own
+  // wall time, summed across repeats) — min/max/stddev expose stragglers
+  // that the aggregate mops averages away.
+  std::vector<double> per_worker_mops;
+  double WorkerMopsMin() const;
+  double WorkerMopsMax() const;
+  double WorkerMopsStddev() const;
 
   // Latency histograms by op type (indexed by OpType), plus the merged
   // point-op view (read/update/insert/RMW — excludes scans).

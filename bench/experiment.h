@@ -28,6 +28,10 @@ struct Context {
   size_t repeats = 1;
   // Thread ceiling for the multi-threaded experiments.
   size_t max_threads = 4;
+  // Time-based run mode (--duration): when > 0, measured passes replay
+  // the op stream in a loop for this long instead of exactly `ops` times;
+  // mutually exclusive with --ops at the CLI.
+  double duration_seconds = 0;
 };
 
 struct Experiment {

@@ -28,6 +28,9 @@ Usage: pieces_bench [flags]
                          (default: stdout)
   --keys=N               dataset-size baseline (default: 200000 x PIECES_SCALE)
   --ops=N                op-stream length baseline (default: 200000)
+  --duration=SECONDS     time-based mode: measured passes loop over the op
+                         stream for SECONDS instead of one traversal
+                         (mutually exclusive with --ops)
   --warmup=N             untimed warmup ops before each measured run (default 0)
   --repeats=N            measured repetitions, throughput averaged (default 1)
   --threads=N            thread ceiling for multi-threaded experiments
@@ -40,8 +43,8 @@ PIECES_THREADS (see README.md).
 )";
 
 const std::vector<std::string> kKnownFlags = {
-    "list", "experiment", "format",  "out",   "keys",
-    "ops",  "warmup",     "repeats", "threads", "smoke", "help"};
+    "list",   "experiment", "format",  "out",     "keys",  "ops",
+    "duration", "warmup",   "repeats", "threads", "smoke", "help"};
 
 int Main(int argc, char** argv) {
   CliFlags flags = CliFlags::Parse(argc, argv);
@@ -99,6 +102,9 @@ int Main(int argc, char** argv) {
   ctx.base_keys = flags.GetU64(
       "keys", smoke ? 4096 : 200'000 * BenchScale());
   ctx.ops = flags.GetU64("ops", smoke ? 2000 : 200'000);
+  flags.CheckMutuallyExclusive("ops", "duration");
+  ctx.duration_seconds =
+      static_cast<double>(flags.GetU64("duration", 0));
   ctx.warmup_ops = flags.GetU64("warmup", 0);
   ctx.repeats = flags.GetU64("repeats", 1);
   ctx.max_threads = flags.GetU64("threads", BenchMaxThreads());

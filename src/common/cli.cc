@@ -81,6 +81,16 @@ std::vector<std::string> CliFlags::GetList(const std::string& name) const {
   return out;
 }
 
+bool CliFlags::CheckMutuallyExclusive(const std::string& a,
+                                      const std::string& b) const {
+  if (Has(a) && Has(b)) {
+    errors_.push_back("--" + a + " and --" + b +
+                      " are mutually exclusive; give at most one");
+    return false;
+  }
+  return true;
+}
+
 std::vector<std::string> CliFlags::Names() const {
   std::vector<std::string> names;
   for (const auto& [k, v] : flags_) {

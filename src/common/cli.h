@@ -36,6 +36,12 @@ class CliFlags {
   // Flag names in first-appearance order (for unknown-flag validation).
   std::vector<std::string> Names() const;
 
+  // Records an error when both flags are present (they are mutually
+  // exclusive, e.g. --ops vs --duration). Returns true when at most one
+  // of the two was given.
+  bool CheckMutuallyExclusive(const std::string& a,
+                              const std::string& b) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   // Accumulated typed-getter parse errors ("--repeats=twice" etc.).

@@ -1,0 +1,163 @@
+#include "service/loadgen.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace pieces::service {
+namespace {
+
+// Sleep most of the way, then yield-spin the last stretch: sleep_for
+// overshoot (tens of µs) would otherwise be charged to every request's
+// coordinated-omission-free latency.
+void SleepUntil(uint64_t when_nanos) {
+  for (;;) {
+    uint64_t now = NowNanos();
+    if (now >= when_nanos) return;
+    uint64_t remain = when_nanos - now;
+    if (remain > 200'000) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(remain - 100'000));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+struct Counters {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> not_found{0};
+  std::atomic<uint64_t> store_full{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> shutdown{0};
+
+  void Count(RequestStatus st) {
+    switch (st) {
+      case RequestStatus::kOk:
+        ok.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kNotFound:
+        not_found.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kStoreFull:
+        store_full.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kRejected:
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case RequestStatus::kShutdown:
+        shutdown.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+LoadGenResult RunOpenLoop(KvService* service, const std::vector<Op>& ops,
+                          const LoadGenOptions& options) {
+  LoadGenResult result;
+  if (ops.empty() || options.duration_seconds <= 0) return result;
+  const size_t clients = std::max<size_t>(1, options.clients);
+  const size_t submit_batch = std::max<size_t>(1, options.submit_batch);
+  // Per-client inter-arrival gap; a non-positive target means "as fast as
+  // admission control allows" (every request due immediately).
+  const uint64_t interarrival_ns =
+      options.target_qps > 0
+          ? static_cast<uint64_t>(1e9 * clients / options.target_qps)
+          : 0;
+
+  Counters counters;
+  // One recorder per shard, written only by that shard's worker.
+  std::vector<LatencyRecorder> shard_latency(service->num_shards());
+  std::mutex scan_mu;
+  LatencyRecorder scan_latency;
+  std::vector<uint64_t> issued_per_client(clients, 0);
+
+  const uint64_t start = NowNanos();
+  const uint64_t end =
+      start + static_cast<uint64_t>(options.duration_seconds * 1e9);
+
+  auto client = [&](size_t c) {
+    std::vector<Request> pending;
+    pending.reserve(submit_batch);
+    auto flush = [&] {
+      if (pending.empty()) return;
+      service->SubmitBatch(std::move(pending));
+      pending = std::vector<Request>();
+      pending.reserve(submit_batch);
+    };
+    uint64_t issued = 0;
+    for (uint64_t k = 0;; ++k) {
+      const uint64_t scheduled = start + k * interarrival_ns;
+      if (scheduled >= end) break;
+      uint64_t now = NowNanos();
+      // A client that fell behind schedule (saturation, or blocked in
+      // admission control) stops offering when the wall-clock window
+      // ends — the schedule alone would keep it issuing long after.
+      if (now >= end) break;
+      if (scheduled > now) {
+        flush();  // Don't sit on a batch while idle.
+        SleepUntil(scheduled);
+      }
+      const Op& op = ops[(c + k * clients) % ops.size()];
+      Request req;
+      req.type = op.type;
+      req.key = op.key;
+      req.start_nanos = scheduled;
+      if (op.type == OpType::kScan) {
+        req.scan_len = op.scan_len;
+        req.done = [&counters, &scan_mu, &scan_latency,
+                    scheduled](RequestStatus st) {
+          counters.Count(st);
+          if (st != RequestStatus::kRejected &&
+              st != RequestStatus::kShutdown) {
+            std::lock_guard<std::mutex> lock(scan_mu);
+            scan_latency.Record(NowNanos() - scheduled);
+          }
+        };
+      } else {
+        req.latency = &shard_latency[service->ShardOf(op.key)];
+        req.done = [&counters](RequestStatus st) { counters.Count(st); };
+      }
+      pending.push_back(std::move(req));
+      ++issued;
+      if (pending.size() >= submit_batch) flush();
+    }
+    flush();
+    issued_per_client[c] = issued;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) threads.emplace_back(client, c);
+  for (auto& t : threads) t.join();
+  service->Drain();
+  const uint64_t done = NowNanos();
+
+  for (uint64_t n : issued_per_client) result.issued += n;
+  result.ok = counters.ok.load();
+  result.not_found = counters.not_found.load();
+  result.store_full = counters.store_full.load();
+  result.rejected = counters.rejected.load();
+  result.shutdown = counters.shutdown.load();
+  result.wall_seconds = static_cast<double>(done - start) * 1e-9;
+  result.offered_qps =
+      static_cast<double>(result.issued) / options.duration_seconds;
+  const uint64_t executed =
+      result.ok + result.not_found + result.store_full;
+  result.achieved_qps = result.wall_seconds > 0
+                            ? static_cast<double>(executed) /
+                                  result.wall_seconds
+                            : 0;
+  for (const LatencyRecorder& rec : shard_latency) {
+    result.point_latency.Merge(rec);
+  }
+  result.scan_latency = scan_latency;
+  return result;
+}
+
+}  // namespace pieces::service

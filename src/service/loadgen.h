@@ -1,0 +1,61 @@
+// Open-loop load generator for the sharded KV service. Closed-loop
+// clients (issue, wait, issue) hide queueing delay: when the server
+// stalls, the client stops offering load, so the stall never shows up in
+// the tail — the classic coordinated-omission trap. This generator keeps
+// an *arrival schedule* instead: request k of client c is due at
+//   start + k * (clients / target_qps)
+// and its latency is measured from that scheduled arrival to completion,
+// so time spent queued behind a stalled shard (or blocked in admission
+// control) is charged to the request, exactly as a real user would
+// experience it.
+//
+// Latency recording stays single-writer: point-op latencies go into one
+// recorder per shard, written only by that shard's worker; multi-shard
+// scan latencies are recorded under a mutex (rare by construction).
+#ifndef PIECES_SERVICE_LOADGEN_H_
+#define PIECES_SERVICE_LOADGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/latency_recorder.h"
+#include "service/router.h"
+#include "workload/ycsb.h"
+
+namespace pieces::service {
+
+struct LoadGenOptions {
+  // Aggregate offered load across all clients, requests/second. Offer far
+  // more than the service can absorb to measure saturation capacity.
+  double target_qps = 100'000;
+  double duration_seconds = 1.0;
+  size_t clients = 2;
+  // Client-side coalescing: due requests are submitted in batches of up
+  // to this many (the router re-groups them per shard).
+  size_t submit_batch = 16;
+};
+
+struct LoadGenResult {
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t not_found = 0;
+  uint64_t store_full = 0;
+  uint64_t rejected = 0;
+  uint64_t shutdown = 0;
+  double wall_seconds = 0;   // first scheduled arrival -> drain complete
+  double offered_qps = 0;    // issued / duration
+  double achieved_qps = 0;   // executed (non-rejected) / wall
+  // Coordinated-omission-free latency (completion - scheduled arrival).
+  LatencyRecorder point_latency;  // reads/updates/inserts/RMW
+  LatencyRecorder scan_latency;
+};
+
+// Replays `ops` (round-robin across clients, wrapping as needed) against
+// a started service. Returns after every issued request has completed
+// (the service is drained, not shut down).
+LoadGenResult RunOpenLoop(KvService* service, const std::vector<Op>& ops,
+                          const LoadGenOptions& options);
+
+}  // namespace pieces::service
+
+#endif  // PIECES_SERVICE_LOADGEN_H_

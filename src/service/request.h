@@ -1,0 +1,92 @@
+// Request/response types shared by the sharded KV service layer
+// (src/service/). The service front-ends ViperStore with range-partitioned
+// shards (see router.h): every request is routed to the single shard that
+// owns its key and executed by that shard's worker thread, so strictly
+// single-writer indexes (RMI, PGM, ALEX, FITing-tree, RadixSpline, ...)
+// serve concurrent clients without any locking inside the index.
+#ifndef PIECES_SERVICE_REQUEST_H_
+#define PIECES_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/latency_recorder.h"
+#include "index/ordered_index.h"
+#include "store/viper.h"
+#include "workload/ycsb.h"
+
+namespace pieces::service {
+
+// What a shard does when its bounded request queue is full.
+enum class AdmissionPolicy : uint8_t {
+  kBlock,   // Submit blocks the client until queue space frees up.
+  kReject,  // Submit fails fast; the request completes with kRejected.
+};
+
+enum class RequestStatus : uint8_t {
+  kOk = 0,
+  kNotFound,   // Get/RMW on an absent key.
+  kStoreFull,  // Put failed (PMem exhausted or read-only index).
+  kRejected,   // Admission control dropped the request (queue full).
+  kShutdown,   // Service stopped before the request could be queued.
+};
+
+const char* RequestStatusName(RequestStatus status);
+
+// One KV request. The client owns `value`/`out`/`scan_out` until `done`
+// fires. Completions run inline on the executing shard's worker thread
+// (or on the submitting thread for rejected/shutdown requests), so they
+// must be cheap and must not call back into the service.
+struct Request {
+  OpType type = OpType::kRead;
+  Key key = 0;
+  uint32_t scan_len = 0;
+  // Put payload (exactly value_size bytes); nullptr means a synthetic
+  // value derived from the key (ViperStore::FillSyntheticValue).
+  const uint8_t* value = nullptr;
+  // Get/RMW destination (value_size bytes); nullptr discards the value
+  // into worker-local scratch (the read is still charged).
+  uint8_t* out = nullptr;
+  // Scan destination; results are appended in key order. nullptr counts
+  // the scan without returning keys.
+  std::vector<Key>* scan_out = nullptr;
+  // Client-stamped start time (the *scheduled arrival* for open-loop
+  // clients — measuring from here is what makes tails coordinated-
+  // omission-free). When both start_nanos and latency are set, the
+  // executing worker records completion - start_nanos. Rejected and
+  // shutdown requests never record latency. For scans that may span
+  // shards, leave latency null and measure in `done` instead: the final
+  // sub-scan completion runs on an arbitrary shard's worker, which would
+  // break the recorder's single-writer discipline.
+  uint64_t start_nanos = 0;
+  LatencyRecorder* latency = nullptr;
+  std::function<void(RequestStatus)> done;  // optional
+};
+
+struct ShardStats {
+  uint64_t ops = 0;        // requests executed by the worker
+  uint64_t batches = 0;    // queue entries drained
+  uint64_t rejected = 0;   // requests dropped by admission control
+  uint64_t max_queue = 0;  // high-water mark of queued requests
+  size_t keys = 0;         // records owned by the shard's store
+};
+
+struct ServiceStats {
+  std::vector<ShardStats> shards;
+
+  uint64_t total_ops() const {
+    uint64_t n = 0;
+    for (const ShardStats& s : shards) n += s.ops;
+    return n;
+  }
+  uint64_t total_rejected() const {
+    uint64_t n = 0;
+    for (const ShardStats& s : shards) n += s.rejected;
+    return n;
+  }
+};
+
+}  // namespace pieces::service
+
+#endif  // PIECES_SERVICE_REQUEST_H_

@@ -1,0 +1,322 @@
+#include "service/router.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "common/timer.h"
+#include "index/registry.h"
+
+namespace pieces::service {
+
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kNotFound:
+      return "not_found";
+    case RequestStatus::kStoreFull:
+      return "store_full";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+RangePartition::RangePartition(size_t num_shards, std::vector<Key> sample)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {
+  if (num_shards_ == 1) return;
+  boundaries_.reserve(num_shards_ - 1);
+  if (sample.size() < num_shards_) {
+    // Not enough mass information: equal-width split of the domain.
+    const Key step = std::numeric_limits<Key>::max() / num_shards_;
+    for (size_t i = 1; i < num_shards_; ++i) {
+      boundaries_.push_back(step * i);
+    }
+    return;
+  }
+  std::sort(sample.begin(), sample.end());
+  Key prev = 0;
+  for (size_t i = 1; i < num_shards_; ++i) {
+    Key b = sample[i * sample.size() / num_shards_];
+    // Boundaries must be strictly increasing; heavy duplicates in the
+    // sample get nudged (the duplicated key's whole mass lands in one
+    // shard regardless — equal keys cannot be split).
+    if (!boundaries_.empty() && b <= prev) {
+      if (prev == std::numeric_limits<Key>::max()) break;
+      b = prev + 1;
+    }
+    boundaries_.push_back(b);
+    prev = b;
+  }
+}
+
+size_t RangePartition::ShardOf(Key key) const {
+  // Shard s owns [boundaries_[s-1], boundaries_[s]); a boundary key
+  // belongs to the shard on its right.
+  return static_cast<size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), key) -
+      boundaries_.begin());
+}
+
+Key RangePartition::LowerBound(size_t shard) const {
+  if (shard == 0) return 0;
+  if (shard > boundaries_.size()) return std::numeric_limits<Key>::max();
+  return boundaries_[shard - 1];
+}
+
+KvService::KvService(const std::string& index_name,
+                     const ServiceConfig& config,
+                     const std::vector<Key>& bootstrap_sample)
+    : index_name_(index_name),
+      config_(config),
+      partition_(config.num_shards, bootstrap_sample) {
+  shards_.reserve(partition_.num_shards());
+  for (size_t s = 0; s < partition_.num_shards(); ++s) {
+    auto index = MakeIndex(index_name);
+    if (index == nullptr) {
+      std::fprintf(stderr, "KvService: unknown index '%s'\n",
+                   index_name.c_str());
+      std::abort();
+    }
+    shards_.push_back(std::make_unique<Shard>(
+        s, std::make_unique<ViperStore>(std::move(index), config_.store),
+        config_.queue_capacity));
+  }
+}
+
+KvService::~KvService() { Shutdown(); }
+
+bool KvService::BulkLoad(const std::vector<Key>& sorted_keys) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    auto begin = std::lower_bound(sorted_keys.begin(), sorted_keys.end(),
+                                  partition_.LowerBound(s));
+    auto end = s + 1 < shards_.size()
+                   ? std::lower_bound(begin, sorted_keys.end(),
+                                      partition_.LowerBound(s + 1))
+                   : sorted_keys.end();
+    std::vector<Key> part(begin, end);
+    if (!shards_[s]->store()->BulkLoad(part)) return false;
+  }
+  return true;
+}
+
+void KvService::Start() {
+  for (auto& shard : shards_) shard->Start();
+}
+
+void KvService::CompleteInline(Request& req, RequestStatus status) {
+  // Rejected/shutdown requests never record latency — only executed
+  // requests may touch the single-writer recorder.
+  if (req.done) req.done(status);
+}
+
+void KvService::Dispatch(size_t shard, std::vector<Request>&& batch) {
+  Shard::EnqueueResult result =
+      shards_[shard]->Enqueue(std::move(batch), config_.admission);
+  if (result == Shard::EnqueueResult::kAccepted) return;
+  RequestStatus status = result == Shard::EnqueueResult::kRejected
+                             ? RequestStatus::kRejected
+                             : RequestStatus::kShutdown;
+  // Enqueue left the batch in place on failure.
+  for (Request& req : batch) CompleteInline(req, status);
+}
+
+void KvService::Submit(Request req) {
+  if (req.type == OpType::kScan) {
+    FanOutScan(std::move(req));
+    return;
+  }
+  size_t s = partition_.ShardOf(req.key);
+  std::vector<Request> batch;
+  batch.push_back(std::move(req));
+  Dispatch(s, std::move(batch));
+}
+
+void KvService::SubmitBatch(std::vector<Request> batch) {
+  // Coalesce into per-shard batches; a shard's batch flushes when it
+  // reaches max_batch, the rest flush at the end. Scans bypass
+  // coalescing (they fan out to several shards anyway).
+  std::vector<std::vector<Request>> pending(shards_.size());
+  for (Request& req : batch) {
+    if (req.type == OpType::kScan) {
+      FanOutScan(std::move(req));
+      continue;
+    }
+    size_t s = partition_.ShardOf(req.key);
+    pending[s].push_back(std::move(req));
+    if (pending[s].size() >= config_.max_batch) {
+      Dispatch(s, std::move(pending[s]));
+      pending[s] = std::vector<Request>();
+    }
+  }
+  for (size_t s = 0; s < pending.size(); ++s) {
+    if (!pending[s].empty()) Dispatch(s, std::move(pending[s]));
+  }
+}
+
+// Shared join state for a scan fanned out across shards [first, last].
+// parts[i] is written by shard (first + i)'s worker before its done
+// callback runs; the final decrement (acq_rel) synchronizes all parts
+// into the finishing thread, which merges and completes the original.
+struct KvService::ScanJoin {
+  Request original;
+  std::vector<std::vector<Key>> parts;
+  std::atomic<size_t> remaining{0};
+  std::atomic<uint8_t> worst{0};  // max RequestStatus over sub-scans
+
+  void Finish() {
+    Request& orig = original;
+    if (orig.scan_out != nullptr) {
+      // Range partitioning: shard order is key order, so the merge is a
+      // concatenation truncated to the requested count.
+      size_t appended = 0;
+      const size_t want = orig.scan_len;
+      for (const std::vector<Key>& part : parts) {
+        for (Key k : part) {
+          if (appended == want) break;
+          orig.scan_out->push_back(k);
+          ++appended;
+        }
+      }
+    }
+    if (orig.latency != nullptr && orig.start_nanos != 0) {
+      orig.latency->Record(NowNanos() - orig.start_nanos);
+    }
+    if (orig.done) {
+      orig.done(static_cast<RequestStatus>(worst.load(
+          std::memory_order_relaxed)));
+    }
+  }
+};
+
+void KvService::FanOutScan(Request req) {
+  const size_t first = partition_.ShardOf(req.key);
+  const size_t last = shards_.size() - 1;
+  if (first == last) {
+    std::vector<Request> batch;
+    batch.push_back(std::move(req));
+    Dispatch(first, std::move(batch));
+    return;
+  }
+  const size_t n = last - first + 1;
+  auto join = std::make_shared<ScanJoin>();
+  join->original = std::move(req);
+  join->parts.resize(n);
+  join->remaining.store(n, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    Request sub;
+    sub.type = OpType::kScan;
+    sub.key = i == 0 ? join->original.key : partition_.LowerBound(first + i);
+    // Conservative: any shard may end up serving the whole count; the
+    // merge truncates.
+    sub.scan_len = join->original.scan_len;
+    sub.scan_out = &join->parts[i];
+    sub.done = [join](RequestStatus st) {
+      if (st != RequestStatus::kOk) {
+        uint8_t s = static_cast<uint8_t>(st);
+        uint8_t seen = join->worst.load(std::memory_order_relaxed);
+        while (s > seen && !join->worst.compare_exchange_weak(
+                               seen, s, std::memory_order_relaxed)) {
+        }
+      }
+      if (join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        join->Finish();
+      }
+    };
+    std::vector<Request> batch;
+    batch.push_back(std::move(sub));
+    Dispatch(first + i, std::move(batch));
+  }
+}
+
+namespace {
+
+// Stack-allocated completion cell for the synchronous convenience API.
+struct SyncCell {
+  std::mutex m;
+  std::condition_variable cv;
+  bool fired = false;
+  RequestStatus status = RequestStatus::kOk;
+
+  void Set(RequestStatus st) {
+    // Notify while holding the lock: the cell lives on the waiter's
+    // stack, and the waiter may destroy it the moment it can reacquire
+    // the mutex — notifying after unlock would race with that teardown.
+    std::lock_guard<std::mutex> lock(m);
+    status = st;
+    fired = true;
+    cv.notify_one();
+  }
+  RequestStatus Wait() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return fired; });
+    return status;
+  }
+};
+
+}  // namespace
+
+RequestStatus KvService::Get(Key key, uint8_t* out) {
+  SyncCell cell;
+  Request req;
+  req.type = OpType::kRead;
+  req.key = key;
+  req.out = out;
+  req.done = [&cell](RequestStatus st) { cell.Set(st); };
+  Submit(std::move(req));
+  return cell.Wait();
+}
+
+RequestStatus KvService::Put(Key key, const uint8_t* value) {
+  SyncCell cell;
+  Request req;
+  req.type = OpType::kInsert;
+  req.key = key;
+  req.value = value;
+  req.done = [&cell](RequestStatus st) { cell.Set(st); };
+  Submit(std::move(req));
+  return cell.Wait();
+}
+
+RequestStatus KvService::Scan(Key from, size_t count, std::vector<Key>* out) {
+  SyncCell cell;
+  Request req;
+  req.type = OpType::kScan;
+  req.key = from;
+  req.scan_len = static_cast<uint32_t>(
+      std::min<size_t>(count, std::numeric_limits<uint32_t>::max()));
+  req.scan_out = out;
+  req.done = [&cell](RequestStatus st) { cell.Set(st); };
+  Submit(std::move(req));
+  return cell.Wait();
+}
+
+void KvService::Drain() {
+  for (auto& shard : shards_) shard->Drain();
+}
+
+void KvService::Shutdown() {
+  for (auto& shard : shards_) shard->Stop();
+}
+
+size_t KvService::TotalKeys() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->store()->size();
+  return n;
+}
+
+ServiceStats KvService::Stats() const {
+  ServiceStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.shards.push_back(shard->Stats());
+  return stats;
+}
+
+}  // namespace pieces::service

@@ -1,0 +1,130 @@
+// The service front door: a Router (KvService) over N range-partitioned
+// shards (shard.h), each owning one ViperStore + index instance and one
+// worker thread.
+//
+//  * Partitioning is CDF-balanced: shard boundaries are equal-mass
+//    quantiles of a bootstrap key sample, not equal-width slices of the
+//    key domain — the same insight the paper applies to learned models
+//    (approximate the CDF, not the domain) applied to shard load balance.
+//    A FACE-like skewed key set splits evenly by *mass* even though 99.9%
+//    of the domain is empty.
+//  * Batching: SubmitBatch coalesces a client's requests into per-shard
+//    batches (one queue handoff per shard per max_batch requests), so the
+//    per-request cost of the queue mutex amortizes away.
+//  * Cross-shard scans fan out to every shard whose range intersects
+//    [from, ...) and merge in key order — range partitioning makes the
+//    merge a concatenation in shard order.
+//  * Admission control (ServiceConfig::admission) bounds every shard
+//    queue: kBlock applies backpressure to the client, kReject completes
+//    the request with RequestStatus::kRejected.
+#ifndef PIECES_SERVICE_ROUTER_H_
+#define PIECES_SERVICE_ROUTER_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/request.h"
+#include "service/shard.h"
+#include "store/viper.h"
+
+namespace pieces::service {
+
+// Equal-mass range partition of the key space, built from a bootstrap
+// sample of keys. Shard s owns [LowerBound(s), LowerBound(s + 1)).
+class RangePartition {
+ public:
+  // `sample` need not be sorted; an empty (or too-small) sample falls
+  // back to an equal-width split of the 64-bit domain.
+  RangePartition(size_t num_shards, std::vector<Key> sample);
+
+  size_t num_shards() const { return num_shards_; }
+  size_t ShardOf(Key key) const;
+  // Inclusive lower bound of `shard`'s range (shard 0 starts at 0);
+  // LowerBound(num_shards()) is infinity in spirit (max Key).
+  Key LowerBound(size_t shard) const;
+  // The num_shards-1 split keys, strictly increasing.
+  const std::vector<Key>& boundaries() const { return boundaries_; }
+
+ private:
+  size_t num_shards_;
+  std::vector<Key> boundaries_;
+};
+
+struct ServiceConfig {
+  size_t num_shards = 4;
+  // Per-shard queue bound, in requests (admission-control horizon).
+  size_t queue_capacity = 1024;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  // Coalescing limit: SubmitBatch hands at most this many requests to a
+  // shard per queue entry.
+  size_t max_batch = 64;
+  // Per-shard store configuration (value size, PMem capacity, latency).
+  ViperStore::Config store;
+};
+
+class KvService {
+ public:
+  // `index_name` is an index/registry.h name — every shard gets its own
+  // instance. `bootstrap_sample` drives the CDF-balanced partition.
+  KvService(const std::string& index_name, const ServiceConfig& config,
+            const std::vector<Key>& bootstrap_sample);
+  ~KvService();  // Graceful: drains queues, joins workers.
+
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  // Splits `sorted_keys` by shard range and bulk-loads each shard.
+  // Call before Start. Returns false if any shard's load fails.
+  bool BulkLoad(const std::vector<Key>& sorted_keys);
+
+  // Spawns the shard workers. Requests may be submitted before Start;
+  // they queue up (subject to admission control) until workers run.
+  void Start();
+
+  // Asynchronous submission. Point requests go to their owning shard;
+  // scans fan out (see FanOutScan). Completion semantics: `done` fires on
+  // the executing worker thread, or inline on the submitting thread when
+  // the request is rejected or the service is shutting down.
+  void Submit(Request req);
+  // Coalesces the batch into per-shard sub-batches before enqueueing.
+  void SubmitBatch(std::vector<Request> batch);
+
+  // Synchronous conveniences (block until the request completes).
+  RequestStatus Get(Key key, uint8_t* out);
+  RequestStatus Put(Key key, const uint8_t* value = nullptr);
+  RequestStatus Scan(Key from, size_t count, std::vector<Key>* out);
+
+  // Blocks until every queued request has completed.
+  void Drain();
+  // Graceful drain-and-shutdown: drains, then stops the workers. New
+  // submissions complete with kShutdown. Idempotent.
+  void Shutdown();
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t ShardOf(Key key) const { return partition_.ShardOf(key); }
+  const RangePartition& partition() const { return partition_; }
+  const std::string& index_name() const { return index_name_; }
+  size_t value_size() const { return config_.store.value_size; }
+  size_t TotalKeys() const;
+  ServiceStats Stats() const;
+
+ private:
+  struct ScanJoin;
+
+  // Enqueue a single-shard batch, completing every request inline on
+  // rejection/shutdown.
+  void Dispatch(size_t shard, std::vector<Request>&& batch);
+  void FanOutScan(Request req);
+  static void CompleteInline(Request& req, RequestStatus status);
+
+  std::string index_name_;
+  ServiceConfig config_;
+  RangePartition partition_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pieces::service
+
+#endif  // PIECES_SERVICE_ROUTER_H_

@@ -1,0 +1,153 @@
+#include "service/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace pieces::service {
+
+Shard::Shard(size_t id, std::unique_ptr<ViperStore> store,
+             size_t queue_capacity)
+    : id_(id),
+      queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      store_(std::move(store)) {}
+
+Shard::~Shard() { Stop(); }
+
+void Shard::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  worker_ = std::thread(&Shard::WorkerLoop, this);
+}
+
+Shard::EnqueueResult Shard::Enqueue(std::vector<Request>&& batch,
+                                    AdmissionPolicy policy) {
+  if (batch.empty()) return EnqueueResult::kAccepted;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto fits = [&] {
+    // Oversized batches are admitted into an otherwise-empty queue so a
+    // batch larger than the capacity cannot block forever.
+    return queued_requests_ + batch.size() <= queue_capacity_ ||
+           queued_requests_ == 0;
+  };
+  if (stopping_) return EnqueueResult::kShutdown;
+  if (!fits()) {
+    if (policy == AdmissionPolicy::kReject) {
+      rejected_.fetch_add(batch.size(), std::memory_order_relaxed);
+      return EnqueueResult::kRejected;
+    }
+    has_space_.wait(lock, [&] { return fits() || stopping_; });
+    if (stopping_) return EnqueueResult::kShutdown;
+  }
+  queued_requests_ += batch.size();
+  max_queue_ = std::max<uint64_t>(max_queue_, queued_requests_);
+  queue_.push_back(std::move(batch));
+  has_work_.notify_one();
+  return EnqueueResult::kAccepted;
+}
+
+void Shard::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return queued_requests_ == 0 && in_flight_ == 0; });
+}
+
+void Shard::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    has_work_.notify_all();
+    has_space_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+ShardStats Shard::Stats() const {
+  ShardStats s;
+  s.ops = ops_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.keys = store_->size();
+  std::lock_guard<std::mutex> lock(mu_);
+  s.max_queue = max_queue_;
+  return s;
+}
+
+void Shard::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      has_work_.wait(lock, [&] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) {
+        // stopping_ and nothing left: graceful exit, everything accepted
+        // has been executed.
+        idle_.notify_all();
+        return;
+      }
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      queued_requests_ -= batch.size();
+      in_flight_ += batch.size();
+      has_space_.notify_all();
+    }
+    for (Request& req : batch) Execute(req);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    ops_.fetch_add(batch.size(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ -= batch.size();
+      if (queued_requests_ == 0 && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void Shard::Execute(Request& req) {
+  // Worker-local scratch for discarded Get payloads and counted scans.
+  thread_local std::vector<uint8_t> scratch;
+  thread_local std::vector<Key> scan_scratch;
+  if (scratch.size() < store_->value_size()) {
+    scratch.resize(store_->value_size());
+  }
+
+  RequestStatus status = RequestStatus::kOk;
+  switch (req.type) {
+    case OpType::kRead:
+      if (!store_->Get(req.key, req.out != nullptr ? req.out
+                                                   : scratch.data())) {
+        status = RequestStatus::kNotFound;
+      }
+      break;
+    case OpType::kUpdate:
+    case OpType::kInsert: {
+      bool ok = req.value != nullptr ? store_->Put(req.key, req.value)
+                                     : store_->PutSynthetic(req.key);
+      if (!ok) status = RequestStatus::kStoreFull;
+      break;
+    }
+    case OpType::kReadModifyWrite:
+      if (!store_->Get(req.key, req.out != nullptr ? req.out
+                                                   : scratch.data())) {
+        status = RequestStatus::kNotFound;
+      } else if (!store_->PutSynthetic(req.key)) {
+        status = RequestStatus::kStoreFull;
+      }
+      break;
+    case OpType::kScan: {
+      std::vector<Key>* out = req.scan_out;
+      if (out == nullptr) {
+        scan_scratch.clear();
+        out = &scan_scratch;
+      }
+      store_->Scan(req.key, req.scan_len, out);
+      break;
+    }
+  }
+  if (req.latency != nullptr && req.start_nanos != 0) {
+    req.latency->Record(NowNanos() - req.start_nanos);
+  }
+  if (req.done) req.done(status);
+}
+
+}  // namespace pieces::service

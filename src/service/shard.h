@@ -1,0 +1,91 @@
+// One service shard: a ViperStore (and the index inside it) owned
+// exclusively by a single worker thread that drains a bounded MPSC queue
+// of request batches. Exclusive ownership is the point — the paper's
+// Figs. 12/14 show most learned indexes are single-writer, so the only
+// lock anywhere near the index is the queue mutex, amortized across a
+// whole batch per acquisition.
+//
+// Admission control is enforced at Enqueue: the queue is bounded in
+// *requests* (not batches), and a full queue either blocks the producer
+// or rejects the batch depending on the caller's AdmissionPolicy.
+// Shutdown is graceful: Stop() lets the worker drain everything already
+// queued before joining, so accepted requests always complete.
+#ifndef PIECES_SERVICE_SHARD_H_
+#define PIECES_SERVICE_SHARD_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/request.h"
+#include "store/viper.h"
+
+namespace pieces::service {
+
+class Shard {
+ public:
+  enum class EnqueueResult : uint8_t { kAccepted, kRejected, kShutdown };
+
+  Shard(size_t id, std::unique_ptr<ViperStore> store, size_t queue_capacity);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // Spawns the worker thread. Batches may be enqueued before Start (they
+  // simply accumulate), which makes admission control deterministic to
+  // test.
+  void Start();
+
+  // Hands a non-empty batch to the worker. kRejected leaves the batch
+  // untouched (the caller completes its requests) and counts each request
+  // as rejected. A batch larger than the queue capacity is admitted once
+  // the queue is otherwise empty, so oversized batches cannot deadlock.
+  EnqueueResult Enqueue(std::vector<Request>&& batch, AdmissionPolicy policy);
+
+  // Blocks until every queued request has been executed.
+  void Drain();
+
+  // Graceful shutdown: refuse new work, drain the queue, join the worker.
+  // Idempotent.
+  void Stop();
+
+  ViperStore* store() { return store_.get(); }
+  const ViperStore& store() const { return *store_; }
+  size_t id() const { return id_; }
+  ShardStats Stats() const;
+
+ private:
+  void WorkerLoop();
+  void Execute(Request& req);
+
+  const size_t id_;
+  const size_t queue_capacity_;
+  std::unique_ptr<ViperStore> store_;
+
+  mutable std::mutex mu_;
+  std::condition_variable has_work_;   // worker waits for batches
+  std::condition_variable has_space_;  // blocked producers wait for room
+  std::condition_variable idle_;       // Drain/Stop wait for quiescence
+  std::deque<std::vector<Request>> queue_;
+  size_t queued_requests_ = 0;  // requests sitting in queue_
+  size_t in_flight_ = 0;        // requests popped but not yet completed
+  uint64_t max_queue_ = 0;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread worker_;
+
+  // Counters written by the worker / producers, read by Stats().
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace pieces::service
+
+#endif  // PIECES_SERVICE_SHARD_H_

@@ -19,11 +19,16 @@ ViperStore::ViperStore(std::unique_ptr<OrderedIndex> index,
   pages_.reserve(config_.pmem_capacity / std::max<size_t>(1, page_bytes) + 1);
 }
 
-void ViperStore::FillSynthetic(Key key, uint8_t* buf) const {
+void ViperStore::FillSyntheticValue(Key key, uint8_t* buf,
+                                    size_t value_size) {
   // Deterministic value derived from the key so tests can verify reads.
-  for (size_t i = 0; i < config_.value_size; ++i) {
+  for (size_t i = 0; i < value_size; ++i) {
     buf[i] = static_cast<uint8_t>((key >> (8 * (i % 8))) ^ i);
   }
+}
+
+void ViperStore::FillSynthetic(Key key, uint8_t* buf) const {
+  FillSyntheticValue(key, buf, config_.value_size);
 }
 
 bool ViperStore::ClaimSlot(uint32_t* page, uint32_t* slot) {

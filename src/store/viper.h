@@ -41,6 +41,10 @@ class ViperStore {
   // Returns false when PMem capacity is exceeded.
   bool BulkLoad(const std::vector<Key>& keys);
 
+  // The deterministic value PutSynthetic/BulkLoad store for `key`, exposed
+  // so tests and oracles can verify read payloads byte-for-byte.
+  static void FillSyntheticValue(Key key, uint8_t* buf, size_t value_size);
+
   // Inserts or updates. `value` must be exactly value_size bytes.
   bool Put(Key key, const uint8_t* value);
   // Convenience: writes a synthetic value derived from `key`.
@@ -61,6 +65,7 @@ class ViperStore {
   OrderedIndex* mutable_index() { return index_.get(); }
   const SimulatedPmem& pmem() const { return pmem_; }
   size_t size() const { return size_.load(std::memory_order_relaxed); }
+  size_t value_size() const { return config_.value_size; }
 
   // Table III columns.
   size_t IndexStructureBytes() const { return index_->IndexSizeBytes(); }

@@ -75,6 +75,25 @@ TEST(CliFlagsTest, PositionalArguments) {
             (std::vector<std::string>{"pos1", "pos2"}));
 }
 
+TEST(CliFlagsTest, MutuallyExclusiveFlagsRecordError) {
+  CliFlags f = ParseArgs({"--ops=100", "--duration=2"});
+  EXPECT_FALSE(f.CheckMutuallyExclusive("ops", "duration"));
+  ASSERT_FALSE(f.errors().empty());
+  EXPECT_NE(f.errors()[0].find("--ops"), std::string::npos);
+  EXPECT_NE(f.errors()[0].find("--duration"), std::string::npos);
+  EXPECT_NE(f.errors()[0].find("mutually exclusive"), std::string::npos);
+}
+
+TEST(CliFlagsTest, MutuallyExclusivePassesWithAtMostOne) {
+  CliFlags ops_only = ParseArgs({"--ops=100"});
+  EXPECT_TRUE(ops_only.CheckMutuallyExclusive("ops", "duration"));
+  EXPECT_TRUE(ops_only.errors().empty());
+
+  CliFlags neither = ParseArgs({});
+  EXPECT_TRUE(neither.CheckMutuallyExclusive("ops", "duration"));
+  EXPECT_TRUE(neither.errors().empty());
+}
+
 TEST(CliFlagsTest, NamesInFirstAppearanceOrder) {
   CliFlags f = ParseArgs({"--b=1", "--a=2", "--b=3"});
   EXPECT_EQ(f.Names(), (std::vector<std::string>{"b", "a"}));

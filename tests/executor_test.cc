@@ -98,6 +98,65 @@ TEST(ExecutorTest, RepeatsAccumulate) {
   EXPECT_GT(stats.mops, 0.0);
 }
 
+TEST(ExecutorTest, DurationModeLoopsOverTheStream) {
+  std::vector<Key> keys = MakeUniformKeys(1024, 3);
+  auto store = MakeTestStore(keys);
+  // A 50-op stream with a 50 ms deadline: duration mode must wrap around
+  // the stream many times instead of stopping after one traversal.
+  std::vector<Op> ops = GenerateOps(WorkloadSpec::ReadOnly(), 50, keys, {});
+
+  ExecutorOptions opts;
+  opts.duration_seconds = 0.05;
+  RunStats stats = RunStoreOps(store.get(), ops, opts);
+  EXPECT_GT(stats.ops_executed, ops.size() * 3);
+  EXPECT_GE(stats.wall_seconds, 0.05);
+  EXPECT_EQ(stats.point.Count(), stats.ops_executed);
+}
+
+TEST(ExecutorTest, DurationModeMultiThreadKeepsPerWorkerStats) {
+  std::vector<Key> keys = MakeUniformKeys(1024, 3);
+  auto store = MakeTestStore(keys);
+  std::vector<Op> ops = GenerateOps(WorkloadSpec::ReadOnly(), 64, keys, {});
+
+  ExecutorOptions opts;
+  opts.threads = 3;
+  opts.duration_seconds = 0.05;
+  RunStats stats = RunStoreOps(store.get(), ops, opts);
+  EXPECT_GT(stats.ops_executed, ops.size());
+  ASSERT_EQ(stats.per_worker_mops.size(), 3u);
+  for (double mops : stats.per_worker_mops) EXPECT_GT(mops, 0.0);
+}
+
+TEST(ExecutorTest, PerWorkerStatsExposeSpread) {
+  std::vector<Key> keys = MakeUniformKeys(2048, 3);
+  auto store = MakeTestStore(keys);
+  std::vector<Op> ops = GenerateOps(WorkloadSpec::ReadOnly(), 1200, keys, {});
+
+  ExecutorOptions opts;
+  opts.threads = 4;
+  RunStats stats = RunStoreOps(store.get(), ops, opts);
+  ASSERT_EQ(stats.per_worker_mops.size(), 4u);
+  EXPECT_GT(stats.WorkerMopsMin(), 0.0);
+  EXPECT_LE(stats.WorkerMopsMin(), stats.WorkerMopsMax());
+  EXPECT_GE(stats.WorkerMopsStddev(), 0.0);
+  // The spread brackets every per-worker value.
+  for (double mops : stats.per_worker_mops) {
+    EXPECT_GE(mops, stats.WorkerMopsMin());
+    EXPECT_LE(mops, stats.WorkerMopsMax());
+  }
+}
+
+TEST(ExecutorTest, SingleWorkerHasZeroSpread) {
+  std::vector<Key> keys = MakeUniformKeys(1024, 3);
+  auto store = MakeTestStore(keys);
+  std::vector<Op> ops = GenerateOps(WorkloadSpec::ReadOnly(), 500, keys, {});
+
+  RunStats stats = RunStoreOps(store.get(), ops);
+  ASSERT_EQ(stats.per_worker_mops.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.WorkerMopsMin(), stats.WorkerMopsMax());
+  EXPECT_DOUBLE_EQ(stats.WorkerMopsStddev(), 0.0);
+}
+
 TEST(ExecutorTest, WritesLandInTheStore) {
   std::vector<Key> keys = MakeUniformKeys(2048, 3);
   std::vector<Key> load, inserts;

@@ -56,6 +56,28 @@ TEST(LatencyRecorderTest, MergeCombinesSamples) {
   EXPECT_GE(a.P999(), 900u);
 }
 
+TEST(LatencyRecorderTest, MergedQuantilesMatchSingleRecorderGroundTruth) {
+  // The executor and the service loadgen keep one recorder per worker and
+  // merge at the end. Splitting a stream across 8 recorders and merging
+  // must reproduce *exactly* the quantiles of one recorder that saw the
+  // whole stream — bucket counts are additive, so there is no tolerance.
+  Rng rng(99);
+  LatencyRecorder whole;
+  std::vector<LatencyRecorder> parts(8);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.NextUnder(1'000'000) + 1;
+    whole.Record(v);
+    parts[static_cast<size_t>(i) % parts.size()].Record(v);
+  }
+  LatencyRecorder merged;
+  for (const LatencyRecorder& p : parts) merged.Merge(p);
+  EXPECT_EQ(merged.Count(), whole.Count());
+  for (double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.QuantileNanos(q), whole.QuantileNanos(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(merged.MeanNanos(), whole.MeanNanos());
+}
+
 TEST(LatencyRecorderTest, MeanIsExact) {
   LatencyRecorder r;
   r.Record(100);
