@@ -64,10 +64,14 @@ void RunAblationSearch(Context& ctx) {
          [=](Key k) {
            return ThreePointSearchLowerBound(data, 0, count, k);
          }},
+        {"simd",
+         [=](Key k) { return SimdLowerBound(data, 0, count, k); }},
     };
     for (const Algo& algo : algos) {
       ctx.sink.Add(ResultRow(algo.name)
                        .Label("dataset", ds)
+                       .Label("simd_available",
+                              SimdKernelAvailable() ? "yes" : "no")
                        .Metric("ns_per_lookup",
                                MeasureNs(probes, algo.fn)));
     }
@@ -105,16 +109,16 @@ void RunAblationSearch(Context& ctx) {
                      .Metric("ns_per_lookup", ns));
   }
 
-  // Bounded binary search inside a +-eps window (the PGM/FITing last
-  // mile).
-  ctx.sink.Section("bounded binary search in +-eps window (ycsb)");
+  // Bounded search inside a +-eps window (the PGM/FITing last mile),
+  // binary vs the SIMD count-less terminal kernel on identical windows.
+  ctx.sink.Section("bounded search in +-eps window (ycsb)");
   for (size_t eps : {8, 64, 512, 4096}) {
-    Rng rng(13);
     struct Probe {
       Key key;
       size_t lo;
       size_t hi;
     };
+    Rng rng(13);
     std::vector<Probe> probes(lookups);
     for (Probe& p : probes) {
       size_t rank = rng.NextUnder(keys.size());
@@ -122,17 +126,29 @@ void RunAblationSearch(Context& ctx) {
       p.lo = rank > eps ? rank - eps : 0;
       p.hi = std::min(keys.size(), rank + eps + 1);
     }
-    Timer timer;
-    uint64_t sink = 0;
-    for (const Probe& p : probes) {
-      sink += BinarySearchLowerBound(keys.data(), p.lo, p.hi, p.key);
+    struct WindowAlgo {
+      const char* name;
+      size_t (*fn)(const uint64_t*, size_t, size_t, uint64_t);
+    };
+    const WindowAlgo window_algos[] = {
+        {"bounded-binary-window", &BinarySearchLowerBound},
+        {"bounded-simd-window", &SimdLowerBound},
+    };
+    for (const WindowAlgo& algo : window_algos) {
+      Timer timer;
+      uint64_t sink = 0;
+      for (const Probe& p : probes) {
+        sink += algo.fn(keys.data(), p.lo, p.hi, p.key);
+      }
+      double ns = static_cast<double>(timer.ElapsedNanos()) /
+                  static_cast<double>(probes.size());
+      if (sink == 42) std::printf("#");
+      ctx.sink.Add(ResultRow(algo.name)
+                       .Label("eps", std::to_string(eps))
+                       .Label("simd_available",
+                              SimdKernelAvailable() ? "yes" : "no")
+                       .Metric("ns_per_lookup", ns));
     }
-    double ns = static_cast<double>(timer.ElapsedNanos()) /
-                static_cast<double>(probes.size());
-    if (sink == 42) std::printf("#");
-    ctx.sink.Add(ResultRow("bounded-binary-window")
-                     .Label("eps", std::to_string(eps))
-                     .Metric("ns_per_lookup", ns));
   }
 }
 

@@ -66,6 +66,7 @@ inline ExecutorOptions ExecOptions(const Context& ctx, size_t threads = 1) {
   opts.warmup_ops = ctx.warmup_ops;
   opts.repeats = ctx.repeats;
   opts.duration_seconds = ctx.duration_seconds;
+  opts.batch = ctx.batch;
   return opts;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
+#include <span>
 #include <thread>
 
 #include "common/timer.h"
@@ -29,6 +31,7 @@ struct PassResult {
 // thread spawn/join never counts.
 PassResult RunPass(ViperStore* store, const std::vector<Op>& ops,
                    size_t count, size_t threads, uint64_t duration_ns,
+                   size_t batch,
                    std::vector<std::vector<LatencyRecorder>>* recorders) {
   std::atomic<size_t> ready{0};
   std::atomic<bool> go{false};
@@ -41,6 +44,12 @@ PassResult RunPass(ViperStore* store, const std::vector<Op>& ops,
   auto worker = [&](size_t t) {
     std::vector<uint8_t> buf(256);
     std::vector<Key> scan_out;
+    // Multi-get gather arrays; every out aliases `buf` (the bench
+    // discards payloads), which is safe because the store copies values
+    // one at a time.
+    std::vector<Key> batch_keys(batch);
+    std::vector<uint8_t*> batch_outs(batch, buf.data());
+    std::unique_ptr<bool[]> batch_found(new bool[batch]);
     LatencyRecorder* recs = timed ? (*recorders)[t].data() : nullptr;
     ready.fetch_add(1, std::memory_order_release);
     while (!go.load(std::memory_order_acquire)) {
@@ -56,6 +65,30 @@ PassResult RunPass(ViperStore* store, const std::vector<Op>& ops,
         if (i >= count) break;
       } else if (NowNanos() >= deadline) {
         break;
+      }
+      if (batch > 1 && ops[i].type == OpType::kRead) {
+        // Gather the run of consecutive reads along this worker's stride
+        // and issue them as one multi-get.
+        size_t n = 0;
+        while (n < batch && ops[i].type == OpType::kRead) {
+          batch_keys[n++] = ops[i].key;
+          i += threads;
+          if (i >= count) {
+            if (deadline == 0) break;
+            i %= count;
+          }
+        }
+        Timer timer;
+        store->GetBatch(std::span<const Key>(batch_keys.data(), n),
+                        batch_outs.data(), batch_found.get());
+        if (timed) {
+          uint64_t per_op = timer.ElapsedNanos() / n;
+          for (size_t k = 0; k < n; ++k) {
+            recs[static_cast<size_t>(OpType::kRead)].Record(per_op);
+          }
+        }
+        executed += n;
+        continue;
       }
       const Op& op = ops[i];
       Timer timer;
@@ -142,9 +175,11 @@ RunStats RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
           ? static_cast<uint64_t>(opts.duration_seconds * 1e9)
           : 0;
 
+  const size_t batch = std::max<size_t>(1, opts.batch);
+
   if (opts.warmup_ops > 0) {
     RunPass(store, ops, std::min(opts.warmup_ops, ops.size()), threads,
-            /*duration_ns=*/0, nullptr);
+            /*duration_ns=*/0, batch, nullptr);
   }
 
   uint64_t total_ns = 0;
@@ -153,8 +188,8 @@ RunStats RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
   std::vector<std::vector<LatencyRecorder>> recorders(
       threads, std::vector<LatencyRecorder>(kNumOpTypes));
   for (size_t rep = 0; rep < repeats; ++rep) {
-    PassResult pass =
-        RunPass(store, ops, ops.size(), threads, duration_ns, &recorders);
+    PassResult pass = RunPass(store, ops, ops.size(), threads, duration_ns,
+                              batch, &recorders);
     total_ns += pass.wall_ns;
     for (size_t t = 0; t < threads; ++t) {
       stats.ops_executed += pass.thread_ops[t];

@@ -31,6 +31,11 @@ struct ExecutorOptions {
   // the deadline — instead of stopping after one traversal. Warmup stays
   // op-count based.
   double duration_seconds = 0;
+  // Multi-get width (the driver's --batch flag): when > 1, each worker
+  // gathers up to this many consecutive kRead ops from its partition and
+  // issues them as one ViperStore::GetBatch; per-op latency is the batch
+  // time divided by its size. Other op types always execute singly.
+  size_t batch = 1;
 };
 
 struct RunStats {

@@ -32,6 +32,9 @@ struct Context {
   // the op stream in a loop for this long instead of exactly `ops` times;
   // mutually exclusive with --ops at the CLI.
   double duration_seconds = 0;
+  // Multi-get width (--batch): read-only phases route through
+  // ViperStore::GetBatch in groups of this many keys. 1 = single-key Gets.
+  size_t batch = 1;
 };
 
 struct Experiment {

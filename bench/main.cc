@@ -31,6 +31,8 @@ Usage: pieces_bench [flags]
   --duration=SECONDS     time-based mode: measured passes loop over the op
                          stream for SECONDS instead of one traversal
                          (mutually exclusive with --ops)
+  --batch=N              multi-get width: read-only phases issue GetBatch
+                         calls of N keys (default 1 = single-key Gets)
   --warmup=N             untimed warmup ops before each measured run (default 0)
   --repeats=N            measured repetitions, throughput averaged (default 1)
   --threads=N            thread ceiling for multi-threaded experiments
@@ -43,8 +45,9 @@ PIECES_THREADS (see README.md).
 )";
 
 const std::vector<std::string> kKnownFlags = {
-    "list",   "experiment", "format",  "out",     "keys",  "ops",
-    "duration", "warmup",   "repeats", "threads", "smoke", "help"};
+    "list",     "experiment", "format",  "out",     "keys",  "ops",
+    "duration", "batch",      "warmup",  "repeats", "threads", "smoke",
+    "help"};
 
 int Main(int argc, char** argv) {
   CliFlags flags = CliFlags::Parse(argc, argv);
@@ -105,6 +108,11 @@ int Main(int argc, char** argv) {
   flags.CheckMutuallyExclusive("ops", "duration");
   ctx.duration_seconds =
       static_cast<double>(flags.GetU64("duration", 0));
+  ctx.batch = flags.GetU64("batch", 1);
+  if (flags.Has("batch") && ctx.batch < 1) {
+    std::fprintf(stderr, "pieces_bench: --batch must be >= 1\n");
+    return 2;
+  }
   ctx.warmup_ops = flags.GetU64("warmup", 0);
   ctx.repeats = flags.GetU64("repeats", 1);
   ctx.max_threads = flags.GetU64("threads", BenchMaxThreads());

@@ -2,14 +2,22 @@
 // learned model predicts an approximate position, one of these locates the
 // exact key. The paper's related-work section (§VI) lists binary search,
 // exponential search, interpolation search and three-point interpolation as
-// the candidate algorithms; `bench_ablation_search` compares them.
+// the candidate algorithms; `bench_ablation_search` compares them, along
+// with the SIMD count-less kernel that terminates them all once the
+// remaining window is small (see SimdLowerBound below).
 #ifndef PIECES_COMMON_SEARCH_H_
 #define PIECES_COMMON_SEARCH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define PIECES_SEARCH_X86 1
+#endif
 
 namespace pieces {
 
@@ -43,9 +51,117 @@ inline size_t BranchlessLowerBound(const uint64_t* data, size_t lo, size_t hi,
   return static_cast<size_t>(base - data) + ((n == 1 && base[0] < key) ? 1 : 0);
 }
 
+// Which terminal kernel SimdLowerBound uses. kAuto picks AVX2 whenever the
+// CPU has it; the forced modes exist so benches and tests can compare the
+// two kernels on identical inputs in one process.
+enum class SearchKernel : uint8_t {
+  kAuto = 0,
+  kScalar = 1,  // Force the branchless scalar kernel.
+  kSimd = 2,    // Force AVX2 (silently scalar off-x86 / pre-AVX2 CPUs).
+};
+
+namespace search_internal {
+
+inline std::atomic<uint8_t> g_kernel{static_cast<uint8_t>(SearchKernel::kAuto)};
+
+#if defined(PIECES_SEARCH_X86)
+inline bool CpuHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+
+// Counts the elements < key in the sorted window data[0, n). For a sorted
+// window this count *is* the lower-bound offset, so the last mile becomes
+// straight-line SIMD compares with no data-dependent branches at all.
+// uint64 ordering survives the XOR-with-sign-bit trick, which maps it onto
+// the signed comparison AVX2 actually has.
+__attribute__((target("avx2"))) inline size_t Avx2CountLess(
+    const uint64_t* data, size_t n, uint64_t key) {
+  const __m256i sign =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i needle = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(key)), sign);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    __m256i lt = _mm256_cmpgt_epi64(needle, _mm256_xor_si256(v, sign));
+    count += static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(lt)))));
+  }
+  for (; i < n; ++i) count += data[i] < key ? 1 : 0;
+  return count;
+}
+#endif  // PIECES_SEARCH_X86
+
+}  // namespace search_internal
+
+inline void SetSearchKernel(SearchKernel kernel) {
+  search_internal::g_kernel.store(static_cast<uint8_t>(kernel),
+                                  std::memory_order_relaxed);
+}
+
+inline SearchKernel GetSearchKernel() {
+  return static_cast<SearchKernel>(
+      search_internal::g_kernel.load(std::memory_order_relaxed));
+}
+
+// True when the AVX2 kernel can actually run here (x86-64 build + CPU
+// support); callers report which kernel their numbers used.
+inline bool SimdKernelAvailable() {
+#if defined(PIECES_SEARCH_X86)
+  return search_internal::CpuHasAvx2();
+#else
+  return false;
+#endif
+}
+
+// Lower bound over [lo, hi) with the exact-same-result contract as
+// BinarySearchLowerBound / BranchlessLowerBound on sorted data: narrows
+// branchlessly until the window fits a handful of vectors, then resolves
+// it with the AVX2 count-less kernel. Scalar branchless when AVX2 is
+// unavailable or disabled via SetSearchKernel.
+inline size_t SimdLowerBound(const uint64_t* data, size_t lo, size_t hi,
+                             uint64_t key) {
+#if defined(PIECES_SEARCH_X86)
+  SearchKernel mode = GetSearchKernel();
+  if (mode != SearchKernel::kScalar && search_internal::CpuHasAvx2()) {
+    constexpr size_t kTerminalWindow = 32;
+    const uint64_t* base = data + lo;
+    size_t n = hi - lo;
+    while (n > kTerminalWindow) {
+      size_t half = n / 2;
+      base += (base[half - 1] < key) ? half : 0;
+      n -= half;
+    }
+    return static_cast<size_t>(base - data) +
+           search_internal::Avx2CountLess(base, n, key);
+  }
+#endif
+  return BranchlessLowerBound(data, lo, hi, key);
+}
+
+// Prefetches the cache lines of a predicted error window ahead of its
+// last-mile search (the batched-lookup stage that overlaps misses across
+// keys). Capped at 8 lines so a whole batch of windows cannot blow out
+// the hardware miss buffers; wider windows are sampled evenly, which
+// still covers the first probes of the narrowing sequence.
+inline void PrefetchSearchWindow(const uint64_t* data, size_t lo, size_t hi) {
+  if (hi <= lo) return;
+  constexpr size_t kKeysPerLine = 64 / sizeof(uint64_t);
+  constexpr size_t kMaxLines = 8;
+  size_t lines = (hi - lo + kKeysPerLine - 1) / kKeysPerLine;
+  size_t step = kKeysPerLine * std::max<size_t>(1, lines / kMaxLines);
+  for (size_t i = lo; i < hi; i += step) {
+    __builtin_prefetch(data + i);
+  }
+}
+
 // Exponential (galloping) search outward from a predicted position `hint`,
-// then binary search inside the located range. This is ALEX's in-node
-// search: cost grows with log(actual error), not log(node size).
+// then SIMD-terminated binary search inside the located range. This is
+// ALEX's in-node search: cost grows with log(actual error), not log(node
+// size).
 inline size_t ExponentialSearchLowerBound(const uint64_t* data, size_t n,
                                           size_t hint, uint64_t key) {
   if (n == 0) return 0;
@@ -74,7 +190,7 @@ inline size_t ExponentialSearchLowerBound(const uint64_t* data, size_t n,
       step *= 2;
     }
   }
-  return BinarySearchLowerBound(data, lo, std::min(hi, n), key);
+  return SimdLowerBound(data, lo, std::min(hi, n), key);
 }
 
 // Interpolation search: repeatedly estimates the position from the key's
@@ -106,7 +222,7 @@ inline size_t InterpolationSearchLowerBound(const uint64_t* data, size_t lo,
       return mid;
     }
   }
-  return BinarySearchLowerBound(data, lo, hi, key);
+  return SimdLowerBound(data, lo, hi, key);
 }
 
 // Three-point interpolation ("SIP" from Van Sandt et al., SIGMOD'19):
@@ -153,7 +269,7 @@ inline size_t ThreePointSearchLowerBound(const uint64_t* data, size_t lo,
       return probe;
     }
   }
-  return BinarySearchLowerBound(data, lo, hi, key);
+  return SimdLowerBound(data, lo, hi, key);
 }
 
 }  // namespace pieces

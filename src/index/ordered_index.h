@@ -52,6 +52,24 @@ class OrderedIndex {
   // Point lookup; returns false when absent.
   virtual bool Get(Key key, Value* value) const = 0;
 
+  // Batched point lookup: writes found[i] for every keys[i] and values[i]
+  // whenever found[i] is true; returns the number found. The default is a
+  // loop of Get. Array-backed learned indexes override it with a
+  // stage-interleaved fast path — predict every position in the batch,
+  // prefetch every predicted error window, then resolve all last-mile
+  // searches — so cache misses overlap across keys instead of
+  // serializing. Overrides must return results identical to keys.size()
+  // single-key Gets (the conformance suite enforces this).
+  virtual size_t GetBatch(std::span<const Key> keys, Value* values,
+                          bool* found) const {
+    size_t hits = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      found[i] = Get(keys[i], &values[i]);
+      hits += found[i] ? 1 : 0;
+    }
+    return hits;
+  }
+
   // Inserts a new key or updates an existing one. Returns false when the
   // index is read-only (RMI, RadixSpline).
   virtual bool Insert(Key key, Value value) = 0;

@@ -12,11 +12,10 @@ namespace pieces {
 FitingTree::FitingTree(InsertMode mode, size_t eps, size_t reserve)
     : mode_(mode), eps_(eps), reserve_(reserve) {}
 
-size_t FitingTree::Leaf::LowerBoundSlot(Key key) const {
+size_t FitingTree::Leaf::SlotHint(Key key) const {
   size_t count = Count();
   if (count == 0) return end;
-  // Model hint (trained layout), corrected for any head-ward drift, then
-  // exponential search — robust to the error creep inserts introduce.
+  // Model hint (trained layout), corrected for any head-ward drift.
   double rel = model.slope * (static_cast<double>(key) -
                               static_cast<double>(first_key)) +
                model.intercept;
@@ -29,7 +28,15 @@ size_t FitingTree::Leaf::LowerBoundSlot(Key key) const {
     hint = static_cast<size_t>(rel);
   }
   // Translate from trained offset to the current occupied range.
-  size_t slot_hint = begin + std::min(hint, count - 1);
+  return begin + std::min(hint, count - 1);
+}
+
+size_t FitingTree::Leaf::LowerBoundSlot(Key key) const {
+  size_t count = Count();
+  if (count == 0) return end;
+  // Exponential search outward from the model hint — robust to the error
+  // creep inserts introduce.
+  size_t slot_hint = SlotHint(key);
   size_t pos = ExponentialSearchLowerBound(keys.data() + begin, count,
                                            slot_hint - begin, key);
   return begin + pos;
@@ -117,6 +124,44 @@ bool FitingTree::GetFromLeaf(const Leaf& leaf, Key key, Value* value) const {
 bool FitingTree::Get(Key key, Value* value) const {
   if (head_ == kNpos) return false;
   return GetFromLeaf(*leaves_[RouteToLeaf(key)], key, value);
+}
+
+size_t FitingTree::GetBatch(std::span<const Key> keys, Value* values,
+                            bool* found) const {
+  if (head_ == kNpos) {
+    std::fill(found, found + keys.size(), false);
+    return 0;
+  }
+  // Stage 1 routes through the inner B+Tree (hot) and prefetches around
+  // each leaf's model hint — the exact lines the exponential search probes
+  // first — plus the side buffer in kBuffer mode. Stage 2 re-runs the
+  // single-key leaf lookup, which is identical to Get by construction.
+  constexpr size_t kTile = 16;
+  const Leaf* tile_leaf[kTile];
+  size_t hits = 0;
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    size_t m = std::min(kTile, keys.size() - base);
+    for (size_t j = 0; j < m; ++j) {
+      const Leaf& leaf = *leaves_[RouteToLeaf(keys[base + j])];
+      tile_leaf[j] = &leaf;
+      if (leaf.Count() > 0) {
+        size_t hint = leaf.SlotHint(keys[base + j]);
+        constexpr size_t kReach = 16;  // Covers the first gallop steps.
+        size_t lo = hint > leaf.begin + kReach ? hint - kReach : leaf.begin;
+        size_t hi = std::min(leaf.end, hint + kReach);
+        PrefetchSearchWindow(leaf.keys.data(), lo, hi);
+      }
+      if (mode_ == InsertMode::kBuffer && !leaf.buffer.empty()) {
+        __builtin_prefetch(leaf.buffer.data());
+      }
+    }
+    for (size_t j = 0; j < m; ++j) {
+      bool ok = GetFromLeaf(*tile_leaf[j], keys[base + j], &values[base + j]);
+      found[base + j] = ok;
+      hits += ok ? 1 : 0;
+    }
+  }
+  return hits;
 }
 
 void FitingTree::RetrainLeaf(size_t idx, std::vector<KeyValue> data) {

@@ -29,6 +29,8 @@ class FitingTree : public OrderedIndex {
 
   void BulkLoad(std::span<const KeyValue> data) override;
   bool Get(Key key, Value* value) const override;
+  size_t GetBatch(std::span<const Key> keys, Value* values,
+                  bool* found) const override;
   bool Insert(Key key, Value value) override;
   size_t Scan(Key from, size_t count,
               std::vector<KeyValue>* out) const override;
@@ -59,6 +61,10 @@ class FitingTree : public OrderedIndex {
     size_t Count() const { return end - begin; }
     // Slot of the first occupied key >= `key` (end if none).
     size_t LowerBoundSlot(Key key) const;
+    // The model's predicted slot for `key`, clamped to the occupied
+    // range — where LowerBoundSlot starts its exponential search, and
+    // therefore what the batch path prefetches.
+    size_t SlotHint(Key key) const;
   };
 
   // Returns the leaf index responsible for `key`.

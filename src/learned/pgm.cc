@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "common/search.h"
 #include "common/timer.h"
@@ -40,11 +41,13 @@ void StaticPgm::Build(std::span<const KeyValue> data) {
   }
 }
 
-size_t StaticPgm::LowerBoundRank(Key key) const {
+void StaticPgm::PredictLeafWindow(Key key, size_t* lo, size_t* hi) const {
   size_t n = keys_.size();
-  if (n == 0) return 0;
   if (levels_.empty()) {
-    return BinarySearchLowerBound(keys_.data(), 0, n, key);
+    // Unindexed small run: the window is the whole array.
+    *lo = 0;
+    *hi = n;
+    return;
   }
 
   // Walk from the root level down, each time locating the segment of the
@@ -56,13 +59,13 @@ size_t StaticPgm::LowerBoundRank(Key key) const {
     size_t pred = seg.PredictRank(key);
     // Bounded search among `below`'s first keys: find the last segment with
     // first_key <= key inside the eps_internal_ window.
-    size_t lo = pred > eps_internal_ ? pred - eps_internal_ - 1 : 0;
-    size_t hi = std::min(below.size(), pred + eps_internal_ + 2);
-    size_t idx = lo;
+    size_t wlo = pred > eps_internal_ ? pred - eps_internal_ - 1 : 0;
+    size_t whi = std::min(below.size(), pred + eps_internal_ + 2);
+    size_t idx = wlo;
     // First segment with first_key > key, then step back one.
-    while (idx < hi && below[idx].first_key <= key) ++idx;
+    while (idx < whi && below[idx].first_key <= key) ++idx;
     // The window is exact for keys covered by the level; clamp defensively.
-    seg_idx = idx > lo ? idx - 1 : (lo > 0 ? lo - 1 : 0);
+    seg_idx = idx > wlo ? idx - 1 : (wlo > 0 ? wlo - 1 : 0);
     // Defensive widening for boundary rounding (rare, cheap).
     while (seg_idx + 1 < below.size() &&
            below[seg_idx + 1].first_key <= key) {
@@ -73,14 +76,26 @@ size_t StaticPgm::LowerBoundRank(Key key) const {
 
   const Segment& leaf = levels_[0][seg_idx];
   size_t pred = leaf.PredictRank(key);
-  size_t lo = pred > eps_ ? pred - eps_ - 1 : 0;
-  size_t hi = std::min(n, pred + eps_ + 2);
-  size_t pos = BinarySearchLowerBound(keys_.data(), lo, hi, key);
+  *lo = pred > eps_ ? pred - eps_ - 1 : 0;
+  *hi = std::min(n, pred + eps_ + 2);
+}
+
+size_t StaticPgm::ResolveRank(Key key, size_t lo, size_t hi) const {
+  size_t n = keys_.size();
+  size_t pos = SimdLowerBound(keys_.data(), lo, hi, key);
   // The eps guarantee covers stored keys; for absent keys the lower bound
   // can sit just outside the window — repair by walking (bounded, rare).
   while (pos > 0 && keys_[pos - 1] >= key) --pos;
   while (pos < n && keys_[pos] < key) ++pos;
   return pos;
+}
+
+size_t StaticPgm::LowerBoundRank(Key key) const {
+  if (keys_.empty()) return 0;
+  size_t lo;
+  size_t hi;
+  PredictLeafWindow(key, &lo, &hi);
+  return ResolveRank(key, lo, hi);
 }
 
 bool StaticPgm::Get(Key key, Value* value) const {
@@ -90,6 +105,37 @@ bool StaticPgm::Get(Key key, Value* value) const {
     return true;
   }
   return false;
+}
+
+size_t StaticPgm::GetBatch(std::span<const Key> keys, Value* values,
+                           bool* found) const {
+  size_t n = keys_.size();
+  if (n == 0) {
+    std::fill(found, found + keys.size(), false);
+    return 0;
+  }
+  constexpr size_t kTile = 16;
+  size_t win_lo[kTile];
+  size_t win_hi[kTile];
+  size_t hits = 0;
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    size_t m = std::min(kTile, keys.size() - base);
+    for (size_t j = 0; j < m; ++j) {
+      PredictLeafWindow(keys[base + j], &win_lo[j], &win_hi[j]);
+      PrefetchSearchWindow(keys_.data(), win_lo[j], win_hi[j]);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      Key key = keys[base + j];
+      size_t pos = ResolveRank(key, win_lo[j], win_hi[j]);
+      bool ok = pos < n && keys_[pos] == key;
+      found[base + j] = ok;
+      if (ok) {
+        values[base + j] = values_[pos];
+        ++hits;
+      }
+    }
+  }
+  return hits;
 }
 
 size_t StaticPgm::IndexSizeBytes() const {
@@ -117,6 +163,41 @@ bool DynamicPgm::Get(Key key, Value* value) const {
     if (!level.pgm.empty() && level.pgm.Get(key, value)) return true;
   }
   return false;
+}
+
+size_t DynamicPgm::GetBatch(std::span<const Key> keys, Value* values,
+                            bool* found) const {
+  std::fill(found, found + keys.size(), false);
+  // Newest level first, like Get; each level sees only the keys the newer
+  // levels missed, compacted so the level's batch path stays dense.
+  std::vector<Key> pending(keys.begin(), keys.end());
+  std::vector<size_t> slot(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) slot[i] = i;
+  std::vector<Value> level_values;
+  std::unique_ptr<bool[]> level_found(new bool[keys.size()]);
+  size_t hits = 0;
+  for (const Level& level : levels_) {
+    if (pending.empty()) break;
+    if (level.pgm.empty()) continue;
+    level_values.resize(pending.size());
+    level.pgm.GetBatch(std::span<const Key>(pending), level_values.data(),
+                       level_found.get());
+    size_t keep = 0;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (level_found[i]) {
+        found[slot[i]] = true;
+        values[slot[i]] = level_values[i];
+        ++hits;
+      } else {
+        pending[keep] = pending[i];
+        slot[keep] = slot[i];
+        ++keep;
+      }
+    }
+    pending.resize(keep);
+    slot.resize(keep);
+  }
+  return hits;
 }
 
 bool DynamicPgm::Insert(Key key, Value value) {

@@ -35,6 +35,10 @@ class StaticPgm {
   void Build(std::span<const KeyValue> data);
 
   bool Get(Key key, Value* value) const;
+  // Batched lookups with the stage-interleaved window-prefetch pattern;
+  // results are identical to per-key Get calls.
+  size_t GetBatch(std::span<const Key> keys, Value* values,
+                  bool* found) const;
   // Rank of the first stored key >= `key`.
   size_t LowerBoundRank(Key key) const;
 
@@ -51,6 +55,13 @@ class StaticPgm {
   size_t eps() const { return eps_; }
 
  private:
+  // Stage 1: walk the (small, hot) internal levels down to the leaf
+  // segment and emit the eps-bounded data window [*lo, *hi).
+  void PredictLeafWindow(Key key, size_t* lo, size_t* hi) const;
+  // Stage 2: resolve the window to the exact lower-bound rank, repairing
+  // the (rare) absent-key window miss by walking.
+  size_t ResolveRank(Key key, size_t lo, size_t hi) const;
+
   // levels_[0] = data segments, levels_.back() = root level (1 segment).
   size_t eps_;
   size_t eps_internal_;
@@ -66,6 +77,8 @@ class DynamicPgm : public OrderedIndex {
 
   void BulkLoad(std::span<const KeyValue> data) override;
   bool Get(Key key, Value* value) const override;
+  size_t GetBatch(std::span<const Key> keys, Value* values,
+                  bool* found) const override;
   bool Insert(Key key, Value value) override;
   size_t Scan(Key from, size_t count,
               std::vector<KeyValue>* out) const override;

@@ -52,10 +52,18 @@ void RadixSpline::BulkLoad(std::span<const KeyValue> data) {
   }
 }
 
-size_t RadixSpline::LowerBoundRank(Key key) const {
+void RadixSpline::PredictWindow(Key key, size_t* from, size_t* to) const {
   size_t n = keys_.size();
-  if (key <= min_key_) return 0;
-  if (key > keys_.back()) return n;
+  if (key <= min_key_) {
+    *from = 0;
+    *to = 0;
+    return;
+  }
+  if (key > keys_.back()) {
+    *from = n;
+    *to = n;
+    return;
+  }
   size_t cell = CellOf(key);
   // Spline points covering this cell: [table[cell]-1, table[cell+1]].
   size_t begin = radix_table_[cell];
@@ -76,13 +84,24 @@ size_t RadixSpline::LowerBoundRank(Key key) const {
   size_t pred =
       SplineInterpolate(spline_.points[lo], spline_.points[lo + 1], key);
   size_t err = achieved_max_error_ + 1;
-  size_t from = pred > err ? pred - err : 0;
-  size_t to = std::min(n, pred + err + 1);
-  size_t pos = BinarySearchLowerBound(keys_.data(), from, to, key);
+  *from = pred > err ? pred - err : 0;
+  *to = std::min(n, pred + err + 1);
+}
+
+size_t RadixSpline::ResolveRank(Key key, size_t from, size_t to) const {
+  size_t n = keys_.size();
+  size_t pos = SimdLowerBound(keys_.data(), from, to, key);
   // Guard against an interpolation window miss for absent keys.
   while (pos > 0 && keys_[pos - 1] >= key) --pos;
   while (pos < n && keys_[pos] < key) ++pos;
   return pos;
+}
+
+size_t RadixSpline::LowerBoundRank(Key key) const {
+  size_t from;
+  size_t to;
+  PredictWindow(key, &from, &to);
+  return ResolveRank(key, from, to);
 }
 
 bool RadixSpline::Get(Key key, Value* value) const {
@@ -93,6 +112,41 @@ bool RadixSpline::Get(Key key, Value* value) const {
     return true;
   }
   return false;
+}
+
+size_t RadixSpline::GetBatch(std::span<const Key> keys, Value* values,
+                             bool* found) const {
+  size_t n = keys_.size();
+  if (n == 0) {
+    std::fill(found, found + keys.size(), false);
+    return 0;
+  }
+  // Same tiled two-stage shape as Rmi::GetBatch: stage 1 walks the radix
+  // table + spline points (small, hot) and prefetches the data-array error
+  // windows; stage 2 runs the last-mile searches with the misses already
+  // in flight.
+  constexpr size_t kTile = 16;
+  size_t win_lo[kTile];
+  size_t win_hi[kTile];
+  size_t hits = 0;
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    size_t m = std::min(kTile, keys.size() - base);
+    for (size_t j = 0; j < m; ++j) {
+      PredictWindow(keys[base + j], &win_lo[j], &win_hi[j]);
+      PrefetchSearchWindow(keys_.data(), win_lo[j], win_hi[j]);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      Key key = keys[base + j];
+      size_t pos = ResolveRank(key, win_lo[j], win_hi[j]);
+      bool ok = pos < n && keys_[pos] == key;
+      found[base + j] = ok;
+      if (ok) {
+        values[base + j] = values_[pos];
+        ++hits;
+      }
+    }
+  }
+  return hits;
 }
 
 size_t RadixSpline::Scan(Key from, size_t count,

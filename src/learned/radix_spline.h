@@ -23,6 +23,8 @@ class RadixSpline : public OrderedIndex {
 
   void BulkLoad(std::span<const KeyValue> data) override;
   bool Get(Key key, Value* value) const override;
+  size_t GetBatch(std::span<const Key> keys, Value* values,
+                  bool* found) const override;
   bool Insert(Key, Value) override { return false; }
   size_t Scan(Key from, size_t count,
               std::vector<KeyValue>* out) const override;
@@ -43,6 +45,13 @@ class RadixSpline : public OrderedIndex {
   }
   // Rank lower bound for `key` via radix table + spline interpolation.
   size_t LowerBoundRank(Key key) const;
+  // Stage 1 of a lookup: radix table + spline interpolation produce the
+  // data-array search window [*from, *to); touches only the (small,
+  // cache-resident) radix table and spline points, never keys_.
+  void PredictWindow(Key key, size_t* from, size_t* to) const;
+  // Stage 2: resolve the window to the exact rank (guarded against an
+  // interpolation window miss for absent keys).
+  size_t ResolveRank(Key key, size_t from, size_t to) const;
 
   size_t radix_bits_;
   size_t max_error_;

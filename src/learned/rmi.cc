@@ -67,16 +67,23 @@ void Rmi::BulkLoad(std::span<const KeyValue> data) {
   }
 }
 
+void Rmi::PredictWindow(Key key, size_t* lo, size_t* hi) const {
+  size_t n = keys_.size();
+  const LeafModel& leaf = models_[LeafFor(key)];
+  size_t pred = leaf.model.PredictClamped(key, n);
+  *lo = pred >= static_cast<size_t>(leaf.err_hi)
+            ? pred - static_cast<size_t>(leaf.err_hi)
+            : 0;
+  *hi = std::min(n, pred + static_cast<size_t>(-leaf.err_lo) + 1);
+}
+
 bool Rmi::Get(Key key, Value* value) const {
   size_t n = keys_.size();
   if (n == 0) return false;
-  const LeafModel& leaf = models_[LeafFor(key)];
-  size_t pred = leaf.model.PredictClamped(key, n);
-  size_t lo = pred >= static_cast<size_t>(leaf.err_hi)
-                  ? pred - static_cast<size_t>(leaf.err_hi)
-                  : 0;
-  size_t hi = std::min(n, pred + static_cast<size_t>(-leaf.err_lo) + 1);
-  size_t pos = BinarySearchLowerBound(keys_.data(), lo, hi, key);
+  size_t lo;
+  size_t hi;
+  PredictWindow(key, &lo, &hi);
+  size_t pos = SimdLowerBound(keys_.data(), lo, hi, key);
   if (pos < n && keys_[pos] == key) {
     *value = values_[pos];
     return true;
@@ -84,16 +91,48 @@ bool Rmi::Get(Key key, Value* value) const {
   return false;
 }
 
+size_t Rmi::GetBatch(std::span<const Key> keys, Value* values,
+                     bool* found) const {
+  size_t n = keys_.size();
+  if (n == 0) {
+    std::fill(found, found + keys.size(), false);
+    return 0;
+  }
+  // Tiled two-stage execution: stage 1 predicts every error window in the
+  // tile and prefetches it, stage 2 resolves the last-mile searches — by
+  // the time the first search runs, the other windows' misses are already
+  // in flight.
+  constexpr size_t kTile = 16;
+  size_t win_lo[kTile];
+  size_t win_hi[kTile];
+  size_t hits = 0;
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    size_t m = std::min(kTile, keys.size() - base);
+    for (size_t j = 0; j < m; ++j) {
+      PredictWindow(keys[base + j], &win_lo[j], &win_hi[j]);
+      PrefetchSearchWindow(keys_.data(), win_lo[j], win_hi[j]);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      Key key = keys[base + j];
+      size_t pos = SimdLowerBound(keys_.data(), win_lo[j], win_hi[j], key);
+      bool ok = pos < n && keys_[pos] == key;
+      found[base + j] = ok;
+      if (ok) {
+        values[base + j] = values_[pos];
+        ++hits;
+      }
+    }
+  }
+  return hits;
+}
+
 size_t Rmi::Scan(Key from, size_t count, std::vector<KeyValue>* out) const {
   size_t n = keys_.size();
   if (n == 0 || count == 0) return 0;
-  const LeafModel& leaf = models_[LeafFor(from)];
-  size_t pred = leaf.model.PredictClamped(from, n);
-  size_t lo = pred >= static_cast<size_t>(leaf.err_hi)
-                  ? pred - static_cast<size_t>(leaf.err_hi)
-                  : 0;
-  size_t hi = std::min(n, pred + static_cast<size_t>(-leaf.err_lo) + 1);
-  size_t pos = BinarySearchLowerBound(keys_.data(), lo, hi, from);
+  size_t lo;
+  size_t hi;
+  PredictWindow(from, &lo, &hi);
+  size_t pos = SimdLowerBound(keys_.data(), lo, hi, from);
   // The error envelope is only exact for stored keys; for an absent `from`
   // the window can land past the true lower bound, so walk back if needed.
   while (pos > 0 && keys_[pos - 1] >= from) --pos;

@@ -20,6 +20,8 @@ class Rmi : public OrderedIndex {
 
   void BulkLoad(std::span<const KeyValue> data) override;
   bool Get(Key key, Value* value) const override;
+  size_t GetBatch(std::span<const Key> keys, Value* values,
+                  bool* found) const override;
   bool Insert(Key, Value) override { return false; }
   size_t Scan(Key from, size_t count,
               std::vector<KeyValue>* out) const override;
@@ -39,6 +41,8 @@ class Rmi : public OrderedIndex {
   size_t LeafFor(Key key) const {
     return root_.PredictClamped(key, models_.size());
   }
+  // The leaf model's error window around the predicted rank of `key`.
+  void PredictWindow(Key key, size_t* lo, size_t* hi) const;
 
   size_t num_models_cfg_;
   LinearModel root_;

@@ -123,6 +123,55 @@ bool XIndex::Get(Key key, Value* value) const {
   return false;
 }
 
+size_t XIndex::GetBatch(std::span<const Key> keys, Value* values,
+                        bool* found) const {
+  // One directory lock acquisition for the whole batch (Get pays it per
+  // key). Stage 1 routes through the root RMI + pivot array — both safe
+  // under the directory lock alone — and prefetches each Group header so
+  // its mutex and array headers are resident when stage 2 locks it. Group
+  // array contents are only touched in stage 2 under the group's shared
+  // lock, exactly like Get (compactions mutate them under the unique
+  // lock).
+  std::shared_lock dir_lock(groups_mutex_);
+  if (groups_.empty()) {
+    std::fill(found, found + keys.size(), false);
+    return 0;
+  }
+  constexpr size_t kTile = 16;
+  const Group* tile_group[kTile];
+  size_t hits = 0;
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    size_t m = std::min(kTile, keys.size() - base);
+    for (size_t j = 0; j < m; ++j) {
+      const Group* g = groups_[RouteToGroup(keys[base + j])].get();
+      tile_group[j] = g;
+      __builtin_prefetch(g);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      Key key = keys[base + j];
+      const Group& g = *tile_group[j];
+      std::shared_lock group_lock(g.mutex);
+      bool ok = false;
+      auto it = std::lower_bound(
+          g.buffer.begin(), g.buffer.end(), key,
+          [](const KeyValue& kv, Key k) { return kv.key < k; });
+      if (it != g.buffer.end() && it->key == key) {
+        values[base + j] = it->value;
+        ok = true;
+      } else {
+        size_t pos = g.LowerBoundRank(key);
+        if (pos < g.keys.size() && g.keys[pos] == key) {
+          values[base + j] = g.values[pos];
+          ok = true;
+        }
+      }
+      found[base + j] = ok;
+      hits += ok ? 1 : 0;
+    }
+  }
+  return hits;
+}
+
 void XIndex::CompactGroup(Group* g) {
   Timer timer;
   std::vector<Key> merged_keys;

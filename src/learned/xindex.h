@@ -29,6 +29,8 @@ class XIndex : public OrderedIndex {
 
   void BulkLoad(std::span<const KeyValue> data) override;
   bool Get(Key key, Value* value) const override;
+  size_t GetBatch(std::span<const Key> keys, Value* values,
+                  bool* found) const override;
   bool Insert(Key key, Value value) override;
   size_t Scan(Key from, size_t count,
               std::vector<KeyValue>* out) const override;

@@ -75,6 +75,10 @@ ShardStats Shard::Stats() const {
 }
 
 void Shard::WorkerLoop() {
+  // Built once per worker and reused across batches; Execute used to
+  // re-check a thread_local per request.
+  Scratch scratch;
+  scratch.value.resize(store_->value_size());
   for (;;) {
     std::vector<Request> batch;
     {
@@ -92,7 +96,7 @@ void Shard::WorkerLoop() {
       in_flight_ += batch.size();
       has_space_.notify_all();
     }
-    for (Request& req : batch) Execute(req);
+    ExecuteBatch(batch, scratch);
     batches_.fetch_add(1, std::memory_order_relaxed);
     ops_.fetch_add(batch.size(), std::memory_order_relaxed);
     {
@@ -103,19 +107,59 @@ void Shard::WorkerLoop() {
   }
 }
 
-void Shard::Execute(Request& req) {
-  // Worker-local scratch for discarded Get payloads and counted scans.
-  thread_local std::vector<uint8_t> scratch;
-  thread_local std::vector<Key> scan_scratch;
-  if (scratch.size() < store_->value_size()) {
-    scratch.resize(store_->value_size());
+void Shard::ExecuteBatch(std::vector<Request>& batch, Scratch& scratch) {
+  // Runs of consecutive reads go through the store's multi-get fast path;
+  // everything else executes per request, preserving queue order exactly.
+  size_t i = 0;
+  while (i < batch.size()) {
+    if (batch[i].type == OpType::kRead) {
+      size_t j = i + 1;
+      while (j < batch.size() && batch[j].type == OpType::kRead) ++j;
+      if (j - i >= 2) {
+        ExecuteReadRun(batch.data() + i, j - i, scratch);
+      } else {
+        Execute(batch[i], scratch);
+      }
+      i = j;
+    } else {
+      Execute(batch[i], scratch);
+      ++i;
+    }
   }
+}
 
+void Shard::ExecuteReadRun(Request* reqs, size_t n, Scratch& scratch) {
+  scratch.mget_keys.clear();
+  scratch.mget_outs.clear();
+  for (size_t i = 0; i < n; ++i) {
+    scratch.mget_keys.push_back(reqs[i].key);
+    // Discarded payloads may all alias the shared scratch buffer: the
+    // store copies values one at a time, so each copy stays well-formed.
+    scratch.mget_outs.push_back(reqs[i].out != nullptr ? reqs[i].out
+                                                       : scratch.value.data());
+  }
+  if (scratch.mget_found_cap < n) {
+    scratch.mget_found.reset(new bool[n]);
+    scratch.mget_found_cap = n;
+  }
+  store_->GetBatch(std::span<const Key>(scratch.mget_keys),
+                   scratch.mget_outs.data(), scratch.mget_found.get());
+  for (size_t i = 0; i < n; ++i) {
+    RequestStatus status = scratch.mget_found[i] ? RequestStatus::kOk
+                                                 : RequestStatus::kNotFound;
+    if (reqs[i].latency != nullptr && reqs[i].start_nanos != 0) {
+      reqs[i].latency->Record(NowNanos() - reqs[i].start_nanos);
+    }
+    if (reqs[i].done) reqs[i].done(status);
+  }
+}
+
+void Shard::Execute(Request& req, Scratch& scratch) {
   RequestStatus status = RequestStatus::kOk;
   switch (req.type) {
     case OpType::kRead:
       if (!store_->Get(req.key, req.out != nullptr ? req.out
-                                                   : scratch.data())) {
+                                                   : scratch.value.data())) {
         status = RequestStatus::kNotFound;
       }
       break;
@@ -128,7 +172,7 @@ void Shard::Execute(Request& req) {
     }
     case OpType::kReadModifyWrite:
       if (!store_->Get(req.key, req.out != nullptr ? req.out
-                                                   : scratch.data())) {
+                                                   : scratch.value.data())) {
         status = RequestStatus::kNotFound;
       } else if (!store_->PutSynthetic(req.key)) {
         status = RequestStatus::kStoreFull;
@@ -137,8 +181,8 @@ void Shard::Execute(Request& req) {
     case OpType::kScan: {
       std::vector<Key>* out = req.scan_out;
       if (out == nullptr) {
-        scan_scratch.clear();
-        out = &scan_scratch;
+        scratch.scan.clear();
+        out = &scratch.scan;
       }
       store_->Scan(req.key, req.scan_len, out);
       break;

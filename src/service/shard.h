@@ -61,8 +61,23 @@ class Shard {
   ShardStats Stats() const;
 
  private:
+  // Worker-local scratch, built once in WorkerLoop and reused across
+  // batches: discarded-read payloads, counted-scan sinks, and the gather
+  // arrays the multi-get path fills per run.
+  struct Scratch {
+    std::vector<uint8_t> value;
+    std::vector<Key> scan;
+    std::vector<Key> mget_keys;
+    std::vector<uint8_t*> mget_outs;
+    std::unique_ptr<bool[]> mget_found;
+    size_t mget_found_cap = 0;
+  };
+
   void WorkerLoop();
-  void Execute(Request& req);
+  void ExecuteBatch(std::vector<Request>& batch, Scratch& scratch);
+  // Multi-get for a run of >= 2 consecutive kRead requests.
+  void ExecuteReadRun(Request* reqs, size_t n, Scratch& scratch);
+  void Execute(Request& req, Scratch& scratch);
 
   const size_t id_;
   const size_t queue_capacity_;

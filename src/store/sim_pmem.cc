@@ -38,6 +38,17 @@ void SimulatedPmem::Read(const uint8_t* pmem_src, void* dst,
   bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
+void SimulatedPmem::ReadBatch(const uint8_t* const* pmem_srcs,
+                              uint8_t* const* dsts, size_t bytes_each,
+                              size_t n) const {
+  if (n == 0) return;
+  Charge(read_latency_ns_);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(dsts[i], pmem_srcs[i], bytes_each);
+  }
+  bytes_read_.fetch_add(bytes_each * n, std::memory_order_relaxed);
+}
+
 void SimulatedPmem::Write(uint8_t* pmem_dst, const void* src, size_t bytes) {
   Charge(write_latency_ns_);
   std::memcpy(pmem_dst, src, bytes);

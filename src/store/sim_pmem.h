@@ -30,6 +30,13 @@ class SimulatedPmem {
 
   // Latency-charged access. `dst`/`src` are normal DRAM buffers.
   void Read(const uint8_t* pmem_src, void* dst, size_t bytes) const;
+  // Batched read of `n` equally-sized records: all bytes are accounted,
+  // but the injected read latency is charged once for the whole batch —
+  // a batch of independent loads overlaps its misses in the memory
+  // subsystem, so the stalls do not add up the way sequential dependent
+  // reads do.
+  void ReadBatch(const uint8_t* const* pmem_srcs, uint8_t* const* dsts,
+                 size_t bytes_each, size_t n) const;
   void Write(uint8_t* pmem_dst, const void* src, size_t bytes);
   // Simulated persistence barrier (clwb + fence); counted, and charged
   // the write latency once.

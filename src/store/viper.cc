@@ -96,6 +96,37 @@ bool ViperStore::Get(Key key, uint8_t* out) const {
   return true;
 }
 
+size_t ViperStore::GetBatch(std::span<const Key> keys, uint8_t* const* outs,
+                            bool* found) const {
+  constexpr size_t kTile = 64;
+  Value handles[kTile];
+  const uint8_t* srcs[kTile];
+  uint8_t* dsts[kTile];
+  size_t hits = 0;
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    size_t m = std::min(kTile, keys.size() - base);
+    index_->GetBatch(keys.subspan(base, m), handles, found + base);
+    // Gather the hit slots, touching every value's cache lines before the
+    // copies so the PMem reads overlap instead of serializing.
+    size_t k = 0;
+    for (size_t j = 0; j < m; ++j) {
+      if (!found[base + j]) continue;
+      const uint8_t* addr =
+          SlotAddr(HandlePage(handles[j]), HandleSlot(handles[j])) +
+          sizeof(Key);
+      for (size_t off = 0; off < config_.value_size; off += 64) {
+        __builtin_prefetch(addr + off);
+      }
+      srcs[k] = addr;
+      dsts[k] = outs[base + j];
+      ++k;
+    }
+    pmem_.ReadBatch(srcs, dsts, config_.value_size, k);
+    hits += k;
+  }
+  return hits;
+}
+
 size_t ViperStore::Scan(Key from, size_t count,
                         std::vector<Key>* out_keys) const {
   std::vector<KeyValue> handles;

@@ -53,6 +53,14 @@ class ViperStore {
   // Reads the value into `out` (value_size bytes). False when absent.
   bool Get(Key key, uint8_t* out) const;
 
+  // Batched point reads: outs[i] receives value_size bytes when found[i]
+  // is true. Handles resolve through the index's batch path, the value
+  // slots are prefetched before copying, and the injected PMem read
+  // latency is charged once per batch (overlapped misses). Returns the
+  // number found; results are identical to keys.size() Get calls.
+  size_t GetBatch(std::span<const Key> keys, uint8_t* const* outs,
+                  bool* found) const;
+
   // Ordered scan of up to `count` records starting at `from`; values are
   // read (charged) but only keys are returned.
   size_t Scan(Key from, size_t count, std::vector<Key>* out_keys) const;

@@ -180,6 +180,101 @@ TEST_P(IndexConformanceTest, ScanAfterInserts) {
   }
 }
 
+// Differential contract: GetBatch must be observationally identical to
+// keys.size() single-key Gets — same found flags, same values, same hit
+// count — for present keys, absent keys, and near-miss neighbors, at
+// every batch size including ones that straddle the fast path's tiles.
+TEST_P(IndexConformanceTest, GetBatchMatchesSingleKeyGets) {
+  index_->BulkLoad(data_);
+  Rng rng(41);
+  std::vector<Key> probes;
+  probes.reserve(6000);
+  for (int i = 0; i < 6000; ++i) {
+    switch (i % 3) {
+      case 0:
+        probes.push_back(keys_[rng.NextUnder(keys_.size())]);
+        break;
+      case 1:  // Near-miss neighbors (hard for bounded windows).
+        probes.push_back(keys_[rng.NextUnder(keys_.size())] +
+                         (rng.NextUnder(3) - 1));
+        break;
+      default:
+        probes.push_back(rng.Next());
+    }
+  }
+  for (size_t batch : {size_t{1}, size_t{2}, size_t{7}, size_t{16},
+                       size_t{33}, size_t{256}}) {
+    for (size_t base = 0; base + batch <= probes.size(); base += 977) {
+      std::span<const Key> span(probes.data() + base, batch);
+      std::vector<Value> got_values(batch, 0);
+      std::vector<Value> want_values(batch, 0);
+      std::unique_ptr<bool[]> got_found(new bool[batch]);
+      size_t hits = index_->GetBatch(span, got_values.data(),
+                                     got_found.get());
+      size_t want_hits = 0;
+      for (size_t i = 0; i < batch; ++i) {
+        bool want = index_->Get(span[i], &want_values[i]);
+        want_hits += want ? 1 : 0;
+        ASSERT_EQ(got_found[i], want)
+            << index_->Name() << " batch=" << batch << " key=" << span[i];
+        if (want) {
+          EXPECT_EQ(got_values[i], want_values[i])
+              << index_->Name() << " key=" << span[i];
+        }
+      }
+      EXPECT_EQ(hits, want_hits) << index_->Name() << " batch=" << batch;
+    }
+  }
+}
+
+TEST_P(IndexConformanceTest, GetBatchOnEmptyIndex) {
+  index_->BulkLoad({});
+  std::vector<Key> probes(100);
+  for (size_t i = 0; i < probes.size(); ++i) probes[i] = keys_[i];
+  std::vector<Value> values(probes.size(), 0);
+  std::unique_ptr<bool[]> found(new bool[probes.size()]);
+  EXPECT_EQ(index_->GetBatch(probes, values.data(), found.get()), 0u)
+      << index_->Name();
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_FALSE(found[i]) << index_->Name();
+  }
+}
+
+// The batch path must also agree after inserts have perturbed whatever
+// build-time structure the override's predictions rely on (buffers,
+// gapped arrays, LSM levels, group splits).
+TEST_P(IndexConformanceTest, GetBatchAfterInserts) {
+  if (!index_->SupportsInsert()) GTEST_SKIP();
+  std::vector<Key> load;
+  std::vector<Key> inserts;
+  SplitLoadAndInserts(keys_, 4, &load, &inserts);
+  std::vector<KeyValue> load_data;
+  for (Key k : load) load_data.push_back({k, k ^ kValueTag});
+  index_->BulkLoad(load_data);
+  for (Key k : inserts) ASSERT_TRUE(index_->Insert(k, k ^ kValueTag));
+
+  Rng rng(43);
+  std::vector<Key> probes;
+  for (int i = 0; i < 2048; ++i) {
+    probes.push_back(i % 2 == 0 ? keys_[rng.NextUnder(keys_.size())]
+                                : rng.Next());
+  }
+  std::vector<Value> got_values(probes.size(), 0);
+  std::unique_ptr<bool[]> got_found(new bool[probes.size()]);
+  size_t hits =
+      index_->GetBatch(probes, got_values.data(), got_found.get());
+  size_t want_hits = 0;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    Value want_value = 0;
+    bool want = index_->Get(probes[i], &want_value);
+    want_hits += want ? 1 : 0;
+    ASSERT_EQ(got_found[i], want)
+        << index_->Name() << " key=" << probes[i];
+    if (want) EXPECT_EQ(got_values[i], want_value) << index_->Name();
+  }
+  EXPECT_EQ(hits, want_hits) << index_->Name();
+}
+
 TEST_P(IndexConformanceTest, SizeAccountingIsPositive) {
   index_->BulkLoad(data_);
   EXPECT_GT(index_->IndexSizeBytes(), 0u) << index_->Name();

@@ -65,6 +65,7 @@ TEST_P(SearchPropertyTest, AllVariantsMatchStdLowerBound) {
     size_t ref = RefLowerBound(keys, key);
     EXPECT_EQ(BinarySearchLowerBound(keys.data(), 0, keys.size(), key), ref);
     EXPECT_EQ(BranchlessLowerBound(keys.data(), 0, keys.size(), key), ref);
+    EXPECT_EQ(SimdLowerBound(keys.data(), 0, keys.size(), key), ref);
     EXPECT_EQ(InterpolationSearchLowerBound(keys.data(), 0, keys.size(), key),
               ref);
     EXPECT_EQ(ThreePointSearchLowerBound(keys.data(), 0, keys.size(), key),
@@ -105,6 +106,7 @@ TEST(SearchTest, AllVariantsMatchStdLowerBoundWithDuplicates) {
       size_t ref = RefLowerBound(keys, key);
       EXPECT_EQ(BinarySearchLowerBound(keys.data(), 0, keys.size(), key), ref);
       EXPECT_EQ(BranchlessLowerBound(keys.data(), 0, keys.size(), key), ref);
+      EXPECT_EQ(SimdLowerBound(keys.data(), 0, keys.size(), key), ref);
       EXPECT_EQ(
           InterpolationSearchLowerBound(keys.data(), 0, keys.size(), key),
           ref);
@@ -144,7 +146,129 @@ TEST(SearchTest, SingleElementAndAllEqualArrays) {
     size_t ref = RefLowerBound(one, key);
     EXPECT_EQ(ExponentialSearchLowerBound(one.data(), 1, 0, key), ref);
     EXPECT_EQ(BranchlessLowerBound(one.data(), 0, 1, key), ref);
+    EXPECT_EQ(SimdLowerBound(one.data(), 0, 1, key), ref);
   }
+}
+
+// Restores the process-global kernel mode on scope exit so a failing
+// assertion cannot leak a forced mode into later tests.
+class KernelModeGuard {
+ public:
+  KernelModeGuard() : prior_(GetSearchKernel()) {}
+  ~KernelModeGuard() { SetSearchKernel(prior_); }
+
+ private:
+  SearchKernel prior_;
+};
+
+// The SIMD terminal kernel must agree with BinarySearchLowerBound on every
+// window — including unaligned offsets (the window base is never 32-byte
+// aligned in general), duplicates, and the domain boundary keys.
+TEST(SimdKernelTest, RandomWindowsMatchBinarySearch) {
+  KernelModeGuard guard;
+  Rng rng(77);
+  for (int round = 0; round < 40; ++round) {
+    // Mix unique and duplicate-heavy arrays.
+    std::vector<uint64_t> keys;
+    size_t n = 1 + rng.NextUnder(3000);
+    uint64_t k = rng.Next() >> 32;
+    while (keys.size() < n) {
+      size_t run = 1 + rng.NextUnder(round % 2 == 0 ? 1 : 6);
+      for (size_t i = 0; i < run && keys.size() < n; ++i) keys.push_back(k);
+      k += 1 + rng.NextUnder(1000);
+    }
+    ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    for (int trial = 0; trial < 100; ++trial) {
+      // Random sub-window [lo, hi), random (possibly unaligned) offset.
+      size_t lo = rng.NextUnder(keys.size());
+      size_t hi = lo + rng.NextUnder(keys.size() - lo + 1);
+      uint64_t key;
+      switch (trial % 4) {
+        case 0:
+          key = keys[rng.NextUnder(keys.size())];
+          break;
+        case 1:
+          key = keys[rng.NextUnder(keys.size())] + (rng.NextUnder(3) - 1);
+          break;
+        case 2:
+          key = rng.Next();
+          break;
+        default:
+          key = trial % 8 == 3 ? 0 : UINT64_MAX;
+      }
+      size_t ref = BinarySearchLowerBound(keys.data(), lo, hi, key);
+      for (SearchKernel mode :
+           {SearchKernel::kAuto, SearchKernel::kScalar, SearchKernel::kSimd}) {
+        SetSearchKernel(mode);
+        EXPECT_EQ(SimdLowerBound(keys.data(), lo, hi, key), ref)
+            << "key=" << key << " lo=" << lo << " hi=" << hi
+            << " mode=" << static_cast<int>(mode);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, BoundaryKeysAndExtremeValues) {
+  KernelModeGuard guard;
+  // Arrays containing the domain extremes: the kernel's XOR-with-sign-bit
+  // mapping must keep 0 and UINT64_MAX ordered correctly.
+  std::vector<uint64_t> keys = {0, 0, 1, 2, 1ull << 62, (1ull << 63) - 1,
+                                1ull << 63, (1ull << 63) + 1, UINT64_MAX - 1,
+                                UINT64_MAX, UINT64_MAX};
+  // Pad past the 4-lane width so the vector loop actually runs.
+  while (keys.size() < 64) keys.push_back(UINT64_MAX);
+  ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  const uint64_t probe_keys[] = {0,
+                                 1,
+                                 2,
+                                 3,
+                                 (uint64_t{1} << 62) - 1,
+                                 uint64_t{1} << 62,
+                                 uint64_t{1} << 63,
+                                 UINT64_MAX - 1,
+                                 UINT64_MAX};
+  for (uint64_t key : probe_keys) {
+    size_t ref = RefLowerBound(keys, key);
+    for (SearchKernel mode :
+         {SearchKernel::kAuto, SearchKernel::kScalar, SearchKernel::kSimd}) {
+      SetSearchKernel(mode);
+      EXPECT_EQ(SimdLowerBound(keys.data(), 0, keys.size(), key), ref)
+          << "key=" << key << " mode=" << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(SimdKernelTest, ForcedModesAgreeOnDatasets) {
+  KernelModeGuard guard;
+  for (const char* ds : {"ycsb", "osm", "face", "sequential"}) {
+    std::vector<uint64_t> keys = MakeKeys(ds, 4096, 5);
+    Rng rng(123);
+    for (int trial = 0; trial < 500; ++trial) {
+      uint64_t key = trial % 2 == 0 ? keys[rng.NextUnder(keys.size())]
+                                    : rng.Next();
+      size_t lo = rng.NextUnder(keys.size());
+      size_t hi = lo + rng.NextUnder(keys.size() - lo + 1);
+      SetSearchKernel(SearchKernel::kScalar);
+      size_t scalar = SimdLowerBound(keys.data(), lo, hi, key);
+      SetSearchKernel(SearchKernel::kSimd);
+      size_t simd = SimdLowerBound(keys.data(), lo, hi, key);
+      EXPECT_EQ(scalar, simd) << "ds=" << ds << " key=" << key;
+    }
+  }
+}
+
+TEST(SimdKernelTest, PrefetchWindowIsSideEffectFree) {
+  // Sanity: prefetching any window (empty, tiny, huge) must not fault or
+  // alter results.
+  std::vector<uint64_t> keys = MakeKeys("ycsb", 10000, 9);
+  PrefetchSearchWindow(keys.data(), 0, 0);
+  PrefetchSearchWindow(keys.data(), 5, 5);
+  PrefetchSearchWindow(keys.data(), 0, keys.size());
+  PrefetchSearchWindow(keys.data(), 100, 101);
+  uint64_t key = keys[1234];
+  size_t before = SimdLowerBound(keys.data(), 0, keys.size(), key);
+  PrefetchSearchWindow(keys.data(), 0, keys.size());
+  EXPECT_EQ(SimdLowerBound(keys.data(), 0, keys.size(), key), before);
 }
 
 }  // namespace

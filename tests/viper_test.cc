@@ -2,12 +2,15 @@
 // plus PMem accounting and crash recovery (Fig. 16 semantics).
 #include "store/viper.h"
 
+#include <chrono>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "index/registry.h"
 #include "store/sim_pmem.h"
 #include "workload/datasets.h"
@@ -99,6 +102,87 @@ INSTANTIATE_TEST_SUITE_P(AllIndexes, ViperStoreTest,
                            }
                            return n;
                          });
+
+// GetBatch must return byte-identical payloads and identical found flags
+// to a loop of single-key Gets, for present and absent keys alike, and
+// must amortize the injected read latency: all bytes accounted, one
+// latency charge per batch.
+TEST_P(ViperStoreTest, GetBatchMatchesSingleKeyGets) {
+  ViperStore store(MakeIndex(GetParam()), SmallConfig());
+  std::vector<Key> keys = MakeUniformKeys(5000, 3);
+  ASSERT_TRUE(store.BulkLoad(keys));
+
+  Rng rng(51);
+  std::vector<Key> probes;
+  for (int i = 0; i < 1000; ++i) {
+    probes.push_back(i % 2 == 0 ? keys[rng.NextUnder(keys.size())]
+                                : rng.Next());
+  }
+  std::vector<std::vector<uint8_t>> batch_values(
+      probes.size(), std::vector<uint8_t>(store.value_size(), 0xAB));
+  std::vector<uint8_t*> outs;
+  for (auto& v : batch_values) outs.push_back(v.data());
+  std::unique_ptr<bool[]> found(new bool[probes.size()]);
+
+  uint64_t bytes_before = store.pmem().bytes_read();
+  size_t hits = store.GetBatch(probes, outs.data(), found.get());
+
+  std::vector<uint8_t> want(store.value_size());
+  size_t want_hits = 0;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    bool present = store.Get(probes[i], want.data());
+    want_hits += present ? 1 : 0;
+    ASSERT_EQ(found[i], present) << GetParam() << " key=" << probes[i];
+    if (present) {
+      EXPECT_EQ(std::memcmp(batch_values[i].data(), want.data(),
+                            store.value_size()),
+                0)
+          << GetParam() << " key=" << probes[i];
+    }
+  }
+  EXPECT_EQ(hits, want_hits) << GetParam();
+  // Every found value's bytes were accounted by the batch read.
+  EXPECT_GE(store.pmem().bytes_read() - bytes_before,
+            hits * store.value_size());
+}
+
+TEST(ViperStoreTest2, ReadBatchChargesLatencyOncePerBatch) {
+  // One batched read of N records must busy-wait roughly one latency
+  // charge, not N: the batch path models overlapped misses.
+  constexpr uint64_t kLatencyNs = 200000;
+  SimulatedPmem pmem(1 << 20, kLatencyNs, 0);
+  constexpr size_t kRecords = 32;
+  constexpr size_t kBytes = 64;
+  const uint8_t* srcs[kRecords];
+  uint8_t* dsts[kRecords];
+  std::vector<std::vector<uint8_t>> dst_bufs(kRecords,
+                                             std::vector<uint8_t>(kBytes));
+  for (size_t i = 0; i < kRecords; ++i) {
+    uint8_t* p = pmem.Allocate(kBytes);
+    ASSERT_NE(p, nullptr);
+    std::vector<uint8_t> payload(kBytes, static_cast<uint8_t>(i + 1));
+    pmem.Write(p, payload.data(), kBytes);
+    srcs[i] = p;
+    dsts[i] = dst_bufs[i].data();
+  }
+
+  uint64_t bytes_before = pmem.bytes_read();
+  auto t0 = std::chrono::steady_clock::now();
+  pmem.ReadBatch(srcs, dsts, kBytes, kRecords);
+  uint64_t batch_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  // Correct payloads, all bytes accounted.
+  for (size_t i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(dst_bufs[i][0], static_cast<uint8_t>(i + 1));
+  }
+  EXPECT_EQ(pmem.bytes_read() - bytes_before, kRecords * kBytes);
+  // One charge, not kRecords: allow generous scheduling slack but stay
+  // far below the serialized cost.
+  EXPECT_LT(batch_ns, kLatencyNs * kRecords / 4);
+}
 
 TEST(ViperStoreTest2, UpdatesWriteOutOfPlaceAndRecoverNewest) {
   ViperStore store(MakeIndex("BTree"), SmallConfig());
