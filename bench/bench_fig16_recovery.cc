@@ -23,9 +23,11 @@ void RunFig16(Context& ctx) {
       Timer timer;
       index->BulkLoad(entries);
       double build_ms = static_cast<double>(timer.ElapsedNanos()) / 1e6;
-      // End-to-end recovery: PMem page scan + sort + rebuild.
+      // End-to-end recovery: power failure, then PMem page scan (commit-
+      // header validation) + sort + rebuild.
       auto store = MakeStore(ctx, name, keys);
       if (store == nullptr) continue;
+      store->Crash();
       uint64_t nanos = store->Recover();
       ctx.sink.Add(ResultRow(name)
                        .Label("keys", std::to_string(n))

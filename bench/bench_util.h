@@ -29,8 +29,9 @@ inline std::unique_ptr<ViperStore> MakeStore(Context& ctx,
                                              const std::vector<Key>& keys) {
   ViperStore::Config cfg;
   cfg.value_size = 200;
-  // Records are 208B; leave 2x headroom for out-of-place updates.
-  cfg.pmem_capacity = keys.size() * 208 * 4 + (64 << 20);
+  // Records are 224B (8B key + 200B value + 16B commit header); leave
+  // generous headroom for out-of-place updates.
+  cfg.pmem_capacity = keys.size() * 224 * 4 + (64 << 20);
   cfg.read_latency_ns = NvmReadLatencyNs();
   cfg.write_latency_ns = NvmWriteLatencyNs();
   auto store = std::make_unique<ViperStore>(MakeIndex(index_name), cfg);

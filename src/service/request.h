@@ -65,11 +65,12 @@ struct Request {
 };
 
 struct ShardStats {
-  uint64_t ops = 0;        // requests executed by the worker
-  uint64_t batches = 0;    // queue entries drained
-  uint64_t rejected = 0;   // requests dropped by admission control
-  uint64_t max_queue = 0;  // high-water mark of queued requests
-  size_t keys = 0;         // records owned by the shard's store
+  uint64_t ops = 0;         // requests executed by the worker
+  uint64_t batches = 0;     // queue entries drained
+  uint64_t rejected = 0;    // requests dropped by admission control
+  uint64_t max_queue = 0;   // high-water mark of queued requests
+  uint64_t recoveries = 0;  // crash-and-recover cycles survived
+  size_t keys = 0;          // records owned by the shard's store
 };
 
 struct ServiceStats {

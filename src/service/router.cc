@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "common/timer.h"
@@ -304,6 +305,19 @@ void KvService::Drain() {
 
 void KvService::Shutdown() {
   for (auto& shard : shards_) shard->Stop();
+}
+
+std::vector<uint64_t> KvService::CrashAndRecover() {
+  std::vector<uint64_t> rebuild_ns(shards_.size(), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    workers.emplace_back([this, s, &rebuild_ns] {
+      rebuild_ns[s] = shards_[s]->CrashAndRecover();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return rebuild_ns;
 }
 
 size_t KvService::TotalKeys() const {

@@ -102,6 +102,14 @@ class KvService {
   // submissions complete with kShutdown. Idempotent.
   void Shutdown();
 
+  // Simulated whole-service power failure: every shard quiesces, loses
+  // its unpersisted PMem bytes, rebuilds its index from the surviving
+  // durable records, and resumes serving. Shards crash and recover in
+  // parallel (their rebuilds are independent). Requests submitted during
+  // the outage complete with kShutdown. Returns per-shard index rebuild
+  // times in nanoseconds, indexed by shard id.
+  std::vector<uint64_t> CrashAndRecover();
+
   size_t num_shards() const { return shards_.size(); }
   size_t ShardOf(Key key) const { return partition_.ShardOf(key); }
   const RangePartition& partition() const { return partition_; }

@@ -63,11 +63,35 @@ void Shard::Stop() {
   if (worker_.joinable()) worker_.join();
 }
 
+uint64_t Shard::CrashAndRecover() {
+  bool was_started;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    was_started = started_;
+  }
+  // Quiesce first: every accepted request completes, and a completed
+  // write's persists are done by the time it acks — so the crash below
+  // drops only bytes no client was ever promised. Submissions racing the
+  // outage observe stopping_ and complete with kShutdown.
+  Stop();
+  store_->Crash();
+  uint64_t ns = store_->Recover();
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+    started_ = false;
+  }
+  if (was_started) Start();
+  return ns;
+}
+
 ShardStats Shard::Stats() const {
   ShardStats s;
   s.ops = ops_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.recoveries = recoveries_.load(std::memory_order_relaxed);
   s.keys = store_->size();
   std::lock_guard<std::mutex> lock(mu_);
   s.max_queue = max_queue_;

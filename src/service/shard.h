@@ -52,8 +52,18 @@ class Shard {
   void Drain();
 
   // Graceful shutdown: refuse new work, drain the queue, join the worker.
-  // Idempotent.
+  // Idempotent. Start() may be called again afterwards (crash recovery
+  // restarts the worker).
   void Stop();
+
+  // Simulated power failure on this shard's PMem: quiesce the worker
+  // (accepted requests complete — their persists are done by the time
+  // they ack), drop every unpersisted byte, rebuild the index from the
+  // surviving pages, and resume serving. Requests submitted during the
+  // outage complete with kShutdown. Returns the index rebuild time in
+  // nanoseconds. If the shard was never started, the store still crashes
+  // and recovers but no worker is spawned.
+  uint64_t CrashAndRecover();
 
   ViperStore* store() { return store_.get(); }
   const ViperStore& store() const { return *store_; }
@@ -99,6 +109,7 @@ class Shard {
   std::atomic<uint64_t> ops_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> recoveries_{0};
 };
 
 }  // namespace pieces::service

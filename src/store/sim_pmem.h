@@ -1,18 +1,26 @@
 // Simulated persistent memory: a DRAM arena with optional injected
-// read/write latency and access accounting. Substitutes for the paper's
-// Intel Optane DCPMM (see DESIGN.md): the end-to-end question is how much
-// a slower persistence medium drags each index, and injecting per-access
-// latency reproduces that drag uniformly. With latencies at 0 (default)
-// it behaves as plain DRAM, which keeps unit tests fast.
+// read/write latency, access accounting, and an enforced persistence
+// domain. Substitutes for the paper's Intel Optane DCPMM (see DESIGN.md):
+// the end-to-end question is how much a slower persistence medium drags
+// each index, and injecting per-access latency reproduces that drag
+// uniformly. With latencies at 0 (default) it behaves as plain DRAM,
+// which keeps unit tests fast.
+//
+// Persistence is a contract, not bookkeeping: written bytes become
+// durable only when a Persist() barrier covers them (the CrashController
+// shadows the arena with a durable image). crash().Crash() — or an armed
+// crash point firing — rolls the arena back to that image, so recovery
+// code can only ever see what it actually persisted. See
+// crash_controller.h for what the simulation does and does not model.
 #ifndef PIECES_STORE_SIM_PMEM_H_
 #define PIECES_STORE_SIM_PMEM_H_
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <vector>
+
+#include "store/crash_controller.h"
 
 namespace pieces {
 
@@ -21,6 +29,7 @@ class SimulatedPmem {
   // `capacity` bytes; latencies in nanoseconds per access (not per byte).
   SimulatedPmem(size_t capacity, uint64_t read_latency_ns = 0,
                 uint64_t write_latency_ns = 0);
+  ~SimulatedPmem();
 
   SimulatedPmem(const SimulatedPmem&) = delete;
   SimulatedPmem& operator=(const SimulatedPmem&) = delete;
@@ -29,6 +38,8 @@ class SimulatedPmem {
   uint8_t* Allocate(size_t bytes);
 
   // Latency-charged access. `dst`/`src` are normal DRAM buffers.
+  // Every accessor throws SimulatedCrash while the device is crashed and
+  // not yet recovered (power is off).
   void Read(const uint8_t* pmem_src, void* dst, size_t bytes) const;
   // Batched read of `n` equally-sized records: all bytes are accounted,
   // but the injected read latency is charged once for the whole batch —
@@ -38,9 +49,24 @@ class SimulatedPmem {
   void ReadBatch(const uint8_t* const* pmem_srcs, uint8_t* const* dsts,
                  size_t bytes_each, size_t n) const;
   void Write(uint8_t* pmem_dst, const void* src, size_t bytes);
-  // Simulated persistence barrier (clwb + fence); counted, and charged
-  // the write latency once.
+  // Persistence barrier (clwb + fence) over [pmem_addr, pmem_addr+bytes):
+  // counted, charged the write latency once, and — the contract — the
+  // covered bytes are committed to the durable image. A nullptr address
+  // is a full fence over the whole allocated extent.
   void Persist(const uint8_t* pmem_addr, size_t bytes);
+
+  // Quiescent-point power failure: every written-but-unpersisted byte is
+  // discarded. The device then refuses accesses until crash().ClearCrash()
+  // (recovery code calls it first).
+  void Crash() { crash_.Crash(arena_, used_.load(std::memory_order_relaxed)); }
+
+  CrashController& crash() { return crash_; }
+  const CrashController& crash() const { return crash_; }
+
+  // Address of a byte offset inside the arena — recovery code re-derives
+  // page addresses from durable state (offsets) instead of trusting a
+  // volatile pointer table.
+  uint8_t* AddressAt(size_t offset) const { return arena_ + offset; }
 
   size_t capacity() const { return capacity_; }
   size_t used() const { return used_.load(std::memory_order_relaxed); }
@@ -54,11 +80,12 @@ class SimulatedPmem {
   size_t capacity_;
   uint64_t read_latency_ns_;
   uint64_t write_latency_ns_;
-  std::unique_ptr<uint8_t[]> arena_;
+  uint8_t* arena_;  // calloc'd: zeroed, lazily committed
   std::atomic<size_t> used_{0};
   mutable std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> persist_count_{0};
+  mutable CrashController crash_;
 };
 
 }  // namespace pieces

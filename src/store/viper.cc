@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/checksum.h"
 #include "common/timer.h"
 
 namespace pieces {
@@ -14,9 +15,9 @@ ViperStore::ViperStore(std::unique_ptr<OrderedIndex> index,
             config.write_latency_ns),
       index_(std::move(index)) {
   // Pre-reserve the page directory so concurrent readers never observe a
-  // reallocation of pages_ while writers append.
-  size_t page_bytes = RecordBytes() * config_.slots_per_page;
-  pages_.reserve(config_.pmem_capacity / std::max<size_t>(1, page_bytes) + 1);
+  // reallocation of pages_ while writers append. Every allocation is one
+  // page, so this bound holds across any number of crash/recover cycles.
+  pages_.reserve(config_.pmem_capacity / std::max<size_t>(1, PageBytes()) + 1);
 }
 
 void ViperStore::FillSyntheticValue(Key key, uint8_t* buf,
@@ -29,6 +30,14 @@ void ViperStore::FillSyntheticValue(Key key, uint8_t* buf,
 
 void ViperStore::FillSynthetic(Key key, uint8_t* buf) const {
   FillSyntheticValue(key, buf, config_.value_size);
+}
+
+ViperStore::SlotHeader ViperStore::MakeHeader(const uint8_t* payload) {
+  SlotHeader header;
+  header.seqno = next_seqno_.fetch_add(1, std::memory_order_relaxed);
+  header.crc = Crc32c(payload, PayloadBytes());
+  header.magic = kCommitMagic;
+  return header;
 }
 
 bool ViperStore::ClaimSlot(uint32_t* page, uint32_t* slot) {
@@ -50,16 +59,37 @@ bool ViperStore::BulkLoad(const std::vector<Key>& keys) {
   std::vector<KeyValue> entries;
   entries.reserve(keys.size());
   std::vector<uint8_t> record(RecordBytes());
+  // Batched durability: one barrier per page span instead of one global
+  // fence at the end (which left every record unpersisted mid-load — a
+  // crash would have dropped the whole load despite the writes).
+  uint8_t* span_start = nullptr;
+  size_t span_bytes = 0;
+  uint32_t span_page = 0;
   for (Key key : keys) {
     uint32_t page;
     uint32_t slot;
-    if (!ClaimSlot(&page, &slot)) return false;
+    if (!ClaimSlot(&page, &slot)) {
+      if (span_bytes > 0) pmem_.Persist(span_start, span_bytes);
+      return false;
+    }
     std::memcpy(record.data(), &key, sizeof(Key));
     FillSynthetic(key, record.data() + sizeof(Key));
-    pmem_.Write(SlotAddr(page, slot), record.data(), record.size());
+    SlotHeader header = MakeHeader(record.data());
+    std::memcpy(record.data() + PayloadBytes(), &header, sizeof(SlotHeader));
+    uint8_t* addr = SlotAddr(page, slot);
+    pmem_.Write(addr, record.data(), record.size());
+    if (span_bytes > 0 && page != span_page) {
+      pmem_.Persist(span_start, span_bytes);
+      span_bytes = 0;
+    }
+    if (span_bytes == 0) {
+      span_start = addr;
+      span_page = page;
+    }
+    span_bytes = static_cast<size_t>(addr - span_start) + record.size();
     entries.push_back({key, PackHandle(page, slot)});
   }
-  pmem_.Persist(nullptr, 0);
+  if (span_bytes > 0) pmem_.Persist(span_start, span_bytes);
   index_->BulkLoad(entries);
   size_.store(keys.size(), std::memory_order_relaxed);
   return true;
@@ -75,9 +105,25 @@ bool ViperStore::Put(Key key, const uint8_t* value) {
   std::vector<uint8_t> record(RecordBytes());
   std::memcpy(record.data(), &key, sizeof(Key));
   std::memcpy(record.data() + sizeof(Key), value, config_.value_size);
-  pmem_.Write(SlotAddr(page, slot), record.data(), record.size());
-  pmem_.Persist(SlotAddr(page, slot), record.size());
-  if (!index_->Insert(key, PackHandle(page, slot))) return false;
+  uint8_t* addr = SlotAddr(page, slot);
+  // Commit protocol: payload, barrier, header, barrier, index swing, ack.
+  // A crash at either barrier leaves the slot invalid (no/torn header),
+  // so recovery includes exactly the acknowledged puts.
+  pmem_.Write(addr, record.data(), PayloadBytes());
+  pmem_.Persist(addr, PayloadBytes());
+  SlotHeader header = MakeHeader(record.data());
+  pmem_.Write(addr + PayloadBytes(), &header, sizeof(SlotHeader));
+  pmem_.Persist(addr + PayloadBytes(), sizeof(SlotHeader));
+  if (!index_->Insert(key, PackHandle(page, slot))) {
+    // The record is durable but will never be acknowledged: revoke its
+    // commit header so recovery cannot resurrect a put the caller was
+    // told failed (the old code returned false here and left the slot
+    // committed).
+    SlotHeader revoked;
+    pmem_.Write(addr + PayloadBytes(), &revoked, sizeof(SlotHeader));
+    pmem_.Persist(addr + PayloadBytes(), sizeof(SlotHeader));
+    return false;
+  }
   size_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -143,37 +189,70 @@ size_t ViperStore::Scan(Key from, size_t count,
 
 uint64_t ViperStore::Recover() {
   Timer timer;
-  // Scan the persistent pages to re-derive (key, handle) pairs.
-  std::vector<KeyValue> entries;
-  entries.reserve(size_.load(std::memory_order_relaxed));
-  uint32_t last_page_slots = next_slot_.load(std::memory_order_relaxed);
-  for (uint32_t p = 0; p < pages_.size(); ++p) {
-    uint32_t slots = (p + 1 == pages_.size()) ? last_page_slots
-                                              : static_cast<uint32_t>(
-                                                    config_.slots_per_page);
-    for (uint32_t s = 0; s < slots; ++s) {
+  // Power back on (no-op after a clean shutdown).
+  pmem_.crash().ClearCrash();
+  std::lock_guard<std::mutex> lock(pages_mutex_);
+  // Re-derive the page directory from the durable arena extent: every
+  // allocation is exactly one page, so the directory is implied by the
+  // allocator offset (which survives a crash the way a file size does —
+  // see crash_controller.h). Nothing from the volatile pre-crash
+  // directory is trusted.
+  const size_t page_bytes = PageBytes();
+  const size_t num_pages = pmem_.used() / page_bytes;
+  pages_.clear();
+  for (size_t p = 0; p < num_pages; ++p) {
+    pages_.push_back({pmem_.AddressAt(p * page_bytes)});
+  }
+  // Never resume filling a possibly-torn tail page: the next claim after
+  // recovery opens a fresh page (out-of-place stores never reclaim slots
+  // anyway).
+  next_slot_.store(static_cast<uint32_t>(config_.slots_per_page),
+                   std::memory_order_relaxed);
+
+  // Scan every slot; trust only validating commit headers. Zeroed (never
+  // written or crash-discarded) slots fail the magic check, torn headers
+  // cannot complete the trailing magic, and torn payloads fail the CRC.
+  struct Recovered {
+    Key key;
+    Value handle;
+    uint64_t seqno;
+  };
+  std::vector<Recovered> records;
+  records.reserve(num_pages * config_.slots_per_page);
+  std::vector<uint8_t> record(RecordBytes());
+  uint64_t max_seqno = 0;
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    for (uint32_t s = 0; s < config_.slots_per_page; ++s) {
+      pmem_.Read(SlotAddr(p, s), record.data(), record.size());
+      SlotHeader header;
+      std::memcpy(&header, record.data() + PayloadBytes(),
+                  sizeof(SlotHeader));
+      if (header.magic != kCommitMagic || header.seqno == 0) continue;
+      if (Crc32c(record.data(), PayloadBytes()) != header.crc) continue;
       Key key;
-      pmem_.Read(SlotAddr(p, s), &key, sizeof(Key));
-      entries.push_back({key, PackHandle(p, s)});
+      std::memcpy(&key, record.data(), sizeof(Key));
+      records.push_back({key, PackHandle(p, s), header.seqno});
+      max_seqno = std::max(max_seqno, header.seqno);
     }
   }
-  // Out-of-place updates can leave several records per key; the newest
-  // (largest handle) wins. Sort by key, then handle.
-  std::sort(entries.begin(), entries.end(),
-            [](const KeyValue& a, const KeyValue& b) {
-              return a.key != b.key ? a.key < b.key : a.value < b.value;
+  // Out-of-place updates leave several committed records per key; the
+  // highest seqno wins.
+  std::sort(records.begin(), records.end(),
+            [](const Recovered& a, const Recovered& b) {
+              return a.key != b.key ? a.key < b.key : a.seqno < b.seqno;
             });
   std::vector<KeyValue> unique;
-  unique.reserve(entries.size());
-  for (const KeyValue& kv : entries) {
-    if (!unique.empty() && unique.back().key == kv.key) {
-      unique.back().value = kv.value;
+  unique.reserve(records.size());
+  for (const Recovered& r : records) {
+    if (!unique.empty() && unique.back().key == r.key) {
+      unique.back().value = r.handle;
     } else {
-      unique.push_back(kv);
+      unique.push_back({r.key, r.handle});
     }
   }
   index_->BulkLoad(unique);
   size_.store(unique.size(), std::memory_order_relaxed);
+  next_seqno_.store(max_seqno + 1, std::memory_order_relaxed);
   return timer.ElapsedNanos();
 }
 

@@ -5,15 +5,24 @@
 // this repo plugs in through the OrderedIndex interface, so end-to-end
 // benches exercise identical code paths around the index under test.
 //
+// Durability follows Viper's per-record commit metadata: each slot is
+// [key | value | SlotHeader], and the header (monotonic seqno + CRC32C
+// over key+value + commit magic) is persisted *after* the payload. A slot
+// counts as durable only when its header validates, so recovery after a
+// crash (see crash_controller.h) reconstructs exactly the
+// acknowledged-durable prefix: torn or uncommitted slots are skipped and
+// duplicate keys resolve to the highest seqno.
+//
 // Recovery (Fig. 16) rebuilds the DRAM index by scanning the PMem pages:
-// collect (key, handle) pairs, sort, bulk-load — its cost is dominated by
-// the index's build time, which is what the paper measures.
+// collect committed (key, handle) pairs, sort, bulk-load — its cost is
+// dominated by the index's build time, which is what the paper measures.
 #ifndef PIECES_STORE_VIPER_H_
 #define PIECES_STORE_VIPER_H_
 
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,13 +41,24 @@ class ViperStore {
     uint64_t write_latency_ns = 0;
   };
 
+  // Per-slot commit metadata, persisted after the payload. magic sits
+  // last so a torn header flush can never validate: the durable prefix of
+  // a torn 16-byte header always ends before the magic completes.
+  struct SlotHeader {
+    uint64_t seqno = 0;  // Monotonic, 0 = never committed.
+    uint32_t crc = 0;    // CRC32C over the slot's key+value bytes.
+    uint32_t magic = 0;  // kCommitMagic when committed.
+  };
+  static constexpr uint32_t kCommitMagic = 0x50435631u;  // "1VCP"
+
   ViperStore(std::unique_ptr<OrderedIndex> index, const Config& config);
 
   ViperStore(const ViperStore&) = delete;
   ViperStore& operator=(const ViperStore&) = delete;
 
-  // Bulk-loads `keys` with synthetic values derived from each key.
-  // Returns false when PMem capacity is exceeded.
+  // Bulk-loads `keys` with synthetic values derived from each key, one
+  // batched persist barrier per filled page. Returns false when PMem
+  // capacity is exceeded.
   bool BulkLoad(const std::vector<Key>& keys);
 
   // The deterministic value PutSynthetic/BulkLoad store for `key`, exposed
@@ -46,6 +66,11 @@ class ViperStore {
   static void FillSyntheticValue(Key key, uint8_t* buf, size_t value_size);
 
   // Inserts or updates. `value` must be exactly value_size bytes.
+  // Durability order: payload persist, then header persist, then the
+  // index swing, then the acknowledgement — so a true return means the
+  // record survives any later crash, and a false return means recovery
+  // will never resurrect it (a failed index swing revokes the slot's
+  // commit header before returning).
   bool Put(Key key, const uint8_t* value);
   // Convenience: writes a synthetic value derived from `key`.
   bool PutSynthetic(Key key);
@@ -65,15 +90,27 @@ class ViperStore {
   // read (charged) but only keys are returned.
   size_t Scan(Key from, size_t count, std::vector<Key>* out_keys) const;
 
-  // Drops the DRAM index and rebuilds it from the PMem pages. Returns the
-  // rebuild wall time in nanoseconds.
+  // Simulated power failure at a quiescent point: every written-but-
+  // unpersisted byte is dropped. The store must Recover() before serving
+  // again (any access in between throws SimulatedCrash).
+  void Crash() { pmem_.Crash(); }
+
+  // Drops the DRAM index and rebuilds it from the PMem pages, trusting
+  // only slots whose commit header validates (seqno != 0, magic, CRC) and
+  // resolving duplicate keys by highest seqno. Re-derives the page
+  // directory and the next seqno from durable state, so it is exactly as
+  // good after a crash as after a clean shutdown, and idempotent.
+  // Returns the rebuild wall time in nanoseconds.
   uint64_t Recover();
 
   const OrderedIndex& index() const { return *index_; }
   OrderedIndex* mutable_index() { return index_.get(); }
   const SimulatedPmem& pmem() const { return pmem_; }
+  SimulatedPmem& mutable_pmem() { return pmem_; }
   size_t size() const { return size_.load(std::memory_order_relaxed); }
   size_t value_size() const { return config_.value_size; }
+  // Bytes of one on-PMem record: key + value + commit header.
+  size_t record_bytes() const { return RecordBytes(); }
 
   // Table III columns.
   size_t IndexStructureBytes() const { return index_->IndexSizeBytes(); }
@@ -97,7 +134,12 @@ class ViperStore {
     return static_cast<uint32_t>(v & 0xffff);
   }
 
-  size_t RecordBytes() const { return sizeof(Key) + config_.value_size; }
+  size_t PayloadBytes() const { return sizeof(Key) + config_.value_size; }
+  size_t RecordBytes() const { return PayloadBytes() + sizeof(SlotHeader); }
+  // One page's allocation size (Allocate rounds to 8 bytes).
+  size_t PageBytes() const {
+    return (RecordBytes() * config_.slots_per_page + 7) & ~size_t{7};
+  }
   uint8_t* SlotAddr(uint32_t page, uint32_t slot) const {
     return pages_[page].base + slot * RecordBytes();
   }
@@ -105,6 +147,8 @@ class ViperStore {
   // PMem exhaustion.
   bool ClaimSlot(uint32_t* page, uint32_t* slot);
   void FillSynthetic(Key key, uint8_t* buf) const;
+  // Header for a record buffer whose first PayloadBytes() are key+value.
+  SlotHeader MakeHeader(const uint8_t* payload);
 
   Config config_;
   SimulatedPmem pmem_;
@@ -113,6 +157,7 @@ class ViperStore {
   mutable std::mutex pages_mutex_;
   std::atomic<uint32_t> next_slot_{0};  // Slot within the last page.
   std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> next_seqno_{1};
 };
 
 }  // namespace pieces

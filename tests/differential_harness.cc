@@ -231,7 +231,8 @@ constexpr Value kSyntheticTag = ~0ull;
 std::optional<Failure> ExecuteStoreStream(const std::string& index_name,
                                           const std::vector<Key>& load_keys,
                                           const std::vector<DiffOp>& ops,
-                                          size_t value_size) {
+                                          size_t value_size,
+                                          bool crash_before_recover = false) {
   ViperStore::Config vcfg;
   vcfg.value_size = value_size;
   // Keep the arena small: minimization replays construct many stores.
@@ -306,6 +307,10 @@ std::optional<Failure> ExecuteStoreStream(const std::string& index_name,
         break;
       }
       case DiffOp::kRecover: {
+        // Every acknowledged op persisted before its ack, so even a power
+        // failure here (crash_before_recover) loses nothing the oracle
+        // knows about.
+        if (crash_before_recover) store.Crash();
         store.Recover();
         if (store.size() != oracle.size()) {
           return Failure{i, "store size after Recover=" +
@@ -314,6 +319,133 @@ std::optional<Failure> ExecuteStoreStream(const std::string& index_name,
         }
         break;
       }
+    }
+  }
+  return std::nullopt;
+}
+
+// One (crash point, tear offset) replay: fresh store, bulk-load, arm the
+// crash, replay with live verification against the acknowledged-op
+// oracle, recover, and check the recovered store holds EXACTLY what the
+// durability contract promises. The armed crash can only fire inside a
+// Put (nothing else on the post-load path persists); which of the put's
+// two barriers fired is recovered from the persist counter, making the
+// expected post-crash state fully deterministic:
+//   * payload barrier (delta 1): no header ever written — strict oracle;
+//   * header barrier, tear < sizeof(SlotHeader): the trailing magic never
+//     completes — strict oracle;
+//   * header barrier, tear covers the whole header: the in-flight put is
+//     durable despite never being acknowledged — oracle plus that put.
+std::optional<Failure> ExecuteCrashRun(const std::string& index_name,
+                                       const std::vector<Key>& load_keys,
+                                       const std::vector<DiffOp>& ops,
+                                       size_t value_size, uint64_t crash_at,
+                                       int64_t tear) {
+  ViperStore::Config vcfg;
+  vcfg.value_size = value_size;
+  vcfg.pmem_capacity = size_t{64} << 20;
+  ViperStore store(MakeIndex(index_name), vcfg);
+  Oracle acked;
+  for (Key k : load_keys) acked[k] = kSyntheticTag;
+  if (!store.BulkLoad(load_keys)) return Failure{0, "BulkLoad exhausted pmem"};
+  store.mutable_pmem().crash().FailAfterPersists(crash_at, tear);
+
+  std::vector<uint8_t> buf(value_size);
+  std::vector<uint8_t> want(value_size);
+  std::vector<Key> scan_keys;
+  auto expect_payload = [&](Key key, Value tag, uint8_t* out) {
+    if (tag == kSyntheticTag) {
+      FillSyntheticLike(key, out, value_size);
+    } else {
+      FillPutPayload(key, tag, out, value_size);
+    }
+  };
+
+  bool crashed = false;
+  Key pending_key = 0;
+  Value pending_tag = 0;
+  uint64_t put_persists_before = 0;
+  size_t i = 0;
+  try {
+    for (; i < ops.size(); ++i) {
+      const DiffOp& op = ops[i];
+      switch (op.kind) {
+        case DiffOp::kGet: {
+          bool present = store.Get(op.key, buf.data());
+          auto it = acked.find(op.key);
+          bool expected = it != acked.end();
+          if (present != expected) {
+            return Failure{i, "pre-crash Get presence mismatch"};
+          }
+          if (present) {
+            expect_payload(op.key, it->second, want.data());
+            if (std::memcmp(buf.data(), want.data(), value_size) != 0) {
+              return Failure{i, "pre-crash Get payload mismatch"};
+            }
+          }
+          break;
+        }
+        case DiffOp::kPut: {
+          Value tag = op.value == kSyntheticTag ? 1 : op.value;
+          FillPutPayload(op.key, tag, buf.data(), value_size);
+          pending_key = op.key;
+          pending_tag = tag;
+          put_persists_before = store.pmem().persist_count();
+          if (!store.Put(op.key, buf.data())) {
+            return Failure{i, "pre-crash Put failed"};
+          }
+          acked[op.key] = tag;
+          break;
+        }
+        case DiffOp::kScan:
+          // Scan ordering is the differential runs' job; here the scan
+          // exercises the read path against a partially dirty arena.
+          scan_keys.clear();
+          store.Scan(op.key, op.scan_len, &scan_keys);
+          break;
+        case DiffOp::kRecover:
+          store.Recover();
+          break;
+      }
+    }
+  } catch (const SimulatedCrash&) {
+    crashed = true;
+  }
+
+  bool pending_durable = false;
+  if (crashed) {
+    if (i >= ops.size() || ops[i].kind != DiffOp::kPut) {
+      return Failure{i, "crash fired outside a Put (no persist expected)"};
+    }
+    uint64_t delta = store.pmem().persist_count() - put_persists_before;
+    pending_durable =
+        delta == 2 && tear != CrashController::kNoTear &&
+        tear >= static_cast<int64_t>(sizeof(ViperStore::SlotHeader));
+  } else {
+    // The (possibly minimized) stream crossed fewer than crash_at
+    // barriers: power-fail at the quiescent end instead so the
+    // verification below still runs.
+    store.mutable_pmem().crash().Disarm();
+    store.Crash();
+  }
+  store.Recover();
+
+  Oracle expected = acked;
+  if (pending_durable) expected[pending_key] = pending_tag;
+  if (store.size() != expected.size()) {
+    return Failure{i, "recovered size=" + std::to_string(store.size()) +
+                          " expected=" + std::to_string(expected.size()) +
+                          (pending_durable ? " (incl. in-flight put)" : "")};
+  }
+  for (const auto& [k, tag] : expected) {
+    if (!store.Get(k, buf.data())) {
+      return Failure{i, "acknowledged key lost after crash-recover: " +
+                            std::to_string(k)};
+    }
+    expect_payload(k, tag, want.data());
+    if (std::memcmp(buf.data(), want.data(), value_size) != 0) {
+      return Failure{i, "payload mismatch after crash-recover at key " +
+                            std::to_string(k)};
     }
   }
   return std::nullopt;
@@ -515,8 +647,10 @@ DiffResult RunStoreDifferential(const std::string& index_name,
   MakeDiffKeys(effective, &load_keys, &insert_pool);
   std::vector<DiffOp> ops = GenerateDiffOps(effective, load_keys, insert_pool);
 
-  std::optional<Failure> failure = ExecuteStoreStream(
-      index_name, load_keys, ops, effective.store_value_size);
+  std::optional<Failure> failure =
+      ExecuteStoreStream(index_name, load_keys, ops,
+                         effective.store_value_size,
+                         effective.crash_before_recover);
   result.ops_executed = ops.size();
   if (!failure) return result;
 
@@ -527,12 +661,200 @@ DiffResult RunStoreDifferential(const std::string& index_name,
   std::vector<DiffOp> minimized =
       MinimizeOps(prefix, [&](const std::vector<DiffOp>& candidate) {
         return ExecuteStoreStream(index_name, load_keys, candidate,
-                                  effective.store_value_size)
+                                  effective.store_value_size,
+                                  effective.crash_before_recover)
             .has_value();
       });
   result.ok = false;
   result.report = BuildReport("ViperStore", index_name, effective, *failure,
                               ops, minimized);
+  return result;
+}
+
+CrashSweepResult RunCrashSweep(const std::string& index_name,
+                               const DiffConfig& cfg,
+                               const std::vector<int64_t>& tear_offsets) {
+  CrashSweepResult result;
+  std::unique_ptr<OrderedIndex> probe = MakeIndex(index_name);
+  if (probe == nullptr || !probe->SupportsInsert()) {
+    result.ok = false;
+    result.report = "crash sweep needs an updatable index, got: " + index_name;
+    return result;
+  }
+  DiffConfig effective = cfg;
+  if (!probe->SupportsScan()) {
+    effective.read_pct += effective.scan_pct;
+    effective.scan_pct = 0;
+  }
+  std::vector<Key> load_keys;
+  std::vector<Key> insert_pool;
+  MakeDiffKeys(effective, &load_keys, &insert_pool);
+  std::vector<DiffOp> ops = GenerateDiffOps(effective, load_keys, insert_pool);
+
+  // Dry run: count the persist barriers the stream crosses — each one is
+  // a crash point — with a huge armed count so the n = "never fires"
+  // endpoint (quiescent crash + recover) is verified too.
+  {
+    std::optional<Failure> clean = ExecuteCrashRun(
+        index_name, load_keys, ops, effective.store_value_size, ~0ull,
+        CrashController::kNoTear);
+    if (clean) {
+      result.ok = false;
+      result.report = BuildReport("crash-sweep dry run", index_name, effective,
+                                  *clean, ops, ops);
+      return result;
+    }
+    ViperStore::Config vcfg;
+    vcfg.value_size = effective.store_value_size;
+    vcfg.pmem_capacity = size_t{64} << 20;
+    ViperStore store(MakeIndex(index_name), vcfg);
+    store.BulkLoad(load_keys);
+    uint64_t before = store.pmem().persist_count();
+    std::vector<uint8_t> buf(effective.store_value_size);
+    std::vector<Key> scan_keys;
+    for (const DiffOp& op : ops) {
+      switch (op.kind) {
+        case DiffOp::kGet:
+          store.Get(op.key, buf.data());
+          break;
+        case DiffOp::kPut:
+          FillPutPayload(op.key, op.value, buf.data(), buf.size());
+          store.Put(op.key, buf.data());
+          break;
+        case DiffOp::kScan:
+          scan_keys.clear();
+          store.Scan(op.key, op.scan_len, &scan_keys);
+          break;
+        case DiffOp::kRecover:
+          store.Recover();
+          break;
+      }
+    }
+    result.crash_points =
+        static_cast<size_t>(store.pmem().persist_count() - before);
+  }
+
+  std::vector<int64_t> tears = tear_offsets;
+  if (tears.empty()) tears.push_back(CrashController::kNoTear);
+  for (uint64_t n = 1; n <= result.crash_points; ++n) {
+    for (int64_t tear : tears) {
+      ++result.runs;
+      std::optional<Failure> failure = ExecuteCrashRun(
+          index_name, load_keys, ops, effective.store_value_size, n, tear);
+      if (!failure) continue;
+      std::vector<DiffOp> prefix(
+          ops.begin(),
+          ops.begin() + static_cast<ptrdiff_t>(
+                            std::min(ops.size(), failure->op_index + 1)));
+      std::vector<DiffOp> minimized =
+          MinimizeOps(prefix, [&](const std::vector<DiffOp>& candidate) {
+            return ExecuteCrashRun(index_name, load_keys, candidate,
+                                   effective.store_value_size, n, tear)
+                .has_value();
+          });
+      result.ok = false;
+      result.report = BuildReport(
+          "crash-sweep persist=" + std::to_string(n) +
+              " tear=" + std::to_string(tear),
+          index_name, effective, *failure, ops, minimized);
+      return result;
+    }
+  }
+  return result;
+}
+
+CrashSweepResult RunBulkLoadCrashSweep(const std::string& index_name,
+                                       size_t load_keys,
+                                       const std::vector<int64_t>& tear_offsets,
+                                       uint64_t seed) {
+  CrashSweepResult result;
+  if (MakeIndex(index_name) == nullptr) {
+    result.ok = false;
+    result.report = "unknown index: " + index_name;
+    return result;
+  }
+  std::vector<Key> keys = MakeUniformKeys(load_keys, seed);
+  ViperStore::Config vcfg;
+  vcfg.value_size = 24;
+  vcfg.pmem_capacity = size_t{64} << 20;
+  size_t record_bytes = 0;
+  // Dry run: barrier count (one per page span) and record geometry.
+  {
+    ViperStore store(MakeIndex(index_name), vcfg);
+    record_bytes = store.record_bytes();
+    uint64_t before = store.pmem().persist_count();
+    if (!store.BulkLoad(keys)) {
+      result.ok = false;
+      result.report = "BulkLoad exhausted pmem";
+      return result;
+    }
+    result.crash_points =
+        static_cast<size_t>(store.pmem().persist_count() - before);
+  }
+
+  std::vector<int64_t> tears = tear_offsets;
+  if (tears.empty()) tears.push_back(CrashController::kNoTear);
+  std::vector<uint8_t> buf(vcfg.value_size);
+  std::vector<uint8_t> want(vcfg.value_size);
+  auto fail = [&](uint64_t n, int64_t tear, const std::string& detail) {
+    result.ok = false;
+    std::ostringstream os;
+    os << "BULKLOAD CRASH SWEEP FAILURE\n  index=" << index_name
+       << " seed=" << seed << " keys=" << keys.size() << " persist=" << n
+       << " tear=" << tear << "\n  detail: " << detail << "\n";
+    result.report = os.str();
+    return result;
+  };
+  for (uint64_t n = 1; n <= result.crash_points; ++n) {
+    for (int64_t tear : tears) {
+      ++result.runs;
+      ViperStore store(MakeIndex(index_name), vcfg);
+      store.mutable_pmem().crash().FailAfterPersists(n, tear);
+      bool crashed = false;
+      try {
+        store.BulkLoad(keys);
+      } catch (const SimulatedCrash&) {
+        crashed = true;
+      }
+      if (!crashed) return fail(n, tear, "armed crash never fired");
+      store.Recover();
+      // Exact durable prefix: barrier k persists the k-th page span, so
+      // spans 1..n-1 are fully durable and the crashing span keeps its
+      // torn prefix's *complete* records (a torn record's header cannot
+      // validate).
+      size_t full = std::min(keys.size(), (n - 1) * vcfg.slots_per_page);
+      size_t span_records =
+          std::min(vcfg.slots_per_page, keys.size() - full);
+      size_t torn_records =
+          tear == CrashController::kNoTear
+              ? 0
+              : std::min(static_cast<size_t>(tear) / record_bytes,
+                         span_records);
+      size_t expect = full + torn_records;
+      if (store.size() != expect) {
+        return fail(n, tear,
+                    "recovered " + std::to_string(store.size()) +
+                        " records, expected exactly " +
+                        std::to_string(expect));
+      }
+      for (size_t j = 0; j < expect; ++j) {
+        if (!store.Get(keys[j], buf.data())) {
+          return fail(n, tear, "durable-prefix key missing: key index " +
+                                   std::to_string(j));
+        }
+        FillSyntheticLike(keys[j], want.data(), want.size());
+        if (std::memcmp(buf.data(), want.data(), want.size()) != 0) {
+          return fail(n, tear, "payload mismatch at key index " +
+                                   std::to_string(j));
+        }
+      }
+      if (expect < keys.size() && store.Get(keys[expect], buf.data())) {
+        return fail(n, tear,
+                    "key beyond the durable prefix resurrected: index " +
+                        std::to_string(expect));
+      }
+    }
+  }
   return result;
 }
 

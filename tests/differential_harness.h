@@ -54,6 +54,10 @@ struct DiffConfig {
   size_t recover_every = 0;  // 0 = never; else a kRecover op every N ops.
   // ViperStore runs only: value payload bytes (small keeps memcmp cheap).
   size_t store_value_size = 24;
+  // ViperStore runs only: kRecover ops power-fail the PMem (dropping every
+  // written-but-unpersisted byte) before recovering, instead of rebuilding
+  // a live store. Acknowledged ops must still all survive.
+  bool crash_before_recover = false;
 };
 
 struct DiffResult {
@@ -83,6 +87,41 @@ DiffResult RunIndexDifferential(const std::string& index_name,
 // using ViperStore::Recover for kRecover ops.
 DiffResult RunStoreDifferential(const std::string& index_name,
                                 const DiffConfig& cfg);
+
+struct CrashSweepResult {
+  bool ok = true;
+  size_t crash_points = 0;  // persist barriers the sweep crashed at
+  size_t runs = 0;          // (crash point, tear offset) replays executed
+  // On failure: the first failing (crash point, tear) with a minimized
+  // replayable op prefix, in the differential-report format.
+  std::string report;
+};
+
+// Crash-point sweep (the durability contract, exhaustively): replays the
+// cfg stream against a ViperStore on `index_name` (must be updatable)
+// once per (persist barrier n, tear offset) pair, arming a crash at the
+// n-th barrier after bulk-load — for every n the stream crosses — with
+// `tear_bytes` of the crashing barrier's range committed (see
+// CrashController::FailAfterPersists; CrashController::kNoTear commits
+// nothing). After each crash the store recovers and must contain exactly
+// the acknowledged ops — plus the single in-flight put iff its commit
+// header deterministically became durable (the crash fired at the header
+// barrier and the tear covers the whole header). Empty `tear_offsets`
+// sweeps kNoTear only. Failures are delta-minimized like the
+// differential runs.
+CrashSweepResult RunCrashSweep(const std::string& index_name,
+                               const DiffConfig& cfg,
+                               const std::vector<int64_t>& tear_offsets);
+
+// Crash-point sweep over BulkLoad's per-page persist barriers: loads
+// `load_keys` uniform keys, crashing at every barrier x tear offset, and
+// asserts the recovered store holds *exactly* the durable prefix —
+// (n-1) full page spans plus the torn span's complete records — nothing
+// more, nothing less.
+CrashSweepResult RunBulkLoadCrashSweep(const std::string& index_name,
+                                       size_t load_keys,
+                                       const std::vector<int64_t>& tear_offsets,
+                                       uint64_t seed = 1);
 
 }  // namespace pieces
 

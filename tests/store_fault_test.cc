@@ -1,6 +1,8 @@
 // Fault-injection and edge-path tests for the KV substrate: PMem
 // exhaustion mid-stream, recovery after mixed insert/update traffic,
-// recovery idempotence, and latency accounting.
+// recovery idempotence, latency accounting, and the crash primitives —
+// unpersisted-write discard, torn persists, programmed crash points, and
+// the store-level commit protocol (unacknowledged puts never recover).
 #include <cstring>
 #include <map>
 #include <vector>
@@ -9,6 +11,8 @@
 
 #include "common/random.h"
 #include "index/registry.h"
+#include "store/crash_controller.h"
+#include "store/sim_pmem.h"
 #include "store/viper.h"
 #include "workload/datasets.h"
 
@@ -117,6 +121,126 @@ TEST(StoreFaultTest, LatencyInjectionChargesOps) {
                 std::chrono::steady_clock::now() - t0)
                 .count();
   EXPECT_GT(ns, 100 * 4000) << "injected read latency must be observable";
+}
+
+// --- Crash primitives (SimulatedPmem / CrashController) ---
+
+TEST(StoreFaultTest, CrashDiscardsUnpersistedWrites) {
+  SimulatedPmem pmem(1 << 20);
+  uint8_t* a = pmem.Allocate(64);
+  uint8_t* b = pmem.Allocate(64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  std::vector<uint8_t> data(64, 0x11);
+  pmem.Write(a, data.data(), 64);
+  pmem.Persist(a, 64);  // a's 0x11 image is durable
+  std::memset(data.data(), 0x22, 64);
+  pmem.Write(a, data.data(), 64);  // overwrite, never persisted
+  pmem.Write(b, data.data(), 64);  // fresh write, never persisted
+
+  pmem.Crash();
+  // Power is off: every access throws until recovery clears the crash.
+  std::vector<uint8_t> buf(64);
+  EXPECT_THROW(pmem.Read(a, buf.data(), 64), SimulatedCrash);
+  EXPECT_THROW(pmem.Write(a, data.data(), 64), SimulatedCrash);
+  EXPECT_THROW(pmem.Persist(a, 64), SimulatedCrash);
+  EXPECT_THROW(pmem.Allocate(8), SimulatedCrash);
+  EXPECT_EQ(pmem.crash().crash_count(), 1u);
+
+  pmem.crash().ClearCrash();
+  pmem.Read(a, buf.data(), 64);
+  for (uint8_t byte : buf) EXPECT_EQ(byte, 0x11);  // rollback to persisted
+  pmem.Read(b, buf.data(), 64);
+  for (uint8_t byte : buf) EXPECT_EQ(byte, 0x00);  // never durable
+}
+
+TEST(StoreFaultTest, TornPersistKeepsExactPrefix) {
+  SimulatedPmem pmem(1 << 20);
+  uint8_t* a = pmem.Allocate(256);
+  std::vector<uint8_t> data(256, 0x33);
+  pmem.Write(a, data.data(), 256);
+  pmem.crash().FailAfterPersists(1, /*tear_bytes=*/100);
+  EXPECT_THROW(pmem.Persist(a, 256), SimulatedCrash);
+  pmem.crash().ClearCrash();
+  std::vector<uint8_t> buf(256);
+  pmem.Read(a, buf.data(), 256);
+  for (size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(buf[i], i < 100 ? 0x33 : 0x00) << "byte " << i;
+  }
+}
+
+TEST(StoreFaultTest, FailAfterPersistsCountsBarriers) {
+  SimulatedPmem pmem(1 << 20);
+  uint8_t* a = pmem.Allocate(64);
+  std::vector<uint8_t> data(64, 0x44);
+  pmem.crash().FailAfterPersists(3);
+  pmem.Write(a, data.data(), 64);
+  pmem.Persist(a, 64);  // 1
+  pmem.Persist(a, 64);  // 2
+  EXPECT_FALSE(pmem.crash().crashed());
+  EXPECT_THROW(pmem.Persist(a, 64), SimulatedCrash);  // 3 fires
+  EXPECT_TRUE(pmem.crash().crashed());
+  // kNoTear: nothing of the crashing barrier's range survives, but the
+  // two earlier barriers committed the range.
+  pmem.crash().ClearCrash();
+  std::vector<uint8_t> buf(64);
+  pmem.Read(a, buf.data(), 64);
+  for (uint8_t byte : buf) EXPECT_EQ(byte, 0x44);
+}
+
+// --- Store-level commit protocol ---
+
+// Crash between the payload barrier and the header barrier: the put was
+// never acknowledged, so recovery must not resurrect it.
+TEST(StoreFaultTest, PutNotAcknowledgedIsNotRecovered) {
+  ViperStore::Config cfg;
+  cfg.pmem_capacity = 8 << 20;
+  ViperStore store(MakeIndex("BTree"), cfg);
+  std::vector<Key> keys = MakeSequentialKeys(100, 1, 1);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  store.mutable_pmem().crash().FailAfterPersists(1);  // payload barrier
+  EXPECT_THROW(store.PutSynthetic(5000), SimulatedCrash);
+  store.Recover();
+  EXPECT_EQ(store.size(), keys.size());
+  std::vector<uint8_t> buf(200);
+  EXPECT_FALSE(store.Get(5000, buf.data()));
+  for (Key k : keys) EXPECT_TRUE(store.Get(k, buf.data())) << k;
+}
+
+// Same crash point but the torn write commits the whole payload: still
+// no header, still not recovered — payload bytes alone never validate.
+TEST(StoreFaultTest, TornPayloadWithoutHeaderIsNotRecovered) {
+  ViperStore::Config cfg;
+  cfg.pmem_capacity = 8 << 20;
+  ViperStore store(MakeIndex("BTree"), cfg);
+  std::vector<Key> keys = MakeSequentialKeys(100, 1, 1);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  store.mutable_pmem().crash().FailAfterPersists(
+      1, static_cast<int64_t>(sizeof(Key) + cfg.value_size));
+  EXPECT_THROW(store.PutSynthetic(5000), SimulatedCrash);
+  store.Recover();
+  std::vector<uint8_t> buf(200);
+  EXPECT_FALSE(store.Get(5000, buf.data()));
+}
+
+// Regression for the pre-commit-protocol bug: Put used to leave the
+// record durable when the index swing failed, so recovery resurrected a
+// put whose caller was told it failed. A read-only index rejects every
+// Insert, making the failed swing deterministic.
+TEST(StoreFaultTest, FailedIndexSwingDoesNotResurrect) {
+  ViperStore::Config cfg;
+  cfg.pmem_capacity = 8 << 20;
+  ViperStore store(MakeIndex("RMI"), cfg);
+  std::vector<Key> keys = MakeSequentialKeys(100, 1, 1);
+  ASSERT_TRUE(store.BulkLoad(keys));
+  EXPECT_FALSE(store.PutSynthetic(5000));  // swing fails, header revoked
+  store.Crash();
+  store.Recover();
+  EXPECT_EQ(store.size(), keys.size());
+  std::vector<uint8_t> buf(200);
+  EXPECT_FALSE(store.Get(5000, buf.data()))
+      << "unacknowledged put resurrected by recovery";
+  for (Key k : keys) EXPECT_TRUE(store.Get(k, buf.data())) << k;
 }
 
 TEST(StoreFaultTest, KeyZeroAndBoundaryKeys) {
