@@ -1,0 +1,213 @@
+// Epoch-based reclamation (EBR) for RCU-style model/node swaps.
+//
+// The background-retraining pipeline publishes a freshly trained segment
+// by atomically swapping a pointer; readers that loaded the *old* pointer
+// may still be probing it, so it cannot be freed eagerly. The classic
+// 3-epoch scheme makes the free safe without making readers take locks:
+//
+//   * A reader wraps each operation in an EpochGuard. Entering pins the
+//     calling thread's slot to the current global epoch (one relaxed load
+//     + one seq_cst store); leaving clears it (release store).
+//   * A writer retires a replaced object instead of deleting it. The
+//     object is tagged with the epoch at retire time.
+//   * Reclamation advances the global epoch only when every pinned slot
+//     has observed the current epoch, and frees objects retired two
+//     epochs ago — by then, every reader that could have held the pointer
+//     has exited its guard (the release store on exit happens-before the
+//     acquire load the reclaimer did on that slot).
+//
+// One process-wide manager (EpochManager::Global()) serves every index:
+// slots are per-thread (lazily acquired, returned at thread exit so
+// short-lived bench/client threads recycle them), guards are lock-free,
+// and only Retire/ReclaimSome take a mutex (retires happen per retrain,
+// not per operation).
+#ifndef PIECES_COMMON_EPOCH_H_
+#define PIECES_COMMON_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace pieces {
+
+class EpochManager {
+  struct Slot;
+
+ public:
+  static constexpr size_t kMaxThreads = 512;
+
+  static EpochManager& Global() {
+    static EpochManager* mgr = new EpochManager();  // never destroyed
+    return *mgr;
+  }
+
+  // Pins the calling thread for the guard's lifetime. Reentrant: nested
+  // guards on one thread keep the outermost pin (a nested enter must not
+  // re-pin to a newer epoch — the thread may still hold older pointers).
+  class Guard {
+   public:
+    Guard() : slot_(Global().MySlot()) {
+      if (slot_->depth++ == 0) {
+        // seq_cst store: the pin must be globally visible before any
+        // protected pointer load this thread performs under the guard.
+        slot_->epoch.store(
+            Global().global_epoch_.load(std::memory_order_relaxed),
+            std::memory_order_seq_cst);
+      }
+    }
+    ~Guard() {
+      if (--slot_->depth == 0) {
+        slot_->epoch.store(0, std::memory_order_release);
+      }
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  // Defers destruction of `p` until no guard can still reference it.
+  template <typename T>
+  void Retire(T* p) {
+    if (p == nullptr) return;
+    RetireRaw(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  void RetireRaw(void* p, void (*deleter)(void*)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    limbo_.push_back(
+        {p, deleter, global_epoch_.load(std::memory_order_relaxed)});
+    if (limbo_.size() >= kReclaimBatch) ReclaimLocked();
+  }
+
+  // Tries to advance the epoch and free everything retired two epochs
+  // ago. Returns the number of objects freed.
+  size_t ReclaimSome() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ReclaimLocked();
+  }
+
+  // Drains every retired object unconditionally. Callers must guarantee
+  // no guard is active (quiesced index destruction, test teardown).
+  size_t DrainAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = limbo_.size();
+    for (const Retired& r : limbo_) r.deleter(r.ptr);
+    limbo_.clear();
+    return n;
+  }
+
+  size_t LimboSize() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return limbo_.size();
+  }
+
+  uint64_t CurrentEpoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Guard;
+
+  static constexpr size_t kReclaimBatch = 64;
+
+  struct Slot {
+    std::atomic<uint64_t> epoch{0};  // 0 = quiescent
+    int depth = 0;                   // guard nesting; owning thread only
+    char pad[64 - sizeof(std::atomic<uint64_t>) - sizeof(int)];
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  // Returns a slot to the free list when its thread exits, so thread
+  // churn (bench clients, test workers) cannot exhaust the slot array.
+  struct SlotLease {
+    Slot* slot = nullptr;
+    ~SlotLease() {
+      if (slot != nullptr) Global().ReleaseSlot(slot);
+    }
+  };
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  Slot* MySlot() {
+    thread_local SlotLease lease;
+    if (lease.slot == nullptr) lease.slot = AcquireSlot();
+    return lease.slot;
+  }
+
+  Slot* AcquireSlot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_slots_.empty()) {
+      Slot* s = free_slots_.back();
+      free_slots_.pop_back();
+      return s;
+    }
+    size_t i = slots_used_++;
+    if (i >= kMaxThreads) {
+      // More live threads than slots: refuse to run incorrectly.
+      std::abort();
+    }
+    return &slots_[i];
+  }
+
+  void ReleaseSlot(Slot* s) {
+    s->epoch.store(0, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu_);
+    free_slots_.push_back(s);
+  }
+
+  // Advance the global epoch iff every pinned slot has caught up, then
+  // free retirees at least two epochs behind. Caller holds mu_.
+  size_t ReclaimLocked() {
+    uint64_t current = global_epoch_.load(std::memory_order_relaxed);
+    bool all_current = true;
+    for (size_t i = 0; i < slots_used_ && all_current; ++i) {
+      uint64_t e = slots_[i].epoch.load(std::memory_order_acquire);
+      all_current = e == 0 || e >= current;
+    }
+    if (all_current) {
+      ++current;
+      global_epoch_.store(current, std::memory_order_relaxed);
+    }
+    // Epoch <= current - 2 is unreachable: a reader still holding such an
+    // object would pin an epoch < current, and the scan above (acquire,
+    // paired with the guard-exit release) proved there is none.
+    size_t freed = 0;
+    size_t w = 0;
+    for (size_t r = 0; r < limbo_.size(); ++r) {
+      if (limbo_[r].epoch + 2 <= current) {
+        limbo_[r].deleter(limbo_[r].ptr);
+        ++freed;
+      } else {
+        limbo_[w++] = limbo_[r];
+      }
+    }
+    limbo_.resize(w);
+    return freed;
+  }
+
+  std::atomic<uint64_t> global_epoch_{2};
+  std::array<Slot, kMaxThreads> slots_{};
+  std::mutex mu_;
+  size_t slots_used_ = 0;            // guarded by mu_
+  std::vector<Slot*> free_slots_;    // guarded by mu_
+  std::vector<Retired> limbo_;       // guarded by mu_
+};
+
+using EpochGuard = EpochManager::Guard;
+
+}  // namespace pieces
+
+#endif  // PIECES_COMMON_EPOCH_H_

@@ -1,0 +1,88 @@
+// Online background retraining: the MaintenanceHook contract.
+//
+// The paper's retraining-strategy dimension is exercised inline today —
+// FITing-tree merges a full leaf buffer on the inserting thread, XIndex
+// compacts a group under its exclusive lock — so one unlucky insert pays
+// the whole retrain and every request behind it queues ("Are Updatable
+// Learned Indexes Ready?" documents exactly this stop-the-world tail).
+// MaintenanceHook splits a retrain into three phases so the expensive
+// part leaves the serving thread:
+//
+//   1. CollectDrift — cheap scan of per-segment drift signals (buffer /
+//      delta occupancy, gap exhaustion, error-bound violations),
+//      returning the segments whose pressure crosses a threshold.
+//   2. PrepareRetrain — snapshot the segment (brief, under the index's
+//      writer latch), then train the replacement model/node off-thread.
+//      Returns an opaque plan.
+//   3. PublishRetrain — install the plan with an RCU-style atomic
+//      pointer swap: readers keep probing the old model under an
+//      EpochGuard and never block; the replaced model is retired to the
+//      EpochManager, not freed. Keys inserted between snapshot and
+//      publish are delta-merged into the new segment inside the (short)
+//      publish critical section. Returns false when the segment changed
+//      structurally since Prepare (a concurrent split/compaction/bulk
+//      load) — the caller may simply re-Prepare.
+//
+// Thread contract: CollectDrift/Prepare/Publish may be called from one
+// maintenance thread concurrently with any number of readers and with
+// the index's (single) writer. Publish and the writer exclude each other
+// through the index's internal writer latch; readers are never excluded.
+//
+// While SetMaintenanceMode(true) is active the index defers its inline
+// retrains — segments keep absorbing inserts past their normal trigger
+// (up to a hard cap, past which the inline fallback fires as
+// backpressure) so the maintainer gets a chance to do the work
+// off-thread.
+#ifndef PIECES_INDEX_MAINTENANCE_H_
+#define PIECES_INDEX_MAINTENANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pieces {
+
+// One retrainable unit whose drift signal crossed the collect threshold.
+// `segment_id` is index-specific (FITing-tree: leaf slot; XIndex: group
+// pivot key) and only valid until the next structural change — Prepare /
+// Publish revalidate it.
+struct DriftCandidate {
+  uint64_t segment_id = 0;
+  // Normalized drift pressure: 1.0 is the point where the index would
+  // have retrained inline (full buffer, exhausted gaps). Values above
+  // 1.0 mean the segment is overdue and absorbing overflow.
+  double pressure = 0;
+};
+
+// Opaque product of PrepareRetrain, consumed by PublishRetrain.
+class PreparedRetrain {
+ public:
+  virtual ~PreparedRetrain() = default;
+};
+
+class MaintenanceHook {
+ public:
+  virtual ~MaintenanceHook() = default;
+
+  // Appends every segment with pressure >= threshold, highest first.
+  virtual void CollectDrift(double threshold,
+                            std::vector<DriftCandidate>* out) = 0;
+
+  // Snapshots and retrains `segment_id` off-thread. Returns nullptr when
+  // the segment no longer exists (resolved by a structural change).
+  virtual std::unique_ptr<PreparedRetrain> PrepareRetrain(
+      uint64_t segment_id) = 0;
+
+  // Atomically installs the plan. Returns false when the underlying
+  // segment changed structurally since Prepare; the plan is consumed
+  // either way.
+  virtual bool PublishRetrain(std::unique_ptr<PreparedRetrain> plan) = 0;
+
+  // Toggles deferral of inline retrains (see file comment). Safe to call
+  // while serving.
+  virtual void SetMaintenanceMode(bool enabled) = 0;
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_INDEX_MAINTENANCE_H_

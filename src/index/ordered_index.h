@@ -97,6 +97,10 @@ class OrderedIndex {
   // All evaluated indexes support concurrent reads; only some support
   // concurrent writes (XIndex among the learned ones — Fig. 14).
   virtual bool SupportsConcurrentWrites() const { return false; }
+
+  // Off-thread segment retraining (see index/maintenance.h). Returns
+  // nullptr when the index only retrains inline.
+  virtual class MaintenanceHook* maintenance() { return nullptr; }
 };
 
 }  // namespace pieces

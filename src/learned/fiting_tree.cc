@@ -3,14 +3,52 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/epoch.h"
 #include "common/search.h"
 #include "common/timer.h"
 #include "pla/optimal_pla.h"
 
 namespace pieces {
 
+namespace {
+
+std::vector<KeyValue>::const_iterator BufferLowerBound(
+    const std::vector<KeyValue>& buffer, Key key) {
+  return std::lower_bound(
+      buffer.begin(), buffer.end(), key,
+      [](const KeyValue& kv, Key k) { return kv.key < k; });
+}
+
+}  // namespace
+
+// The product of BuildRetrainPlan: replacement leaves plus a full
+// replacement Directory wired to use them. Until InstallPlan releases
+// them, the plan owns the new objects, so an aborted publish cleans up by
+// plain destruction (the replacement Directory never owns Leaf objects —
+// those are shared across directory versions and retired individually).
+struct FitingTree::Plan : PreparedRetrain {
+  size_t slot = kNpos;
+  uint64_t dir_version = 0;
+  uint64_t leaf_version = 0;
+  // The merged (main + buffer, deduped) content the model was trained
+  // on; InstallPlan diffs the live leaf against it to replay racing
+  // writes.
+  std::vector<KeyValue> snapshot;
+  std::vector<std::unique_ptr<Leaf>> new_leaves;
+  std::unique_ptr<Directory> replacement;
+  uint64_t train_nanos = 0;
+};
+
 FitingTree::FitingTree(InsertMode mode, size_t eps, size_t reserve)
-    : mode_(mode), eps_(eps), reserve_(reserve) {}
+    : mode_(mode), eps_(eps), reserve_(std::max<size_t>(1, reserve)) {
+  dir_.store(new Directory(), std::memory_order_release);
+}
+
+FitingTree::~FitingTree() {
+  Directory* d = dir_.load(std::memory_order_acquire);
+  for (Leaf* leaf : d->leaves) delete leaf;
+  delete d;
+}
 
 size_t FitingTree::Leaf::SlotHint(Key key) const {
   size_t count = Count();
@@ -42,13 +80,13 @@ size_t FitingTree::Leaf::LowerBoundSlot(Key key) const {
   return begin + pos;
 }
 
-size_t FitingTree::RouteToLeaf(Key key) const {
+size_t FitingTree::RouteToLeaf(const Directory& d, Key key) const {
   Key found_key;
   Value idx;
-  if (inner_.FindLessOrEqual(key, &found_key, &idx)) {
+  if (d.inner.FindLessOrEqual(key, &found_key, &idx)) {
     return static_cast<size_t>(idx);
   }
-  return head_;  // Key below every segment start: leftmost leaf.
+  return d.head;  // Key below every segment start: leftmost leaf.
 }
 
 std::unique_ptr<FitingTree::Leaf> FitingTree::MakeLeaf(
@@ -75,39 +113,56 @@ std::unique_ptr<FitingTree::Leaf> FitingTree::MakeLeaf(
 }
 
 void FitingTree::BulkLoad(std::span<const KeyValue> data) {
-  leaves_.clear();
-  inner_.BulkLoad({});
-  head_ = kNpos;
-  size_ = data.size();
-  update_stats_ = IndexStats{};
-  if (data.empty()) return;
-
-  std::vector<Key> keys;
-  keys.reserve(data.size());
-  for (const KeyValue& kv : data) keys.push_back(kv.key);
-  PlaResult pla = BuildOptimalPla(keys.data(), keys.size(), eps_);
-  update_stats_.max_error = pla.max_error;
-  update_stats_.mean_error = pla.mean_error;
-
-  std::vector<KeyValue> inner_entries;
-  inner_entries.reserve(pla.segments.size());
-  for (const Segment& seg : pla.segments) {
-    auto leaf = MakeLeaf(data.data() + seg.base_rank, seg.count, seg.slope,
-                         seg.intercept);
-    size_t idx = leaves_.size();
-    if (idx > 0) leaves_[idx - 1]->next = idx;
-    inner_entries.push_back({seg.first_key, static_cast<Value>(idx)});
-    leaves_.push_back(std::move(leaf));
-  }
-  head_ = 0;
-  inner_.BulkLoad(inner_entries);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  BulkLoadLocked(data);
 }
 
-bool FitingTree::GetFromLeaf(const Leaf& leaf, Key key, Value* value) const {
-  if (mode_ == InsertMode::kBuffer && !leaf.buffer.empty()) {
-    auto it = std::lower_bound(
-        leaf.buffer.begin(), leaf.buffer.end(), key,
-        [](const KeyValue& kv, Key k) { return kv.key < k; });
+void FitingTree::BulkLoadLocked(std::span<const KeyValue> data) {
+  auto nd = std::make_unique<Directory>();
+  size_ = data.size();
+  built_max_error_ = 0;
+  built_mean_error_ = 0;
+  retrain_count_.store(0, std::memory_order_relaxed);
+  retrain_nanos_.store(0, std::memory_order_relaxed);
+  moved_keys_.store(0, std::memory_order_relaxed);
+
+  if (!data.empty()) {
+    std::vector<Key> keys;
+    keys.reserve(data.size());
+    for (const KeyValue& kv : data) keys.push_back(kv.key);
+    PlaResult pla = BuildOptimalPla(keys.data(), keys.size(), eps_);
+    built_max_error_ = pla.max_error;
+    built_mean_error_ = pla.mean_error;
+
+    std::vector<KeyValue> inner_entries;
+    inner_entries.reserve(pla.segments.size());
+    for (const Segment& seg : pla.segments) {
+      auto leaf = MakeLeaf(data.data() + seg.base_rank, seg.count,
+                           seg.slope, seg.intercept);
+      size_t idx = nd->leaves.size();
+      if (idx > 0) nd->leaves[idx - 1]->next = idx;
+      inner_entries.push_back({seg.first_key, static_cast<Value>(idx)});
+      nd->leaves.push_back(leaf.release());
+    }
+    nd->head = 0;
+    nd->inner.BulkLoad(inner_entries);
+  }
+
+  Directory* old = dir_.load(std::memory_order_relaxed);
+  dir_.store(nd.release(), std::memory_order_release);
+  dir_version_.fetch_add(1, std::memory_order_relaxed);
+  // Readers from a previous generation may still hold the old structures.
+  EpochManager& em = EpochManager::Global();
+  for (Leaf* leaf : old->leaves) em.Retire(leaf);
+  em.Retire(old);
+}
+
+bool FitingTree::GetFromLeaf(const Leaf& leaf, Key key,
+                             Value* value) const {
+  // The buffer shadows the main run: a delta-merged update lives in the
+  // buffer while the stale copy is still in the array, so probe it first.
+  if (!leaf.buffer.empty()) {
+    auto it = BufferLowerBound(leaf.buffer, key);
     if (it != leaf.buffer.end() && it->key == key) {
       *value = it->value;
       return true;
@@ -122,19 +177,23 @@ bool FitingTree::GetFromLeaf(const Leaf& leaf, Key key, Value* value) const {
 }
 
 bool FitingTree::Get(Key key, Value* value) const {
-  if (head_ == kNpos) return false;
-  return GetFromLeaf(*leaves_[RouteToLeaf(key)], key, value);
+  EpochGuard guard;
+  Directory* d = dir();
+  if (d->head == kNpos) return false;
+  return GetFromLeaf(*d->leaves[RouteToLeaf(*d, key)], key, value);
 }
 
 size_t FitingTree::GetBatch(std::span<const Key> keys, Value* values,
                             bool* found) const {
-  if (head_ == kNpos) {
+  EpochGuard guard;
+  Directory* d = dir();
+  if (d->head == kNpos) {
     std::fill(found, found + keys.size(), false);
     return 0;
   }
   // Stage 1 routes through the inner B+Tree (hot) and prefetches around
   // each leaf's model hint — the exact lines the exponential search probes
-  // first — plus the side buffer in kBuffer mode. Stage 2 re-runs the
+  // first — plus the side buffer when present. Stage 2 re-runs the
   // single-key leaf lookup, which is identical to Get by construction.
   constexpr size_t kTile = 16;
   const Leaf* tile_leaf[kTile];
@@ -142,7 +201,7 @@ size_t FitingTree::GetBatch(std::span<const Key> keys, Value* values,
   for (size_t base = 0; base < keys.size(); base += kTile) {
     size_t m = std::min(kTile, keys.size() - base);
     for (size_t j = 0; j < m; ++j) {
-      const Leaf& leaf = *leaves_[RouteToLeaf(keys[base + j])];
+      const Leaf& leaf = *d->leaves[RouteToLeaf(*d, keys[base + j])];
       tile_leaf[j] = &leaf;
       if (leaf.Count() > 0) {
         size_t hint = leaf.SlotHint(keys[base + j]);
@@ -151,7 +210,7 @@ size_t FitingTree::GetBatch(std::span<const Key> keys, Value* values,
         size_t hi = std::min(leaf.end, hint + kReach);
         PrefetchSearchWindow(leaf.keys.data(), lo, hi);
       }
-      if (mode_ == InsertMode::kBuffer && !leaf.buffer.empty()) {
+      if (!leaf.buffer.empty()) {
         __builtin_prefetch(leaf.buffer.data());
       }
     }
@@ -164,9 +223,108 @@ size_t FitingTree::GetBatch(std::span<const Key> keys, Value* values,
   return hits;
 }
 
-void FitingTree::RetrainLeaf(size_t idx, std::vector<KeyValue> data) {
+void FitingTree::MergeLeafContents(const Leaf& leaf,
+                                   std::vector<KeyValue>* out) {
+  out->reserve(out->size() + leaf.Count() + leaf.buffer.size());
+  size_t a = leaf.begin;
+  size_t b = 0;
+  while (a < leaf.end && b < leaf.buffer.size()) {
+    if (leaf.keys[a] < leaf.buffer[b].key) {
+      out->push_back({leaf.keys[a], leaf.values[a]});
+      ++a;
+    } else if (leaf.keys[a] > leaf.buffer[b].key) {
+      out->push_back(leaf.buffer[b]);
+      ++b;
+    } else {
+      // Key on both sides: the buffer holds the newer write (it shadows
+      // the array on reads); drop the stale array copy.
+      out->push_back(leaf.buffer[b]);
+      ++a;
+      ++b;
+    }
+  }
+  for (; a < leaf.end; ++a) out->push_back({leaf.keys[a], leaf.values[a]});
+  for (; b < leaf.buffer.size(); ++b) out->push_back(leaf.buffer[b]);
+}
+
+FitingTree::LeafInsertResult FitingTree::InsertIntoLeaf(
+    Leaf& leaf, Key key, Value value, bool allow_overflow) {
+  // Existing key in the buffer? Update there — the buffer shadows the
+  // main run, so updating the array copy would be invisible to reads.
+  if (!leaf.buffer.empty()) {
+    auto it = std::lower_bound(
+        leaf.buffer.begin(), leaf.buffer.end(), key,
+        [](const KeyValue& kv, Key k) { return kv.key < k; });
+    if (it != leaf.buffer.end() && it->key == key) {
+      it->value = value;
+      ++leaf.version;
+      return LeafInsertResult::kUpdated;
+    }
+  }
+  size_t slot = leaf.LowerBoundSlot(key);
+  if (slot < leaf.end && leaf.keys[slot] == key) {
+    leaf.values[slot] = value;
+    ++leaf.version;
+    return LeafInsertResult::kUpdated;
+  }
+  // New key. Record whether the model's prediction missed its error bound
+  // — the writer-side drift signal CollectDrift folds into pressure.
+  if (leaf.Count() > 0) {
+    size_t hint = leaf.SlotHint(key);
+    size_t miss = hint > slot ? hint - slot : slot - hint;
+    if (miss > eps_) ++leaf.err_violations;
+  }
+
+  if (mode_ == InsertMode::kInplace) {
+    size_t left_len = slot - leaf.begin;
+    size_t right_len = leaf.end - slot;
+    bool can_left = leaf.begin > 0;
+    bool can_right = leaf.end < leaf.keys.size();
+    if ((can_left && left_len <= right_len) || (can_left && !can_right)) {
+      // Shift [begin, slot) one to the left; the new key lands at slot-1.
+      for (size_t i = leaf.begin; i < slot; ++i) {
+        leaf.keys[i - 1] = leaf.keys[i];
+        leaf.values[i - 1] = leaf.values[i];
+      }
+      --leaf.begin;
+      leaf.keys[slot - 1] = key;
+      leaf.values[slot - 1] = value;
+      moved_keys_.fetch_add(left_len, std::memory_order_relaxed);
+      ++leaf.version;
+      return LeafInsertResult::kInserted;
+    }
+    if (can_right) {
+      // Shift [slot, end) one to the right; the new key lands at slot.
+      for (size_t i = leaf.end; i > slot; --i) {
+        leaf.keys[i] = leaf.keys[i - 1];
+        leaf.values[i] = leaf.values[i - 1];
+      }
+      ++leaf.end;
+      leaf.keys[slot] = key;
+      leaf.values[slot] = value;
+      moved_keys_.fetch_add(right_len, std::memory_order_relaxed);
+      ++leaf.version;
+      return LeafInsertResult::kInserted;
+    }
+    if (!allow_overflow) return LeafInsertResult::kNeedsRetrain;
+    // Gaps exhausted under maintenance mode: overflow into the buffer and
+    // let the maintainer rebuild the leaf off-thread.
+  }
+  auto it = std::lower_bound(
+      leaf.buffer.begin(), leaf.buffer.end(), key,
+      [](const KeyValue& kv, Key k) { return kv.key < k; });
+  moved_keys_.fetch_add(static_cast<uint64_t>(leaf.buffer.end() - it),
+                        std::memory_order_relaxed);
+  leaf.buffer.insert(it, {key, value});
+  ++leaf.version;
+  return LeafInsertResult::kInserted;
+}
+
+void FitingTree::RetrainLeafInPlace(Directory& d, size_t idx,
+                                    std::vector<KeyValue> data) {
   Timer timer;
-  size_t old_next = leaves_[idx]->next;
+  Leaf* old_leaf = d.leaves[idx];
+  size_t old_next = old_leaf->next;
 
   std::vector<Key> keys;
   keys.reserve(data.size());
@@ -181,136 +339,198 @@ void FitingTree::RetrainLeaf(size_t idx, std::vector<KeyValue> data) {
     size_t slot;
     if (s == 0) {
       slot = idx;  // Reuse the replaced leaf's position.
-      leaves_[idx] = std::move(leaf);
+      d.leaves[idx] = leaf.release();
     } else {
-      slot = leaves_.size();
-      leaves_.push_back(std::move(leaf));
-      inner_.Insert(seg.first_key, static_cast<Value>(slot));
+      slot = d.leaves.size();
+      d.leaves.push_back(leaf.release());
+      d.inner.Insert(seg.first_key, static_cast<Value>(slot));
     }
-    if (prev_slot != kNpos) leaves_[prev_slot]->next = slot;
+    if (prev_slot != kNpos) d.leaves[prev_slot]->next = slot;
     prev_slot = slot;
   }
   // The last new leaf resumes the old chain.
-  leaves_[prev_slot]->next = old_next;
+  d.leaves[prev_slot]->next = old_next;
 
-  ++update_stats_.retrain_count;
-  update_stats_.retrain_nanos += timer.ElapsedNanos();
+  // A reader from a previous epoch may still be probing the replaced
+  // leaf; never free it in place.
+  EpochManager::Global().Retire(old_leaf);
+  dir_version_.fetch_add(1, std::memory_order_relaxed);
+  retrain_count_.fetch_add(1, std::memory_order_relaxed);
+  retrain_nanos_.fetch_add(timer.ElapsedNanos(), std::memory_order_relaxed);
+}
+
+std::unique_ptr<FitingTree::Plan> FitingTree::BuildRetrainPlan(
+    const Directory& d, size_t idx, std::vector<KeyValue> data) const {
+  Timer timer;
+  auto plan = std::make_unique<Plan>();
+  plan->slot = idx;
+
+  std::vector<Key> keys;
+  keys.reserve(data.size());
+  for (const KeyValue& kv : data) keys.push_back(kv.key);
+  PlaResult pla = BuildOptimalPla(keys.data(), keys.size(), eps_);
+
+  size_t old_next = d.leaves[idx]->next;
+  auto replacement = std::make_unique<Directory>();
+  replacement->leaves = d.leaves;  // Shared, except slot idx + appendees.
+  replacement->head = d.head;
+  size_t prev_slot = kNpos;
+  for (size_t s = 0; s < pla.segments.size(); ++s) {
+    const Segment& seg = pla.segments[s];
+    auto leaf = MakeLeaf(data.data() + seg.base_rank, seg.count, seg.slope,
+                         seg.intercept);
+    Leaf* raw = leaf.get();
+    plan->new_leaves.push_back(std::move(leaf));
+    size_t slot;
+    if (s == 0) {
+      slot = idx;
+      replacement->leaves[idx] = raw;
+    } else {
+      slot = replacement->leaves.size();
+      replacement->leaves.push_back(raw);
+    }
+    // Only new leaves are rechained; shared predecessors keep pointing at
+    // slot idx, which the first new leaf reuses.
+    if (prev_slot != kNpos) replacement->leaves[prev_slot]->next = slot;
+    prev_slot = slot;
+  }
+  replacement->leaves[prev_slot]->next = old_next;
+
+  // Fresh inner B+Tree over every (first_key -> slot) pair. Slot order is
+  // not key order after past retrains, so sort before the bulk load.
+  std::vector<KeyValue> entries;
+  entries.reserve(replacement->leaves.size());
+  for (size_t s = 0; s < replacement->leaves.size(); ++s) {
+    entries.push_back(
+        {replacement->leaves[s]->first_key, static_cast<Value>(s)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const KeyValue& x, const KeyValue& y) { return x.key < y.key; });
+  replacement->inner.BulkLoad(entries);
+
+  plan->replacement = std::move(replacement);
+  plan->snapshot = std::move(data);
+  plan->train_nanos = timer.ElapsedNanos();
+  return plan;
+}
+
+void FitingTree::InstallPlan(Plan& plan) {
+  Timer timer;
+  Directory* old_dir = dir_.load(std::memory_order_relaxed);
+  Leaf* old_leaf = old_dir->leaves[plan.slot];
+  if (old_leaf->version != plan.leaf_version) {
+    // Writes raced the off-thread training. Replay them into the
+    // replacement leaves' buffers: diff the live merged content against
+    // the snapshot the model was trained on; anything new or changed is
+    // delta-merged (and, for changed values, shadows the stale array
+    // copy — the newest-wins contract the retrain tests pin down).
+    std::vector<KeyValue> current;
+    MergeLeafContents(*old_leaf, &current);
+    size_t j = 0;
+    for (const KeyValue& kv : current) {
+      while (j < plan.snapshot.size() && plan.snapshot[j].key < kv.key) ++j;
+      if (j < plan.snapshot.size() && plan.snapshot[j] == kv) {
+        ++j;
+        continue;
+      }
+      Leaf* target = plan.new_leaves.front().get();
+      for (const auto& nl : plan.new_leaves) {
+        if (nl->first_key <= kv.key) {
+          target = nl.get();
+        } else {
+          break;
+        }
+      }
+      auto it = std::lower_bound(
+          target->buffer.begin(), target->buffer.end(), kv.key,
+          [](const KeyValue& x, Key k) { return x.key < k; });
+      target->buffer.insert(it, kv);
+    }
+  }
+  dir_.store(plan.replacement.release(), std::memory_order_release);
+  dir_version_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& nl : plan.new_leaves) nl.release();  // Now owned by dir_.
+  EpochManager& em = EpochManager::Global();
+  em.Retire(old_leaf);
+  em.Retire(old_dir);
+  retrain_count_.fetch_add(1, std::memory_order_relaxed);
+  retrain_nanos_.fetch_add(plan.train_nanos + timer.ElapsedNanos(),
+                           std::memory_order_relaxed);
 }
 
 bool FitingTree::Insert(Key key, Value value) {
-  if (head_ == kNpos) {
-    BulkLoad(std::vector<KeyValue>{{key, value}});
-    return true;
-  }
-  size_t idx = RouteToLeaf(key);
-  Leaf& leaf = *leaves_[idx];
+  const bool maint = maintenance_mode_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lock(writer_mu_, std::defer_lock);
+  if (maint) lock.lock();
 
-  if (mode_ == InsertMode::kBuffer) {
-    // Update-in-place if the key already exists in the main segment.
-    size_t slot = leaf.LowerBoundSlot(key);
-    if (slot < leaf.end && leaf.keys[slot] == key) {
-      leaf.values[slot] = value;
-      return true;
-    }
-    auto it = std::lower_bound(
-        leaf.buffer.begin(), leaf.buffer.end(), key,
-        [](const KeyValue& kv, Key k) { return kv.key < k; });
-    if (it != leaf.buffer.end() && it->key == key) {
-      it->value = value;
-      return true;
-    }
-    update_stats_.moved_keys +=
-        static_cast<uint64_t>(leaf.buffer.end() - it);
-    leaf.buffer.insert(it, {key, value});
-    ++size_;
-    if (leaf.buffer.size() >= reserve_) {
-      // Merge buffer + main, retrain.
-      std::vector<KeyValue> merged;
-      merged.reserve(leaf.Count() + leaf.buffer.size());
-      size_t a = leaf.begin;
-      size_t b = 0;
-      while (a < leaf.end && b < leaf.buffer.size()) {
-        if (leaf.keys[a] < leaf.buffer[b].key) {
-          merged.push_back({leaf.keys[a], leaf.values[a]});
-          ++a;
-        } else {
-          merged.push_back(leaf.buffer[b]);
-          ++b;
-        }
-      }
-      for (; a < leaf.end; ++a) merged.push_back({leaf.keys[a], leaf.values[a]});
-      for (; b < leaf.buffer.size(); ++b) merged.push_back(leaf.buffer[b]);
-      RetrainLeaf(idx, std::move(merged));
-    }
+  Directory* d = dir();
+  if (d->head == kNpos) {
+    BulkLoadLocked(std::vector<KeyValue>{{key, value}});
     return true;
   }
-
-  // Inplace mode.
-  size_t slot = leaf.LowerBoundSlot(key);
-  if (slot < leaf.end && leaf.keys[slot] == key) {
-    leaf.values[slot] = value;
-    return true;
-  }
-  size_t left_len = slot - leaf.begin;
-  size_t right_len = leaf.end - slot;
-  bool can_left = leaf.begin > 0;
-  bool can_right = leaf.end < leaf.keys.size();
-  if ((can_left && left_len <= right_len) || (can_left && !can_right)) {
-    // Shift [begin, slot) one to the left; the new key lands at slot-1.
-    for (size_t i = leaf.begin; i < slot; ++i) {
-      leaf.keys[i - 1] = leaf.keys[i];
-      leaf.values[i - 1] = leaf.values[i];
-    }
-    --leaf.begin;
-    leaf.keys[slot - 1] = key;
-    leaf.values[slot - 1] = value;
-    update_stats_.moved_keys += left_len;
-    ++size_;
-  } else if (can_right) {
-    // Shift [slot, end) one to the right; the new key lands at slot.
-    for (size_t i = leaf.end; i > slot; --i) {
-      leaf.keys[i] = leaf.keys[i - 1];
-      leaf.values[i] = leaf.values[i - 1];
-    }
-    ++leaf.end;
-    leaf.keys[slot] = key;
-    leaf.values[slot] = value;
-    update_stats_.moved_keys += right_len;
-    ++size_;
-  } else {
-    // Both reserved areas exhausted: retrain this leaf with the new key.
+  size_t idx = RouteToLeaf(*d, key);
+  Leaf& leaf = *d->leaves[idx];
+  LeafInsertResult res = InsertIntoLeaf(leaf, key, value, maint);
+  if (res == LeafInsertResult::kUpdated) return true;
+  if (res == LeafInsertResult::kNeedsRetrain) {
+    // Inplace mode, gaps exhausted, no maintainer: merge in the new key
+    // and retrain on the spot — the stop-the-world path the drift bench
+    // measures against background retraining.
     std::vector<KeyValue> merged;
-    merged.reserve(leaf.Count() + 1);
-    for (size_t i = leaf.begin; i < leaf.end; ++i) {
-      if (i == slot) merged.push_back({key, value});
-      merged.push_back({leaf.keys[i], leaf.values[i]});
-    }
-    if (slot == leaf.end) merged.push_back({key, value});
-    RetrainLeaf(idx, std::move(merged));
+    MergeLeafContents(leaf, &merged);
+    auto pos = std::lower_bound(
+        merged.begin(), merged.end(), key,
+        [](const KeyValue& kv, Key k) { return kv.key < k; });
+    merged.insert(pos, {key, value});
     ++size_;
+    RetrainLeafInPlace(*d, idx, std::move(merged));
+    return true;
   }
-  // Track model drift so Stats reflects post-insert error behaviour.
+  ++size_;
+
+  size_t pending = leaf.buffer.size();
+  if (maint) {
+    if (pending >= kHardCap * reserve_) {
+      // Hard cap: the maintainer fell behind this leaf. Rebuild inline as
+      // backpressure, but still copy-on-write + swap so concurrent
+      // readers stay lock-free.
+      std::vector<KeyValue> merged;
+      MergeLeafContents(leaf, &merged);
+      auto plan = BuildRetrainPlan(*d, idx, std::move(merged));
+      plan->dir_version = dir_version_.load(std::memory_order_relaxed);
+      plan->leaf_version = leaf.version;
+      InstallPlan(*plan);
+    }
+  } else if (mode_ == InsertMode::kBuffer && pending >= reserve_) {
+    // Buffer full: merge + retrain inline (the paper's strategy).
+    std::vector<KeyValue> merged;
+    MergeLeafContents(leaf, &merged);
+    RetrainLeafInPlace(*d, idx, std::move(merged));
+  }
   return true;
 }
 
 size_t FitingTree::Scan(Key from, size_t count,
                         std::vector<KeyValue>* out) const {
-  if (head_ == kNpos || count == 0) return 0;
-  size_t idx = RouteToLeaf(from);
+  EpochGuard guard;
+  Directory* d = dir();
+  if (d->head == kNpos || count == 0) return 0;
+  size_t idx = RouteToLeaf(*d, from);
   size_t copied = 0;
   while (idx != kNpos && copied < count) {
-    const Leaf& leaf = *leaves_[idx];
-    // Merge the leaf's main run with its buffer on the fly.
+    const Leaf& leaf = *d->leaves[idx];
+    // Merge the leaf's main run with its buffer on the fly; on equal keys
+    // the buffer entry is the newer write and the array copy is skipped.
     size_t a = leaf.LowerBoundSlot(from);
-    auto bit = std::lower_bound(
-        leaf.buffer.begin(), leaf.buffer.end(), from,
-        [](const KeyValue& kv, Key k) { return kv.key < k; });
-    while (copied < count &&
-           (a < leaf.end || bit != leaf.buffer.end())) {
-      bool take_main =
-          bit == leaf.buffer.end() ||
-          (a < leaf.end && leaf.keys[a] <= bit->key);
-      if (take_main) {
+    auto bit = BufferLowerBound(leaf.buffer, from);
+    while (copied < count && (a < leaf.end || bit != leaf.buffer.end())) {
+      bool have_main = a < leaf.end;
+      bool have_buf = bit != leaf.buffer.end();
+      if (have_main && have_buf && leaf.keys[a] == bit->key) {
+        out->push_back(*bit);
+        ++a;
+        ++bit;
+      } else if (have_main && (!have_buf || leaf.keys[a] < bit->key)) {
         out->push_back({leaf.keys[a], leaf.values[a]});
         ++a;
       } else {
@@ -325,15 +545,97 @@ size_t FitingTree::Scan(Key from, size_t count,
   return copied;
 }
 
+double FitingTree::LeafPressure(const Leaf& leaf) const {
+  double reserve = static_cast<double>(reserve_);
+  double occupancy;
+  if (mode_ == InsertMode::kBuffer) {
+    occupancy = static_cast<double>(leaf.buffer.size()) / reserve;
+  } else {
+    // Gap exhaustion reaches 1.0 exactly when the next unlucky insert
+    // would retrain inline; overflow entries push it past 1.0.
+    size_t gaps_left = leaf.begin + (leaf.keys.size() - leaf.end);
+    occupancy = 1.0 - static_cast<double>(gaps_left) / (2.0 * reserve) +
+                static_cast<double>(leaf.buffer.size()) / reserve;
+  }
+  double err_rate = static_cast<double>(leaf.err_violations) / reserve;
+  return std::max(occupancy, err_rate);
+}
+
+void FitingTree::CollectDrift(double threshold,
+                              std::vector<DriftCandidate>* out) {
+  // Pressure reads (buffer sizes, violation counters) race the writer, so
+  // take the latch — the scan is two loads per leaf.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Directory* d = dir();
+  for (size_t i = 0; i < d->leaves.size(); ++i) {
+    double p = LeafPressure(*d->leaves[i]);
+    if (p >= threshold) out->push_back({i, p});
+  }
+  std::sort(out->begin(), out->end(),
+            [](const DriftCandidate& x, const DriftCandidate& y) {
+              return x.pressure > y.pressure;
+            });
+}
+
+std::unique_ptr<PreparedRetrain> FitingTree::PrepareRetrain(
+    uint64_t segment_id) {
+  // The guard outlives the latch: it keeps the directory and its leaves
+  // (structurally immutable in maintenance mode — every structural change
+  // publishes a new directory) alive through the off-thread training.
+  EpochGuard guard;
+  std::vector<KeyValue> merged;
+  uint64_t leaf_version;
+  uint64_t dir_version;
+  Directory* d;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    d = dir();
+    if (segment_id >= d->leaves.size()) return nullptr;
+    Leaf* leaf = d->leaves[segment_id];
+    MergeLeafContents(*leaf, &merged);
+    if (merged.empty()) return nullptr;
+    leaf_version = leaf->version;
+    dir_version = dir_version_.load(std::memory_order_relaxed);
+  }
+  // Train outside the latch: the expensive part never blocks the writer.
+  auto plan =
+      BuildRetrainPlan(*d, static_cast<size_t>(segment_id), std::move(merged));
+  plan->leaf_version = leaf_version;
+  plan->dir_version = dir_version;
+  return plan;
+}
+
+bool FitingTree::PublishRetrain(std::unique_ptr<PreparedRetrain> plan_in) {
+  std::unique_ptr<Plan> plan(static_cast<Plan*>(plan_in.release()));
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (plan->dir_version != dir_version_.load(std::memory_order_relaxed)) {
+    // The directory changed since Prepare (another publish, a bulk load);
+    // the plan's shared-leaf pointers are stale. Caller re-prepares.
+    return false;
+  }
+  InstallPlan(*plan);
+  return true;
+}
+
+void FitingTree::SetMaintenanceMode(bool enabled) {
+  maintenance_mode_.store(enabled, std::memory_order_release);
+}
+
 size_t FitingTree::IndexSizeBytes() const {
   // Inner B+Tree + per-leaf model metadata; the sorted key/value arrays
   // are the data, not the index (Table III convention).
-  return inner_.IndexSizeBytes() + leaves_.size() * sizeof(Leaf);
+  EpochGuard guard;
+  Directory* d = dir();
+  return d->inner.IndexSizeBytes() + d->leaves.size() * sizeof(Leaf) +
+         sizeof(Directory);
 }
 
 size_t FitingTree::TotalSizeBytes() const {
-  size_t bytes = IndexSizeBytes();
-  for (const auto& leaf : leaves_) {
+  EpochGuard guard;
+  Directory* d = dir();
+  size_t bytes = d->inner.IndexSizeBytes() +
+                 d->leaves.size() * sizeof(Leaf) + sizeof(Directory);
+  for (const Leaf* leaf : d->leaves) {
     bytes += leaf->keys.capacity() * sizeof(Key) +
              leaf->values.capacity() * sizeof(Value) +
              leaf->buffer.capacity() * sizeof(KeyValue);
@@ -342,9 +644,16 @@ size_t FitingTree::TotalSizeBytes() const {
 }
 
 IndexStats FitingTree::Stats() const {
-  IndexStats s = update_stats_;
-  s.leaf_count = leaves_.size();
-  IndexStats inner_stats = inner_.Stats();
+  IndexStats s;
+  s.max_error = built_max_error_;
+  s.mean_error = built_mean_error_;
+  s.retrain_count = retrain_count_.load(std::memory_order_relaxed);
+  s.retrain_nanos = retrain_nanos_.load(std::memory_order_relaxed);
+  s.moved_keys = moved_keys_.load(std::memory_order_relaxed);
+  EpochGuard guard;
+  Directory* d = dir();
+  s.leaf_count = d->leaves.size();
+  IndexStats inner_stats = d->inner.Stats();
   s.inner_count = inner_stats.inner_count + inner_stats.leaf_count;
   s.avg_depth = inner_stats.avg_depth + 1;
   return s;

@@ -8,24 +8,41 @@
 // Per the paper's §III-A, leaves are segmented with Opt-PLA (the PGM
 // algorithm) rather than the original greedy, so that comparisons against
 // PGM isolate the *other* design dimensions.
+//
+// Online maintenance: the whole routing state (inner B+Tree + leaf slot
+// table) lives in an immutable Directory behind one atomic pointer, and
+// readers (Get/GetBatch/Scan/Stats) probe it under an EpochGuard — a
+// background maintainer can therefore retrain a drifting leaf off-thread
+// and publish the result by building a new Directory and swapping the
+// pointer (RCU); replaced leaves and directories are retired to the
+// EpochManager, never freed in place. Inline structural changes keep the
+// original in-place code path when maintenance mode is off (the
+// single-writer contract of the paper's benches); with maintenance mode
+// on they go through the same copy-on-write publish, and inline retrains
+// are deferred until a hard occupancy cap so the maintainer gets there
+// first. See index/maintenance.h for the phase contract.
 #ifndef PIECES_LEARNED_FITING_TREE_H_
 #define PIECES_LEARNED_FITING_TREE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/linear_model.h"
+#include "index/maintenance.h"
 #include "index/ordered_index.h"
 #include "traditional/btree.h"
 
 namespace pieces {
 
-class FitingTree : public OrderedIndex {
+class FitingTree : public OrderedIndex, public MaintenanceHook {
  public:
   enum class InsertMode { kInplace, kBuffer };
 
   explicit FitingTree(InsertMode mode, size_t eps = 64,
                       size_t reserve = 256);
+  ~FitingTree() override;
 
   void BulkLoad(std::span<const KeyValue> data) override;
   bool Get(Key key, Value* value) const override;
@@ -41,9 +58,22 @@ class FitingTree : public OrderedIndex {
     return mode_ == InsertMode::kInplace ? "FITing-tree-inp"
                                          : "FITing-tree-buf";
   }
+  MaintenanceHook* maintenance() override { return this; }
+
+  // MaintenanceHook. segment_id is the leaf's slot in the directory.
+  void CollectDrift(double threshold,
+                    std::vector<DriftCandidate>* out) override;
+  std::unique_ptr<PreparedRetrain> PrepareRetrain(
+      uint64_t segment_id) override;
+  bool PublishRetrain(std::unique_ptr<PreparedRetrain> plan) override;
+  void SetMaintenanceMode(bool enabled) override;
 
  private:
   static constexpr size_t kNpos = static_cast<size_t>(-1);
+  // In maintenance mode a leaf keeps absorbing inserts into its (over-
+  // flow) buffer past the normal retrain trigger; at kHardCap x reserve_
+  // pending entries the inline fallback fires as backpressure.
+  static constexpr size_t kHardCap = 4;
 
   struct Leaf {
     // Occupied range [begin, end) within the capacity-sized arrays.
@@ -55,8 +85,16 @@ class FitingTree : public OrderedIndex {
     LinearModel model;
     size_t begin0 = 0;
     Key first_key = 0;
-    size_t next = kNpos;  // Leaf chain for scans.
-    std::vector<KeyValue> buffer;  // kBuffer mode only; sorted.
+    size_t next = kNpos;  // Leaf chain for scans (slot in the directory).
+    // kBuffer mode: the insert buffer. kInplace mode under maintenance:
+    // the overflow buffer once both gaps are exhausted. Sorted either way.
+    std::vector<KeyValue> buffer;
+    // Bumped on every mutation; PublishRetrain uses it to detect (and
+    // delta-merge) inserts that raced the off-thread training.
+    uint64_t version = 0;
+    // Writer-side drift signal: inserts whose last-mile position missed
+    // the model hint by more than eps.
+    uint64_t err_violations = 0;
 
     size_t Count() const { return end - begin; }
     // Slot of the first occupied key >= `key` (end if none).
@@ -67,22 +105,75 @@ class FitingTree : public OrderedIndex {
     size_t SlotHint(Key key) const;
   };
 
-  // Returns the leaf index responsible for `key`.
-  size_t RouteToLeaf(Key key) const;
+  // The routing state readers traverse: B+Tree over segment start keys
+  // plus the slot table. Swapped wholesale (RCU) on structural change in
+  // maintenance mode; mutated in place single-threaded otherwise.
+  struct Directory {
+    BTree inner;  // first_key -> leaf slot.
+    std::vector<Leaf*> leaves;
+    size_t head = kNpos;  // Leftmost leaf.
+  };
+
+  struct Plan;  // PreparedRetrain implementation (fiting_tree.cc).
+
+  enum class LeafInsertResult { kInserted, kUpdated, kNeedsRetrain };
+
+  Directory* dir() const {
+    return dir_.load(std::memory_order_acquire);
+  }
+  // BulkLoad body; caller holds writer_mu_.
+  void BulkLoadLocked(std::span<const KeyValue> data);
+  // Returns the leaf slot responsible for `key` within `d`.
+  size_t RouteToLeaf(const Directory& d, Key key) const;
   std::unique_ptr<Leaf> MakeLeaf(const KeyValue* data, size_t count,
                                  double slope, double intercept) const;
-  // Re-segments `data` (sorted) and replaces leaf `idx` with the results.
-  void RetrainLeaf(size_t idx, std::vector<KeyValue> data);
   bool GetFromLeaf(const Leaf& leaf, Key key, Value* value) const;
+  // Inserts into the leaf without retraining: gap shift (inplace) or
+  // sorted buffer insert. kNeedsRetrain when the leaf cannot absorb the
+  // key (gaps exhausted / buffer at trigger) — the caller decides between
+  // inline retrain and deferral. `force_buffer` routes into the buffer
+  // even in inplace mode (the maintenance-mode overflow path).
+  LeafInsertResult InsertIntoLeaf(Leaf& leaf, Key key, Value value,
+                                  bool allow_overflow);
+  // Sorted merge of a leaf's main run and buffer; duplicate keys resolve
+  // to the buffer entry (the newer write).
+  static void MergeLeafContents(const Leaf& leaf,
+                                std::vector<KeyValue>* out);
+  // Re-segments `data` (sorted) and replaces leaf `idx` in place —
+  // single-threaded path (maintenance mode off).
+  void RetrainLeafInPlace(Directory& d, size_t idx,
+                          std::vector<KeyValue> data);
+  // Builds replacement leaves + a full replacement Directory for leaf
+  // `idx` of `d` from `data` (sorted). Shared by PrepareRetrain
+  // (off-thread) and the inline copy-on-write fallback.
+  std::unique_ptr<Plan> BuildRetrainPlan(const Directory& d, size_t idx,
+                                         std::vector<KeyValue> data) const;
+  // Swaps in plan->replacement, delta-merging any inserts the replaced
+  // leaf absorbed since the plan's snapshot. Caller holds writer_mu_.
+  void InstallPlan(Plan& plan);
+  double LeafPressure(const Leaf& leaf) const;
 
   InsertMode mode_;
   size_t eps_;
   size_t reserve_;
-  BTree inner_;  // first_key -> leaf index.
-  std::vector<std::unique_ptr<Leaf>> leaves_;
-  size_t head_ = kNpos;  // Leftmost leaf.
+  std::atomic<Directory*> dir_;
+  // Structural generation: bumped on every directory swap / in-place
+  // structural change. PublishRetrain aborts on mismatch.
+  std::atomic<uint64_t> dir_version_{0};
   size_t size_ = 0;
-  mutable IndexStats update_stats_;
+  // Excludes the writer (Insert/BulkLoad) from PublishRetrain. Taken by
+  // the writer only when maintenance mode is on, so the paper's
+  // single-writer benches pay nothing.
+  std::mutex writer_mu_;
+  std::atomic<bool> maintenance_mode_{false};
+  // Build-time model quality (written by BulkLoad, read by Stats).
+  size_t built_max_error_ = 0;
+  double built_mean_error_ = 0;
+  // Retrain/shift accounting shared between the writer and the
+  // maintainer thread; Stats() readers must not race either mutator.
+  std::atomic<uint64_t> retrain_count_{0};
+  std::atomic<uint64_t> retrain_nanos_{0};
+  std::atomic<uint64_t> moved_keys_{0};
 };
 
 }  // namespace pieces

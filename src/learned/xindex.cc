@@ -1,16 +1,38 @@
 #include "learned/xindex.h"
 
-#include <atomic>
-
 #include <algorithm>
 #include <cassert>
 
+#include "common/epoch.h"
 #include "common/search.h"
 #include "common/timer.h"
 
 namespace pieces {
 
-void XIndex::Group::Retrain() {
+namespace {
+
+std::vector<KeyValue>::const_iterator BufferLowerBound(
+    const std::vector<KeyValue>& buffer, Key key) {
+  return std::lower_bound(
+      buffer.begin(), buffer.end(), key,
+      [](const KeyValue& kv, Key k) { return kv.key < k; });
+}
+
+}  // namespace
+
+// Snapshot of a group taken by PrepareRetrain plus the replacement array
+// trained off-thread from it. PublishRetrain installs new_data and drops
+// the snapshotted buffer entries from the live buffer; anything inserted
+// or updated after the snapshot stays in the buffer and shadows new_data.
+struct XIndex::Plan : PreparedRetrain {
+  Key pivot = 0;
+  uint64_t data_version = 0;
+  std::vector<KeyValue> snapshot_buffer;
+  std::unique_ptr<GroupData> new_data;
+  uint64_t train_nanos = 0;
+};
+
+void XIndex::GroupData::Train() {
   size_t n = keys.size();
   model = FitLeastSquares(keys.data(), n);
   max_err = 0;
@@ -21,11 +43,65 @@ void XIndex::Group::Retrain() {
   }
 }
 
-size_t XIndex::Group::LowerBoundRank(Key key) const {
+size_t XIndex::GroupData::LowerBoundRank(Key key) const {
   size_t n = keys.size();
   if (n == 0) return 0;
   size_t hint = model.PredictClamped(key, n);
   return ExponentialSearchLowerBound(keys.data(), n, hint, key);
+}
+
+XIndex::Group::Group() {
+  data.store(new GroupData(), std::memory_order_release);
+}
+
+XIndex::Group::~Group() {
+  // A reader from a previous epoch may still hold the array; groups are
+  // only destroyed under the exclusive directory lock, but the *data*
+  // lifetime is epoch-governed either way.
+  EpochManager::Global().Retire(data.load(std::memory_order_relaxed));
+}
+
+void XIndex::Group::SwapData(std::unique_ptr<GroupData> nd) {
+  GroupData* old = data.load(std::memory_order_relaxed);
+  data.store(nd.release(), std::memory_order_release);
+  ++data_version;
+  EpochManager::Global().Retire(old);
+}
+
+std::unique_ptr<XIndex::GroupData> XIndex::MergeGroupData(
+    const GroupData& data, const std::vector<KeyValue>& buffer) {
+  auto nd = std::make_unique<GroupData>();
+  nd->keys.reserve(data.keys.size() + buffer.size());
+  nd->values.reserve(data.keys.size() + buffer.size());
+  size_t a = 0;
+  size_t b = 0;
+  while (a < data.keys.size() && b < buffer.size()) {
+    if (data.keys[a] < buffer[b].key) {
+      nd->keys.push_back(data.keys[a]);
+      nd->values.push_back(data.values[a]);
+      ++a;
+    } else if (data.keys[a] > buffer[b].key) {
+      nd->keys.push_back(buffer[b].key);
+      nd->values.push_back(buffer[b].value);
+      ++b;
+    } else {
+      // Same key on both sides: the buffer entry shadows the main copy
+      // (it is the newer write) — keep it, drop the stale one.
+      nd->keys.push_back(buffer[b].key);
+      nd->values.push_back(buffer[b].value);
+      ++a;
+      ++b;
+    }
+  }
+  for (; a < data.keys.size(); ++a) {
+    nd->keys.push_back(data.keys[a]);
+    nd->values.push_back(data.values[a]);
+  }
+  for (; b < buffer.size(); ++b) {
+    nd->keys.push_back(buffer[b].key);
+    nd->values.push_back(buffer[b].value);
+  }
+  return nd;
 }
 
 size_t XIndex::RouteToGroup(Key key) const {
@@ -78,24 +154,25 @@ void XIndex::BulkLoad(std::span<const KeyValue> data) {
   std::unique_lock dir_lock(groups_mutex_);
   groups_.clear();
   pivots_.clear();
-  {
-    std::unique_lock stats_lock(stats_mutex_);
-    update_stats_ = IndexStats{};
-  }
+  retrain_count_.store(0, std::memory_order_relaxed);
+  retrain_nanos_.store(0, std::memory_order_relaxed);
+  moved_keys_.store(0, std::memory_order_relaxed);
   size_t n = data.size();
   size_t num_groups = std::max<size_t>(1, n / group_size_);
   for (size_t gi = 0; gi < num_groups; ++gi) {
     size_t begin = gi * n / num_groups;
     size_t end = (gi + 1) * n / num_groups;
     auto g = std::make_shared<Group>();
-    g->keys.reserve(end - begin);
-    g->values.reserve(end - begin);
+    auto gd = std::make_unique<GroupData>();
+    gd->keys.reserve(end - begin);
+    gd->values.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
-      g->keys.push_back(data[i].key);
-      g->values.push_back(data[i].value);
+      gd->keys.push_back(data[i].key);
+      gd->values.push_back(data[i].value);
     }
-    g->pivot = g->keys.empty() ? 0 : g->keys.front();
-    g->Retrain();
+    gd->Train();
+    g->pivot = gd->keys.empty() ? 0 : gd->keys.front();
+    g->SwapData(std::move(gd));
     pivots_.push_back(g->pivot);
     groups_.push_back(std::move(g));
   }
@@ -103,21 +180,29 @@ void XIndex::BulkLoad(std::span<const KeyValue> data) {
 }
 
 bool XIndex::Get(Key key, Value* value) const {
+  EpochGuard guard;
   std::shared_lock dir_lock(groups_mutex_);
   if (groups_.empty()) return false;
   const Group& g = *groups_[RouteToGroup(key)];
-  std::shared_lock group_lock(g.mutex);
-  // Buffer first: it shadows main for freshly inserted keys.
-  auto it = std::lower_bound(
-      g.buffer.begin(), g.buffer.end(), key,
-      [](const KeyValue& kv, Key k) { return kv.key < k; });
-  if (it != g.buffer.end() && it->key == key) {
-    *value = it->value;
-    return true;
+  const GroupData* dta;
+  {
+    std::shared_lock group_lock(g.mutex);
+    // Buffer first: it shadows main for fresh inserts AND for updates of
+    // keys whose stale copy still sits in the immutable array.
+    auto it = BufferLowerBound(g.buffer, key);
+    if (it != g.buffer.end() && it->key == key) {
+      *value = it->value;
+      return true;
+    }
+    // Loading the array inside the lock pairs it with the buffer probe:
+    // a concurrent compaction (which moves buffer entries into a new
+    // array) cannot slip between the two.
+    dta = g.data.load(std::memory_order_acquire);
   }
-  size_t pos = g.LowerBoundRank(key);
-  if (pos < g.keys.size() && g.keys[pos] == key) {
-    *value = g.values[pos];
+  // Lock-free main probe; the guard keeps `dta` alive past any swap.
+  size_t pos = dta->LowerBoundRank(key);
+  if (pos < dta->keys.size() && dta->keys[pos] == key) {
+    *value = dta->values[pos];
     return true;
   }
   return false;
@@ -128,10 +213,10 @@ size_t XIndex::GetBatch(std::span<const Key> keys, Value* values,
   // One directory lock acquisition for the whole batch (Get pays it per
   // key). Stage 1 routes through the root RMI + pivot array — both safe
   // under the directory lock alone — and prefetches each Group header so
-  // its mutex and array headers are resident when stage 2 locks it. Group
-  // array contents are only touched in stage 2 under the group's shared
-  // lock, exactly like Get (compactions mutate them under the unique
-  // lock).
+  // its mutex and the data pointer are resident when stage 2 probes it.
+  // Stage 2 mirrors Get exactly: buffer under the shared lock, main array
+  // lock-free under the epoch guard.
+  EpochGuard guard;
   std::shared_lock dir_lock(groups_mutex_);
   if (groups_.empty()) {
     std::fill(found, found + keys.size(), false);
@@ -150,18 +235,21 @@ size_t XIndex::GetBatch(std::span<const Key> keys, Value* values,
     for (size_t j = 0; j < m; ++j) {
       Key key = keys[base + j];
       const Group& g = *tile_group[j];
-      std::shared_lock group_lock(g.mutex);
+      const GroupData* dta;
       bool ok = false;
-      auto it = std::lower_bound(
-          g.buffer.begin(), g.buffer.end(), key,
-          [](const KeyValue& kv, Key k) { return kv.key < k; });
-      if (it != g.buffer.end() && it->key == key) {
-        values[base + j] = it->value;
-        ok = true;
-      } else {
-        size_t pos = g.LowerBoundRank(key);
-        if (pos < g.keys.size() && g.keys[pos] == key) {
-          values[base + j] = g.values[pos];
+      {
+        std::shared_lock group_lock(g.mutex);
+        auto it = BufferLowerBound(g.buffer, key);
+        if (it != g.buffer.end() && it->key == key) {
+          values[base + j] = it->value;
+          ok = true;
+        }
+        dta = g.data.load(std::memory_order_acquire);
+      }
+      if (!ok) {
+        size_t pos = dta->LowerBoundRank(key);
+        if (pos < dta->keys.size() && dta->keys[pos] == key) {
+          values[base + j] = dta->values[pos];
           ok = true;
         }
       }
@@ -174,43 +262,17 @@ size_t XIndex::GetBatch(std::span<const Key> keys, Value* values,
 
 void XIndex::CompactGroup(Group* g) {
   Timer timer;
-  std::vector<Key> merged_keys;
-  std::vector<Value> merged_values;
-  merged_keys.reserve(g->keys.size() + g->buffer.size());
-  merged_values.reserve(g->keys.size() + g->buffer.size());
-  size_t a = 0;
-  size_t b = 0;
-  while (a < g->keys.size() && b < g->buffer.size()) {
-    if (g->keys[a] < g->buffer[b].key) {
-      merged_keys.push_back(g->keys[a]);
-      merged_values.push_back(g->values[a]);
-      ++a;
-    } else {
-      merged_keys.push_back(g->buffer[b].key);
-      merged_values.push_back(g->buffer[b].value);
-      ++b;
-    }
-  }
-  for (; a < g->keys.size(); ++a) {
-    merged_keys.push_back(g->keys[a]);
-    merged_values.push_back(g->values[a]);
-  }
-  for (; b < g->buffer.size(); ++b) {
-    merged_keys.push_back(g->buffer[b].key);
-    merged_values.push_back(g->buffer[b].value);
-  }
-  g->keys = std::move(merged_keys);
-  g->values = std::move(merged_values);
+  GroupData* old = g->data.load(std::memory_order_relaxed);
+  auto nd = MergeGroupData(*old, g->buffer);
+  nd->Train();
+  g->SwapData(std::move(nd));
   g->buffer.clear();
-  g->Retrain();
-  {
-    std::unique_lock stats_lock(stats_mutex_);
-    ++update_stats_.retrain_count;
-    update_stats_.retrain_nanos += timer.ElapsedNanos();
-  }
+  retrain_count_.fetch_add(1, std::memory_order_relaxed);
+  retrain_nanos_.fetch_add(timer.ElapsedNanos(), std::memory_order_relaxed);
 }
 
 bool XIndex::Insert(Key key, Value value) {
+  const bool maint = maintenance_mode_.load(std::memory_order_acquire);
   while (true) {
     bool need_split = false;
     {
@@ -221,12 +283,6 @@ bool XIndex::Insert(Key key, Value value) {
       } else {
         Group& g = *groups_[RouteToGroup(key)];
         std::unique_lock group_lock(g.mutex);
-        // Update-in-place when the key exists in the main array.
-        size_t pos = g.LowerBoundRank(key);
-        if (pos < g.keys.size() && g.keys[pos] == key) {
-          g.values[pos] = value;
-          return true;
-        }
         auto it = std::lower_bound(
             g.buffer.begin(), g.buffer.end(), key,
             [](const KeyValue& kv, Key k) { return kv.key < k; });
@@ -234,11 +290,22 @@ bool XIndex::Insert(Key key, Value value) {
           it->value = value;
           return true;
         }
+        // The main array is immutable, so both fresh keys and updates of
+        // array-resident keys land in the buffer; the buffer shadows the
+        // array on reads and wins the merge at compaction.
         moved_keys_.fetch_add(static_cast<uint64_t>(g.buffer.end() - it),
                               std::memory_order_relaxed);
         g.buffer.insert(it, {key, value});
-        if (g.buffer.size() >= buffer_threshold_) CompactGroup(&g);
-        if (g.keys.size() <= 2 * group_size_) return true;
+        // In maintenance mode the inline compaction (the stop-the-world
+        // stall under drift) is deferred up to the hard cap so the
+        // background maintainer can publish the merge off-thread.
+        size_t trigger =
+            maint ? kHardCap * buffer_threshold_ : buffer_threshold_;
+        if (g.buffer.size() >= trigger) CompactGroup(&g);
+        if (g.data.load(std::memory_order_relaxed)->keys.size() <=
+            2 * group_size_) {
+          return true;
+        }
         need_split = true;  // Too large: split under the exclusive lock.
       }
     }
@@ -257,33 +324,40 @@ bool XIndex::Insert(Key key, Value value) {
     Group& g = *groups_[gi];
     std::unique_lock group_lock(g.mutex);
     if (!g.buffer.empty()) CompactGroup(&g);
-    if (g.keys.size() <= 2 * group_size_) continue;  // Raced; retry.
+    GroupData* dta = g.data.load(std::memory_order_relaxed);
+    if (dta->keys.size() <= 2 * group_size_) continue;  // Raced; retry.
 
-    // Split the group in half and register the new pivot.
-    size_t mid = g.keys.size() / 2;
+    // Split the group in half and register the new pivot. Both halves get
+    // fresh immutable arrays; the old one is epoch-retired.
+    size_t mid = dta->keys.size() / 2;
     auto right = std::make_shared<Group>();
-    right->keys.assign(g.keys.begin() + static_cast<ptrdiff_t>(mid),
-                       g.keys.end());
-    right->values.assign(g.values.begin() + static_cast<ptrdiff_t>(mid),
-                         g.values.end());
-    right->pivot = right->keys.front();
-    right->Retrain();
-    g.keys.resize(mid);
-    g.values.resize(mid);
-    g.Retrain();
+    auto right_data = std::make_unique<GroupData>();
+    right_data->keys.assign(dta->keys.begin() + static_cast<ptrdiff_t>(mid),
+                            dta->keys.end());
+    right_data->values.assign(
+        dta->values.begin() + static_cast<ptrdiff_t>(mid),
+        dta->values.end());
+    right_data->Train();
+    right->pivot = right_data->keys.front();
+    right->SwapData(std::move(right_data));
+    auto left_data = std::make_unique<GroupData>();
+    left_data->keys.assign(dta->keys.begin(),
+                           dta->keys.begin() + static_cast<ptrdiff_t>(mid));
+    left_data->values.assign(
+        dta->values.begin(),
+        dta->values.begin() + static_cast<ptrdiff_t>(mid));
+    left_data->Train();
     // The head group can have absorbed keys below its original pivot;
     // refresh so pivots_ stays sorted (routing depends on it).
-    g.pivot = g.keys.front();
+    g.pivot = left_data->keys.front();
+    g.SwapData(std::move(left_data));
     pivots_[gi] = g.pivot;
     pivots_.insert(pivots_.begin() + static_cast<ptrdiff_t>(gi) + 1,
                    right->pivot);
     groups_.insert(groups_.begin() + static_cast<ptrdiff_t>(gi) + 1,
                    std::move(right));
     RebuildRoot();
-    {
-      std::unique_lock stats_lock(stats_mutex_);
-      ++update_stats_.retrain_count;
-    }
+    retrain_count_.fetch_add(1, std::memory_order_relaxed);
     // The key itself was already inserted before the split was requested.
     return true;
   }
@@ -291,6 +365,7 @@ bool XIndex::Insert(Key key, Value value) {
 
 size_t XIndex::Scan(Key from, size_t count, std::vector<KeyValue>* out)
     const {
+  EpochGuard guard;
   std::shared_lock dir_lock(groups_mutex_);
   if (groups_.empty() || count == 0) return 0;
   size_t copied = 0;
@@ -298,16 +373,21 @@ size_t XIndex::Scan(Key from, size_t count, std::vector<KeyValue>* out)
        ++gi) {
     const Group& g = *groups_[gi];
     std::shared_lock group_lock(g.mutex);
-    size_t a = g.LowerBoundRank(from);
-    auto bit = std::lower_bound(
-        g.buffer.begin(), g.buffer.end(), from,
-        [](const KeyValue& kv, Key k) { return kv.key < k; });
+    const GroupData& dta = *g.data.load(std::memory_order_acquire);
+    size_t a = dta.LowerBoundRank(from);
+    auto bit = BufferLowerBound(g.buffer, from);
+    // Merge main + buffer; on equal keys the buffer entry is the newer
+    // write and the stale array copy is skipped.
     while (copied < count &&
-           (a < g.keys.size() || bit != g.buffer.end())) {
-      bool take_main = bit == g.buffer.end() ||
-                       (a < g.keys.size() && g.keys[a] <= bit->key);
-      if (take_main) {
-        out->push_back({g.keys[a], g.values[a]});
+           (a < dta.keys.size() || bit != g.buffer.end())) {
+      bool have_main = a < dta.keys.size();
+      bool have_buf = bit != g.buffer.end();
+      if (have_main && have_buf && dta.keys[a] == bit->key) {
+        out->push_back(*bit);
+        ++a;
+        ++bit;
+      } else if (have_main && (!have_buf || dta.keys[a] < bit->key)) {
+        out->push_back({dta.keys[a], dta.values[a]});
         ++a;
       } else {
         out->push_back(*bit);
@@ -320,32 +400,121 @@ size_t XIndex::Scan(Key from, size_t count, std::vector<KeyValue>* out)
   return copied;
 }
 
+void XIndex::CollectDrift(double threshold,
+                          std::vector<DriftCandidate>* out) {
+  std::shared_lock dir_lock(groups_mutex_);
+  for (const auto& g : groups_) {
+    std::shared_lock group_lock(g->mutex);
+    double p = static_cast<double>(g->buffer.size()) /
+               static_cast<double>(buffer_threshold_);
+    if (p >= threshold) out->push_back({g->pivot, p});
+  }
+  std::sort(out->begin(), out->end(),
+            [](const DriftCandidate& x, const DriftCandidate& y) {
+              return x.pressure > y.pressure;
+            });
+}
+
+std::unique_ptr<PreparedRetrain> XIndex::PrepareRetrain(
+    uint64_t segment_id) {
+  Key pivot = static_cast<Key>(segment_id);
+  // The guard pins the snapshotted array through the off-thread training
+  // (a concurrent compaction would retire it otherwise).
+  EpochGuard guard;
+  const GroupData* old_data;
+  auto plan = std::make_unique<Plan>();
+  {
+    std::shared_lock dir_lock(groups_mutex_);
+    if (groups_.empty()) return nullptr;
+    Group& g = *groups_[RouteToGroup(pivot)];
+    if (g.pivot != pivot) return nullptr;  // Split moved the segment.
+    std::shared_lock group_lock(g.mutex);
+    old_data = g.data.load(std::memory_order_acquire);
+    plan->snapshot_buffer = g.buffer;
+    plan->data_version = g.data_version;
+    if (old_data->keys.empty() && plan->snapshot_buffer.empty()) {
+      return nullptr;
+    }
+  }
+  plan->pivot = pivot;
+  // Train outside every lock: the expensive part never blocks a writer.
+  Timer timer;
+  plan->new_data = MergeGroupData(*old_data, plan->snapshot_buffer);
+  plan->new_data->Train();
+  plan->train_nanos = timer.ElapsedNanos();
+  return plan;
+}
+
+bool XIndex::PublishRetrain(std::unique_ptr<PreparedRetrain> plan_in) {
+  std::unique_ptr<Plan> plan(static_cast<Plan*>(plan_in.release()));
+  Timer timer;
+  std::shared_lock dir_lock(groups_mutex_);
+  if (groups_.empty()) return false;
+  Group& g = *groups_[RouteToGroup(plan->pivot)];
+  if (g.pivot != plan->pivot) return false;
+  std::unique_lock group_lock(g.mutex);
+  if (g.data_version != plan->data_version) {
+    // A compaction or split replaced the array since the snapshot.
+    return false;
+  }
+  // Keep only buffer entries the plan has NOT merged: anything inserted
+  // or updated after the snapshot stays and shadows the new array
+  // (newest wins); exact (key, value) matches are already in new_data.
+  std::vector<KeyValue> remaining;
+  size_t j = 0;
+  for (const KeyValue& kv : g.buffer) {
+    while (j < plan->snapshot_buffer.size() &&
+           plan->snapshot_buffer[j].key < kv.key) {
+      ++j;
+    }
+    if (j < plan->snapshot_buffer.size() && plan->snapshot_buffer[j] == kv) {
+      ++j;
+      continue;
+    }
+    remaining.push_back(kv);
+  }
+  g.buffer = std::move(remaining);
+  g.SwapData(std::move(plan->new_data));
+  retrain_count_.fetch_add(1, std::memory_order_relaxed);
+  retrain_nanos_.fetch_add(plan->train_nanos + timer.ElapsedNanos(),
+                           std::memory_order_relaxed);
+  return true;
+}
+
+void XIndex::SetMaintenanceMode(bool enabled) {
+  maintenance_mode_.store(enabled, std::memory_order_release);
+}
+
 size_t XIndex::IndexSizeBytes() const {
   std::shared_lock dir_lock(groups_mutex_);
   return sizeof(root_stage1_) + root_stage2_.size() * sizeof(LinearModel) +
-         pivots_.size() * sizeof(Key) + groups_.size() * sizeof(Group);
+         pivots_.size() * sizeof(Key) +
+         groups_.size() * (sizeof(Group) + sizeof(GroupData));
 }
 
 size_t XIndex::TotalSizeBytes() const {
+  EpochGuard guard;
   std::shared_lock dir_lock(groups_mutex_);
   size_t bytes = sizeof(root_stage1_) +
                  root_stage2_.size() * sizeof(LinearModel) +
-                 pivots_.size() * sizeof(Key) + groups_.size() * sizeof(Group);
+                 pivots_.size() * sizeof(Key) +
+                 groups_.size() * (sizeof(Group) + sizeof(GroupData));
   for (const auto& g : groups_) {
-    bytes += g->keys.capacity() * sizeof(Key) +
-             g->values.capacity() * sizeof(Value) +
+    std::shared_lock group_lock(g->mutex);
+    const GroupData* dta = g->data.load(std::memory_order_acquire);
+    bytes += dta->keys.capacity() * sizeof(Key) +
+             dta->values.capacity() * sizeof(Value) +
              g->buffer.capacity() * sizeof(KeyValue);
   }
   return bytes;
 }
 
 IndexStats XIndex::Stats() const {
+  EpochGuard guard;
   std::shared_lock dir_lock(groups_mutex_);
   IndexStats s;
-  {
-    std::shared_lock stats_lock(stats_mutex_);
-    s = update_stats_;
-  }
+  s.retrain_count = retrain_count_.load(std::memory_order_relaxed);
+  s.retrain_nanos = retrain_nanos_.load(std::memory_order_relaxed);
   s.moved_keys = moved_keys_.load(std::memory_order_relaxed);
   s.leaf_count = groups_.size();
   s.inner_count = 1 + root_stage2_.size();
@@ -354,8 +523,9 @@ IndexStats XIndex::Stats() const {
   double err_sum = 0;
   for (const auto& g : groups_) {
     std::shared_lock group_lock(g->mutex);
-    max_err = std::max(max_err, g->max_err);
-    err_sum += static_cast<double>(g->max_err);
+    const GroupData* dta = g->data.load(std::memory_order_acquire);
+    max_err = std::max(max_err, dta->max_err);
+    err_sum += static_cast<double>(dta->max_err);
   }
   s.max_error = max_err;
   s.mean_error =

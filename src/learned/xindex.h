@@ -4,10 +4,19 @@
 // plus a sorted insert buffer. Inserts go to the buffer (offsite strategy);
 // when the buffer fills, the group compacts (merge + retrain) and splits
 // when it grows past the size limit. Concurrency follows the original's
-// spirit with fine-grained locking: a reader-writer lock per group plus a
-// reader-writer lock on the group directory; the root model is rebuilt
-// after splits (lookups tolerate root staleness via exponential search
-// over the pivot array, so correctness never depends on model accuracy).
+// spirit: a reader-writer lock on the group directory, a reader-writer
+// lock per group guarding the *buffer*, and an immutable main array
+// (GroupData) behind an atomic pointer — point reads probe the main array
+// lock-free under an EpochGuard, so a compaction (inline or published by
+// the background maintainer) swaps the pointer and retires the old array
+// without ever blocking readers. The root model is rebuilt after splits
+// (lookups tolerate root staleness via exponential search over the pivot
+// array, so correctness never depends on model accuracy).
+//
+// Because the main array is immutable, updating a key that lives there
+// writes a shadowing entry into the buffer instead of mutating in place;
+// reads probe the buffer first and compaction resolves the duplicate in
+// favour of the buffer (newest wins).
 #ifndef PIECES_LEARNED_XINDEX_H_
 #define PIECES_LEARNED_XINDEX_H_
 
@@ -18,14 +27,16 @@
 #include <vector>
 
 #include "common/linear_model.h"
+#include "index/maintenance.h"
 #include "index/ordered_index.h"
 
 namespace pieces {
 
-class XIndex : public OrderedIndex {
+class XIndex : public OrderedIndex, public MaintenanceHook {
  public:
   explicit XIndex(size_t group_size = 4096, size_t buffer_threshold = 256)
-      : group_size_(group_size), buffer_threshold_(buffer_threshold) {}
+      : group_size_(group_size),
+        buffer_threshold_(std::max<size_t>(1, buffer_threshold)) {}
 
   void BulkLoad(std::span<const KeyValue> data) override;
   bool Get(Key key, Value* value) const override;
@@ -39,21 +50,53 @@ class XIndex : public OrderedIndex {
   IndexStats Stats() const override;
   std::string_view Name() const override { return "XIndex"; }
   bool SupportsConcurrentWrites() const override { return true; }
+  MaintenanceHook* maintenance() override { return this; }
+
+  // MaintenanceHook. segment_id is the group's pivot key (stable across
+  // compactions; invalidated by splits, which Prepare/Publish detect).
+  void CollectDrift(double threshold,
+                    std::vector<DriftCandidate>* out) override;
+  std::unique_ptr<PreparedRetrain> PrepareRetrain(
+      uint64_t segment_id) override;
+  bool PublishRetrain(std::unique_ptr<PreparedRetrain> plan) override;
+  void SetMaintenanceMode(bool enabled) override;
 
  private:
-  struct Group {
-    Key pivot = 0;
+  // Past this multiple of buffer_threshold_ a maintenance-mode group
+  // compacts inline anyway — backpressure when the maintainer lags.
+  static constexpr size_t kHardCap = 4;
+
+  // The immutable trained state of a group. Swapped wholesale on
+  // compaction/publish; readers hold it via EpochGuard, never a lock.
+  struct GroupData {
     std::vector<Key> keys;
     std::vector<Value> values;
-    LinearModel model;     // key -> rank within the group.
-    size_t max_err = 0;    // Model's true max error over the main array.
-    std::vector<KeyValue> buffer;  // Sorted pending inserts.
-    mutable std::shared_mutex mutex;
+    LinearModel model;   // key -> rank within the group.
+    size_t max_err = 0;  // Model's true max error over the main array.
 
-    void Retrain();
+    void Train();
     // Rank of first main key >= `key` (exp. search from the model hint).
     size_t LowerBoundRank(Key key) const;
   };
+
+  struct Group {
+    Key pivot = 0;
+    std::atomic<GroupData*> data{nullptr};  // Never null once constructed.
+    // Bumped under the unique lock on every data swap; Prepare snapshots
+    // it and Publish aborts on mismatch (pointer comparison alone would
+    // be ABA-prone once the old array is reclaimed).
+    uint64_t data_version = 0;
+    std::vector<KeyValue> buffer;  // Sorted pending inserts; mutex-guarded.
+    mutable std::shared_mutex mutex;
+
+    Group();
+    ~Group();
+    // Publishes `nd` and retires the previous array. Caller holds the
+    // group's unique lock (or the group is not yet visible).
+    void SwapData(std::unique_ptr<GroupData> nd);
+  };
+
+  struct Plan;  // PreparedRetrain implementation (xindex.cc).
 
   // Index into groups_ for `key`; caller holds groups_mutex_ (any mode).
   size_t RouteToGroup(Key key) const;
@@ -62,6 +105,10 @@ class XIndex : public OrderedIndex {
   void RebuildRoot();
   // Merges buffer into main; caller holds the group's unique lock.
   void CompactGroup(Group* g);
+  // Sorted merge of main + buffer with duplicate keys resolving to the
+  // buffer entry (the newer write). Does not train.
+  static std::unique_ptr<GroupData> MergeGroupData(
+      const GroupData& data, const std::vector<KeyValue>& buffer);
 
   size_t group_size_;
   size_t buffer_threshold_;
@@ -73,8 +120,11 @@ class XIndex : public OrderedIndex {
   LinearModel root_stage1_;
   std::vector<LinearModel> root_stage2_;
 
-  mutable std::shared_mutex stats_mutex_;
-  IndexStats update_stats_;
+  std::atomic<bool> maintenance_mode_{false};
+  // Retrain accounting is shared between inserting threads and the
+  // maintainer, so plain fields under a stats mutex would race Stats().
+  std::atomic<uint64_t> retrain_count_{0};
+  std::atomic<uint64_t> retrain_nanos_{0};
   std::atomic<uint64_t> moved_keys_{0};
 };
 

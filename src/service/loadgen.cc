@@ -51,6 +51,11 @@ struct Counters {
       case RequestStatus::kShutdown:
         shutdown.fetch_add(1, std::memory_order_relaxed);
         break;
+      case RequestStatus::kInvalid:
+        // The generator never emits malformed requests; count as rejected
+        // so a bug here is at least visible in the tallies.
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
   }
 };

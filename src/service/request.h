@@ -30,6 +30,7 @@ enum class RequestStatus : uint8_t {
   kStoreFull,  // Put failed (PMem exhausted or read-only index).
   kRejected,   // Admission control dropped the request (queue full).
   kShutdown,   // Service stopped before the request could be queued.
+  kInvalid,    // Malformed request (e.g. scan count exceeds uint32_t).
 };
 
 const char* RequestStatusName(RequestStatus status);
@@ -71,6 +72,13 @@ struct ShardStats {
   uint64_t max_queue = 0;   // high-water mark of queued requests
   uint64_t recoveries = 0;  // crash-and-recover cycles survived
   size_t keys = 0;          // records owned by the shard's store
+  // Background maintainer counters (all zero when maintenance is off or
+  // the shard's index has no MaintenanceHook). See MaintainerStats.
+  uint64_t bg_scans = 0;
+  uint64_t bg_prepared = 0;
+  uint64_t bg_published = 0;
+  uint64_t bg_aborted = 0;
+  uint64_t bg_throttled = 0;
 };
 
 struct ServiceStats {

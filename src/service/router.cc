@@ -26,6 +26,8 @@ const char* RequestStatusName(RequestStatus status) {
       return "rejected";
     case RequestStatus::kShutdown:
       return "shutdown";
+    case RequestStatus::kInvalid:
+      return "invalid";
   }
   return "unknown";
 }
@@ -48,14 +50,22 @@ RangePartition::RangePartition(size_t num_shards, std::vector<Key> sample)
     Key b = sample[i * sample.size() / num_shards_];
     // Boundaries must be strictly increasing; heavy duplicates in the
     // sample get nudged (the duplicated key's whole mass lands in one
-    // shard regardless — equal keys cannot be split).
-    if (!boundaries_.empty() && b <= prev) {
+    // shard regardless — equal keys cannot be split). The first boundary
+    // is nudged too: a quantile of 0 would otherwise give shard 0 the
+    // empty range [0, 0). `prev` starts at 0, so b == 0 becomes 1 and
+    // key 0 stays in shard 0.
+    if (b <= prev) {
       if (prev == std::numeric_limits<Key>::max()) break;
       b = prev + 1;
     }
     boundaries_.push_back(b);
     prev = b;
   }
+  // Nudging can exhaust the domain near Key max, leaving fewer
+  // boundaries than requested. The effective shard count must follow the
+  // boundary list — otherwise trailing shards own empty ranges while the
+  // service still spawns workers (and fans scans out) for them.
+  num_shards_ = boundaries_.size() + 1;
 }
 
 size_t RangePartition::ShardOf(Key key) const {
@@ -88,7 +98,7 @@ KvService::KvService(const std::string& index_name,
     }
     shards_.push_back(std::make_unique<Shard>(
         s, std::make_unique<ViperStore>(std::move(index), config_.store),
-        config_.queue_capacity));
+        config_.queue_capacity, config_.maintenance));
   }
 }
 
@@ -287,12 +297,16 @@ RequestStatus KvService::Put(Key key, const uint8_t* value) {
 }
 
 RequestStatus KvService::Scan(Key from, size_t count, std::vector<Key>* out) {
+  // Request carries the scan length as uint32_t; silently clamping an
+  // oversized count would return fewer keys than asked with status kOk.
+  if (count > std::numeric_limits<uint32_t>::max()) {
+    return RequestStatus::kInvalid;
+  }
   SyncCell cell;
   Request req;
   req.type = OpType::kScan;
   req.key = from;
-  req.scan_len = static_cast<uint32_t>(
-      std::min<size_t>(count, std::numeric_limits<uint32_t>::max()));
+  req.scan_len = static_cast<uint32_t>(count);
   req.scan_out = out;
   req.done = [&cell](RequestStatus st) { cell.Set(st); };
   Submit(std::move(req));

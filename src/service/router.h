@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "service/maintainer.h"
 #include "service/request.h"
 #include "service/shard.h"
 #include "store/viper.h"
@@ -62,6 +63,9 @@ struct ServiceConfig {
   size_t max_batch = 64;
   // Per-shard store configuration (value size, PMem capacity, latency).
   ViperStore::Config store;
+  // Per-shard background retraining (off by default). Ignored when the
+  // chosen index does not implement MaintenanceHook.
+  MaintenanceConfig maintenance;
 };
 
 class KvService {

@@ -8,10 +8,22 @@
 namespace pieces::service {
 
 Shard::Shard(size_t id, std::unique_ptr<ViperStore> store,
-             size_t queue_capacity)
+             size_t queue_capacity, MaintenanceConfig maintenance)
     : id_(id),
       queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity),
-      store_(std::move(store)) {}
+      maintenance_(maintenance),
+      store_(std::move(store)) {
+  if (maintenance_.enabled) {
+    MaintenanceHook* hook = store_->mutable_index()->maintenance();
+    if (hook != nullptr) {
+      // Maintenance mode stays on for the shard's lifetime (even across
+      // crash recovery): the index defers inline retrains so the
+      // maintainer can take them off-thread.
+      hook->SetMaintenanceMode(true);
+      maintainer_ = std::make_unique<Maintainer>(hook, maintenance_);
+    }
+  }
+}
 
 Shard::~Shard() { Stop(); }
 
@@ -20,6 +32,7 @@ void Shard::Start() {
   if (started_ || stopping_) return;
   started_ = true;
   worker_ = std::thread(&Shard::WorkerLoop, this);
+  if (maintainer_ != nullptr) maintainer_->Start();
 }
 
 Shard::EnqueueResult Shard::Enqueue(std::vector<Request>&& batch,
@@ -54,6 +67,9 @@ void Shard::Drain() {
 }
 
 void Shard::Stop() {
+  // Quiesce the maintainer before the worker: once Stop returns, nothing
+  // may touch the store (CrashAndRecover drops the PMem right after).
+  if (maintainer_ != nullptr) maintainer_->Stop();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
@@ -93,6 +109,14 @@ ShardStats Shard::Stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.recoveries = recoveries_.load(std::memory_order_relaxed);
   s.keys = store_->size();
+  if (maintainer_ != nullptr) {
+    MaintainerStats m = maintainer_->Stats();
+    s.bg_scans = m.scans;
+    s.bg_prepared = m.prepared;
+    s.bg_published = m.published;
+    s.bg_aborted = m.aborted;
+    s.bg_throttled = m.throttled;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   s.max_queue = max_queue_;
   return s;

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/maintainer.h"
 #include "service/request.h"
 #include "store/viper.h"
 
@@ -31,7 +32,11 @@ class Shard {
  public:
   enum class EnqueueResult : uint8_t { kAccepted, kRejected, kShutdown };
 
-  Shard(size_t id, std::unique_ptr<ViperStore> store, size_t queue_capacity);
+  // When `maintenance.enabled` and the shard's index implements
+  // MaintenanceHook, Start() also spawns a background maintainer that
+  // retrains drifting segments off the worker thread (maintainer.h).
+  Shard(size_t id, std::unique_ptr<ViperStore> store, size_t queue_capacity,
+        MaintenanceConfig maintenance = {});
   ~Shard();
 
   Shard(const Shard&) = delete;
@@ -91,7 +96,10 @@ class Shard {
 
   const size_t id_;
   const size_t queue_capacity_;
+  const MaintenanceConfig maintenance_;
   std::unique_ptr<ViperStore> store_;
+  // Non-null iff maintenance is enabled AND the index exposes a hook.
+  std::unique_ptr<Maintainer> maintainer_;
 
   mutable std::mutex mu_;
   std::condition_variable has_work_;   // worker waits for batches

@@ -1,0 +1,162 @@
+#include "workload/drift.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/random.h"
+
+namespace pieces {
+
+bool ParseDriftKind(const std::string& name, DriftKind* out) {
+  if (name == "key-shift") {
+    *out = DriftKind::kKeyShift;
+  } else if (name == "append-then-random") {
+    *out = DriftKind::kAppendThenRandom;
+  } else if (name == "diurnal") {
+    *out = DriftKind::kDiurnal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* DriftKindName(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kKeyShift:
+      return "key-shift";
+    case DriftKind::kAppendThenRandom:
+      return "append-then-random";
+    case DriftKind::kDiurnal:
+      return "diurnal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The ~0ull sentinel is reserved by the gapped-array indexes.
+constexpr uint64_t kMaxKey = ~0ull - 1;
+
+// A fresh key strictly inside (lo, hi); returns lo when the gap is empty
+// (the caller's insert degrades to an update, which still exercises the
+// write path).
+uint64_t KeyInGap(Rng& rng, uint64_t lo, uint64_t hi) {
+  if (hi <= lo + 1) return lo;
+  return lo + 1 + rng.NextUnder(hi - lo - 1);
+}
+
+std::vector<Op> KeyShiftOps(const DriftSpec& spec, size_t count,
+                            const std::vector<uint64_t>& keys,
+                            uint64_t seed) {
+  std::vector<Op> ops;
+  ops.reserve(count);
+  Rng rng(seed);
+  const size_t n = keys.size();
+  const size_t window =
+      std::max<size_t>(2, static_cast<size_t>(n * spec.hot_fraction));
+  const size_t phases = std::max<size_t>(1, spec.phases);
+  const size_t per_phase = std::max<size_t>(1, count / phases);
+  for (size_t i = 0; i < count; ++i) {
+    // The window's left edge walks from 0 to n - window across phases, so
+    // the final phase's hot keys share no segments with the first's.
+    const size_t phase = std::min(phases - 1, i / per_phase);
+    const size_t lo = phases > 1 ? (n - window) * phase / (phases - 1) : 0;
+    const size_t slot = lo + rng.NextUnder(window);
+    const int dice = static_cast<int>(rng.NextUnder(100));
+    if (dice < spec.insert_pct) {
+      const uint64_t gap_hi = slot + 1 < n ? keys[slot + 1] : kMaxKey;
+      ops.push_back({OpType::kInsert, KeyInGap(rng, keys[slot], gap_hi), 0});
+    } else if (dice < spec.insert_pct + spec.update_pct) {
+      ops.push_back({OpType::kUpdate, keys[slot], 0});
+    } else {
+      ops.push_back({OpType::kRead, keys[slot], 0});
+    }
+  }
+  return ops;
+}
+
+std::vector<Op> AppendThenRandomOps(const DriftSpec& spec, size_t count,
+                                    const std::vector<uint64_t>& keys,
+                                    uint64_t seed) {
+  std::vector<Op> ops;
+  ops.reserve(count);
+  Rng rng(seed);
+  const size_t phases = std::max<size_t>(2, spec.phases);
+  const size_t append_ops = count * (phases / 2) / phases;
+  uint64_t next = keys.empty() ? 0 : keys.back();
+  // Appends stride by a bounded random step so the tail stays dense but
+  // not perfectly linear (a perfectly linear tail is a best case no real
+  // append stream achieves).
+  for (size_t i = 0; i < append_ops && next < kMaxKey - 64; ++i) {
+    next += 1 + rng.NextUnder(64);
+    ops.push_back({OpType::kInsert, next, 0});
+  }
+  // Random half: uniform reads over everything loaded so far plus
+  // uniform fresh inserts — the appended tail's models see keys from a
+  // completely different distribution.
+  while (ops.size() < count) {
+    if (rng.NextUnder(100) < 50 && !keys.empty()) {
+      ops.push_back({OpType::kRead, keys[rng.NextUnder(keys.size())], 0});
+    } else {
+      uint64_t key = rng.Next();
+      if (key > kMaxKey) key = kMaxKey;
+      ops.push_back({OpType::kInsert, key, 0});
+    }
+  }
+  return ops;
+}
+
+std::vector<Op> DiurnalOps(const DriftSpec& spec, size_t count,
+                           const std::vector<uint64_t>& keys,
+                           const std::vector<uint64_t>& insert_pool,
+                           uint64_t seed) {
+  // Day -> evening -> night: read-heavy zipf, balanced, then write-heavy.
+  const WorkloadSpec rotation[3] = {
+      WorkloadSpec::YcsbB(KeyPick::kZipfian),
+      WorkloadSpec::YcsbA(KeyPick::kZipfian),
+      WorkloadSpec::YcsbD(),
+  };
+  std::vector<Op> ops;
+  ops.reserve(count);
+  const size_t phases = std::max<size_t>(1, spec.phases);
+  for (size_t p = 0; p < phases; ++p) {
+    const size_t want = p + 1 == phases ? count - ops.size() : count / phases;
+    std::vector<Op> part = GenerateOps(rotation[p % 3], want, keys,
+                                       insert_pool, seed + p * 977);
+    ops.insert(ops.end(), part.begin(), part.end());
+  }
+  return ops;
+}
+
+}  // namespace
+
+std::vector<Op> GenerateDriftOps(const DriftSpec& spec, size_t count,
+                                 const std::vector<uint64_t>& loaded_keys,
+                                 const std::vector<uint64_t>& insert_pool,
+                                 uint64_t seed) {
+  if (spec.kind != DriftKind::kAppendThenRandom && loaded_keys.empty()) {
+    std::fprintf(stderr, "GenerateDriftOps: %s needs a loaded key set\n",
+                 DriftKindName(spec.kind));
+    std::abort();
+  }
+  if (spec.insert_pct < 0 || spec.update_pct < 0 ||
+      spec.insert_pct + spec.update_pct > 100 || spec.hot_fraction <= 0 ||
+      spec.hot_fraction > 1) {
+    std::fprintf(stderr,
+                 "GenerateDriftOps: bad spec (insert=%d update=%d hot=%f)\n",
+                 spec.insert_pct, spec.update_pct, spec.hot_fraction);
+    std::abort();
+  }
+  switch (spec.kind) {
+    case DriftKind::kKeyShift:
+      return KeyShiftOps(spec, count, loaded_keys, seed);
+    case DriftKind::kAppendThenRandom:
+      return AppendThenRandomOps(spec, count, loaded_keys, seed);
+    case DriftKind::kDiurnal:
+      return DiurnalOps(spec, count, loaded_keys, insert_pool, seed);
+  }
+  return {};
+}
+
+}  // namespace pieces

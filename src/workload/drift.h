@@ -1,0 +1,71 @@
+// Drifting workloads: op streams whose key distribution changes over
+// time, so a learned index trained on the bulk-load distribution sees its
+// per-segment error grow in a *localized* way. These are the adversarial
+// inputs for background retraining (service/maintainer.h): a static YCSB
+// mix spreads inserts evenly and every segment retrains on roughly the
+// same schedule, while drift concentrates pressure on a moving subset of
+// segments — exactly the case where inline retraining stalls the serving
+// thread and off-thread retraining should not.
+//
+// Three shapes, mirroring the shift patterns discussed alongside the
+// paper's update benchmarks:
+//   kKeyShift         — a hot window slides across the key space phase by
+//                       phase; reads and fresh inserts both concentrate
+//                       inside the window (fresh keys land in the gaps
+//                       between loaded keys, so they pile into the few
+//                       segments under the window).
+//   kAppendThenRandom — first half appends strictly-increasing keys past
+//                       the loaded maximum (the YCSB-D cliff), then
+//                       switches to a uniform read/insert mix over
+//                       everything, invalidating the append-shaped models.
+//   kDiurnal          — rotates through read-heavy, balanced, and
+//                       write-heavy YCSB mixes phase by phase, like a
+//                       day/night traffic cycle.
+#ifndef PIECES_WORKLOAD_DRIFT_H_
+#define PIECES_WORKLOAD_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/ycsb.h"
+
+namespace pieces {
+
+enum class DriftKind : uint8_t {
+  kKeyShift = 0,
+  kAppendThenRandom = 1,
+  kDiurnal = 2,
+};
+
+// Parses "key-shift", "append-then-random", or "diurnal" (the bench CLI
+// names). Returns false on anything else.
+bool ParseDriftKind(const std::string& name, DriftKind* out);
+const char* DriftKindName(DriftKind kind);
+
+struct DriftSpec {
+  DriftKind kind = DriftKind::kKeyShift;
+  // The stream is cut into this many equal phases; each phase moves the
+  // hot window (kKeyShift), flips append->random at phases/2
+  // (kAppendThenRandom), or advances the mix rotation (kDiurnal).
+  size_t phases = 8;
+  // kKeyShift only: fraction of the loaded key set under the hot window,
+  // and the op mix inside it (the remainder of 100 is reads).
+  double hot_fraction = 0.10;
+  int insert_pct = 40;
+  int update_pct = 10;
+};
+
+// Generates `count` ops over `loaded_keys` (sorted, unique, non-empty for
+// kKeyShift/kDiurnal). `insert_pool` feeds kDiurnal's insert phases (same
+// contract as GenerateOps); kKeyShift and kAppendThenRandom synthesize
+// their own fresh keys from the loaded set's gaps. Deterministic in
+// `seed`.
+std::vector<Op> GenerateDriftOps(const DriftSpec& spec, size_t count,
+                                 const std::vector<uint64_t>& loaded_keys,
+                                 const std::vector<uint64_t>& insert_pool,
+                                 uint64_t seed = 42);
+
+}  // namespace pieces
+
+#endif  // PIECES_WORKLOAD_DRIFT_H_

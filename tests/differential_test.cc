@@ -72,6 +72,26 @@ TEST_P(IndexDifferentialTest, FaceUniform) {
   EXPECT_TRUE(res.ok) << res.report;
 }
 
+// Buffer-saturating insert-heavy stream over dense sequential keys: the
+// write share keeps every insert buffer at its retrain trigger, so the
+// merge/dedup paths (buffer entry shadowing a main-array key must resolve
+// to the newest value) run continuously rather than occasionally.
+TEST_P(IndexDifferentialTest, BufferSaturatingInsertHeavy) {
+  DiffConfig cfg;
+  cfg.seed = BaseSeed() + 6;
+  cfg.dataset = "sequential";
+  cfg.load_keys = 15000;
+  cfg.ops = 40000;
+  cfg.read_pct = 15;
+  cfg.update_pct = 20;
+  cfg.insert_pct = 60;
+  cfg.rmw_pct = 0;
+  cfg.scan_pct = 5;
+  cfg.pick = KeyPick::kZipfian;
+  DiffResult res = RunIndexDifferential(GetParam(), cfg);
+  EXPECT_TRUE(res.ok) << res.report;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexDifferentialTest,
                          ::testing::ValuesIn(AllIndexNames()),
                          [](const ::testing::TestParamInfo<std::string>& info) {

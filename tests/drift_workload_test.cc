@@ -1,0 +1,130 @@
+// Drifting-workload generator tests: op mixes, phase behaviour, and
+// determinism for the three drift shapes (workload/drift.h).
+#include "workload/drift.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+
+namespace pieces {
+namespace {
+
+std::vector<uint64_t> LinearKeys(size_t n, uint64_t stride) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < n; ++i) keys.push_back(i * stride);
+  return keys;
+}
+
+TEST(DriftWorkloadTest, ParseAndNameRoundTrip) {
+  DriftKind kind;
+  ASSERT_TRUE(ParseDriftKind("key-shift", &kind));
+  EXPECT_EQ(kind, DriftKind::kKeyShift);
+  ASSERT_TRUE(ParseDriftKind("append-then-random", &kind));
+  EXPECT_EQ(kind, DriftKind::kAppendThenRandom);
+  ASSERT_TRUE(ParseDriftKind("diurnal", &kind));
+  EXPECT_EQ(kind, DriftKind::kDiurnal);
+  EXPECT_FALSE(ParseDriftKind("bogus", &kind));
+  EXPECT_STREQ(DriftKindName(DriftKind::kKeyShift), "key-shift");
+}
+
+TEST(DriftWorkloadTest, KeyShiftWindowMoves) {
+  std::vector<uint64_t> keys = LinearKeys(10000, 1000);
+  DriftSpec spec;
+  spec.kind = DriftKind::kKeyShift;
+  spec.phases = 4;
+  std::vector<Op> ops = GenerateDriftOps(spec, 40000, keys, {}, 5);
+  ASSERT_EQ(ops.size(), 40000u);
+  // The first phase's keys sit in the low end of the domain, the last
+  // phase's in the high end — disjoint key populations are what make the
+  // drift localized.
+  uint64_t first_max = 0, last_min = ~0ull;
+  for (size_t i = 0; i < 10000; ++i) first_max = std::max(first_max, ops[i].key);
+  for (size_t i = 30000; i < 40000; ++i) last_min = std::min(last_min, ops[i].key);
+  EXPECT_LT(first_max, last_min);
+  // Mix matches the spec (inserts are fresh keys absent from the loaded
+  // set; updates and reads hit loaded keys).
+  std::set<uint64_t> loaded(keys.begin(), keys.end());
+  size_t inserts = 0, fresh = 0;
+  for (const Op& op : ops) {
+    if (op.type == OpType::kInsert) {
+      ++inserts;
+      if (loaded.find(op.key) == loaded.end()) ++fresh;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(inserts) / ops.size(), 0.40, 0.02);
+  // Gaps are wide (stride 1000), so nearly every insert is a true
+  // insertion rather than a degenerate update.
+  EXPECT_GT(static_cast<double>(fresh) / inserts, 0.95);
+}
+
+TEST(DriftWorkloadTest, AppendThenRandomSwitchesDistribution) {
+  std::vector<uint64_t> keys = LinearKeys(1000, 1 << 20);
+  DriftSpec spec;
+  spec.kind = DriftKind::kAppendThenRandom;
+  spec.phases = 4;
+  std::vector<Op> ops = GenerateDriftOps(spec, 10000, keys, {}, 7);
+  ASSERT_EQ(ops.size(), 10000u);
+  // First half: strictly increasing inserts past the loaded maximum.
+  const uint64_t loaded_max = keys.back();
+  uint64_t prev = loaded_max;
+  for (size_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(ops[i].type, OpType::kInsert);
+    ASSERT_GT(ops[i].key, prev);
+    prev = ops[i].key;
+  }
+  // Second half: a read/insert mix over the whole space, not a pure
+  // append stream anymore.
+  size_t reads = 0, below_max = 0;
+  for (size_t i = 5000; i < 10000; ++i) {
+    if (ops[i].type == OpType::kRead) ++reads;
+    if (ops[i].key < loaded_max) ++below_max;
+  }
+  EXPECT_GT(reads, 1000u);
+  EXPECT_GT(below_max, 1000u);
+}
+
+TEST(DriftWorkloadTest, DiurnalRotatesMixes) {
+  std::vector<uint64_t> keys = MakeUniformKeys(5000, 3);
+  std::vector<uint64_t> pool = MakeUniformKeys(1000, 4);
+  DriftSpec spec;
+  spec.kind = DriftKind::kDiurnal;
+  spec.phases = 3;
+  std::vector<Op> ops = GenerateDriftOps(spec, 30000, keys, pool, 9);
+  ASSERT_EQ(ops.size(), 30000u);
+  // Phase 0 is read-heavy (YCSB-B: 95r/5u), phase 2 is insert-bearing
+  // (YCSB-D: 95r/5i) — write *kinds* differ across phases.
+  auto count = [&](size_t lo, size_t hi, OpType t) {
+    size_t n = 0;
+    for (size_t i = lo; i < hi; ++i) n += ops[i].type == t ? 1 : 0;
+    return n;
+  };
+  EXPECT_GT(count(0, 10000, OpType::kUpdate), 0u);
+  EXPECT_EQ(count(0, 10000, OpType::kInsert), 0u);
+  EXPECT_GT(count(10000, 20000, OpType::kUpdate), 2000u);  // YCSB-A: 50%
+  EXPECT_GT(count(20000, 30000, OpType::kInsert), 0u);
+  EXPECT_EQ(count(20000, 30000, OpType::kUpdate), 0u);
+}
+
+TEST(DriftWorkloadTest, DeterministicInSeed) {
+  std::vector<uint64_t> keys = LinearKeys(1000, 100);
+  DriftSpec spec;
+  spec.kind = DriftKind::kKeyShift;
+  std::vector<Op> a = GenerateDriftOps(spec, 5000, keys, {}, 11);
+  std::vector<Op> b = GenerateDriftOps(spec, 5000, keys, {}, 11);
+  std::vector<Op> c = GenerateDriftOps(spec, 5000, keys, {}, 12);
+  ASSERT_EQ(a.size(), b.size());
+  bool same = true, differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    same = same && a[i].key == b[i].key && a[i].type == b[i].type;
+    differs = differs || a[i].key != c[i].key;
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace pieces

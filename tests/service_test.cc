@@ -120,6 +120,160 @@ TEST(RangePartitionTest, DuplicateHeavySampleStaysStrictlyIncreasing) {
   }
 }
 
+TEST(RangePartitionTest, AllDuplicateSampleShrinksEffectiveShardCount) {
+  // Every sampled key identical and equal to Key max: the nudge runs out
+  // of domain immediately, so only one boundary survives. The effective
+  // shard count must follow the boundary list — the old code kept
+  // num_shards at 4, leaving two trailing shards owning empty ranges
+  // while the service still spawned workers and fanned scans out to them.
+  std::vector<Key> sample(1000, std::numeric_limits<Key>::max());
+  RangePartition part(4, sample);
+  EXPECT_EQ(part.num_shards(), part.boundaries().size() + 1);
+  EXPECT_EQ(part.num_shards(), 2u);
+  EXPECT_EQ(part.ShardOf(0), 0u);
+  EXPECT_EQ(part.ShardOf(std::numeric_limits<Key>::max()),
+            part.num_shards() - 1);
+
+  // All-duplicates in the middle of the domain: nudging disambiguates
+  // every boundary, so the full shard count survives.
+  std::vector<Key> mid(1000, 42);
+  RangePartition part_mid(4, mid);
+  EXPECT_EQ(part_mid.num_shards(), 4u);
+  ASSERT_EQ(part_mid.boundaries().size(), 3u);
+  for (size_t i = 1; i < part_mid.boundaries().size(); ++i) {
+    EXPECT_LT(part_mid.boundaries()[i - 1], part_mid.boundaries()[i]);
+  }
+
+  // The service must agree with the partition, not the requested count:
+  // no dead shards, and requests route within [0, num_shards).
+  KvService svc("BTree", SmallConfig(4), sample);
+  EXPECT_EQ(svc.num_shards(), 2u);
+  std::vector<Key> load = {1, 2, 3, std::numeric_limits<Key>::max() - 1};
+  ASSERT_TRUE(svc.BulkLoad(load));
+  svc.Start();
+  std::vector<uint8_t> buf(svc.value_size());
+  for (Key k : load) {
+    EXPECT_EQ(svc.Get(k, buf.data()), RequestStatus::kOk) << k;
+  }
+  std::vector<Key> got;
+  EXPECT_EQ(svc.Scan(0, load.size(), &got), RequestStatus::kOk);
+  EXPECT_EQ(got, load);
+}
+
+TEST(RangePartitionTest, FirstBoundaryZeroIsNudged) {
+  // A sample whose first quantile is 0 used to produce boundaries
+  // starting at 0 (the first boundary skipped the nudge), making shard 0
+  // own the empty range [0, 0). Key 0 must stay in shard 0 and the
+  // boundary must move to 1.
+  std::vector<Key> sample(500, 0);
+  for (Key i = 0; i < 500; ++i) sample.push_back(1000 + i);
+  RangePartition part(4, sample);
+  ASSERT_FALSE(part.boundaries().empty());
+  EXPECT_GE(part.boundaries()[0], 1u);
+  EXPECT_EQ(part.ShardOf(0), 0u);
+  for (size_t i = 1; i < part.boundaries().size(); ++i) {
+    EXPECT_LT(part.boundaries()[i - 1], part.boundaries()[i]);
+  }
+  EXPECT_EQ(part.num_shards(), part.boundaries().size() + 1);
+}
+
+TEST(ServiceTest, OversizedScanCountReturnsInvalid) {
+  // Request carries scan_len as uint32_t. A count above that used to be
+  // silently clamped, returning fewer keys than asked with status kOk.
+  std::vector<Key> keys = MakeUniformKeys(512, 21);
+  KvService svc("BTree", SmallConfig(2), keys);
+  ASSERT_TRUE(svc.BulkLoad(keys));
+  svc.Start();
+  std::vector<Key> got;
+  const size_t oversized =
+      static_cast<size_t>(std::numeric_limits<uint32_t>::max()) + 1;
+  EXPECT_EQ(svc.Scan(0, oversized, &got), RequestStatus::kInvalid);
+  EXPECT_TRUE(got.empty());
+  // The max representable count is still served.
+  EXPECT_EQ(svc.Scan(0, keys.size(), &got), RequestStatus::kOk);
+  EXPECT_EQ(got.size(), keys.size());
+}
+
+TEST(ServiceTest, ScanSpanningThreeShardsReturnsExactCount) {
+  std::vector<Key> keys = MakeUniformKeys(8192, 23);
+  KvService svc("BTree", SmallConfig(4), keys);
+  ASSERT_TRUE(svc.BulkLoad(keys));
+  svc.Start();
+
+  // Start just inside shard 0 and ask for enough keys to cross at least
+  // two boundaries (CDF-balanced partition: each shard holds ~1/4).
+  const Key from = keys[100];
+  const size_t count = keys.size() / 2 + keys.size() / 8;  // ~2.5 shards
+  std::vector<Key> got;
+  ASSERT_EQ(svc.Scan(from, count, &got), RequestStatus::kOk);
+  EXPECT_EQ(got.size(), count);  // exactly `count`, not a clamp artifact
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_GE(svc.ShardOf(got.back()) - svc.ShardOf(got.front()), 2u)
+      << "scan did not span >= 3 shards";
+  // Against the oracle: the `count` smallest loaded keys >= from.
+  auto begin = std::lower_bound(keys.begin(), keys.end(), from);
+  std::vector<Key> oracle(begin, begin + static_cast<ptrdiff_t>(count));
+  EXPECT_EQ(got, oracle);
+}
+
+TEST(ServiceMaintenanceTest, BackgroundRetrainingKeepsServiceCorrect) {
+  // End-to-end wiring: maintenance enabled through ServiceConfig, an
+  // index that implements MaintenanceHook (XIndex), sustained inserts
+  // driving drift, and the maintainer publishing retrains while the shard
+  // workers serve — ShardStats must surface the background counters.
+  std::vector<Key> keys = MakeUniformKeys(16384, 29);
+  ServiceConfig cfg = SmallConfig(2);
+  cfg.store.pmem_capacity = size_t{256} << 20;
+  cfg.maintenance.enabled = true;
+  cfg.maintenance.drift_threshold = 0.25;
+  cfg.maintenance.poll_interval_us = 200;
+  KvService svc("XIndex", cfg, keys);
+  ASSERT_TRUE(svc.BulkLoad(keys));
+  svc.Start();
+
+  std::vector<Request> batch;
+  for (Key i = 0; i < 20000; ++i) {
+    Request req;
+    req.type = OpType::kInsert;
+    req.key = keys[i % keys.size()] + 1 + i;
+    batch.push_back(std::move(req));
+    if (batch.size() == 256) {
+      svc.SubmitBatch(std::move(batch));
+      batch.clear();
+    }
+  }
+  svc.SubmitBatch(std::move(batch));
+  svc.Drain();
+
+  // Reads stay correct with retrains in flight.
+  std::vector<uint8_t> got(svc.value_size());
+  std::vector<uint8_t> expected(svc.value_size());
+  for (size_t i = 0; i < keys.size(); i += 511) {
+    ASSERT_EQ(svc.Get(keys[i], got.data()), RequestStatus::kOk) << keys[i];
+    ViperStore::FillSyntheticValue(keys[i], expected.data(), expected.size());
+    EXPECT_EQ(std::memcmp(got.data(), expected.data(), got.size()), 0);
+  }
+  ServiceStats stats = svc.Stats();
+  uint64_t scans = 0, published = 0;
+  for (const ShardStats& s : stats.shards) {
+    scans += s.bg_scans;
+    published += s.bg_published;
+  }
+  EXPECT_GT(scans, 0u);
+  EXPECT_GT(published, 0u);
+  svc.Shutdown();
+
+  // Maintenance requested on an index with no hook: stats stay zero and
+  // the service works normally (the flag is simply ignored).
+  ServiceConfig btree_cfg = SmallConfig(1);
+  btree_cfg.maintenance.enabled = true;
+  KvService plain("BTree", btree_cfg, keys);
+  ASSERT_TRUE(plain.BulkLoad(keys));
+  plain.Start();
+  EXPECT_EQ(plain.Get(keys[0], got.data()), RequestStatus::kOk);
+  EXPECT_EQ(plain.Stats().shards[0].bg_scans, 0u);
+}
+
 TEST(ServiceTest, SyncGetPutScanRoundTrip) {
   std::vector<Key> keys = MakeUniformKeys(2048, 11);
   KvService svc("BTree", SmallConfig(4), keys);

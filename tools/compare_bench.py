@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Compare two pieces_bench result trees and flag throughput regressions.
+
+Both --baseline and --current are directories containing `<experiment>.jsonl`
+files as written by `pieces_bench --format=json --out=DIR` (possibly nested,
+e.g. results/drift/drift.jsonl — the tree is walked recursively). Rows are
+matched across the two trees by (experiment, section, name, labels); for
+each matched pair, every throughput-like metric is compared and a drop
+larger than --threshold (default 15%) is flagged.
+
+Throughput metrics are those where higher is better: qps / ops-per-second
+style counters. Latency metrics (ns, p99, ...) are reported informationally
+when --show-latency is given but never affect the exit code — smoke-scale
+latency on shared CI runners is too noisy to gate on.
+
+Exit codes: 0 = no regression, 1 = at least one flagged regression,
+2 = usage or parse error.
+
+Usage:
+    tools/compare_bench.py --baseline old_results/ --current results/
+    tools/compare_bench.py --baseline a/ --current b/ --threshold 0.10
+"""
+import argparse
+import json
+import os
+import sys
+
+# A metric counts as throughput when its key contains one of these
+# substrings (case-insensitive). Covers qps/achieved_qps/offered_qps from
+# the service experiments and mops/ops_per_sec from the index microbenches.
+THROUGHPUT_MARKERS = ("qps", "ops_per_sec", "mops", "throughput")
+# ...unless it also matches one of these (offered_qps is the load we asked
+# for, not what the system delivered — comparing it is meaningless).
+THROUGHPUT_EXCLUDE = ("offered", "target")
+
+LATENCY_MARKERS = ("ns", "p50", "p99", "p999", "latency")
+
+
+def is_throughput(key: str) -> bool:
+    low = key.lower()
+    if any(marker in low for marker in THROUGHPUT_EXCLUDE):
+        return False
+    return any(marker in low for marker in THROUGHPUT_MARKERS)
+
+
+def is_latency(key: str) -> bool:
+    low = key.lower()
+    return any(marker in low for marker in LATENCY_MARKERS)
+
+
+def load_rows(root: str):
+    """Walks `root` for .jsonl files; returns {row_key: metrics dict}."""
+    rows = {}
+    for dirpath, _, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".jsonl"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, encoding="utf-8") as f:
+                for line_no, line in enumerate(f, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        obj = json.loads(line)
+                    except json.JSONDecodeError as e:
+                        print(f"{path}:{line_no}: bad JSON: {e}",
+                              file=sys.stderr)
+                        return None
+                    if obj.get("type") != "row":
+                        continue
+                    labels = tuple(sorted(obj.get("labels", {}).items()))
+                    key = (obj.get("experiment", ""), obj.get("section", ""),
+                           obj.get("name", ""), labels)
+                    # Duplicate identity (e.g. two copies of the same
+                    # experiment in the tree): last one wins, note it.
+                    if key in rows:
+                        print(f"{path}:{line_no}: duplicate row identity "
+                              f"{key[:3]}, keeping the later one",
+                              file=sys.stderr)
+                    rows[key] = obj.get("metrics", {})
+    return rows
+
+
+def describe(key) -> str:
+    experiment, section, name, labels = key
+    parts = [experiment]
+    if section:
+        parts.append(section)
+    parts.append(name)
+    parts += [f"{k}={v}" for k, v in labels]
+    return " / ".join(parts)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="directory of baseline .jsonl results")
+    ap.add_argument("--current", required=True,
+                    help="directory of current .jsonl results")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="fractional throughput drop that counts as a "
+                         "regression (default 0.15 = 15%%)")
+    ap.add_argument("--show-latency", action="store_true",
+                    help="also print latency deltas (informational only)")
+    ap.add_argument("--github-annotations", action="store_true",
+                    help="emit ::warning:: lines for GitHub Actions")
+    args = ap.parse_args()
+
+    for root in (args.baseline, args.current):
+        if not os.path.isdir(root):
+            print(f"error: {root} is not a directory", file=sys.stderr)
+            return 2
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    if baseline is None or current is None:
+        return 2
+    if not baseline:
+        print(f"error: no result rows under {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    matched = 0
+    compared = 0
+    regressions = []
+    for key, base_metrics in sorted(baseline.items()):
+        cur_metrics = current.get(key)
+        if cur_metrics is None:
+            continue
+        matched += 1
+        for metric, base_val in base_metrics.items():
+            cur_val = cur_metrics.get(metric)
+            if cur_val is None or base_val is None:
+                continue
+            if is_throughput(metric):
+                if base_val <= 0:
+                    continue
+                compared += 1
+                delta = (cur_val - base_val) / base_val
+                if delta < -args.threshold:
+                    regressions.append((key, metric, base_val, cur_val,
+                                        delta))
+            elif args.show_latency and is_latency(metric) and base_val > 0:
+                delta = (cur_val - base_val) / base_val
+                if abs(delta) > args.threshold:
+                    print(f"  [latency] {describe(key)} {metric}: "
+                          f"{base_val:.0f} -> {cur_val:.0f} "
+                          f"({delta:+.1%})")
+
+    unmatched = len(baseline) - matched
+    print(f"compared {compared} throughput metrics across {matched} "
+          f"matched rows ({unmatched} baseline rows had no counterpart; "
+          f"threshold {args.threshold:.0%})")
+    if not regressions:
+        print("no throughput regressions flagged")
+        return 0
+    for key, metric, base_val, cur_val, delta in regressions:
+        line = (f"{describe(key)} {metric}: {base_val:.1f} -> "
+                f"{cur_val:.1f} ({delta:+.1%})")
+        print(f"  REGRESSION {line}")
+        if args.github_annotations:
+            print(f"::warning title=bench regression::{line}")
+    print(f"{len(regressions)} throughput regression(s) flagged")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
