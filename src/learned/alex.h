@@ -16,9 +16,22 @@
 // Lookups use exponential search from the predicted slot, so correctness
 // never depends on an error bound (ALEX guarantees none — the Fig. 10
 // tail-latency observation).
+//
+// Concurrency: per-node optimistic version locks (the BTreeOLC protocol).
+// Readers descend lock-free, validating each node's version after reading
+// it and restarting from the root on any change; writers lock only the
+// one data node they mutate. Structural modifications (expand / append-
+// grow / split) never resize a published node in place — they build
+// replacement nodes off to the side, lock the structural neighborhood
+// (parent slot range, leaf-chain neighbors) with try-locks, publish the
+// replacements, mark the old node obsolete and hand it to the global
+// EpochManager, so concurrent readers still probing it stay safe until
+// every guard has drained. BulkLoad / Clear / the size and stats accessors
+// keep the quiescent single-threaded contract.
 #ifndef PIECES_LEARNED_ALEX_H_
 #define PIECES_LEARNED_ALEX_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -53,29 +66,42 @@ class Alex : public OrderedIndex {
   size_t TotalSizeBytes() const override;
   IndexStats Stats() const override;
   std::string_view Name() const override { return "ALEX"; }
+  bool SupportsConcurrentWrites() const override { return true; }
 
  private:
   struct Node;
   struct DataNode;
   struct InnerNode;
+  // One optimistic-descent step: the inner node, the (even) version it was
+  // read under, and the child slot taken. SMOs re-lock the parent by
+  // upgrading the recorded version — any interleaved change fails the CAS
+  // and restarts the insert.
+  struct PathEntry;
 
   void Clear();
   Node* BuildSubtree(const KeyValue* data, size_t count);
   DataNode* BuildDataNode(const KeyValue* data, size_t count) const;
-  // Finds the data node for `key`, recording the path of (inner, slot).
-  DataNode* Descend(Key key,
-                    std::vector<std::pair<InnerNode*, size_t>>* path) const;
-  void ExpandDataNode(DataNode* node);
-  // Grows the node's tail without retraining the model (ALEX's append
-  // optimization: sequential inserts land in fresh tail gaps in O(1)).
-  void AppendExpandDataNode(DataNode* node);
-  void SplitDataNode(DataNode* node,
-                     std::vector<std::pair<InnerNode*, size_t>>* path);
+  // Same keys/model, capacity grown by half: the append optimization
+  // (sequential inserts land in fresh tail gaps in O(1)) as a copy, since
+  // published nodes are immutable in shape.
+  DataNode* CloneForAppend(const DataNode* node) const;
+  // Optimistic descent to the data node for `key`. Returns the leaf with a
+  // validated ReadLock version in *leaf_version, or nullptr when any node
+  // on the path was locked/obsolete/changed (caller restarts).
+  DataNode* DescendOlc(Key key, std::vector<PathEntry>* path,
+                       uint64_t* leaf_version) const;
+  // Structural modifications. Caller holds `node`'s write lock and is
+  // released of it either way: on success the replacement is published and
+  // `node` is retired; on failure (a structural try-lock lost a race)
+  // nothing is published. Both return whether they published.
+  bool SmoExpand(DataNode* node, const std::vector<PathEntry>& path,
+                 bool append_only);
+  bool SmoSplit(DataNode* node, const std::vector<PathEntry>& path);
 
   Config config_;
-  Node* root_ = nullptr;
-  size_t size_ = 0;
-  mutable IndexStats update_stats_;
+  std::atomic<Node*> root_{nullptr};
+  std::atomic<size_t> size_{0};
+  mutable IndexStats update_stats_;  // fields bumped via relaxed atomic_ref
 };
 
 }  // namespace pieces

@@ -33,6 +33,7 @@ struct Counters {
   std::atomic<uint64_t> store_full{0};
   std::atomic<uint64_t> rejected{0};
   std::atomic<uint64_t> shutdown{0};
+  std::atomic<uint64_t> retried{0};
 
   void Count(RequestStatus st) {
     switch (st) {
@@ -51,6 +52,9 @@ struct Counters {
       case RequestStatus::kShutdown:
         shutdown.fetch_add(1, std::memory_order_relaxed);
         break;
+      case RequestStatus::kRetry:
+        retried.fetch_add(1, std::memory_order_relaxed);
+        break;
       case RequestStatus::kInvalid:
         // The generator never emits malformed requests; count as rejected
         // so a bug here is at least visible in the tallies.
@@ -58,6 +62,50 @@ struct Counters {
         break;
     }
   }
+};
+
+// Whether a completion represents an executed request (latency is only
+// meaningful for those — dropped requests never entered a queue).
+bool Executed(RequestStatus st) {
+  return st == RequestStatus::kOk || st == RequestStatus::kNotFound ||
+         st == RequestStatus::kStoreFull;
+}
+
+// Mutex-striped latency sink. Completions run on whichever worker
+// executed the request; a stripe per thread-id hash keeps the mutex
+// effectively uncontended without tying recorder identity to the (live,
+// split-mutable) shard layout.
+class StripedLatency {
+ public:
+  static constexpr size_t kStripes = 16;
+
+  void Record(uint64_t nanos) {
+    Stripe& s = stripes_[StripeOf()];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.recorder.Record(nanos);
+  }
+
+  LatencyRecorder Merged() {
+    LatencyRecorder out;
+    for (Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      out.Merge(s.recorder);
+    }
+    return out;
+  }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    LatencyRecorder recorder;
+  };
+
+  static size_t StripeOf() {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+           kStripes;
+  }
+
+  Stripe stripes_[kStripes];
 };
 
 }  // namespace
@@ -76,10 +124,8 @@ LoadGenResult RunOpenLoop(KvService* service, const std::vector<Op>& ops,
           : 0;
 
   Counters counters;
-  // One recorder per shard, written only by that shard's worker.
-  std::vector<LatencyRecorder> shard_latency(service->num_shards());
-  std::mutex scan_mu;
-  LatencyRecorder scan_latency;
+  StripedLatency point_latency;
+  StripedLatency scan_latency;
   std::vector<uint64_t> issued_per_client(clients, 0);
 
   const uint64_t start = NowNanos();
@@ -115,18 +161,15 @@ LoadGenResult RunOpenLoop(KvService* service, const std::vector<Op>& ops,
       req.start_nanos = scheduled;
       if (op.type == OpType::kScan) {
         req.scan_len = op.scan_len;
-        req.done = [&counters, &scan_mu, &scan_latency,
-                    scheduled](RequestStatus st) {
+        req.done = [&counters, &scan_latency, scheduled](RequestStatus st) {
           counters.Count(st);
-          if (st != RequestStatus::kRejected &&
-              st != RequestStatus::kShutdown) {
-            std::lock_guard<std::mutex> lock(scan_mu);
-            scan_latency.Record(NowNanos() - scheduled);
-          }
+          if (Executed(st)) scan_latency.Record(NowNanos() - scheduled);
         };
       } else {
-        req.latency = &shard_latency[service->ShardOf(op.key)];
-        req.done = [&counters](RequestStatus st) { counters.Count(st); };
+        req.done = [&counters, &point_latency, scheduled](RequestStatus st) {
+          counters.Count(st);
+          if (Executed(st)) point_latency.Record(NowNanos() - scheduled);
+        };
       }
       pending.push_back(std::move(req));
       ++issued;
@@ -149,6 +192,7 @@ LoadGenResult RunOpenLoop(KvService* service, const std::vector<Op>& ops,
   result.store_full = counters.store_full.load();
   result.rejected = counters.rejected.load();
   result.shutdown = counters.shutdown.load();
+  result.retried = counters.retried.load();
   result.wall_seconds = static_cast<double>(done - start) * 1e-9;
   result.offered_qps =
       static_cast<double>(result.issued) / options.duration_seconds;
@@ -158,10 +202,8 @@ LoadGenResult RunOpenLoop(KvService* service, const std::vector<Op>& ops,
                             ? static_cast<double>(executed) /
                                   result.wall_seconds
                             : 0;
-  for (const LatencyRecorder& rec : shard_latency) {
-    result.point_latency.Merge(rec);
-  }
-  result.scan_latency = scan_latency;
+  result.point_latency = point_latency.Merged();
+  result.scan_latency = scan_latency.Merged();
   return result;
 }
 

@@ -9,9 +9,12 @@
 // control) is charged to the request, exactly as a real user would
 // experience it.
 //
-// Latency recording stays single-writer: point-op latencies go into one
-// recorder per shard, written only by that shard's worker; multi-shard
-// scan latencies are recorded under a mutex (rare by construction).
+// Latency is recorded in the completion callback into a small striped
+// recorder pool (stripe picked by executing-thread hash, one mutex per
+// stripe, merged at the end). Per-shard recorders would break the moment
+// a live split changes the shard set mid-run, and a multi-writer shard
+// has several workers completing one client's requests concurrently —
+// the striped pool is immune to both.
 #ifndef PIECES_SERVICE_LOADGEN_H_
 #define PIECES_SERVICE_LOADGEN_H_
 
@@ -42,6 +45,7 @@ struct LoadGenResult {
   uint64_t store_full = 0;
   uint64_t rejected = 0;
   uint64_t shutdown = 0;
+  uint64_t retried = 0;  // completed kRetry: lost the race with a split
   double wall_seconds = 0;   // first scheduled arrival -> drain complete
   double offered_qps = 0;    // issued / duration
   double achieved_qps = 0;   // executed (non-rejected) / wall

@@ -31,6 +31,8 @@ enum class RequestStatus : uint8_t {
   kRejected,   // Admission control dropped the request (queue full).
   kShutdown,   // Service stopped before the request could be queued.
   kInvalid,    // Malformed request (e.g. scan count exceeds uint32_t).
+  kRetry,      // The partition moved mid-request (live split/merge) and
+               // the re-route budget ran out; the client may resubmit.
 };
 
 const char* RequestStatusName(RequestStatus status);
@@ -72,6 +74,7 @@ struct ShardStats {
   uint64_t max_queue = 0;   // high-water mark of queued requests
   uint64_t recoveries = 0;  // crash-and-recover cycles survived
   size_t keys = 0;          // records owned by the shard's store
+  size_t writers = 1;       // worker threads (lanes) serving the shard
   // Background maintainer counters (all zero when maintenance is off or
   // the shard's index has no MaintenanceHook). See MaintainerStats.
   uint64_t bg_scans = 0;
@@ -83,6 +86,11 @@ struct ShardStats {
 
 struct ServiceStats {
   std::vector<ShardStats> shards;
+  // Live-rebalancing counters: structural operations performed and the
+  // version of the partition snapshot the stats were read against.
+  uint64_t splits = 0;
+  uint64_t merges = 0;
+  uint64_t partition_version = 0;
 
   uint64_t total_ops() const {
     uint64_t n = 0;

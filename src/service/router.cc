@@ -1,14 +1,13 @@
 #include "service/router.h"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
-#include <thread>
+#include <iterator>
 #include <utility>
 
+#include "common/epoch.h"
 #include "common/timer.h"
 #include "index/registry.h"
 
@@ -28,6 +27,8 @@ const char* RequestStatusName(RequestStatus status) {
       return "shutdown";
     case RequestStatus::kInvalid:
       return "invalid";
+    case RequestStatus::kRetry:
+      return "retry";
   }
   return "unknown";
 }
@@ -68,6 +69,13 @@ RangePartition::RangePartition(size_t num_shards, std::vector<Key> sample)
   num_shards_ = boundaries_.size() + 1;
 }
 
+RangePartition RangePartition::FromBoundaries(std::vector<Key> boundaries) {
+  RangePartition p(1, {});
+  p.boundaries_ = std::move(boundaries);
+  p.num_shards_ = p.boundaries_.size() + 1;
+  return p;
+}
+
 size_t RangePartition::ShardOf(Key key) const {
   // Shard s owns [boundaries_[s-1], boundaries_[s]); a boundary key
   // belongs to the shard on its right.
@@ -85,95 +93,172 @@ Key RangePartition::LowerBound(size_t shard) const {
 KvService::KvService(const std::string& index_name,
                      const ServiceConfig& config,
                      const std::vector<Key>& bootstrap_sample)
-    : index_name_(index_name),
-      config_(config),
-      partition_(config.num_shards, bootstrap_sample) {
-  shards_.reserve(partition_.num_shards());
-  for (size_t s = 0; s < partition_.num_shards(); ++s) {
-    auto index = MakeIndex(index_name);
-    if (index == nullptr) {
-      std::fprintf(stderr, "KvService: unknown index '%s'\n",
-                   index_name.c_str());
-      std::abort();
-    }
-    shards_.push_back(std::make_unique<Shard>(
-        s, std::make_unique<ViperStore>(std::move(index), config_.store),
-        config_.queue_capacity, config_.maintenance));
-  }
+    : index_name_(index_name), config_(config) {
+  auto* snap = new Snapshot;
+  snap->version = 1;
+  snap->partition = RangePartition(config.num_shards, bootstrap_sample);
+  const size_t n = snap->partition.num_shards();
+  snap->shards.reserve(n);
+  for (size_t s = 0; s < n; ++s) snap->shards.push_back(MakeShard(s));
+  next_shard_id_ = n;
+  snapshot_.store(snap, std::memory_order_release);
 }
 
-KvService::~KvService() { Shutdown(); }
+KvService::~KvService() {
+  Shutdown();
+  // Retired snapshots sit in the global epoch manager's limbo (their
+  // shard references drop whenever reclamation runs); the live one is
+  // ours to free.
+  delete snapshot_.load(std::memory_order_acquire);
+  EpochManager::Global().ReclaimSome();
+}
+
+std::shared_ptr<Shard> KvService::MakeShard(size_t id) {
+  auto index = MakeIndex(index_name_);
+  if (index == nullptr) {
+    std::fprintf(stderr, "KvService: unknown index '%s'\n",
+                 index_name_.c_str());
+    std::abort();
+  }
+  return std::make_shared<Shard>(
+      id, std::make_unique<ViperStore>(std::move(index), config_.store),
+      config_.queue_capacity, config_.maintenance, config_.writers_per_shard);
+}
 
 bool KvService::BulkLoad(const std::vector<Key>& sorted_keys) {
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  for (size_t s = 0; s < snap->shards.size(); ++s) {
     auto begin = std::lower_bound(sorted_keys.begin(), sorted_keys.end(),
-                                  partition_.LowerBound(s));
-    auto end = s + 1 < shards_.size()
+                                  snap->partition.LowerBound(s));
+    auto end = s + 1 < snap->shards.size()
                    ? std::lower_bound(begin, sorted_keys.end(),
-                                      partition_.LowerBound(s + 1))
+                                      snap->partition.LowerBound(s + 1))
                    : sorted_keys.end();
     std::vector<Key> part(begin, end);
-    if (!shards_[s]->store()->BulkLoad(part)) return false;
+    if (!snap->shards[s]->store()->BulkLoad(part)) return false;
   }
   return true;
 }
 
 void KvService::Start() {
-  for (auto& shard : shards_) shard->Start();
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  for (auto& shard : snap->shards) shard->Start();
+  started_ = true;
+  if (config_.rebalance.enabled && !rebalancer_.joinable()) {
+    stop_rebalancer_.store(false, std::memory_order_relaxed);
+    rebalancer_ = std::thread(&KvService::RebalanceLoop, this);
+  }
 }
 
 void KvService::CompleteInline(Request& req, RequestStatus status) {
-  // Rejected/shutdown requests never record latency — only executed
-  // requests may touch the single-writer recorder.
+  // Rejected/shutdown/retried requests never record latency — only
+  // executed requests may touch the single-writer recorder.
   if (req.done) req.done(status);
 }
 
-void KvService::Dispatch(size_t shard, std::vector<Request>&& batch) {
+bool KvService::WaitForNewerSnapshot(uint64_t version) {
+  std::unique_lock<std::mutex> lock(snapshot_mu_);
+  snapshot_changed_.wait(lock, [&] {
+    return shutdown_.load(std::memory_order_relaxed) ||
+           snapshot_.load(std::memory_order_acquire)->version > version;
+  });
+  return !shutdown_.load(std::memory_order_relaxed);
+}
+
+void KvService::DispatchToShard(const std::shared_ptr<Shard>& shard,
+                                uint64_t version, std::vector<Request>&& batch,
+                                int budget) {
   Shard::EnqueueResult result =
-      shards_[shard]->Enqueue(std::move(batch), config_.admission);
-  if (result == Shard::EnqueueResult::kAccepted) return;
-  RequestStatus status = result == Shard::EnqueueResult::kRejected
-                             ? RequestStatus::kRejected
-                             : RequestStatus::kShutdown;
-  // Enqueue left the batch in place on failure.
-  for (Request& req : batch) CompleteInline(req, status);
+      shard->Enqueue(std::move(batch), config_.admission);
+  // Enqueue left the batch in place on any failure.
+  switch (result) {
+    case Shard::EnqueueResult::kAccepted:
+      return;
+    case Shard::EnqueueResult::kRejected:
+      for (Request& req : batch) CompleteInline(req, RequestStatus::kRejected);
+      return;
+    case Shard::EnqueueResult::kShutdown:
+      for (Request& req : batch) CompleteInline(req, RequestStatus::kShutdown);
+      return;
+    case Shard::EnqueueResult::kRetired:
+      break;
+  }
+  // The shard retired under us (live split/merge). Wait for the
+  // successor snapshot — the structural op publishes it right after the
+  // migration — and re-route. The budget bounds the chase across
+  // back-to-back structural ops.
+  if (budget <= 0) {
+    for (Request& req : batch) CompleteInline(req, RequestStatus::kRetry);
+    return;
+  }
+  if (!WaitForNewerSnapshot(version)) {
+    for (Request& req : batch) CompleteInline(req, RequestStatus::kShutdown);
+    return;
+  }
+  RouteBatch(std::move(batch), budget - 1);
+}
+
+void KvService::RouteBatch(std::vector<Request>&& batch, int budget) {
+  if (batch.empty()) return;
+  uint64_t version;
+  std::vector<std::shared_ptr<Shard>> shards;
+  std::vector<std::vector<Request>> buckets;
+  {
+    // The guard pins the snapshot only while routing; the enqueues below
+    // may block on admission control, so they run on copied shard
+    // references instead of the snapshot itself.
+    EpochGuard guard;
+    Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    version = snap->version;
+    shards = snap->shards;
+    buckets.resize(shards.size());
+    for (Request& req : batch) {
+      buckets[snap->partition.ShardOf(req.key)].push_back(std::move(req));
+    }
+  }
+  const size_t max_batch = std::max<size_t>(1, config_.max_batch);
+  for (size_t s = 0; s < buckets.size(); ++s) {
+    std::vector<Request>& bucket = buckets[s];
+    if (bucket.empty()) continue;
+    if (bucket.size() <= max_batch) {
+      DispatchToShard(shards[s], version, std::move(bucket), budget);
+      continue;
+    }
+    for (size_t i = 0; i < bucket.size(); i += max_batch) {
+      const size_t end = std::min(bucket.size(), i + max_batch);
+      std::vector<Request> chunk(std::make_move_iterator(bucket.begin() + i),
+                                 std::make_move_iterator(bucket.begin() + end));
+      DispatchToShard(shards[s], version, std::move(chunk), budget);
+    }
+  }
 }
 
 void KvService::Submit(Request req) {
   if (req.type == OpType::kScan) {
-    FanOutScan(std::move(req));
+    FanOutScan(std::move(req), kRerouteBudget);
     return;
   }
-  size_t s = partition_.ShardOf(req.key);
   std::vector<Request> batch;
   batch.push_back(std::move(req));
-  Dispatch(s, std::move(batch));
+  RouteBatch(std::move(batch), kRerouteBudget);
 }
 
 void KvService::SubmitBatch(std::vector<Request> batch) {
-  // Coalesce into per-shard batches; a shard's batch flushes when it
-  // reaches max_batch, the rest flush at the end. Scans bypass
-  // coalescing (they fan out to several shards anyway).
-  std::vector<std::vector<Request>> pending(shards_.size());
+  std::vector<Request> points;
+  points.reserve(batch.size());
   for (Request& req : batch) {
     if (req.type == OpType::kScan) {
-      FanOutScan(std::move(req));
-      continue;
-    }
-    size_t s = partition_.ShardOf(req.key);
-    pending[s].push_back(std::move(req));
-    if (pending[s].size() >= config_.max_batch) {
-      Dispatch(s, std::move(pending[s]));
-      pending[s] = std::vector<Request>();
+      FanOutScan(std::move(req), kRerouteBudget);
+    } else {
+      points.push_back(std::move(req));
     }
   }
-  for (size_t s = 0; s < pending.size(); ++s) {
-    if (!pending[s].empty()) Dispatch(s, std::move(pending[s]));
-  }
+  RouteBatch(std::move(points), kRerouteBudget);
 }
 
 // Shared join state for a scan fanned out across shards [first, last].
-// parts[i] is written by shard (first + i)'s worker before its done
+// parts[i] is written by the executing shard's worker before its done
 // callback runs; the final decrement (acq_rel) synchronizes all parts
 // into the finishing thread, which merges and completes the original.
 struct KvService::ScanJoin {
@@ -207,16 +292,54 @@ struct KvService::ScanJoin {
   }
 };
 
-void KvService::FanOutScan(Request req) {
-  const size_t first = partition_.ShardOf(req.key);
-  const size_t last = shards_.size() - 1;
-  if (first == last) {
+void KvService::FanOutScan(Request req, int budget) {
+  uint64_t version;
+  size_t first;
+  std::vector<std::shared_ptr<Shard>> shards;
+  std::vector<Key> starts;
+  {
+    EpochGuard guard;
+    Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    version = snap->version;
+    first = snap->partition.ShardOf(req.key);
+    shards.assign(snap->shards.begin() + first, snap->shards.end());
+    starts.reserve(shards.size());
+    starts.push_back(req.key);
+    for (size_t i = first + 1; i < snap->shards.size(); ++i) {
+      starts.push_back(snap->partition.LowerBound(i));
+    }
+  }
+  const size_t n = shards.size();
+  if (n == 1) {
     std::vector<Request> batch;
     batch.push_back(std::move(req));
-    Dispatch(first, std::move(batch));
+    Shard::EnqueueResult result =
+        shards[0]->Enqueue(std::move(batch), config_.admission);
+    switch (result) {
+      case Shard::EnqueueResult::kAccepted:
+        return;
+      case Shard::EnqueueResult::kRejected:
+        CompleteInline(batch[0], RequestStatus::kRejected);
+        return;
+      case Shard::EnqueueResult::kShutdown:
+        CompleteInline(batch[0], RequestStatus::kShutdown);
+        return;
+      case Shard::EnqueueResult::kRetired:
+        break;
+    }
+    // Still on the submitting thread: safe to wait out the split and
+    // retry the whole scan against the successor snapshot.
+    if (budget <= 0) {
+      CompleteInline(batch[0], RequestStatus::kRetry);
+      return;
+    }
+    if (!WaitForNewerSnapshot(version)) {
+      CompleteInline(batch[0], RequestStatus::kShutdown);
+      return;
+    }
+    FanOutScan(std::move(batch[0]), budget - 1);
     return;
   }
-  const size_t n = last - first + 1;
   auto join = std::make_shared<ScanJoin>();
   join->original = std::move(req);
   join->parts.resize(n);
@@ -224,7 +347,7 @@ void KvService::FanOutScan(Request req) {
   for (size_t i = 0; i < n; ++i) {
     Request sub;
     sub.type = OpType::kScan;
-    sub.key = i == 0 ? join->original.key : partition_.LowerBound(first + i);
+    sub.key = starts[i];
     // Conservative: any shard may end up serving the whole count; the
     // merge truncates.
     sub.scan_len = join->original.scan_len;
@@ -243,7 +366,19 @@ void KvService::FanOutScan(Request req) {
     };
     std::vector<Request> batch;
     batch.push_back(std::move(sub));
-    Dispatch(first + i, std::move(batch));
+    Shard::EnqueueResult result =
+        shards[i]->Enqueue(std::move(batch), config_.admission);
+    if (result == Shard::EnqueueResult::kAccepted) continue;
+    // A bounced sub-scan marks the whole scan kRetry (worst-status wins
+    // over per-shard errors): the partition moved mid-fan-out, so the
+    // merged result could miss a key range. The caller re-submits — the
+    // synchronous Scan() wrapper does so automatically.
+    RequestStatus st = result == Shard::EnqueueResult::kRejected
+                           ? RequestStatus::kRejected
+                       : result == Shard::EnqueueResult::kShutdown
+                           ? RequestStatus::kShutdown
+                           : RequestStatus::kRetry;
+    CompleteInline(batch[0], st);
   }
 }
 
@@ -302,48 +437,315 @@ RequestStatus KvService::Scan(Key from, size_t count, std::vector<Key>* out) {
   if (count > std::numeric_limits<uint32_t>::max()) {
     return RequestStatus::kInvalid;
   }
-  SyncCell cell;
-  Request req;
-  req.type = OpType::kScan;
-  req.key = from;
-  req.scan_len = static_cast<uint32_t>(count);
-  req.scan_out = out;
-  req.done = [&cell](RequestStatus st) { cell.Set(st); };
-  Submit(std::move(req));
-  return cell.Wait();
+  const size_t base = out != nullptr ? out->size() : 0;
+  for (int attempt = 0;; ++attempt) {
+    const uint64_t version = partition_version();
+    SyncCell cell;
+    Request req;
+    req.type = OpType::kScan;
+    req.key = from;
+    req.scan_len = static_cast<uint32_t>(count);
+    req.scan_out = out;
+    req.done = [&cell](RequestStatus st) { cell.Set(st); };
+    Submit(std::move(req));
+    RequestStatus st = cell.Wait();
+    if (st != RequestStatus::kRetry || attempt >= kRerouteBudget) return st;
+    // A split raced the fan-out: drop the partial merge, wait for the
+    // successor snapshot, retry the whole scan.
+    if (out != nullptr) out->resize(base);
+    if (!WaitForNewerSnapshot(version)) return RequestStatus::kShutdown;
+  }
 }
 
 void KvService::Drain() {
-  for (auto& shard : shards_) shard->Drain();
+  // A split may swap the shard set mid-drain; done when one full pass
+  // completes with the snapshot unchanged.
+  for (;;) {
+    uint64_t version;
+    std::vector<std::shared_ptr<Shard>> shards;
+    {
+      EpochGuard guard;
+      Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+      version = snap->version;
+      shards = snap->shards;
+    }
+    for (auto& shard : shards) shard->Drain();
+    if (partition_version() == version) return;
+  }
 }
 
 void KvService::Shutdown() {
-  for (auto& shard : shards_) shard->Stop();
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    shutdown_.store(true, std::memory_order_relaxed);
+    snapshot_changed_.notify_all();  // kRetired waiters exit with kShutdown
+  }
+  stop_rebalancer_.store(true, std::memory_order_relaxed);
+  if (rebalancer_.joinable()) rebalancer_.join();
+  // admin_mu_ waits out an in-flight split/merge; no new one can start
+  // (structural ops check shutdown_ under admin_mu_).
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  for (auto& shard : snap->shards) shard->Stop();
+}
+
+void KvService::PublishSnapshot(Snapshot* next) {
+  Snapshot* old = snapshot_.load(std::memory_order_relaxed);
+  next->version = old->version + 1;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_.store(next, std::memory_order_release);
+  }
+  snapshot_changed_.notify_all();
+  // Routers that loaded `old` under their guard finish against it; its
+  // shard references drop when the epoch system reclaims it.
+  EpochManager::Global().Retire<Snapshot>(old);
+}
+
+std::shared_ptr<Shard> KvService::BuildShard(const std::vector<Key>& keys,
+                                             const std::vector<Shard*>& sources,
+                                             bool start) {
+  std::shared_ptr<Shard> shard = MakeShard(next_shard_id_++);
+  auto fill = [&](Key key, uint8_t* buf) {
+    // Sources are quiesced (stopped) and own disjoint ranges; preserve
+    // the stored value rather than re-synthesizing it.
+    for (Shard* src : sources) {
+      if (src->store()->Get(key, buf)) return;
+    }
+    ViperStore::FillSyntheticValue(key, buf, config_.store.value_size);
+  };
+  if (!shard->store()->BulkLoad(keys, fill)) return nullptr;
+  if (start) shard->Start();
+  return shard;
+}
+
+bool KvService::SplitShard(size_t shard_idx) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  if (shutdown_.load(std::memory_order_relaxed)) return false;
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  if (shard_idx >= snap->shards.size()) return false;
+  std::shared_ptr<Shard> old = snap->shards[shard_idx];
+  if (old->store()->size() < 2) return false;
+
+  // Quiesce: bounce new work (kRetired), finish accepted work, join the
+  // workers. From here the shard must be replaced — retire is
+  // irreversible — so every path below publishes a successor snapshot.
+  old->BeginRetire();
+  old->Drain();
+  old->Stop();
+
+  std::vector<Key> keys;
+  old->store()->Scan(0, old->store()->size(), &keys);
+
+  // Cut at the key median; an all-duplicates left half slides the cut
+  // right so both halves stay non-empty. `split` is an owned key, so
+  // LowerBound(shard_idx) <= keys.front() < split < LowerBound(idx + 1)
+  // and the new boundary list stays strictly increasing.
+  size_t cut = keys.size() / 2;
+  if (keys[cut] == keys.front()) {
+    cut = static_cast<size_t>(
+        std::upper_bound(keys.begin(), keys.end(), keys.front()) -
+        keys.begin());
+  }
+  auto* next = new Snapshot;
+  if (cut == 0 || cut >= keys.size()) {
+    // Every key equal: unsplittable. Rebuild as a single replacement
+    // shard so the retired one still leaves service.
+    std::shared_ptr<Shard> repl = BuildShard(keys, {old.get()}, started_);
+    next->partition = snap->partition;
+    next->shards = snap->shards;
+    next->shards[shard_idx] = std::move(repl);
+    PublishSnapshot(next);
+    return false;
+  }
+  const Key split = keys[cut];
+  std::vector<Key> left_keys(keys.begin(), keys.begin() + cut);
+  std::vector<Key> right_keys(keys.begin() + cut, keys.end());
+  std::shared_ptr<Shard> left = BuildShard(left_keys, {old.get()}, started_);
+  std::shared_ptr<Shard> right = BuildShard(right_keys, {old.get()}, started_);
+
+  std::vector<Key> nb = snap->partition.boundaries();
+  nb.insert(nb.begin() + static_cast<std::ptrdiff_t>(shard_idx), split);
+  next->partition = RangePartition::FromBoundaries(std::move(nb));
+  next->shards = snap->shards;
+  next->shards[shard_idx] = std::move(left);
+  next->shards.insert(
+      next->shards.begin() + static_cast<std::ptrdiff_t>(shard_idx) + 1,
+      std::move(right));
+  PublishSnapshot(next);
+  splits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool KvService::MergeShards(size_t left_idx) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  if (shutdown_.load(std::memory_order_relaxed)) return false;
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  if (left_idx + 1 >= snap->shards.size()) return false;
+  std::shared_ptr<Shard> a = snap->shards[left_idx];
+  std::shared_ptr<Shard> b = snap->shards[left_idx + 1];
+  a->BeginRetire();
+  b->BeginRetire();
+  a->Drain();
+  b->Drain();
+  a->Stop();
+  b->Stop();
+
+  // Adjacent ranges scanned in shard order: already globally sorted.
+  std::vector<Key> keys;
+  a->store()->Scan(0, a->store()->size(), &keys);
+  const size_t a_count = keys.size();
+  b->store()->Scan(0, b->store()->size(), &keys);
+
+  auto* next = new Snapshot;
+  next->shards = snap->shards;
+  std::shared_ptr<Shard> merged =
+      BuildShard(keys, {a.get(), b.get()}, started_);
+  if (merged == nullptr) {
+    // Combined records overflow one store: rebuild both halves in place
+    // (compacting them) and keep the boundary.
+    std::vector<Key> ka(keys.begin(), keys.begin() + a_count);
+    std::vector<Key> kb(keys.begin() + a_count, keys.end());
+    next->partition = snap->partition;
+    next->shards[left_idx] = BuildShard(ka, {a.get()}, started_);
+    next->shards[left_idx + 1] = BuildShard(kb, {b.get()}, started_);
+    PublishSnapshot(next);
+    return false;
+  }
+  std::vector<Key> nb = snap->partition.boundaries();
+  nb.erase(nb.begin() + static_cast<std::ptrdiff_t>(left_idx));
+  next->partition = RangePartition::FromBoundaries(std::move(nb));
+  next->shards[left_idx] = std::move(merged);
+  next->shards.erase(next->shards.begin() +
+                     static_cast<std::ptrdiff_t>(left_idx) + 1);
+  PublishSnapshot(next);
+  merges_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void KvService::RebalanceLoop() {
+  const RebalanceConfig& rb = config_.rebalance;
+  const double split_depth =
+      rb.split_queue_depth != 0
+          ? static_cast<double>(rb.split_queue_depth)
+          : static_cast<double>(config_.queue_capacity) * 0.75;
+  uint64_t last_version = 0;
+  std::vector<double> ewma;
+  uint64_t cooldown_until = 0;
+  while (!stop_rebalancer_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(rb.poll_interval_ms));
+    uint64_t version;
+    std::vector<std::shared_ptr<Shard>> shards;
+    {
+      EpochGuard guard;
+      Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+      version = snap->version;
+      shards = snap->shards;
+    }
+    if (version != last_version) {
+      // Shard positions shifted; stale pressure estimates would split
+      // the wrong shard.
+      ewma.assign(shards.size(), 0.0);
+      last_version = version;
+    }
+    size_t hottest = 0;
+    double hot = -1.0;
+    for (size_t i = 0; i < shards.size(); ++i) {
+      const double depth = static_cast<double>(shards[i]->QueueDepth());
+      ewma[i] += rb.ewma_alpha * (depth - ewma[i]);
+      if (ewma[i] > hot) {
+        hot = ewma[i];
+        hottest = i;
+      }
+    }
+    const uint64_t now = NowNanos();
+    if (now < cooldown_until) continue;
+    if (hot >= split_depth && shards.size() < rb.max_shards &&
+        shards[hottest]->store()->size() >= rb.min_split_keys) {
+      if (SplitShard(hottest)) {
+        cooldown_until = NowNanos() + rb.cooldown_ms * 1000000;
+      }
+      continue;
+    }
+    if (rb.merge_max_keys == 0 || shards.size() < 2) continue;
+    const double idle = split_depth * 0.25;
+    for (size_t i = 0; i + 1 < shards.size(); ++i) {
+      if (ewma[i] < idle && ewma[i + 1] < idle &&
+          shards[i]->store()->size() + shards[i + 1]->store()->size() <=
+              rb.merge_max_keys) {
+        if (MergeShards(i)) {
+          cooldown_until = NowNanos() + rb.cooldown_ms * 1000000;
+        }
+        break;
+      }
+    }
+  }
 }
 
 std::vector<uint64_t> KvService::CrashAndRecover() {
-  std::vector<uint64_t> rebuild_ns(shards_.size(), 0);
+  // Serialized with splits: a structural op mid-crash would migrate from
+  // a store in its crashed (inaccessible) state.
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  std::vector<uint64_t> rebuild_ns(snap->shards.size(), 0);
   std::vector<std::thread> workers;
-  workers.reserve(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    workers.emplace_back([this, s, &rebuild_ns] {
-      rebuild_ns[s] = shards_[s]->CrashAndRecover();
+  workers.reserve(snap->shards.size());
+  for (size_t s = 0; s < snap->shards.size(); ++s) {
+    workers.emplace_back([snap, s, &rebuild_ns] {
+      rebuild_ns[s] = snap->shards[s]->CrashAndRecover();
     });
   }
   for (std::thread& w : workers) w.join();
   return rebuild_ns;
 }
 
+size_t KvService::num_shards() const {
+  EpochGuard guard;
+  return snapshot_.load(std::memory_order_acquire)->shards.size();
+}
+
+size_t KvService::ShardOf(Key key) const {
+  EpochGuard guard;
+  return snapshot_.load(std::memory_order_acquire)->partition.ShardOf(key);
+}
+
+RangePartition KvService::partition() const {
+  EpochGuard guard;
+  return snapshot_.load(std::memory_order_acquire)->partition;
+}
+
+uint64_t KvService::partition_version() const {
+  EpochGuard guard;
+  return snapshot_.load(std::memory_order_acquire)->version;
+}
+
 size_t KvService::TotalKeys() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    EpochGuard guard;
+    shards = snapshot_.load(std::memory_order_acquire)->shards;
+  }
   size_t n = 0;
-  for (const auto& shard : shards_) n += shard->store()->size();
+  for (const auto& shard : shards) n += shard->store()->size();
   return n;
 }
 
 ServiceStats KvService::Stats() const {
+  std::vector<std::shared_ptr<Shard>> shards;
+  uint64_t version;
+  {
+    EpochGuard guard;
+    Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    shards = snap->shards;
+    version = snap->version;
+  }
   ServiceStats stats;
-  stats.shards.reserve(shards_.size());
-  for (const auto& shard : shards_) stats.shards.push_back(shard->Stats());
+  stats.shards.reserve(shards.size());
+  for (const auto& shard : shards) stats.shards.push_back(shard->Stats());
+  stats.splits = splits_.load(std::memory_order_relaxed);
+  stats.merges = merges_.load(std::memory_order_relaxed);
+  stats.partition_version = version;
   return stats;
 }
 

@@ -1,6 +1,6 @@
 // The service front door: a Router (KvService) over N range-partitioned
-// shards (shard.h), each owning one ViperStore + index instance and one
-// worker thread.
+// shards (shard.h), each owning one ViperStore + index instance and a
+// small pool of worker threads.
 //
 //  * Partitioning is CDF-balanced: shard boundaries are equal-mass
 //    quantiles of a bootstrap key sample, not equal-width slices of the
@@ -17,12 +17,28 @@
 //  * Admission control (ServiceConfig::admission) bounds every shard
 //    queue: kBlock applies backpressure to the client, kReject completes
 //    the request with RequestStatus::kRejected.
+//
+// Live rebalancing: the partition is a *versioned snapshot*
+// ({version, boundaries, shards}) behind an atomic pointer, read under an
+// EpochGuard and swapped RCU-style. Splitting a hot shard retires it
+// (every Enqueue bounces with kRetired), drains and stops it, migrates
+// its records into two replacement stores via the bulk-load path (stored
+// values preserved), and publishes a new snapshot; the old snapshot is
+// handed to the global EpochManager so in-flight routers finish safely.
+// A request that raced the swap re-routes against the fresh snapshot (a
+// bounded number of times, then completes with kRetry). An optional
+// rebalancer thread watches per-shard queue-depth pressure and triggers
+// splits (and merges of cold adjacent shards) automatically.
 #ifndef PIECES_SERVICE_ROUTER_H_
 #define PIECES_SERVICE_ROUTER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/maintainer.h"
@@ -40,6 +56,11 @@ class RangePartition {
   // back to an equal-width split of the 64-bit domain.
   RangePartition(size_t num_shards, std::vector<Key> sample);
 
+  // Builds a partition from explicit split keys (strictly increasing,
+  // nonzero) — the split/merge path derives the successor partition from
+  // the current one by inserting or erasing a boundary.
+  static RangePartition FromBoundaries(std::vector<Key> boundaries);
+
   size_t num_shards() const { return num_shards_; }
   size_t ShardOf(Key key) const;
   // Inclusive lower bound of `shard`'s range (shard 0 starts at 0);
@@ -53,6 +74,31 @@ class RangePartition {
   std::vector<Key> boundaries_;
 };
 
+// Automatic split/merge policy (off by default). The rebalancer samples
+// every shard's queue depth each poll interval, smooths it with an EWMA,
+// and splits the hottest shard when its pressure crosses the threshold —
+// the signal the paper's single-writer bottleneck shows up as first.
+struct RebalanceConfig {
+  bool enabled = false;
+  uint64_t poll_interval_ms = 5;
+  // Pressure smoothing: ewma += alpha * (depth - ewma).
+  double ewma_alpha = 0.3;
+  // Split when a shard's smoothed queue depth exceeds this many requests;
+  // 0 means 3/4 of ServiceConfig::queue_capacity.
+  size_t split_queue_depth = 0;
+  // Never split a shard owning fewer keys than this (halves too small to
+  // be worth a migration).
+  size_t min_split_keys = 4096;
+  size_t max_shards = 64;
+  // Merge two adjacent shards when both are idle (pressure below 1/4 of
+  // the split threshold) and their combined key count fits; 0 disables
+  // merging.
+  size_t merge_max_keys = 0;
+  // Minimum time between structural operations, so one hot burst cannot
+  // shatter the partition before the first split's effect is measurable.
+  uint64_t cooldown_ms = 50;
+};
+
 struct ServiceConfig {
   size_t num_shards = 4;
   // Per-shard queue bound, in requests (admission-control horizon).
@@ -61,11 +107,17 @@ struct ServiceConfig {
   // Coalescing limit: SubmitBatch hands at most this many requests to a
   // shard per queue entry.
   size_t max_batch = 64;
+  // Worker threads per shard. Takes effect only for indexes that report
+  // SupportsConcurrentWrites() (ALEX, XIndex, OLC B-Tree); all others run
+  // single-writer regardless.
+  size_t writers_per_shard = 1;
   // Per-shard store configuration (value size, PMem capacity, latency).
   ViperStore::Config store;
   // Per-shard background retraining (off by default). Ignored when the
   // chosen index does not implement MaintenanceHook.
   MaintenanceConfig maintenance;
+  // Automatic live split/merge (off by default).
+  RebalanceConfig rebalance;
 };
 
 class KvService {
@@ -83,14 +135,17 @@ class KvService {
   // Call before Start. Returns false if any shard's load fails.
   bool BulkLoad(const std::vector<Key>& sorted_keys);
 
-  // Spawns the shard workers. Requests may be submitted before Start;
-  // they queue up (subject to admission control) until workers run.
+  // Spawns the shard workers (and the rebalancer, when enabled).
+  // Requests may be submitted before Start; they queue up (subject to
+  // admission control) until workers run.
   void Start();
 
   // Asynchronous submission. Point requests go to their owning shard;
   // scans fan out (see FanOutScan). Completion semantics: `done` fires on
   // the executing worker thread, or inline on the submitting thread when
-  // the request is rejected or the service is shutting down.
+  // the request is rejected or the service is shutting down. A request
+  // that keeps losing the race against concurrent splits completes with
+  // kRetry after kRerouteBudget attempts.
   void Submit(Request req);
   // Coalesces the batch into per-shard sub-batches before enqueueing.
   void SubmitBatch(std::vector<Request> batch);
@@ -102,39 +157,99 @@ class KvService {
 
   // Blocks until every queued request has completed.
   void Drain();
-  // Graceful drain-and-shutdown: drains, then stops the workers. New
+  // Graceful drain-and-shutdown: stops the rebalancer, waits out any
+  // in-flight split, then stops the workers (draining their queues). New
   // submissions complete with kShutdown. Idempotent.
   void Shutdown();
+
+  // Splits shard `shard` of the current partition at its key median:
+  // retire -> drain -> stop -> migrate into two replacement shards ->
+  // publish the successor snapshot. Serialized with every other
+  // structural operation. Returns false when the split is not feasible
+  // (out of range, too few keys, max_shards reached, or shutting down).
+  bool SplitShard(size_t shard);
+  // Inverse: collapses shards `left` and `left + 1` into one.
+  bool MergeShards(size_t left);
 
   // Simulated whole-service power failure: every shard quiesces, loses
   // its unpersisted PMem bytes, rebuilds its index from the surviving
   // durable records, and resumes serving. Shards crash and recover in
   // parallel (their rebuilds are independent). Requests submitted during
   // the outage complete with kShutdown. Returns per-shard index rebuild
-  // times in nanoseconds, indexed by shard id.
+  // times in nanoseconds, indexed by position in the current partition.
   std::vector<uint64_t> CrashAndRecover();
 
-  size_t num_shards() const { return shards_.size(); }
-  size_t ShardOf(Key key) const { return partition_.ShardOf(key); }
-  const RangePartition& partition() const { return partition_; }
+  size_t num_shards() const;
+  size_t ShardOf(Key key) const;
+  // Copy of the current partition (the underlying snapshot may be
+  // swapped by a concurrent split the moment this returns).
+  RangePartition partition() const;
+  uint64_t partition_version() const;
   const std::string& index_name() const { return index_name_; }
   size_t value_size() const { return config_.store.value_size; }
   size_t TotalKeys() const;
   ServiceStats Stats() const;
 
+  // Re-route attempts before a racing request gives up with kRetry.
+  static constexpr int kRerouteBudget = 3;
+
  private:
   struct ScanJoin;
 
-  // Enqueue a single-shard batch, completing every request inline on
-  // rejection/shutdown.
-  void Dispatch(size_t shard, std::vector<Request>&& batch);
-  void FanOutScan(Request req);
+  // One immutable published routing table. Readers pin it with an
+  // EpochGuard; shards are shared_ptr so a copied reference outlives the
+  // snapshot swap (the retired snapshot drops its references when the
+  // epoch system reclaims it).
+  struct Snapshot {
+    uint64_t version = 0;
+    RangePartition partition = RangePartition(1, {});
+    std::vector<std::shared_ptr<Shard>> shards;
+  };
+
+  // Routes every request in `batch` against the current snapshot and
+  // enqueues per-shard sub-batches. Requests bounced by a retired shard
+  // wait for the successor snapshot and re-route, up to `budget` times.
+  void RouteBatch(std::vector<Request>&& batch, int budget);
+  // Enqueues a batch routed against snapshot `version`; on kRetired,
+  // re-routes the batch (budget permitting). Completes the requests
+  // inline on rejection/shutdown/exhausted budget.
+  void DispatchToShard(const std::shared_ptr<Shard>& shard, uint64_t version,
+                       std::vector<Request>&& batch, int budget);
+  void FanOutScan(Request req, int budget);
+  // Blocks until the published snapshot is newer than `version` (a split
+  // in progress has not yet published). False when shutting down.
+  bool WaitForNewerSnapshot(uint64_t version);
+  std::shared_ptr<Shard> MakeShard(size_t id);
+  // Builds a replacement shard owning `keys`, with values copied from the
+  // (quiesced) source shards. Aborts on store overflow -> nullptr.
+  std::shared_ptr<Shard> BuildShard(const std::vector<Key>& keys,
+                                    const std::vector<Shard*>& sources,
+                                    bool start);
+  void PublishSnapshot(Snapshot* next);
+  void RebalanceLoop();
   static void CompleteInline(Request& req, RequestStatus status);
 
   std::string index_name_;
   ServiceConfig config_;
-  RangePartition partition_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Current routing table; written only under admin_mu_, read under an
+  // EpochGuard. Retired snapshots go through EpochManager::Global().
+  std::atomic<Snapshot*> snapshot_{nullptr};
+  // Serializes structural operations (split/merge/crash/shutdown).
+  std::mutex admin_mu_;
+  // Pairs with snapshot_changed_: kRetired waiters sleep here until a
+  // successor snapshot is published (or shutdown).
+  mutable std::mutex snapshot_mu_;
+  std::condition_variable snapshot_changed_;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> stop_rebalancer_{false};
+  std::thread rebalancer_;
+  bool started_ = false;  // under admin_mu_
+
+  size_t next_shard_id_;  // under admin_mu_
+  std::atomic<uint64_t> splits_{0};
+  std::atomic<uint64_t> merges_{0};
 };
 
 }  // namespace pieces::service

@@ -7,12 +7,35 @@
 
 namespace pieces::service {
 
+namespace {
+
+// splitmix64 finalizer: decorrelates the lane choice from the key's range
+// position, so a hot contiguous key range still spreads across lanes.
+uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Shard::Shard(size_t id, std::unique_ptr<ViperStore> store,
-             size_t queue_capacity, MaintenanceConfig maintenance)
+             size_t queue_capacity, MaintenanceConfig maintenance,
+             size_t writers)
     : id_(id),
       queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity),
       maintenance_(maintenance),
       store_(std::move(store)) {
+  // Multiple writers require an index that tolerates them; everything
+  // else keeps the exclusive single-writer contract.
+  size_t lanes = store_->index().SupportsConcurrentWrites()
+                     ? std::max<size_t>(1, writers)
+                     : 1;
+  lanes_.reserve(lanes);
+  for (size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
   if (maintenance_.enabled) {
     MaintenanceHook* hook = store_->mutable_index()->maintenance();
     if (hook != nullptr) {
@@ -27,11 +50,20 @@ Shard::Shard(size_t id, std::unique_ptr<ViperStore> store,
 
 Shard::~Shard() { Stop(); }
 
+size_t Shard::LaneOf(Key key) const {
+  return lanes_.size() == 1
+             ? 0
+             : static_cast<size_t>(MixKey(key) % lanes_.size());
+}
+
 void Shard::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_ || stopping_) return;
   started_ = true;
-  worker_ = std::thread(&Shard::WorkerLoop, this);
+  workers_.reserve(lanes_.size());
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    workers_.emplace_back(&Shard::WorkerLoop, this, i);
+  }
   if (maintainer_ != nullptr) maintainer_->Start();
 }
 
@@ -45,19 +77,35 @@ Shard::EnqueueResult Shard::Enqueue(std::vector<Request>&& batch,
     return queued_requests_ + batch.size() <= queue_capacity_ ||
            queued_requests_ == 0;
   };
+  if (retired_) return EnqueueResult::kRetired;
   if (stopping_) return EnqueueResult::kShutdown;
   if (!fits()) {
     if (policy == AdmissionPolicy::kReject) {
       rejected_.fetch_add(batch.size(), std::memory_order_relaxed);
       return EnqueueResult::kRejected;
     }
-    has_space_.wait(lock, [&] { return fits() || stopping_; });
+    has_space_.wait(lock, [&] { return fits() || stopping_ || retired_; });
+    if (retired_) return EnqueueResult::kRetired;
     if (stopping_) return EnqueueResult::kShutdown;
   }
   queued_requests_ += batch.size();
   max_queue_ = std::max<uint64_t>(max_queue_, queued_requests_);
-  queue_.push_back(std::move(batch));
-  has_work_.notify_one();
+  if (lanes_.size() == 1) {
+    lanes_[0]->queue.push_back(std::move(batch));
+    lanes_[0]->has_work.notify_one();
+    return EnqueueResult::kAccepted;
+  }
+  // Split by key hash under the lock: same key -> same lane, and a later
+  // Enqueue of that key lands behind this one, so per-key FIFO holds.
+  std::vector<std::vector<Request>> per_lane(lanes_.size());
+  for (Request& req : batch) {
+    per_lane[LaneOf(req.key)].push_back(std::move(req));
+  }
+  for (size_t i = 0; i < per_lane.size(); ++i) {
+    if (per_lane[i].empty()) continue;
+    lanes_[i]->queue.push_back(std::move(per_lane[i]));
+    lanes_[i]->has_work.notify_one();
+  }
   return EnqueueResult::kAccepted;
 }
 
@@ -67,16 +115,37 @@ void Shard::Drain() {
 }
 
 void Shard::Stop() {
-  // Quiesce the maintainer before the worker: once Stop returns, nothing
+  // Quiesce the maintainer before the workers: once Stop returns, nothing
   // may touch the store (CrashAndRecover drops the PMem right after).
   if (maintainer_ != nullptr) maintainer_->Stop();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
-    has_work_.notify_all();
+    for (auto& lane : lanes_) lane->has_work.notify_all();
     has_space_.notify_all();
   }
-  if (worker_.joinable()) worker_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void Shard::BeginRetire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_ = true;
+  // Producers blocked in kBlock admission must not wait on a shard that
+  // will never free space for them — wake them into kRetired.
+  has_space_.notify_all();
+}
+
+bool Shard::retired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_;
+}
+
+size_t Shard::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_requests_ + in_flight_;
 }
 
 uint64_t Shard::CrashAndRecover() {
@@ -109,6 +178,7 @@ ShardStats Shard::Stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.recoveries = recoveries_.load(std::memory_order_relaxed);
   s.keys = store_->size();
+  s.writers = lanes_.size();
   if (maintainer_ != nullptr) {
     MaintainerStats m = maintainer_->Stats();
     s.bg_scans = m.scans;
@@ -122,24 +192,26 @@ ShardStats Shard::Stats() const {
   return s;
 }
 
-void Shard::WorkerLoop() {
+void Shard::WorkerLoop(size_t lane_idx) {
   // Built once per worker and reused across batches; Execute used to
   // re-check a thread_local per request.
+  Lane& lane = *lanes_[lane_idx];
   Scratch scratch;
   scratch.value.resize(store_->value_size());
   for (;;) {
     std::vector<Request> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      has_work_.wait(lock, [&] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) {
-        // stopping_ and nothing left: graceful exit, everything accepted
-        // has been executed.
+      lane.has_work.wait(lock, [&] { return !lane.queue.empty() ||
+                                            stopping_; });
+      if (lane.queue.empty()) {
+        // stopping_ and nothing left in this lane: graceful exit,
+        // everything accepted here has been executed.
         idle_.notify_all();
         return;
       }
-      batch = std::move(queue_.front());
-      queue_.pop_front();
+      batch = std::move(lane.queue.front());
+      lane.queue.pop_front();
       queued_requests_ -= batch.size();
       in_flight_ += batch.size();
       has_space_.notify_all();

@@ -1,15 +1,27 @@
-// One service shard: a ViperStore (and the index inside it) owned
-// exclusively by a single worker thread that drains a bounded MPSC queue
-// of request batches. Exclusive ownership is the point — the paper's
-// Figs. 12/14 show most learned indexes are single-writer, so the only
-// lock anywhere near the index is the queue mutex, amortized across a
-// whole batch per acquisition.
+// One service shard: a ViperStore (and the index inside it) owned by a
+// small pool of worker threads draining per-worker (lane) request queues.
+// The default is a single worker — the paper's Figs. 12/14 show most
+// learned indexes are single-writer, so the only lock anywhere near such
+// an index is the queue mutex, amortized across a whole batch per
+// acquisition. When the index reports SupportsConcurrentWrites() (ALEX
+// via per-node optimistic version locks, XIndex via per-group writer
+// locks), a shard may run N writers: requests are routed to a lane by a
+// hash of their key, which keeps per-key ordering while letting distinct
+// keys execute in parallel inside the concurrent index.
 //
 // Admission control is enforced at Enqueue: the queue is bounded in
-// *requests* (not batches), and a full queue either blocks the producer
-// or rejects the batch depending on the caller's AdmissionPolicy.
-// Shutdown is graceful: Stop() lets the worker drain everything already
-// queued before joining, so accepted requests always complete.
+// *requests* (not batches, summed across lanes), and a full queue either
+// blocks the producer or rejects the batch depending on the caller's
+// AdmissionPolicy. Shutdown is graceful: Stop() lets the workers drain
+// everything already queued before joining, so accepted requests always
+// complete.
+//
+// Live rebalancing support: BeginRetire() flips the shard into a state
+// where every Enqueue returns kRetired (including producers blocked in
+// kBlock admission). The router treats kRetired as "the partition moved
+// under you" and re-routes against the fresh partition snapshot, so a
+// shard can be drained, split and destroyed while clients keep
+// submitting.
 #ifndef PIECES_SERVICE_SHARD_H_
 #define PIECES_SERVICE_SHARD_H_
 
@@ -30,38 +42,57 @@ namespace pieces::service {
 
 class Shard {
  public:
-  enum class EnqueueResult : uint8_t { kAccepted, kRejected, kShutdown };
+  enum class EnqueueResult : uint8_t {
+    kAccepted,
+    kRejected,
+    kShutdown,
+    // The shard is being retired by a live split/merge; the caller must
+    // re-route against the current partition snapshot.
+    kRetired,
+  };
 
   // When `maintenance.enabled` and the shard's index implements
   // MaintenanceHook, Start() also spawns a background maintainer that
   // retrains drifting segments off the worker thread (maintainer.h).
+  // `writers` > 1 takes effect only when the index supports concurrent
+  // writes; otherwise the shard silently runs single-writer.
   Shard(size_t id, std::unique_ptr<ViperStore> store, size_t queue_capacity,
-        MaintenanceConfig maintenance = {});
+        MaintenanceConfig maintenance = {}, size_t writers = 1);
   ~Shard();
 
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
 
-  // Spawns the worker thread. Batches may be enqueued before Start (they
+  // Spawns the worker threads. Batches may be enqueued before Start (they
   // simply accumulate), which makes admission control deterministic to
   // test.
   void Start();
 
-  // Hands a non-empty batch to the worker. kRejected leaves the batch
-  // untouched (the caller completes its requests) and counts each request
-  // as rejected. A batch larger than the queue capacity is admitted once
-  // the queue is otherwise empty, so oversized batches cannot deadlock.
+  // Hands a non-empty batch to the workers. On any non-kAccepted result
+  // the batch is left untouched (the caller completes its requests);
+  // kRejected additionally counts each request as rejected. A batch
+  // larger than the queue capacity is admitted once the queue is
+  // otherwise empty, so oversized batches cannot deadlock. With multiple
+  // lanes the batch is split by key hash under the same lock, so per-key
+  // FIFO order is preserved.
   EnqueueResult Enqueue(std::vector<Request>&& batch, AdmissionPolicy policy);
 
   // Blocks until every queued request has been executed.
   void Drain();
 
-  // Graceful shutdown: refuse new work, drain the queue, join the worker.
-  // Idempotent. Start() may be called again afterwards (crash recovery
-  // restarts the worker).
+  // Graceful shutdown: refuse new work, drain the queues, join the
+  // workers. Idempotent. Start() may be called again afterwards (crash
+  // recovery restarts the workers).
   void Stop();
 
-  // Simulated power failure on this shard's PMem: quiesce the worker
+  // Marks the shard retired: every subsequent Enqueue — and every
+  // producer currently blocked in kBlock admission — returns kRetired.
+  // Already-queued requests still execute (retire, then Drain, then Stop
+  // is the split sequence). Irreversible.
+  void BeginRetire();
+  bool retired() const;
+
+  // Simulated power failure on this shard's PMem: quiesce the workers
   // (accepted requests complete — their persists are done by the time
   // they ack), drop every unpersisted byte, rebuild the index from the
   // surviving pages, and resume serving. Requests submitted during the
@@ -73,6 +104,10 @@ class Shard {
   ViperStore* store() { return store_.get(); }
   const ViperStore& store() const { return *store_; }
   size_t id() const { return id_; }
+  size_t writers() const { return lanes_.size(); }
+  // Requests currently queued (admission-control backlog); the split
+  // trigger's pressure signal.
+  size_t QueueDepth() const;
   ShardStats Stats() const;
 
  private:
@@ -88,7 +123,16 @@ class Shard {
     size_t mget_found_cap = 0;
   };
 
-  void WorkerLoop();
+  // One writer's queue. All lane state is guarded by the shard-wide mu_
+  // (admission control is a whole-shard property); only the has_work
+  // signal is per-lane so a batch wakes exactly its lane's worker.
+  struct Lane {
+    std::condition_variable has_work;
+    std::deque<std::vector<Request>> queue;
+  };
+
+  size_t LaneOf(Key key) const;
+  void WorkerLoop(size_t lane);
   void ExecuteBatch(std::vector<Request>& batch, Scratch& scratch);
   // Multi-get for a run of >= 2 consecutive kRead requests.
   void ExecuteReadRun(Request* reqs, size_t n, Scratch& scratch);
@@ -102,18 +146,18 @@ class Shard {
   std::unique_ptr<Maintainer> maintainer_;
 
   mutable std::mutex mu_;
-  std::condition_variable has_work_;   // worker waits for batches
   std::condition_variable has_space_;  // blocked producers wait for room
   std::condition_variable idle_;       // Drain/Stop wait for quiescence
-  std::deque<std::vector<Request>> queue_;
-  size_t queued_requests_ = 0;  // requests sitting in queue_
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  size_t queued_requests_ = 0;  // requests sitting across all lane queues
   size_t in_flight_ = 0;        // requests popped but not yet completed
   uint64_t max_queue_ = 0;
   bool stopping_ = false;
+  bool retired_ = false;
   bool started_ = false;
-  std::thread worker_;
+  std::vector<std::thread> workers_;
 
-  // Counters written by the worker / producers, read by Stats().
+  // Counters written by the workers / producers, read by Stats().
   std::atomic<uint64_t> ops_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> rejected_{0};

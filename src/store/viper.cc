@@ -56,6 +56,13 @@ bool ViperStore::ClaimSlot(uint32_t* page, uint32_t* slot) {
 }
 
 bool ViperStore::BulkLoad(const std::vector<Key>& keys) {
+  return BulkLoad(keys, [this](Key key, uint8_t* buf) {
+    FillSynthetic(key, buf);
+  });
+}
+
+bool ViperStore::BulkLoad(const std::vector<Key>& keys,
+                          const std::function<void(Key, uint8_t*)>& fill) {
   std::vector<KeyValue> entries;
   entries.reserve(keys.size());
   std::vector<uint8_t> record(RecordBytes());
@@ -73,7 +80,7 @@ bool ViperStore::BulkLoad(const std::vector<Key>& keys) {
       return false;
     }
     std::memcpy(record.data(), &key, sizeof(Key));
-    FillSynthetic(key, record.data() + sizeof(Key));
+    fill(key, record.data() + sizeof(Key));
     SlotHeader header = MakeHeader(record.data());
     std::memcpy(record.data() + PayloadBytes(), &header, sizeof(SlotHeader));
     uint8_t* addr = SlotAddr(page, slot);

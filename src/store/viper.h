@@ -20,6 +20,7 @@
 #define PIECES_STORE_VIPER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -60,6 +61,13 @@ class ViperStore {
   // batched persist barrier per filled page. Returns false when PMem
   // capacity is exceeded.
   bool BulkLoad(const std::vector<Key>& keys);
+
+  // Bulk-load with caller-provided values: `fill` writes value_size bytes
+  // for each key into the supplied buffer. This is the live-migration
+  // path — a shard split hands its records to the replacement stores with
+  // the *stored* values (which may not be synthetic) preserved.
+  bool BulkLoad(const std::vector<Key>& keys,
+                const std::function<void(Key, uint8_t*)>& fill);
 
   // The deterministic value PutSynthetic/BulkLoad store for `key`, exposed
   // so tests and oracles can verify read payloads byte-for-byte.

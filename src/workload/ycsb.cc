@@ -54,6 +54,14 @@ WorkloadSpec WorkloadSpec::YcsbF(KeyPick pick) {
   return s;
 }
 
+WorkloadSpec WorkloadSpec::HotRange(int update_pct) {
+  WorkloadSpec s;
+  s.update_pct = update_pct;
+  s.read_pct = 100 - update_pct;
+  s.pick = KeyPick::kHotRange;
+  return s;
+}
+
 void SplitLoadAndInserts(const std::vector<uint64_t>& keys,
                          size_t hold_out_every,
                          std::vector<uint64_t>* load,
@@ -96,6 +104,20 @@ std::vector<Op> GenerateOps(const WorkloadSpec& spec, size_t count,
   ops.reserve(count);
   Rng rng(seed);
   ZipfGenerator zipf(std::max<size_t>(1, loaded_keys.size()), 0.99, seed);
+  // Hot-range geometry over the *sorted* loaded keys: a contiguous window
+  // of hot_fraction starting at hot_start_fraction, with its own
+  // rank-skewed (unscrambled) generator so the hottest keys cluster at
+  // the window's start. Derived deterministically from spec + seed.
+  const size_t hot_len = std::min(
+      loaded_keys.size(),
+      std::max<size_t>(1, static_cast<size_t>(
+                              spec.hot_fraction *
+                              static_cast<double>(loaded_keys.size()))));
+  const size_t hot_start = std::min(
+      loaded_keys.size() - hot_len,
+      static_cast<size_t>(spec.hot_start_fraction *
+                          static_cast<double>(loaded_keys.size())));
+  ZipfGenerator hot_zipf(hot_len, 0.99, seed ^ 0x9e3779b97f4a7c15ULL);
   size_t next_insert = 0;
   // "Latest" picks near the most recently inserted keys; before any
   // insert it behaves zipfian over the tail of the loaded set.
@@ -122,6 +144,13 @@ std::vector<Op> GenerateOps(const WorkloadSpec& spec, size_t count,
         size_t tail =
             static_cast<size_t>(r) % std::max<size_t>(1, loaded_keys.size());
         return loaded_keys[loaded_keys.size() - 1 - tail];
+      }
+      case KeyPick::kHotRange: {
+        if (static_cast<int>(rng.NextUnder(100)) < spec.hot_op_pct) {
+          return loaded_keys[hot_start +
+                             static_cast<size_t>(hot_zipf.Next())];
+        }
+        return loaded_keys[rng.NextUnder(loaded_keys.size())];
       }
     }
     return loaded_keys[0];

@@ -32,7 +32,12 @@ struct Op {
   uint32_t scan_len = 0;
 };
 
-enum class KeyPick { kUniform, kZipfian, kLatest };
+// kHotRange concentrates most operations on one *contiguous* slice of the
+// sorted key set (an unscrambled Zipfian within the slice, so the skew is
+// rank-correlated, not scattered). Zipfian/latest hotspots scatter across
+// the domain; a contiguous hot range is the adversarial case for a
+// range-partitioned service — the whole hotspot lands on a single shard.
+enum class KeyPick { kUniform, kZipfian, kLatest, kHotRange };
 
 struct WorkloadSpec {
   int read_pct = 100;
@@ -42,6 +47,12 @@ struct WorkloadSpec {
   int scan_pct = 0;
   KeyPick pick = KeyPick::kUniform;
   uint32_t scan_len = 100;
+  // kHotRange shape: `hot_op_pct`% of key picks land in a contiguous
+  // window of `hot_fraction` of the sorted loaded keys, starting at
+  // offset `hot_start_fraction`; the rest are uniform over everything.
+  double hot_fraction = 0.05;
+  int hot_op_pct = 90;
+  double hot_start_fraction = 0.45;
 
   // The paper's named mixes.
   static WorkloadSpec ReadOnly(KeyPick pick = KeyPick::kUniform);
@@ -50,6 +61,9 @@ struct WorkloadSpec {
   static WorkloadSpec YcsbB(KeyPick pick = KeyPick::kZipfian);
   static WorkloadSpec YcsbD();
   static WorkloadSpec YcsbF(KeyPick pick = KeyPick::kZipfian);
+  // Hot-range stress: `update_pct`% updates + reads, all keys picked via
+  // kHotRange (the rebalance experiment's workload).
+  static WorkloadSpec HotRange(int update_pct = 50);
 };
 
 // Generates `count` operations over `loaded_keys` (the bulk-loaded key

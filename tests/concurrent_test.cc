@@ -101,7 +101,7 @@ TEST_P(ConcurrentWriteTest, ConcurrentUpsertsOnSameKeys) {
 
 INSTANTIATE_TEST_SUITE_P(WriteCapable, ConcurrentWriteTest,
                          ::testing::Values("OLC-BTree", "SkipList", "Hash",
-                                           "XIndex"),
+                                           "XIndex", "ALEX"),
                          [](const auto& info) {
                            std::string n = info.param;
                            for (char& c : n) {

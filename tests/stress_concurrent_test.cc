@@ -109,7 +109,7 @@ TEST_P(StressTest, HotRegionContention) {
 
 INSTANTIATE_TEST_SUITE_P(Concurrent, StressTest,
                          ::testing::Values("OLC-BTree", "SkipList", "Hash",
-                                           "XIndex"),
+                                           "XIndex", "ALEX"),
                          [](const auto& info) {
                            std::string n = info.param;
                            for (char& c : n) {

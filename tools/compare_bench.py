@@ -9,9 +9,12 @@ each matched pair, every throughput-like metric is compared and a drop
 larger than --threshold (default 15%) is flagged.
 
 Throughput metrics are those where higher is better: qps / ops-per-second
-style counters. Latency metrics (ns, p99, ...) are reported informationally
-when --show-latency is given but never affect the exit code — smoke-scale
-latency on shared CI runners is too noisy to gate on.
+style counters. p99 metrics also gate: an increase beyond
+--latency-threshold (default 25%) is flagged as a regression — p99 at
+smoke scale is noisy, hence the wider margin, but a tail that blows past
+it is a real stall, not noise (set --latency-threshold 0 to disable).
+Other latency metrics (p50, p999, raw ns) are reported informationally
+when --show-latency is given but never affect the exit code.
 
 Exit codes: 0 = no regression, 1 = at least one flagged regression,
 2 = usage or parse error.
@@ -46,6 +49,12 @@ def is_throughput(key: str) -> bool:
 def is_latency(key: str) -> bool:
     low = key.lower()
     return any(marker in low for marker in LATENCY_MARKERS)
+
+
+def is_gating_latency(key: str) -> bool:
+    """p99 gates; p999 (too noisy at smoke scale) and p50 do not."""
+    low = key.lower()
+    return "p99" in low and "p999" not in low
 
 
 def load_rows(root: str):
@@ -101,6 +110,10 @@ def main() -> int:
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="fractional throughput drop that counts as a "
                          "regression (default 0.15 = 15%%)")
+    ap.add_argument("--latency-threshold", type=float, default=0.25,
+                    help="fractional p99 increase that counts as a "
+                         "regression (default 0.25 = 25%%; 0 disables "
+                         "the latency gate)")
     ap.add_argument("--show-latency", action="store_true",
                     help="also print latency deltas (informational only)")
     ap.add_argument("--github-annotations", action="store_true",
@@ -140,6 +153,13 @@ def main() -> int:
                 if delta < -args.threshold:
                     regressions.append((key, metric, base_val, cur_val,
                                         delta))
+            elif (args.latency_threshold > 0 and is_gating_latency(metric)
+                  and base_val > 0):
+                compared += 1
+                delta = (cur_val - base_val) / base_val
+                if delta > args.latency_threshold:
+                    regressions.append((key, metric, base_val, cur_val,
+                                        delta))
             elif args.show_latency and is_latency(metric) and base_val > 0:
                 delta = (cur_val - base_val) / base_val
                 if abs(delta) > args.threshold:
@@ -148,19 +168,21 @@ def main() -> int:
                           f"({delta:+.1%})")
 
     unmatched = len(baseline) - matched
-    print(f"compared {compared} throughput metrics across {matched} "
-          f"matched rows ({unmatched} baseline rows had no counterpart; "
-          f"threshold {args.threshold:.0%})")
+    print(f"compared {compared} gated metrics (throughput + p99) across "
+          f"{matched} matched rows ({unmatched} baseline rows had no "
+          f"counterpart; throughput threshold {args.threshold:.0%}, p99 "
+          f"threshold {args.latency_threshold:.0%})")
     if not regressions:
-        print("no throughput regressions flagged")
+        print("no regressions flagged")
         return 0
     for key, metric, base_val, cur_val, delta in regressions:
+        kind = "p99" if is_gating_latency(metric) else "throughput"
         line = (f"{describe(key)} {metric}: {base_val:.1f} -> "
-                f"{cur_val:.1f} ({delta:+.1%})")
+                f"{cur_val:.1f} ({delta:+.1%}, {kind})")
         print(f"  REGRESSION {line}")
         if args.github_annotations:
             print(f"::warning title=bench regression::{line}")
-    print(f"{len(regressions)} throughput regression(s) flagged")
+    print(f"{len(regressions)} regression(s) flagged")
     return 1
 
 
