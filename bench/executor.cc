@@ -29,7 +29,7 @@ struct PassResult {
 // is taken *after* every worker has spawned and checked in at the
 // barrier, and clock end is the finish time of the slowest worker —
 // thread spawn/join never counts.
-PassResult RunPass(ViperStore* store, const std::vector<Op>& ops,
+PassResult RunPass(StoreBackend* store, const std::vector<Op>& ops,
                    size_t count, size_t threads, uint64_t duration_ns,
                    size_t batch,
                    std::vector<std::vector<LatencyRecorder>>* recorders) {
@@ -164,7 +164,7 @@ double RunStats::WorkerMopsStddev() const {
   return std::sqrt(var);
 }
 
-RunStats RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
+RunStats RunStoreOps(StoreBackend* store, const std::vector<Op>& ops,
                      const ExecutorOptions& opts) {
   RunStats stats;
   if (ops.empty()) return stats;

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/latency_recorder.h"
-#include "store/viper.h"
+#include "store/store_backend.h"
 #include "workload/ycsb.h"
 
 namespace pieces::bench {
@@ -62,9 +62,10 @@ struct RunStats {
   }
 };
 
-// Executes `ops` against the store across `opts.threads` threads (ops are
-// partitioned round-robin). Values use the store's synthetic generator.
-RunStats RunStoreOps(ViperStore* store, const std::vector<Op>& ops,
+// Executes `ops` against the store (any StoreBackend — ViperStore or
+// DiskStore) across `opts.threads` threads (ops are partitioned
+// round-robin). Values use the store's synthetic generator.
+RunStats RunStoreOps(StoreBackend* store, const std::vector<Op>& ops,
                      const ExecutorOptions& opts = {});
 
 }  // namespace pieces::bench

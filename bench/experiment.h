@@ -35,6 +35,10 @@ struct Context {
   // Multi-get width (--batch): read-only phases route through
   // ViperStore::GetBatch in groups of this many keys. 1 = single-key Gets.
   size_t batch = 1;
+  // Writable directory for disk-backend page files (--data-dir /
+  // PIECES_DATA_DIR; the driver guarantees it exists and is writable, and
+  // removes it on exit when it created the default temp dir itself).
+  std::string data_dir = "/tmp";
 };
 
 struct Experiment {

@@ -6,6 +6,9 @@
 //   pieces_bench --list
 //   pieces_bench --experiment=fig10,fig15 --format=json --out=results/
 //   pieces_bench --smoke --format=json,csv --out=results/
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -37,17 +40,20 @@ Usage: pieces_bench [flags]
   --repeats=N            measured repetitions, throughput averaged (default 1)
   --threads=N            thread ceiling for multi-threaded experiments
                          (default: PIECES_THREADS or 4)
+  --data-dir=PATH        writable directory for disk-backend page files
+                         (default: $PIECES_DATA_DIR, else a per-run temp
+                         directory removed on exit)
   --smoke                tiny-scale preset (keys=4096 ops=2000) for CI smoke
   --help                 this text
 
 Env knobs: PIECES_SCALE, PIECES_NVM_READ_NS, PIECES_NVM_WRITE_NS,
-PIECES_THREADS (see README.md).
+PIECES_THREADS, PIECES_DATA_DIR (see README.md).
 )";
 
 const std::vector<std::string> kKnownFlags = {
     "list",     "experiment", "format",  "out",     "keys",  "ops",
     "duration", "batch",      "warmup",  "repeats", "threads", "smoke",
-    "help"};
+    "data-dir", "help"};
 
 int Main(int argc, char** argv) {
   CliFlags flags = CliFlags::Parse(argc, argv);
@@ -116,6 +122,36 @@ int Main(int argc, char** argv) {
   ctx.warmup_ops = flags.GetU64("warmup", 0);
   ctx.repeats = flags.GetU64("repeats", 1);
   ctx.max_threads = flags.GetU64("threads", BenchMaxThreads());
+
+  // Disk-backend data directory: flag beats env beats a per-run temp dir
+  // (which we create now and remove on exit — the page stores unlink
+  // their own files). The probe catches an unwritable path up front with
+  // a clear error instead of an abort deep inside shard construction.
+  std::string data_dir = flags.GetString("data-dir");
+  if (data_dir.empty()) data_dir = BenchDataDir();
+  bool created_data_dir = false;
+  if (data_dir.empty()) {
+    data_dir = "/tmp/pieces_bench_data." + std::to_string(::getpid());
+    created_data_dir = ::mkdir(data_dir.c_str(), 0755) == 0;
+  } else {
+    ::mkdir(data_dir.c_str(), 0755);  // best effort; EEXIST is fine
+  }
+  {
+    const std::string probe = data_dir + "/.pieces_write_probe";
+    std::FILE* f = std::fopen(probe.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr,
+                   "pieces_bench: data dir '%s' is not writable "
+                   "(--data-dir or PIECES_DATA_DIR must name a writable "
+                   "directory)\n",
+                   data_dir.c_str());
+      return 2;
+    }
+    std::fclose(f);
+    std::remove(probe.c_str());
+  }
+  ctx.data_dir = data_dir;
+
   if (!flags.errors().empty()) {
     for (const std::string& err : flags.errors()) {
       std::fprintf(stderr, "pieces_bench: %s\n", err.c_str());
@@ -148,6 +184,8 @@ int Main(int argc, char** argv) {
     e->run(ctx);
     sink.EndExperiment();
   }
+  // Stores unlink their page files; drop the temp dir only if we made it.
+  if (created_data_dir) ::rmdir(data_dir.c_str());
   return 0;
 }
 

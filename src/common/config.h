@@ -69,6 +69,14 @@ inline uint64_t NvmWriteLatencyNs() {
 // Thread-count ceiling for the multi-thread benches.
 inline uint64_t BenchMaxThreads() { return GetEnvU64("PIECES_THREADS", 4); }
 
+// Directory for disk-backend page files (empty = let the bench driver
+// pick a per-run temp directory that it removes on exit). The --data-dir
+// flag overrides this env knob.
+inline std::string BenchDataDir() {
+  const char* v = std::getenv("PIECES_DATA_DIR");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
 }  // namespace pieces
 
 #endif  // PIECES_COMMON_CONFIG_H_

@@ -120,9 +120,27 @@ std::shared_ptr<Shard> KvService::MakeShard(size_t id) {
                  index_name_.c_str());
     std::abort();
   }
-  return std::make_shared<Shard>(
-      id, std::make_unique<ViperStore>(std::move(index), config_.store),
-      config_.queue_capacity, config_.maintenance, config_.writers_per_shard);
+  std::unique_ptr<StoreBackend> store;
+  if (config_.backend == "disk") {
+    // Each shard owns its own paged file inside the configured data
+    // directory; record shape always follows the viper config so the two
+    // backends stay interchangeable.
+    DiskStore::Config disk = config_.disk;
+    disk.value_size = config_.store.value_size;
+    disk.path += "/shard_" + std::to_string(id) + ".pages";
+    auto ds = std::make_unique<DiskStore>(std::move(index), disk);
+    if (!ds->ok()) {
+      std::fprintf(stderr, "KvService: disk backend unavailable: %s\n",
+                   ds->error().c_str());
+      std::abort();
+    }
+    store = std::move(ds);
+  } else {
+    store = std::make_unique<ViperStore>(std::move(index), config_.store);
+  }
+  return std::make_shared<Shard>(id, std::move(store),
+                                 config_.queue_capacity, config_.maintenance,
+                                 config_.writers_per_shard);
 }
 
 bool KvService::BulkLoad(const std::vector<Key>& sorted_keys) {
@@ -512,7 +530,7 @@ std::shared_ptr<Shard> KvService::BuildShard(const std::vector<Key>& keys,
     for (Shard* src : sources) {
       if (src->store()->Get(key, buf)) return;
     }
-    ViperStore::FillSyntheticValue(key, buf, config_.store.value_size);
+    FillSyntheticRecordValue(key, buf, config_.store.value_size);
   };
   if (!shard->store()->BulkLoad(keys, fill)) return nullptr;
   if (start) shard->Start();

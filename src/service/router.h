@@ -1,6 +1,6 @@
 // The service front door: a Router (KvService) over N range-partitioned
-// shards (shard.h), each owning one ViperStore + index instance and a
-// small pool of worker threads.
+// shards (shard.h), each owning one store backend (ViperStore or
+// DiskStore) + index instance and a small pool of worker threads.
 //
 //  * Partitioning is CDF-balanced: shard boundaries are equal-mass
 //    quantiles of a bootstrap key sample, not equal-width slices of the
@@ -44,6 +44,7 @@
 #include "service/maintainer.h"
 #include "service/request.h"
 #include "service/shard.h"
+#include "store/disk_store.h"
 #include "store/viper.h"
 
 namespace pieces::service {
@@ -111,8 +112,18 @@ struct ServiceConfig {
   // SupportsConcurrentWrites() (ALEX, XIndex, OLC B-Tree); all others run
   // single-writer regardless.
   size_t writers_per_shard = 1;
+  // Storage backend for every shard: "viper" (records on simulated PMem,
+  // the default) or "disk" (records in paged files behind a buffer pool).
+  // The serving stack is identical either way; see DESIGN.md "Storage
+  // tiers".
+  std::string backend = "viper";
   // Per-shard store configuration (value size, PMem capacity, latency).
   ViperStore::Config store;
+  // Disk-backend configuration; used only when backend == "disk".
+  // disk.path names a *directory* — each shard gets its own
+  // shard_<id>.pages file inside it (value_size is taken from
+  // store.value_size so both backends always agree on record shape).
+  DiskStore::Config disk;
   // Per-shard background retraining (off by default). Ignored when the
   // chosen index does not implement MaintenanceHook.
   MaintenanceConfig maintenance;

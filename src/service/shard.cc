@@ -20,7 +20,7 @@ uint64_t MixKey(uint64_t x) {
 
 }  // namespace
 
-Shard::Shard(size_t id, std::unique_ptr<ViperStore> store,
+Shard::Shard(size_t id, std::unique_ptr<StoreBackend> store,
              size_t queue_capacity, MaintenanceConfig maintenance,
              size_t writers)
     : id_(id),

@@ -1,5 +1,6 @@
-// One service shard: a ViperStore (and the index inside it) owned by a
-// small pool of worker threads draining per-worker (lane) request queues.
+// One service shard: a StoreBackend (ViperStore or DiskStore, and the
+// index inside it) owned by a small pool of worker threads draining
+// per-worker (lane) request queues.
 // The default is a single worker — the paper's Figs. 12/14 show most
 // learned indexes are single-writer, so the only lock anywhere near such
 // an index is the queue mutex, amortized across a whole batch per
@@ -36,7 +37,7 @@
 
 #include "service/maintainer.h"
 #include "service/request.h"
-#include "store/viper.h"
+#include "store/store_backend.h"
 
 namespace pieces::service {
 
@@ -56,8 +57,9 @@ class Shard {
   // retrains drifting segments off the worker thread (maintainer.h).
   // `writers` > 1 takes effect only when the index supports concurrent
   // writes; otherwise the shard silently runs single-writer.
-  Shard(size_t id, std::unique_ptr<ViperStore> store, size_t queue_capacity,
-        MaintenanceConfig maintenance = {}, size_t writers = 1);
+  Shard(size_t id, std::unique_ptr<StoreBackend> store,
+        size_t queue_capacity, MaintenanceConfig maintenance = {},
+        size_t writers = 1);
   ~Shard();
 
   Shard(const Shard&) = delete;
@@ -92,7 +94,7 @@ class Shard {
   void BeginRetire();
   bool retired() const;
 
-  // Simulated power failure on this shard's PMem: quiesce the workers
+  // Simulated power failure on this shard's medium: quiesce the workers
   // (accepted requests complete — their persists are done by the time
   // they ack), drop every unpersisted byte, rebuild the index from the
   // surviving pages, and resume serving. Requests submitted during the
@@ -101,8 +103,8 @@ class Shard {
   // and recovers but no worker is spawned.
   uint64_t CrashAndRecover();
 
-  ViperStore* store() { return store_.get(); }
-  const ViperStore& store() const { return *store_; }
+  StoreBackend* store() { return store_.get(); }
+  const StoreBackend& store() const { return *store_; }
   size_t id() const { return id_; }
   size_t writers() const { return lanes_.size(); }
   // Requests currently queued (admission-control backlog); the split
@@ -141,7 +143,7 @@ class Shard {
   const size_t id_;
   const size_t queue_capacity_;
   const MaintenanceConfig maintenance_;
-  std::unique_ptr<ViperStore> store_;
+  std::unique_ptr<StoreBackend> store_;
   // Non-null iff maintenance is enabled AND the index exposes a hook.
   std::unique_ptr<Maintainer> maintainer_;
 

@@ -1,0 +1,121 @@
+#include "store/buffer_pool.h"
+
+#include <cstring>
+
+namespace pieces {
+
+BufferPool::BufferPool(PageStore* store, size_t frames) : store_(store) {
+  frames_.resize(frames == 0 ? 1 : frames);
+  for (Frame& f : frames_) f.data.resize(store_->page_size());
+  table_.reserve(frames_.size());
+}
+
+size_t BufferPool::EvictLocked() {
+  // CLOCK: up to two full sweeps — the first clears reference bits, the
+  // second takes the first unpinned frame. Only pinned frames survive
+  // both sweeps.
+  for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+    Frame& f = frames_[clock_hand_];
+    const size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f.pins > 0) continue;
+    if (f.ref) {
+      f.ref = false;
+      continue;
+    }
+    if (f.page != PageStore::kInvalidPage) {
+      if (f.dirty) {
+        // Write-back is not a durability barrier: the bytes reach the OS
+        // page cache and become durable at the next Sync, exactly like
+        // any other unsynced write.
+        store_->WritePage(f.page, f.data.data());
+        writebacks_.fetch_add(1, std::memory_order_relaxed);
+        f.dirty = false;
+      }
+      table_.erase(f.page);
+      f.page = PageStore::kInvalidPage;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return idx;
+  }
+  return frames_.size();
+}
+
+uint8_t* BufferPool::PinFetchLocked(uint32_t page, bool fetch) {
+  auto it = table_.find(page);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    f.pins++;
+    f.ref = true;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return f.data.data();
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const size_t idx = EvictLocked();
+  if (idx == frames_.size()) return nullptr;
+  Frame& f = frames_[idx];
+  if (fetch) {
+    store_->ReadPage(page, f.data.data());
+  } else {
+    std::memset(f.data.data(), 0, f.data.size());
+  }
+  f.page = page;
+  f.pins = 1;
+  f.ref = true;
+  f.dirty = !fetch;  // a fresh page's zeros exist only in the frame
+  table_.emplace(page, idx);
+  return f.data.data();
+}
+
+uint8_t* BufferPool::Pin(uint32_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PinFetchLocked(page, /*fetch=*/true);
+}
+
+uint8_t* BufferPool::PinNew(uint32_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PinFetchLocked(page, /*fetch=*/false);
+}
+
+void BufferPool::Unpin(uint32_t page, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(page);
+  if (it == table_.end()) return;  // Reset() dropped it mid-pin (crash)
+  Frame& f = frames_[it->second];
+  if (f.pins > 0) f.pins--;
+  if (dirty) f.dirty = true;
+}
+
+void BufferPool::FlushPage(uint32_t page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(page);
+  if (it == table_.end()) return;
+  Frame& f = frames_[it->second];
+  store_->WritePage(page, f.data.data());
+  f.dirty = false;
+  store_->Sync();
+}
+
+void BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.page == PageStore::kInvalidPage || !f.dirty) continue;
+    store_->WritePage(f.page, f.data.data());
+    writebacks_.fetch_add(1, std::memory_order_relaxed);
+    f.dirty = false;
+  }
+}
+
+void BufferPool::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    f.page = PageStore::kInvalidPage;
+    f.pins = 0;
+    f.ref = false;
+    f.dirty = false;
+  }
+  table_.clear();
+  clock_hand_ = 0;
+}
+
+}  // namespace pieces

@@ -1,0 +1,101 @@
+// BufferPool: a CLOCK (second-chance) page cache between DiskStore and
+// its PageStore file. The pool is the disk tier's whole cost model — a
+// lookup whose last-mile search lands in a pooled frame costs DRAM; a
+// miss costs a physical page fetch — so it counts hits, misses,
+// evictions and dirty write-backs for the disk_tier experiment to report
+// against buffer-pool fraction.
+//
+// Pin/unpin contract: Pin returns a stable pointer to the frame's bytes
+// and holds the frame against eviction until the matching Unpin; pins
+// nest (a page may be pinned by several readers at once). CLOCK eviction
+// sweeps unpinned frames, clearing reference bits, and writes a dirty
+// victim back (WritePage, *not* durable — durability is only ever a
+// FlushPage barrier). All pool state is behind one mutex; frame *bytes*
+// are accessed outside it under pin protection, which is safe because a
+// pinned frame is never evicted or re-mapped.
+#ifndef PIECES_STORE_BUFFER_POOL_H_
+#define PIECES_STORE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "store/page_store.h"
+
+namespace pieces {
+
+class BufferPool {
+ public:
+  // `frames` capacity in pages (>= 1).
+  BufferPool(PageStore* store, size_t frames);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins `page` into a frame, fetching it from the file on a miss (the
+  // CLOCK victim is written back first when dirty). Returns the frame's
+  // bytes, or nullptr when every frame is pinned by someone else (the
+  // caller backs off and retries; each caller pins at most a page or two,
+  // so any pool with >= a few frames per concurrent caller makes
+  // progress).
+  uint8_t* Pin(uint32_t page);
+
+  // Pins a freshly allocated (all-zero) page without a disk fetch — the
+  // bulk-load/append path. The frame is zeroed and marked dirty.
+  uint8_t* PinNew(uint32_t page);
+
+  // Releases one pin. `dirty` marks the frame's bytes as modified since
+  // the last write-back.
+  void Unpin(uint32_t page, bool dirty);
+
+  // Durability barrier for one (pinned) page: write the frame through to
+  // the file and fsync. The frame stays pinned and becomes clean.
+  void FlushPage(uint32_t page);
+
+  // Writes every dirty frame back (no fsync — pair with
+  // PageStore::Sync() for a durability point over the whole pool).
+  void FlushAll();
+
+  // Drops every frame unconditionally, including pinned ones — the
+  // post-crash path: rolled-back file content invalidates all cached
+  // frames, and a crash may have unwound a caller mid-pin.
+  void Reset();
+
+  size_t frames() const { return frames_.size(); }
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
+  uint64_t evictions() const { return evictions_.load(); }
+  uint64_t writebacks() const { return writebacks_.load(); }
+
+ private:
+  struct Frame {
+    uint32_t page = PageStore::kInvalidPage;
+    uint32_t pins = 0;
+    bool ref = false;
+    bool dirty = false;
+    std::vector<uint8_t> data;
+  };
+
+  // Returns the index of an evictable frame (victim written back if
+  // dirty, mapping erased), or frames_.size() when every frame is
+  // pinned. Caller holds mu_.
+  size_t EvictLocked();
+  uint8_t* PinFetchLocked(uint32_t page, bool fetch);
+
+  PageStore* store_;
+  std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint32_t, size_t> table_;  // page -> frame index
+  size_t clock_hand_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> writebacks_{0};
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_STORE_BUFFER_POOL_H_

@@ -1,0 +1,337 @@
+#include "store/disk_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/checksum.h"
+#include "common/timer.h"
+
+namespace pieces {
+
+namespace {
+
+size_t SlotsPerPage(size_t page_size, size_t record_bytes) {
+  if (record_bytes == 0) return 0;
+  // The handle packs the slot into 16 bits.
+  return std::min<size_t>(page_size / record_bytes, 0xffff);
+}
+
+}  // namespace
+
+DiskStore::DiskStore(std::unique_ptr<OrderedIndex> index,
+                     const Config& config)
+    : config_(config),
+      slots_per_page_(SlotsPerPage(config.page_size,
+                                   sizeof(Key) + config.value_size +
+                                       sizeof(RecordHeader))),
+      pages_(config.path,
+             PageStore::Options{
+                 .page_size = config.page_size,
+                 .max_pages = std::max<size_t>(
+                     1, config.file_capacity / std::max<size_t>(
+                                                   1, config.page_size)),
+                 .unlink_on_close = config.unlink_on_close}),
+      pool_(&pages_, std::max<size_t>(1, config.pool_pages)),
+      index_(std::move(index)) {
+  if (!pages_.ok()) {
+    error_ = pages_.error();
+  } else if (slots_per_page_ == 0) {
+    error_ = "DiskStore: page_size too small for one record";
+  }
+}
+
+RecordHeader DiskStore::MakeHeader(const uint8_t* payload) {
+  RecordHeader header;
+  header.seqno = next_seqno_.fetch_add(1, std::memory_order_relaxed);
+  header.crc = Crc32c(payload, PayloadBytes());
+  header.magic = kRecordCommitMagic;
+  return header;
+}
+
+bool DiskStore::ClaimSlot(uint32_t* page, uint32_t* slot, bool* fresh_page) {
+  // Caller holds write_mu_.
+  *fresh_page = false;
+  if (tail_page_ == PageStore::kInvalidPage ||
+      next_slot_ >= slots_per_page_) {
+    uint32_t p = pages_.AllocatePage();
+    if (p == PageStore::kInvalidPage) return false;
+    tail_page_ = p;
+    next_slot_ = 0;
+    *fresh_page = true;
+  }
+  *page = tail_page_;
+  *slot = next_slot_++;
+  return true;
+}
+
+uint8_t* DiskStore::PinWait(uint32_t page) const {
+  // nullptr means every frame is transiently pinned by other callers; each
+  // caller holds at most one pin at a time, so backing off resolves it.
+  uint8_t* frame;
+  while ((frame = pool_.Pin(page)) == nullptr) std::this_thread::yield();
+  return frame;
+}
+
+bool DiskStore::BulkLoad(const std::vector<Key>& keys) {
+  return BulkLoad(keys, [this](Key key, uint8_t* buf) {
+    FillSyntheticRecordValue(key, buf, config_.value_size);
+  });
+}
+
+bool DiskStore::BulkLoad(const std::vector<Key>& keys,
+                         const std::function<void(Key, uint8_t*)>& fill) {
+  CheckPowered();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  std::vector<KeyValue> entries;
+  entries.reserve(keys.size());
+  // Batched durability, one fsync barrier per filled page: the frame stays
+  // pinned while its slots fill and is flushed once when it closes — the
+  // on-disk analogue of ViperStore's one-persist-per-page-span bulk load.
+  uint32_t pinned_page = PageStore::kInvalidPage;
+  uint8_t* frame = nullptr;
+  auto close_page = [&]() {
+    if (pinned_page == PageStore::kInvalidPage) return;
+    pool_.FlushPage(pinned_page);
+    pool_.Unpin(pinned_page, /*dirty=*/false);
+    pinned_page = PageStore::kInvalidPage;
+  };
+  for (Key key : keys) {
+    uint32_t page;
+    uint32_t slot;
+    bool fresh;
+    if (!ClaimSlot(&page, &slot, &fresh)) {
+      close_page();
+      return false;
+    }
+    if (page != pinned_page) {
+      close_page();
+      frame = fresh ? pool_.PinNew(page) : PinWait(page);
+      if (frame == nullptr) frame = PinWait(page);
+      pinned_page = page;
+    }
+    uint8_t* rec = frame + SlotOffset(slot);
+    std::memcpy(rec, &key, sizeof(Key));
+    fill(key, rec + sizeof(Key));
+    RecordHeader header = MakeHeader(rec);
+    std::memcpy(rec + PayloadBytes(), &header, sizeof(RecordHeader));
+    entries.push_back({key, PackHandle(page, slot)});
+  }
+  close_page();
+  index_->BulkLoad(entries);
+  size_.store(keys.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool DiskStore::Put(Key key, const uint8_t* value) {
+  CheckPowered();
+  // Writers serialize: on disk the two fsync barriers below dominate the
+  // cost, so writer parallelism buys nothing, and serializing keeps each
+  // whole-page flush self-consistent.
+  std::lock_guard<std::mutex> lock(write_mu_);
+  uint32_t page;
+  uint32_t slot;
+  bool fresh;
+  if (!ClaimSlot(&page, &slot, &fresh)) return false;
+  uint8_t* frame = fresh ? pool_.PinNew(page) : PinWait(page);
+  if (frame == nullptr) frame = PinWait(page);
+  uint8_t* rec = frame + SlotOffset(slot);
+  // Commit protocol (record_format.h): payload, barrier, header, barrier,
+  // index swing, ack. A crash at either barrier leaves the slot without a
+  // validating header, so recovery includes exactly the acknowledged puts.
+  // The slot is invisible to readers until the index swing, so mutating
+  // the pinned frame under concurrent reads of *other* slots is safe.
+  std::memcpy(rec, &key, sizeof(Key));
+  std::memcpy(rec + sizeof(Key), value, config_.value_size);
+  std::memset(rec + PayloadBytes(), 0, sizeof(RecordHeader));
+  pool_.FlushPage(page);
+  RecordHeader header = MakeHeader(rec);
+  std::memcpy(rec + PayloadBytes(), &header, sizeof(RecordHeader));
+  pool_.FlushPage(page);
+  if (!index_->Insert(key, PackHandle(page, slot))) {
+    // Durable but never acknowledged: revoke the commit header so recovery
+    // cannot resurrect a put the caller was told failed.
+    std::memset(rec + PayloadBytes(), 0, sizeof(RecordHeader));
+    pool_.FlushPage(page);
+    pool_.Unpin(page, /*dirty=*/false);
+    return false;
+  }
+  pool_.Unpin(page, /*dirty=*/false);
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool DiskStore::PutSynthetic(Key key) {
+  std::vector<uint8_t> value(config_.value_size);
+  FillSyntheticRecordValue(key, value.data(), config_.value_size);
+  return Put(key, value.data());
+}
+
+bool DiskStore::Get(Key key, uint8_t* out) const {
+  CheckPowered();
+  Value handle;
+  if (!index_->Get(key, &handle)) return false;
+  const uint32_t page = HandlePage(handle);
+  const uint8_t* frame = PinWait(page);
+  std::memcpy(out, frame + SlotOffset(HandleSlot(handle)) + sizeof(Key),
+              config_.value_size);
+  pool_.Unpin(page, /*dirty=*/false);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t DiskStore::GetBatch(std::span<const Key> keys, uint8_t* const* outs,
+                           bool* found) const {
+  CheckPowered();
+  constexpr size_t kTile = 64;
+  Value handles[kTile];
+  // (page, tile index) pairs, sorted by page so the batch charges one pool
+  // access per *distinct* page instead of one per key — consecutive keys
+  // cluster in pages after bulk load, so range-shaped batches amortize
+  // fetches across the whole run that lands in a page.
+  std::pair<uint32_t, uint32_t> order[kTile];
+  size_t hits = 0;
+  for (size_t base = 0; base < keys.size(); base += kTile) {
+    size_t m = std::min(kTile, keys.size() - base);
+    index_->GetBatch(keys.subspan(base, m), handles, found + base);
+    size_t k = 0;
+    for (size_t j = 0; j < m; ++j) {
+      if (!found[base + j]) continue;
+      order[k++] = {HandlePage(handles[j]), static_cast<uint32_t>(j)};
+    }
+    std::sort(order, order + k);
+    const uint8_t* frame = nullptr;
+    uint32_t pinned = PageStore::kInvalidPage;
+    for (size_t i = 0; i < k; ++i) {
+      const uint32_t page = order[i].first;
+      const uint32_t j = order[i].second;
+      if (page != pinned) {
+        if (pinned != PageStore::kInvalidPage) {
+          pool_.Unpin(pinned, /*dirty=*/false);
+        }
+        frame = PinWait(page);
+        pinned = page;
+      }
+      std::memcpy(outs[base + j],
+                  frame + SlotOffset(HandleSlot(handles[j])) + sizeof(Key),
+                  config_.value_size);
+    }
+    if (pinned != PageStore::kInvalidPage) {
+      pool_.Unpin(pinned, /*dirty=*/false);
+    }
+    hits += k;
+    lookups_.fetch_add(m, std::memory_order_relaxed);
+  }
+  return hits;
+}
+
+size_t DiskStore::Scan(Key from, size_t count,
+                       std::vector<Key>* out_keys) const {
+  CheckPowered();
+  std::vector<KeyValue> handles;
+  handles.reserve(count);
+  size_t got = index_->Scan(from, count, &handles);
+  // Handles arrive in key order, which is page order for bulk-loaded
+  // runs; keeping the current page pinned across consecutive records makes
+  // the scan cost one pool access per page, not per record.
+  std::vector<uint8_t> value(config_.value_size);
+  const uint8_t* frame = nullptr;
+  uint32_t pinned = PageStore::kInvalidPage;
+  for (const KeyValue& kv : handles) {
+    const uint32_t page = HandlePage(kv.value);
+    if (page != pinned) {
+      if (pinned != PageStore::kInvalidPage) {
+        pool_.Unpin(pinned, /*dirty=*/false);
+      }
+      frame = PinWait(page);
+      pinned = page;
+    }
+    std::memcpy(value.data(),
+                frame + SlotOffset(HandleSlot(kv.value)) + sizeof(Key),
+                config_.value_size);
+    out_keys->push_back(kv.key);
+  }
+  if (pinned != PageStore::kInvalidPage) {
+    pool_.Unpin(pinned, /*dirty=*/false);
+  }
+  return got;
+}
+
+uint64_t DiskStore::Recover() {
+  Timer timer;
+  // Power back on (no-op after a clean shutdown), and drop every cached
+  // frame: the crash rolled the file back under the pool, and a crash may
+  // have unwound a writer mid-pin.
+  pages_.ClearCrash();
+  pool_.Reset();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  // The file's page count survives a crash the way a file's length does;
+  // nothing else from the pre-crash DRAM state is trusted. Scan every slot
+  // straight off the file (bypassing the pool — recovery is one pass and
+  // would only evict-thrash it) and keep only validating commit headers:
+  // zeroed slots fail the magic check, torn headers cannot complete the
+  // trailing magic, torn payloads fail the CRC.
+  const size_t num_pages = pages_.num_pages();
+  struct Recovered {
+    Key key;
+    Value handle;
+    uint64_t seqno;
+  };
+  std::vector<Recovered> records;
+  std::vector<uint8_t> page_buf(config_.page_size);
+  uint64_t max_seqno = 0;
+  for (uint32_t p = 0; p < num_pages; ++p) {
+    pages_.ReadPage(p, page_buf.data());
+    for (uint32_t s = 0; s < slots_per_page_; ++s) {
+      const uint8_t* rec = page_buf.data() + SlotOffset(s);
+      RecordHeader header;
+      std::memcpy(&header, rec + PayloadBytes(), sizeof(RecordHeader));
+      if (header.magic != kRecordCommitMagic || header.seqno == 0) continue;
+      if (Crc32c(rec, PayloadBytes()) != header.crc) continue;
+      Key key;
+      std::memcpy(&key, rec, sizeof(Key));
+      records.push_back({key, PackHandle(p, s), header.seqno});
+      max_seqno = std::max(max_seqno, header.seqno);
+    }
+  }
+  // Out-of-place updates leave several committed records per key; the
+  // highest seqno wins.
+  std::sort(records.begin(), records.end(),
+            [](const Recovered& a, const Recovered& b) {
+              return a.key != b.key ? a.key < b.key : a.seqno < b.seqno;
+            });
+  std::vector<KeyValue> unique;
+  unique.reserve(records.size());
+  for (const Recovered& r : records) {
+    if (!unique.empty() && unique.back().key == r.key) {
+      unique.back().value = r.handle;
+    } else {
+      unique.push_back({r.key, r.handle});
+    }
+  }
+  index_->BulkLoad(unique);
+  size_.store(unique.size(), std::memory_order_relaxed);
+  next_seqno_.store(max_seqno + 1, std::memory_order_relaxed);
+  // Never resume filling a possibly-torn tail page: the next claim after
+  // recovery opens a fresh page.
+  tail_page_ = PageStore::kInvalidPage;
+  next_slot_ = 0;
+  return timer.ElapsedNanos();
+}
+
+StoreIoStats DiskStore::IoStats() const {
+  StoreIoStats stats;
+  stats.bytes_read = pages_.pages_read() * config_.page_size;
+  stats.bytes_written = pages_.pages_written() * config_.page_size;
+  stats.barriers = pages_.syncs();
+  // Serving-path physical fetches = pool misses (recovery's direct page
+  // scan bypasses the pool and is excluded on purpose).
+  stats.page_fetches = pool_.misses();
+  stats.pool_hits = pool_.hits();
+  stats.pool_misses = pool_.misses();
+  stats.pool_evictions = pool_.evictions();
+  stats.pool_writebacks = pool_.writebacks();
+  return stats;
+}
+
+}  // namespace pieces

@@ -1,0 +1,140 @@
+// DiskStore: the disk-resident StoreBackend — records in fixed-size
+// pages in a regular file (store/page_store.h) behind a CLOCK buffer
+// pool (store/buffer_pool.h), with the index (models + fence keys) fully
+// in DRAM mapping each key to a (page, slot) handle. This opens the
+// larger-than-memory regime the paper's 200M–800M-key configurations
+// imply: the dataset lives on the block device, the pool caches a
+// configurable fraction of it, and the interesting cost model becomes
+// *page fetches per lookup vs model precision* (disk_tier experiment).
+//
+// Record layout and durability are the ViperStore commit protocol
+// verbatim (store/record_format.h): [key | value | RecordHeader] per
+// slot, payload flushed before header, header flushed before the index
+// swing, ack after — each "flush" here a page write-through + fsync
+// barrier instead of a persist fence. Recovery scans the file, trusts
+// only validating headers, and resolves duplicate keys by highest seqno;
+// it is exactly as good after a power cut (torn pages included) as after
+// a clean shutdown.
+//
+// Batched reads group by page: GetBatch resolves handles through the
+// index's batch path, then sorts the hits by page id so a batch charges
+// one pool fetch per *distinct page*, not per key — consecutive keys
+// cluster in pages after bulk load, so range-shaped batches amortize
+// fetches the way the PR 4 batch path amortizes cache misses.
+//
+// Concurrency: any number of concurrent readers (each holds at most one
+// pin at a time); writers serialize on an internal mutex — on disk the
+// two fsync barriers per put dominate, so writer parallelism buys
+// nothing and whole-page flushes stay self-consistent.
+#ifndef PIECES_STORE_DISK_STORE_H_
+#define PIECES_STORE_DISK_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "store/buffer_pool.h"
+#include "store/page_store.h"
+#include "store/record_format.h"
+#include "store/store_backend.h"
+
+namespace pieces {
+
+class DiskStore : public StoreBackend {
+ public:
+  struct Config {
+    size_t value_size = 200;   // The paper's 200-byte values.
+    size_t page_size = 4096;   // Block-device page granularity.
+    // Buffer-pool capacity in frames. The disk_tier experiment sweeps
+    // this as a fraction of the dataset's page count.
+    size_t pool_pages = 256;
+    size_t file_capacity = size_t{1} << 30;
+    // Backing file path (required). The file is created/truncated.
+    std::string path;
+    // Remove the backing file on destruction (--data-dir cleanup).
+    bool unlink_on_close = true;
+  };
+
+  DiskStore(std::unique_ptr<OrderedIndex> index, const Config& config);
+
+  // False when the backing file could not be opened (e.g. the data
+  // directory is unwritable); error() says why. All other calls are
+  // invalid until ok().
+  bool ok() const { return pages_.ok() && slots_per_page_ > 0; }
+  const std::string& error() const { return error_; }
+
+  // ---- StoreBackend ---------------------------------------------------
+  bool BulkLoad(const std::vector<Key>& keys) override;
+  bool BulkLoad(const std::vector<Key>& keys,
+                const std::function<void(Key, uint8_t*)>& fill) override;
+  bool Put(Key key, const uint8_t* value) override;
+  bool PutSynthetic(Key key) override;
+  bool Get(Key key, uint8_t* out) const override;
+  size_t GetBatch(std::span<const Key> keys, uint8_t* const* outs,
+                  bool* found) const override;
+  size_t Scan(Key from, size_t count,
+              std::vector<Key>* out_keys) const override;
+  void Crash() override { pages_.Crash(); }
+  uint64_t Recover() override;
+  const OrderedIndex& index() const override { return *index_; }
+  OrderedIndex* mutable_index() override { return index_.get(); }
+  size_t size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+  size_t value_size() const override { return config_.value_size; }
+  std::string_view BackendName() const override { return "disk"; }
+  StoreIoStats IoStats() const override;
+
+  // Crash-injection hook for the fsync-barrier sweep tests.
+  PageStore& mutable_pages() { return pages_; }
+  const PageStore& pages() const { return pages_; }
+  const BufferPool& pool() const { return pool_; }
+  size_t slots_per_page() const { return slots_per_page_; }
+  size_t record_bytes() const { return RecordBytes(); }
+
+ private:
+  static Value PackHandle(uint32_t page, uint32_t slot) {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static uint32_t HandlePage(Value v) {
+    return static_cast<uint32_t>(v >> 16);
+  }
+  static uint32_t HandleSlot(Value v) {
+    return static_cast<uint32_t>(v & 0xffff);
+  }
+
+  size_t PayloadBytes() const { return sizeof(Key) + config_.value_size; }
+  size_t RecordBytes() const { return PayloadBytes() + sizeof(RecordHeader); }
+  size_t SlotOffset(uint32_t slot) const { return slot * RecordBytes(); }
+  RecordHeader MakeHeader(const uint8_t* payload);
+  // Claims a fresh slot under write_mu_, allocating (and pinning — via
+  // *frame) a page when the tail fills. False on file-capacity
+  // exhaustion.
+  bool ClaimSlot(uint32_t* page, uint32_t* slot, bool* fresh_page);
+  // Pin that spins out transient all-frames-pinned states.
+  uint8_t* PinWait(uint32_t page) const;
+  void CheckPowered() const {
+    if (pages_.crashed()) throw SimulatedCrash{};
+  }
+
+  Config config_;
+  std::string error_;
+  size_t slots_per_page_ = 0;
+  PageStore pages_;
+  mutable BufferPool pool_;
+  std::unique_ptr<OrderedIndex> index_;
+
+  // Serializes the write path (claim + frame mutation + barriers).
+  std::mutex write_mu_;
+  uint32_t tail_page_ = PageStore::kInvalidPage;
+  uint32_t next_slot_ = 0;  // slot within tail_page_; under write_mu_
+
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> next_seqno_{1};
+  mutable std::atomic<uint64_t> lookups_{0};
+};
+
+}  // namespace pieces
+
+#endif  // PIECES_STORE_DISK_STORE_H_

@@ -22,10 +22,10 @@ ViperStore::ViperStore(std::unique_ptr<OrderedIndex> index,
 
 void ViperStore::FillSyntheticValue(Key key, uint8_t* buf,
                                     size_t value_size) {
-  // Deterministic value derived from the key so tests can verify reads.
-  for (size_t i = 0; i < value_size; ++i) {
-    buf[i] = static_cast<uint8_t>((key >> (8 * (i % 8))) ^ i);
-  }
+  // Deterministic value derived from the key so tests can verify reads;
+  // shared across backends (record_format.h) so differential tests can
+  // compare payloads byte-for-byte between media.
+  FillSyntheticRecordValue(key, buf, value_size);
 }
 
 void ViperStore::FillSynthetic(Key key, uint8_t* buf) const {

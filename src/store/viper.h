@@ -28,11 +28,13 @@
 #include <vector>
 
 #include "index/ordered_index.h"
+#include "store/record_format.h"
 #include "store/sim_pmem.h"
+#include "store/store_backend.h"
 
 namespace pieces {
 
-class ViperStore {
+class ViperStore : public StoreBackend {
  public:
   struct Config {
     size_t value_size = 200;     // The paper's 200-byte values.
@@ -42,15 +44,11 @@ class ViperStore {
     uint64_t write_latency_ns = 0;
   };
 
-  // Per-slot commit metadata, persisted after the payload. magic sits
-  // last so a torn header flush can never validate: the durable prefix of
-  // a torn 16-byte header always ends before the magic completes.
-  struct SlotHeader {
-    uint64_t seqno = 0;  // Monotonic, 0 = never committed.
-    uint32_t crc = 0;    // CRC32C over the slot's key+value bytes.
-    uint32_t magic = 0;  // kCommitMagic when committed.
-  };
-  static constexpr uint32_t kCommitMagic = 0x50435631u;  // "1VCP"
+  // Per-slot commit metadata, persisted after the payload — the shared
+  // on-media record layout (store/record_format.h): magic sits last so a
+  // torn header flush can never validate.
+  using SlotHeader = RecordHeader;
+  static constexpr uint32_t kCommitMagic = kRecordCommitMagic;
 
   ViperStore(std::unique_ptr<OrderedIndex> index, const Config& config);
 
@@ -60,14 +58,14 @@ class ViperStore {
   // Bulk-loads `keys` with synthetic values derived from each key, one
   // batched persist barrier per filled page. Returns false when PMem
   // capacity is exceeded.
-  bool BulkLoad(const std::vector<Key>& keys);
+  bool BulkLoad(const std::vector<Key>& keys) override;
 
   // Bulk-load with caller-provided values: `fill` writes value_size bytes
   // for each key into the supplied buffer. This is the live-migration
   // path — a shard split hands its records to the replacement stores with
   // the *stored* values (which may not be synthetic) preserved.
   bool BulkLoad(const std::vector<Key>& keys,
-                const std::function<void(Key, uint8_t*)>& fill);
+                const std::function<void(Key, uint8_t*)>& fill) override;
 
   // The deterministic value PutSynthetic/BulkLoad store for `key`, exposed
   // so tests and oracles can verify read payloads byte-for-byte.
@@ -79,12 +77,12 @@ class ViperStore {
   // record survives any later crash, and a false return means recovery
   // will never resurrect it (a failed index swing revokes the slot's
   // commit header before returning).
-  bool Put(Key key, const uint8_t* value);
+  bool Put(Key key, const uint8_t* value) override;
   // Convenience: writes a synthetic value derived from `key`.
-  bool PutSynthetic(Key key);
+  bool PutSynthetic(Key key) override;
 
   // Reads the value into `out` (value_size bytes). False when absent.
-  bool Get(Key key, uint8_t* out) const;
+  bool Get(Key key, uint8_t* out) const override;
 
   // Batched point reads: outs[i] receives value_size bytes when found[i]
   // is true. Handles resolve through the index's batch path, the value
@@ -92,16 +90,17 @@ class ViperStore {
   // latency is charged once per batch (overlapped misses). Returns the
   // number found; results are identical to keys.size() Get calls.
   size_t GetBatch(std::span<const Key> keys, uint8_t* const* outs,
-                  bool* found) const;
+                  bool* found) const override;
 
   // Ordered scan of up to `count` records starting at `from`; values are
   // read (charged) but only keys are returned.
-  size_t Scan(Key from, size_t count, std::vector<Key>* out_keys) const;
+  size_t Scan(Key from, size_t count,
+              std::vector<Key>* out_keys) const override;
 
   // Simulated power failure at a quiescent point: every written-but-
   // unpersisted byte is dropped. The store must Recover() before serving
   // again (any access in between throws SimulatedCrash).
-  void Crash() { pmem_.Crash(); }
+  void Crash() override { pmem_.Crash(); }
 
   // Drops the DRAM index and rebuilds it from the PMem pages, trusting
   // only slots whose commit header validates (seqno != 0, magic, CRC) and
@@ -109,14 +108,24 @@ class ViperStore {
   // directory and the next seqno from durable state, so it is exactly as
   // good after a crash as after a clean shutdown, and idempotent.
   // Returns the rebuild wall time in nanoseconds.
-  uint64_t Recover();
+  uint64_t Recover() override;
 
-  const OrderedIndex& index() const { return *index_; }
-  OrderedIndex* mutable_index() { return index_.get(); }
+  const OrderedIndex& index() const override { return *index_; }
+  OrderedIndex* mutable_index() override { return index_.get(); }
   const SimulatedPmem& pmem() const { return pmem_; }
   SimulatedPmem& mutable_pmem() { return pmem_; }
-  size_t size() const { return size_.load(std::memory_order_relaxed); }
-  size_t value_size() const { return config_.value_size; }
+  size_t size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+  size_t value_size() const override { return config_.value_size; }
+  std::string_view BackendName() const override { return "viper"; }
+  StoreIoStats IoStats() const override {
+    StoreIoStats stats;
+    stats.bytes_read = pmem_.bytes_read();
+    stats.bytes_written = pmem_.bytes_written();
+    stats.barriers = pmem_.persist_count();
+    return stats;  // Byte-addressable: no pages, no pool.
+  }
   // Bytes of one on-PMem record: key + value + commit header.
   size_t record_bytes() const { return RecordBytes(); }
 

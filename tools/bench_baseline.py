@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Distill a pieces_bench result tree into committed BENCH_*.json baselines.
+
+Walks --results for `<experiment>.jsonl` files (as written by
+`pieces_bench --format=json --out=DIR`, possibly nested) and writes one
+`BENCH_<experiment>.json` per experiment into --out (default: the repo
+root, next to this script's parent directory). Each baseline file is a
+single JSON document:
+
+    {
+      "type": "bench_baseline",
+      "experiment": "disk_tier",
+      "schema": 1,
+      "rows": [
+        {"section": "...", "name": "...", "labels": {...},
+         "metrics": {...}},
+        ...
+      ]
+    }
+
+Rows are sorted by (section, name, labels) and keys within each object
+are sorted, so regenerating from an equivalent run produces a stable
+diff. `tools/compare_bench.py` reads these files directly (point
+--baseline at a directory of BENCH_*.json), which is how bench-smoke CI
+gates a PR against the committed perf history rather than only against
+the runner cache.
+
+Exit codes: 0 = baselines written, 2 = usage or parse error.
+
+Usage:
+    tools/bench_baseline.py --results results/            # write to repo root
+    tools/bench_baseline.py --results results/ --out dir/
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def load_rows_by_experiment(root: str):
+    """Returns {experiment: [row dict, ...]} from all .jsonl under root."""
+    by_exp = {}
+    for dirpath, _, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".jsonl"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, encoding="utf-8") as f:
+                for line_no, line in enumerate(f, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        obj = json.loads(line)
+                    except json.JSONDecodeError as e:
+                        print(f"{path}:{line_no}: bad JSON: {e}",
+                              file=sys.stderr)
+                        return None
+                    if obj.get("type") != "row":
+                        continue
+                    exp = obj.get("experiment", "")
+                    if not exp:
+                        continue
+                    row = {
+                        "section": obj.get("section", ""),
+                        "name": obj.get("name", ""),
+                        "labels": obj.get("labels", {}),
+                        "metrics": obj.get("metrics", {}),
+                    }
+                    status = obj.get("status", "")
+                    if status and status != "ok":
+                        row["status"] = status
+                    by_exp.setdefault(exp, []).append(row)
+    return by_exp
+
+
+def row_sort_key(row):
+    return (row["section"], row["name"],
+            tuple(sorted(row["labels"].items())))
+
+
+def main() -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results", required=True,
+                    help="directory of .jsonl results to distill")
+    ap.add_argument("--out", default=repo_root,
+                    help="directory to write BENCH_<experiment>.json files "
+                         "into (default: repo root)")
+    args = ap.parse_args()
+
+    if not os.path.isdir(args.results):
+        print(f"error: {args.results} is not a directory", file=sys.stderr)
+        return 2
+    by_exp = load_rows_by_experiment(args.results)
+    if by_exp is None:
+        return 2
+    if not by_exp:
+        print(f"error: no result rows under {args.results}", file=sys.stderr)
+        return 2
+
+    os.makedirs(args.out, exist_ok=True)
+    for exp in sorted(by_exp):
+        rows = sorted(by_exp[exp], key=row_sort_key)
+        # Duplicate identities (same section/name/labels) within one run
+        # would be ambiguous in compare; keep the last, as compare does.
+        deduped, seen = [], {}
+        for row in rows:
+            key = row_sort_key(row)
+            if key in seen:
+                deduped[seen[key]] = row
+            else:
+                seen[key] = len(deduped)
+                deduped.append(row)
+        doc = {
+            "type": "bench_baseline",
+            "experiment": exp,
+            "schema": 1,
+            "rows": deduped,
+        }
+        path = os.path.join(args.out, f"BENCH_{exp}.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {path} ({len(deduped)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

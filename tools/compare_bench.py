@@ -3,10 +3,12 @@
 
 Both --baseline and --current are directories containing `<experiment>.jsonl`
 files as written by `pieces_bench --format=json --out=DIR` (possibly nested,
-e.g. results/drift/drift.jsonl — the tree is walked recursively). Rows are
-matched across the two trees by (experiment, section, name, labels); for
-each matched pair, every throughput-like metric is compared and a drop
-larger than --threshold (default 15%) is flagged.
+e.g. results/drift/drift.jsonl — the tree is walked recursively) and/or
+`BENCH_<experiment>.json` baseline files as written by
+`tools/bench_baseline.py` (the committed per-PR perf history at the repo
+root). Rows are matched across the two trees by (experiment, section,
+name, labels); for each matched pair, every throughput-like metric is
+compared and a drop larger than --threshold (default 15%) is flagged.
 
 Throughput metrics are those where higher is better: qps / ops-per-second
 style counters. p99 metrics also gate: an increase beyond
@@ -57,14 +59,49 @@ def is_gating_latency(key: str) -> bool:
     return "p99" in low and "p999" not in low
 
 
+def add_row(rows, path, line_no, experiment, obj):
+    """Records one row dict under its (experiment, section, name, labels)
+    identity; duplicates keep the later occurrence, with a note."""
+    labels = tuple(sorted(obj.get("labels", {}).items()))
+    key = (experiment, obj.get("section", ""), obj.get("name", ""), labels)
+    if key in rows:
+        print(f"{path}:{line_no}: duplicate row identity {key[:3]}, "
+              f"keeping the later one", file=sys.stderr)
+    rows[key] = obj.get("metrics", {})
+
+
+def load_baseline_file(rows, path):
+    """Loads one BENCH_<experiment>.json file (bench_baseline.py output).
+    Returns False on parse error."""
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            print(f"{path}: bad JSON: {e}", file=sys.stderr)
+            return False
+    if doc.get("type") != "bench_baseline":
+        print(f"{path}: not a bench_baseline document, skipping",
+              file=sys.stderr)
+        return True
+    experiment = doc.get("experiment", "")
+    for i, row in enumerate(doc.get("rows", []), 1):
+        add_row(rows, path, i, experiment, row)
+    return True
+
+
 def load_rows(root: str):
-    """Walks `root` for .jsonl files; returns {row_key: metrics dict}."""
+    """Walks `root` for .jsonl result files and BENCH_*.json baselines;
+    returns {row_key: metrics dict}."""
     rows = {}
     for dirpath, _, filenames in os.walk(root):
         for filename in sorted(filenames):
+            path = os.path.join(dirpath, filename)
+            if filename.startswith("BENCH_") and filename.endswith(".json"):
+                if not load_baseline_file(rows, path):
+                    return None
+                continue
             if not filename.endswith(".jsonl"):
                 continue
-            path = os.path.join(dirpath, filename)
             with open(path, encoding="utf-8") as f:
                 for line_no, line in enumerate(f, 1):
                     line = line.strip()
@@ -78,16 +115,8 @@ def load_rows(root: str):
                         return None
                     if obj.get("type") != "row":
                         continue
-                    labels = tuple(sorted(obj.get("labels", {}).items()))
-                    key = (obj.get("experiment", ""), obj.get("section", ""),
-                           obj.get("name", ""), labels)
-                    # Duplicate identity (e.g. two copies of the same
-                    # experiment in the tree): last one wins, note it.
-                    if key in rows:
-                        print(f"{path}:{line_no}: duplicate row identity "
-                              f"{key[:3]}, keeping the later one",
-                              file=sys.stderr)
-                    rows[key] = obj.get("metrics", {})
+                    add_row(rows, path, line_no, obj.get("experiment", ""),
+                            obj)
     return rows
 
 
