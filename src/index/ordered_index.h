@@ -70,6 +70,19 @@ class OrderedIndex {
     return hits;
   }
 
+  // The learned model's error-bounded rank window: on true, the rank of
+  // `key` in bulk-load order lies in [*lo, *hi). This is the model's
+  // *prediction* surface (no data-array probe) — storage tiers use it to
+  // prefetch the whole page span a lookup can touch in one I/O burst
+  // (error-bound readahead). False when the index has no bounded model
+  // (traditional structures) or the bound is not meaningful (empty).
+  virtual bool PredictRank(Key key, size_t* lo, size_t* hi) const {
+    (void)key;
+    (void)lo;
+    (void)hi;
+    return false;
+  }
+
   // Inserts a new key or updates an existing one. Returns false when the
   // index is read-only (RMI, RadixSpline).
   virtual bool Insert(Key key, Value value) = 0;

@@ -304,6 +304,19 @@ size_t DynamicPgm::Scan(Key from, size_t count,
   return copied;
 }
 
+bool DynamicPgm::PredictRank(Key key, size_t* lo, size_t* hi) const {
+  const StaticPgm* largest = nullptr;
+  for (const Level& level : levels_) {
+    if (level.pgm.empty()) continue;
+    if (largest == nullptr || level.pgm.size() > largest->size()) {
+      largest = &level.pgm;
+    }
+  }
+  if (largest == nullptr) return false;
+  largest->PredictWindow(key, lo, hi);
+  return true;
+}
+
 size_t DynamicPgm::IndexSizeBytes() const {
   size_t bytes = 0;
   for (const Level& level : levels_) bytes += level.pgm.IndexSizeBytes();

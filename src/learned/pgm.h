@@ -41,6 +41,11 @@ class StaticPgm {
                   bool* found) const;
   // Rank of the first stored key >= `key`.
   size_t LowerBoundRank(Key key) const;
+  // The eps-bounded leaf window [*lo, *hi) for `key` — the prediction
+  // surface alone, no data probe (error-bound readahead uses this).
+  void PredictWindow(Key key, size_t* lo, size_t* hi) const {
+    PredictLeafWindow(key, lo, hi);
+  }
 
   size_t size() const { return keys_.size(); }
   bool empty() const { return keys_.empty(); }
@@ -82,6 +87,11 @@ class DynamicPgm : public OrderedIndex {
   bool Insert(Key key, Value value) override;
   size_t Scan(Key from, size_t count,
               std::vector<KeyValue>* out) const override;
+  // Window from the largest level's model. Exact (bulk-load rank) right
+  // after BulkLoad, when every key lives in one level; after offsite
+  // inserts it approximates the bulk-loaded run's rank, which is what
+  // the disk tier's page layout follows anyway.
+  bool PredictRank(Key key, size_t* lo, size_t* hi) const override;
   size_t IndexSizeBytes() const override;
   size_t TotalSizeBytes() const override;
   IndexStats Stats() const override;

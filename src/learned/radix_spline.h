@@ -28,6 +28,11 @@ class RadixSpline : public OrderedIndex {
   bool Insert(Key, Value) override { return false; }
   size_t Scan(Key from, size_t count,
               std::vector<KeyValue>* out) const override;
+  bool PredictRank(Key key, size_t* lo, size_t* hi) const override {
+    if (keys_.empty()) return false;
+    PredictWindow(key, lo, hi);
+    return true;
+  }
   size_t IndexSizeBytes() const override;
   size_t TotalSizeBytes() const override;
   IndexStats Stats() const override;

@@ -1,6 +1,7 @@
 #include "store/disk_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -32,7 +33,8 @@ DiskStore::DiskStore(std::unique_ptr<OrderedIndex> index,
                      1, config.file_capacity / std::max<size_t>(
                                                    1, config.page_size)),
                  .unlink_on_close = config.unlink_on_close}),
-      pool_(&pages_, std::max<size_t>(1, config.pool_pages)),
+      pool_(&pages_, std::max<size_t>(1, config.pool_pages),
+            config.io_engine),
       index_(std::move(index)) {
   if (!pages_.ok()) {
     error_ = pages_.error();
@@ -66,11 +68,50 @@ bool DiskStore::ClaimSlot(uint32_t* page, uint32_t* slot, bool* fresh_page) {
 }
 
 uint8_t* DiskStore::PinWait(uint32_t page) const {
-  // nullptr means every frame is transiently pinned by other callers; each
-  // caller holds at most one pin at a time, so backing off resolves it.
+  return PinSpanWait(page, /*ra_lo=*/0, /*ra_hi=*/0);
+}
+
+uint8_t* DiskStore::PinSpanWait(uint32_t page, uint32_t ra_lo,
+                                uint32_t ra_hi) const {
+  // nullptr means every frame is transiently pinned by other callers
+  // (each caller holds at most one pin at a time, so backing off
+  // resolves it) or — outside the simulated fault model — a device read
+  // error; both are retried.
   uint8_t* frame;
-  while ((frame = pool_.Pin(page)) == nullptr) std::this_thread::yield();
+  PinStatus status;
+  while ((frame = pool_.PinSpan(page, ra_lo, ra_hi, &status)) == nullptr) {
+    std::this_thread::yield();
+  }
   return frame;
+}
+
+void DiskStore::ReadaheadSpan(Key key, uint32_t target, uint32_t* ra_lo,
+                              uint32_t* ra_hi) const {
+  *ra_lo = target;
+  *ra_hi = target + 1;
+  size_t rank_lo;
+  size_t rank_hi;
+  if (!index_->PredictRank(key, &rank_lo, &rank_hi)) return;
+  // Rank -> page holds for bulk-load order (slots are claimed in key
+  // order); post-load appends land elsewhere and simply miss the span —
+  // the waste shows up in readahead_wasted, not in correctness.
+  uint32_t lo = static_cast<uint32_t>(rank_lo / slots_per_page_);
+  uint32_t hi = static_cast<uint32_t>(
+      (rank_hi + slots_per_page_ - 1) / slots_per_page_);
+  lo = std::min(lo, target);
+  hi = std::max(hi, target + 1);
+  hi = std::min<uint32_t>(hi, static_cast<uint32_t>(pages_.num_pages()));
+  if (hi <= target) hi = target + 1;
+  const uint32_t cap =
+      static_cast<uint32_t>(std::max<size_t>(1, config_.readahead_max_pages));
+  if (hi - lo > cap) {
+    // Too wide for the knob: keep a cap-sized window around the target.
+    const uint32_t before = std::min(target - lo, (cap - 1) / 2);
+    lo = target - before;
+    hi = std::min(hi, lo + cap);
+  }
+  *ra_lo = lo;
+  *ra_hi = hi;
 }
 
 bool DiskStore::BulkLoad(const std::vector<Key>& keys) {
@@ -125,9 +166,15 @@ bool DiskStore::BulkLoad(const std::vector<Key>& keys,
 
 bool DiskStore::Put(Key key, const uint8_t* value) {
   CheckPowered();
-  // Writers serialize: on disk the two fsync barriers below dominate the
-  // cost, so writer parallelism buys nothing, and serializing keeps each
-  // whole-page flush self-consistent.
+  return config_.group_commit_ops > 1 ? PutGrouped(key, value)
+                                      : PutSingle(key, value);
+}
+
+bool DiskStore::PutSingle(Key key, const uint8_t* value) {
+  // Ungrouped write path: one caller owns both barriers. Writers
+  // serialize on write_mu_ for slot claim and frame mutation; each
+  // FlushPage's fsync itself runs outside the pool mutex, so readers'
+  // pin/unpin never wait on a barrier.
   std::lock_guard<std::mutex> lock(write_mu_);
   uint32_t page;
   uint32_t slot;
@@ -161,6 +208,170 @@ bool DiskStore::Put(Key key, const uint8_t* value) {
   return true;
 }
 
+bool DiskStore::PutGrouped(Key key, const uint8_t* value) {
+  std::unique_lock<std::mutex> lock(write_mu_);
+  uint32_t page;
+  uint32_t slot;
+  bool fresh;
+  if (!ClaimSlot(&page, &slot, &fresh)) return false;
+  // Pin the slot's frame. Never spin on the pool while holding
+  // write_mu_: a leader mid-commit needs the mutex back to unpin its
+  // group's frames, so a holder spinning here could deadlock the pool.
+  uint8_t* frame = fresh ? pool_.PinNew(page) : pool_.Pin(page);
+  while (frame == nullptr) {
+    lock.unlock();
+    std::this_thread::yield();
+    lock.lock();
+    CheckPowered();  // our claimed slot died with the crash (zero header)
+    frame = pool_.Pin(page);
+  }
+  uint8_t* rec = frame + SlotOffset(slot);
+  // Append payload with a zeroed header and enqueue. The seqno (and so
+  // the index-swing order) is the enqueue order, assigned under
+  // write_mu_; the CRC is computed now, the header bytes land in the
+  // frame only after the leader's payload barrier.
+  std::memcpy(rec, &key, sizeof(Key));
+  std::memcpy(rec + sizeof(Key), value, config_.value_size);
+  std::memset(rec + PayloadBytes(), 0, sizeof(RecordHeader));
+  PendingCommit entry;
+  entry.page = page;
+  entry.rec = rec;
+  entry.key = key;
+  entry.handle = PackHandle(page, slot);
+  entry.header = MakeHeader(rec);
+  commit_queue_.push_back(&entry);
+  commit_cv_.notify_all();  // wake a leader waiting out its joiner window
+  // Park until a leader resolves the entry — or lead, whenever the
+  // leader seat is empty. (A thread can come back from leading with its
+  // own entry still queued if the group overflowed ahead of it; it then
+  // simply leads again.)
+  while (entry.state == PendingCommit::State::kQueued) {
+    if (!leader_active_) {
+      leader_active_ = true;
+      LeadCommitLocked(lock);
+    } else {
+      commit_cv_.wait(lock);
+    }
+  }
+  switch (entry.state) {
+    case PendingCommit::State::kCommitted:
+      return true;
+    case PendingCommit::State::kRejected:
+      return false;
+    default:
+      // The group's barrier crashed; pins leak by design (Reset drops
+      // them) and the caller sees the same SimulatedCrash a solo put
+      // would have thrown from FlushPage.
+      throw SimulatedCrash{};
+  }
+}
+
+void DiskStore::WriteBackBatchLocked(
+    const std::vector<PendingCommit*>& batch) {
+  uint32_t last = PageStore::kInvalidPage;
+  for (const PendingCommit* e : batch) {
+    if (e->page == last) continue;  // members cluster in the tail page
+    pool_.WriteBack(e->page);
+    last = e->page;
+  }
+}
+
+void DiskStore::LeadCommitLocked(std::unique_lock<std::mutex>& lock) {
+  // Joiner window: give concurrent writers a beat to enqueue before the
+  // barriers are paid; a full group commits immediately.
+  if (commit_queue_.size() < config_.group_commit_ops &&
+      config_.group_commit_delay_us > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(config_.group_commit_delay_us);
+    commit_cv_.wait_until(lock, deadline, [&] {
+      return commit_queue_.size() >= config_.group_commit_ops;
+    });
+  }
+  std::vector<PendingCommit*> batch;
+  while (!commit_queue_.empty() && batch.size() < config_.group_commit_ops) {
+    batch.push_back(commit_queue_.front());
+    commit_queue_.pop_front();
+  }
+  group_commits_.fetch_add(1, std::memory_order_relaxed);
+  grouped_puts_.fetch_add(batch.size(), std::memory_order_relaxed);
+  bool locked = true;
+  try {
+    // Barrier 1: every member's payload (headers still zero in the
+    // frames). Write-backs run under write_mu_ — later enqueuers mutate
+    // other slots of the same frames under the same mutex — while the
+    // fsync runs unlocked so the store stays open for business.
+    WriteBackBatchLocked(batch);
+    lock.unlock();
+    locked = false;
+    pages_.Sync();
+    lock.lock();
+    locked = true;
+    // Headers, then barrier 2: the group is durable.
+    for (PendingCommit* e : batch) {
+      std::memcpy(e->rec + PayloadBytes(), &e->header, sizeof(RecordHeader));
+    }
+    WriteBackBatchLocked(batch);
+    lock.unlock();
+    locked = false;
+    pages_.Sync();
+    lock.lock();
+    locked = true;
+    // Index swings in seqno (= enqueue) order, so a key written twice in
+    // one group ends with its highest seqno live — matching what
+    // recovery would reconstruct.
+    std::vector<PendingCommit*> revoked;
+    for (PendingCommit* e : batch) {
+      if (index_->Insert(e->key, e->handle)) {
+        e->state = PendingCommit::State::kCommitted;
+        size_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        revoked.push_back(e);
+      }
+    }
+    if (!revoked.empty()) {
+      // Durable but never acknowledged: revoke the headers under one
+      // extra barrier. kRejected only lands after the revoke is durable
+      // — if this barrier crashes, the member throws like any crashed
+      // put rather than promising "recovery will not resurrect me".
+      for (PendingCommit* e : revoked) {
+        std::memset(e->rec + PayloadBytes(), 0, sizeof(RecordHeader));
+      }
+      WriteBackBatchLocked(revoked);
+      lock.unlock();
+      locked = false;
+      pages_.Sync();
+      lock.lock();
+      locked = true;
+      for (PendingCommit* e : revoked) {
+        e->state = PendingCommit::State::kRejected;
+      }
+    }
+    for (PendingCommit* e : batch) pool_.Unpin(e->page, /*dirty=*/false);
+  } catch (const SimulatedCrash&) {
+    if (!locked) lock.lock();
+    // Power failed at a grouped barrier: the whole batch crashes, and so
+    // does everything still queued (its durability is unknowable now).
+    // Pins leak on purpose — Reset() reclaims them in recovery.
+    // (kCommitted members keep their ack even when the *revoke* barrier
+    // crashed — their own commit and swing fully preceded it.)
+    for (PendingCommit* e : batch) {
+      if (e->state == PendingCommit::State::kQueued) {
+        e->state = PendingCommit::State::kCrashed;
+      }
+    }
+    for (PendingCommit* e : commit_queue_) {
+      e->state = PendingCommit::State::kCrashed;
+    }
+    commit_queue_.clear();
+    leader_active_ = false;
+    commit_cv_.notify_all();
+    throw;
+  }
+  leader_active_ = false;
+  commit_cv_.notify_all();
+}
+
 bool DiskStore::PutSynthetic(Key key) {
   std::vector<uint8_t> value(config_.value_size);
   FillSyntheticRecordValue(key, value.data(), config_.value_size);
@@ -172,7 +383,18 @@ bool DiskStore::Get(Key key, uint8_t* out) const {
   Value handle;
   if (!index_->Get(key, &handle)) return false;
   const uint32_t page = HandlePage(handle);
-  const uint8_t* frame = PinWait(page);
+  const uint8_t* frame;
+  if (config_.readahead_max_pages > 0) {
+    // Error-bound readahead: the model's predicted span is every page
+    // this lookup (and its neighborhood) can touch — pin the target and
+    // bring the span resident in one overlapped engine batch.
+    uint32_t ra_lo;
+    uint32_t ra_hi;
+    ReadaheadSpan(key, page, &ra_lo, &ra_hi);
+    frame = PinSpanWait(page, ra_lo, ra_hi);
+  } else {
+    frame = PinWait(page);
+  }
   std::memcpy(out, frame + SlotOffset(HandleSlot(handle)) + sizeof(Key),
               config_.value_size);
   pool_.Unpin(page, /*dirty=*/false);
@@ -200,6 +422,17 @@ size_t DiskStore::GetBatch(std::span<const Key> keys, uint8_t* const* outs,
       order[k++] = {HandlePage(handles[j]), static_cast<uint32_t>(j)};
     }
     std::sort(order, order + k);
+    // Submit the tile's distinct pages as ONE engine batch: the pool
+    // fetches every missing page overlapped (best-effort) before the
+    // serve loop below pins them one at a time.
+    uint32_t tile_pages[kTile];
+    size_t np = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (np == 0 || tile_pages[np - 1] != order[i].first) {
+        tile_pages[np++] = order[i].first;
+      }
+    }
+    if (np > 1) pool_.Prefetch(std::span<const uint32_t>(tile_pages, np));
     const uint8_t* frame = nullptr;
     uint32_t pinned = PageStore::kInvalidPage;
     for (size_t i = 0; i < k; ++i) {
@@ -233,23 +466,39 @@ size_t DiskStore::Scan(Key from, size_t count,
   size_t got = index_->Scan(from, count, &handles);
   // Handles arrive in key order, which is page order for bulk-loaded
   // runs; keeping the current page pinned across consecutive records makes
-  // the scan cost one pool access per page, not per record.
+  // the scan cost one pool access per page, not per record. Each block of
+  // records prefetches its distinct pages in one engine batch so a cold
+  // scan streams overlapped bursts instead of faulting page by page.
+  constexpr size_t kScanBlock = 64;
   std::vector<uint8_t> value(config_.value_size);
   const uint8_t* frame = nullptr;
   uint32_t pinned = PageStore::kInvalidPage;
-  for (const KeyValue& kv : handles) {
-    const uint32_t page = HandlePage(kv.value);
-    if (page != pinned) {
-      if (pinned != PageStore::kInvalidPage) {
-        pool_.Unpin(pinned, /*dirty=*/false);
+  std::vector<uint32_t> block_pages;
+  for (size_t base = 0; base < handles.size(); base += kScanBlock) {
+    const size_t m = std::min(kScanBlock, handles.size() - base);
+    block_pages.clear();
+    for (size_t i = 0; i < m; ++i) {
+      const uint32_t page = HandlePage(handles[base + i].value);
+      if (block_pages.empty() || block_pages.back() != page) {
+        block_pages.push_back(page);
       }
-      frame = PinWait(page);
-      pinned = page;
     }
-    std::memcpy(value.data(),
-                frame + SlotOffset(HandleSlot(kv.value)) + sizeof(Key),
-                config_.value_size);
-    out_keys->push_back(kv.key);
+    if (block_pages.size() > 1) pool_.Prefetch(block_pages);
+    for (size_t i = 0; i < m; ++i) {
+      const KeyValue& kv = handles[base + i];
+      const uint32_t page = HandlePage(kv.value);
+      if (page != pinned) {
+        if (pinned != PageStore::kInvalidPage) {
+          pool_.Unpin(pinned, /*dirty=*/false);
+        }
+        frame = PinWait(page);
+        pinned = page;
+      }
+      std::memcpy(value.data(),
+                  frame + SlotOffset(HandleSlot(kv.value)) + sizeof(Key),
+                  config_.value_size);
+      out_keys->push_back(kv.key);
+    }
   }
   if (pinned != PageStore::kInvalidPage) {
     pool_.Unpin(pinned, /*dirty=*/false);
@@ -331,6 +580,18 @@ StoreIoStats DiskStore::IoStats() const {
   stats.pool_misses = pool_.misses();
   stats.pool_evictions = pool_.evictions();
   stats.pool_writebacks = pool_.writebacks();
+  stats.pool_all_pinned = pool_.all_pinned();
+  stats.pool_dedup_waits = pool_.dedup_waits();
+  stats.io_errors = pool_.io_errors();
+  const IoEngine::Stats engine = pool_.engine().stats();
+  stats.io_batches = engine.batches;
+  stats.io_waits = engine.waits;
+  stats.io_max_inflight = engine.max_inflight;
+  stats.readahead_pages = pool_.readahead_pages();
+  stats.readahead_hits = pool_.readahead_hits();
+  stats.readahead_wasted = pool_.readahead_wasted();
+  stats.group_commits = group_commits_.load(std::memory_order_relaxed);
+  stats.grouped_puts = grouped_puts_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -23,13 +23,26 @@
 // fetches the way the PR 4 batch path amortizes cache misses.
 //
 // Concurrency: any number of concurrent readers (each holds at most one
-// pin at a time); writers serialize on an internal mutex — on disk the
-// two fsync barriers per put dominate, so writer parallelism buys
-// nothing and whole-page flushes stay self-consistent.
+// pin at a time); writers serialize on an internal mutex for slot claim
+// and frame mutation, but the fsync barriers themselves run outside it.
+// With group commit enabled (group_commit_ops > 1), concurrent Puts
+// append payload+header into pinned frames and park on a commit
+// sequence while a leader issues ONE fdatasync pair for the whole group
+// — the commit-protocol invariants (header-after-payload-durable,
+// revoke-on-failed-swing, seqno order = enqueue order) are preserved
+// per member, so the crash sweep holds at every grouped barrier.
+//
+// Reads route through the buffer pool's async IoEngine
+// (store/io_engine.h): GetBatch prefetches a tile's distinct missing
+// pages in one engine batch, and — when `readahead_max_pages` > 0 and
+// the index has a bounded model — Get pins the predicted-rank page span
+// (slot ± err) in one burst instead of faulting pages one by one.
 #ifndef PIECES_STORE_DISK_STORE_H_
 #define PIECES_STORE_DISK_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -54,6 +67,21 @@ class DiskStore : public StoreBackend {
     std::string path;
     // Remove the backing file on destruction (--data-dir cleanup).
     bool unlink_on_close = true;
+    // Fetch backend: "serial" | "threads" | "uring" | "auto"; empty
+    // reads PIECES_IO_ENGINE, then "auto" (uring when the kernel has
+    // it, else the thread pool). See store/io_engine.h.
+    std::string io_engine;
+    // Error-bound readahead: cap (in pages) on the predicted span a
+    // lookup pins in one burst. 0 disables — every Get faults exactly
+    // its target page, the PR 8 behavior.
+    size_t readahead_max_pages = 0;
+    // Group commit: max puts per fdatasync pair. 1 disables (every put
+    // pays its own two barriers, the PR 8 behavior); > 1 lets
+    // concurrent writers share a leader-issued barrier pair.
+    size_t group_commit_ops = 1;
+    // How long a leader waits for joiners before committing a partial
+    // group. Bounds the latency cost of grouping at low concurrency.
+    size_t group_commit_delay_us = 100;
   };
 
   DiskStore(std::unique_ptr<OrderedIndex> index, const Config& config);
@@ -92,6 +120,8 @@ class DiskStore : public StoreBackend {
   const BufferPool& pool() const { return pool_; }
   size_t slots_per_page() const { return slots_per_page_; }
   size_t record_bytes() const { return RecordBytes(); }
+  // The fetch backend actually in use ("serial" / "threads" / "uring").
+  std::string_view io_engine_name() const { return pool_.engine().name(); }
 
  private:
   static Value PackHandle(uint32_t page, uint32_t slot) {
@@ -112,11 +142,44 @@ class DiskStore : public StoreBackend {
   // *frame) a page when the tail fills. False on file-capacity
   // exhaustion.
   bool ClaimSlot(uint32_t* page, uint32_t* slot, bool* fresh_page);
-  // Pin that spins out transient all-frames-pinned states.
+  // Pin that spins out transient all-frames-pinned states (and rare
+  // device read errors, which are outside the simulated fault model).
   uint8_t* PinWait(uint32_t page) const;
+  // PinWait with an error-bound readahead span: on a miss the pool
+  // brings [ra_lo, ra_hi) resident in the same engine batch.
+  uint8_t* PinSpanWait(uint32_t page, uint32_t ra_lo, uint32_t ra_hi) const;
+  // The model's predicted page span for `key` around its target page,
+  // clamped to the file and capped at readahead_max_pages.
+  void ReadaheadSpan(Key key, uint32_t target, uint32_t* ra_lo,
+                     uint32_t* ra_hi) const;
   void CheckPowered() const {
     if (pages_.crashed()) throw SimulatedCrash{};
   }
+
+  // The PR 8 write path: one caller, two private barriers.
+  bool PutSingle(Key key, const uint8_t* value);
+  // The grouped write path: append + park; a leader commits the queue.
+  bool PutGrouped(Key key, const uint8_t* value);
+
+  // One queued put parked on the commit sequence. Lives on its caller's
+  // stack; the queue holds pointers, valid until the state resolves.
+  struct PendingCommit {
+    uint32_t page = 0;
+    uint8_t* rec = nullptr;  // slot bytes in the pinned frame
+    Key key = 0;
+    Value handle = 0;
+    RecordHeader header;  // precomputed at enqueue (seqno = queue order)
+    enum class State { kQueued, kCommitted, kRejected, kCrashed };
+    State state = State::kQueued;
+  };
+  // Drains up to group_commit_ops entries and commits them under one
+  // barrier pair. Called with write_mu_ held (leader_active_ already
+  // true); returns with it held and leader_active_ false.
+  void LeadCommitLocked(std::unique_lock<std::mutex>& lock);
+  // Writes the batch's distinct pages through to the file. Caller holds
+  // write_mu_ — enqueuers mutate frame bytes under the same mutex, so
+  // the write-back never races a member's payload memcpy.
+  void WriteBackBatchLocked(const std::vector<PendingCommit*>& batch);
 
   Config config_;
   std::string error_;
@@ -125,14 +188,23 @@ class DiskStore : public StoreBackend {
   mutable BufferPool pool_;
   std::unique_ptr<OrderedIndex> index_;
 
-  // Serializes the write path (claim + frame mutation + barriers).
+  // Serializes slot claim + frame mutation + the commit queue. Barriers
+  // (fdatasync) always run with this mutex *released* so readers and
+  // fellow writers never stall behind the device.
   std::mutex write_mu_;
   uint32_t tail_page_ = PageStore::kInvalidPage;
   uint32_t next_slot_ = 0;  // slot within tail_page_; under write_mu_
 
+  // Group-commit sequence (all under write_mu_).
+  std::condition_variable commit_cv_;
+  std::deque<PendingCommit*> commit_queue_;
+  bool leader_active_ = false;
+
   std::atomic<size_t> size_{0};
   std::atomic<uint64_t> next_seqno_{1};
   mutable std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> group_commits_{0};
+  std::atomic<uint64_t> grouped_puts_{0};
 };
 
 }  // namespace pieces

@@ -1,0 +1,107 @@
+// IoEngine: the asynchronous block-read layer under the disk tier. The
+// buffer pool hands an engine a *batch* of page fetches (all the misses
+// of a tile, or a readahead span) and the engine overlaps them against
+// the device, so a cold lookup costs one I/O burst instead of a
+// pointer-chase of blocking preads. Three implementations, selected at
+// runtime (`disk.io_engine` / PIECES_IO_ENGINE):
+//
+//  * "serial"  — one blocking pread per page, in order. The PR 8
+//    baseline; every page is its own blocking wait.
+//  * "threads" — a small pread worker pool; the submitting thread also
+//    steals work, so a batch completes in ~ceil(n/workers) device round
+//    trips. The portable fallback with io_uring-identical semantics.
+//  * "uring"   — a real io_uring submission/completion ring (raw
+//    syscalls, no liburing dependency) with the store fd registered;
+//    whole batches go to the kernel in one io_uring_enter and complete
+//    out of order. Probed at runtime (IoUringAvailable); "auto" picks
+//    uring when the kernel supports it, else threads.
+//
+// Contract (identical across engines, enforced by the conformance and
+// differential-parity tests): ReadBatch returns only when every fetch in
+// the batch has completed; short/sparse extents read as zeros (the
+// PageStore never-written-page semantics); a hard read error fails the
+// whole batch (false) and the caller must not trust any byte of it. The
+// engine reads the file only — durability, crash simulation and write
+// shadowing stay in PageStore.
+#ifndef PIECES_STORE_IO_ENGINE_H_
+#define PIECES_STORE_IO_ENGINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace pieces {
+
+// One page read: `page * page_size` -> `out[0, page_size)`.
+struct IoFetch {
+  uint32_t page = 0;
+  uint8_t* out = nullptr;
+};
+
+class IoEngine {
+ public:
+  virtual ~IoEngine() = default;
+
+  // Completes every fetch in the batch (overlapped where the backend
+  // can); false when any read hard-failed. Thread-safe: concurrent
+  // batches from different callers are allowed.
+  virtual bool ReadBatch(std::span<const IoFetch> fetches) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  struct Stats {
+    uint64_t batches = 0;       // ReadBatch calls issued
+    uint64_t pages = 0;         // pages fetched through the engine
+    // Blocking waits the *caller* experiences: the serial engine charges
+    // one per page (each pread blocks); overlapped engines charge one
+    // per batch (the caller parks once for the whole burst).
+    uint64_t waits = 0;
+    uint64_t max_inflight = 0;  // deepest single batch in flight
+  };
+  Stats stats() const {
+    return {batches_.load(std::memory_order_relaxed),
+            pages_.load(std::memory_order_relaxed),
+            waits_.load(std::memory_order_relaxed),
+            max_inflight_.load(std::memory_order_relaxed)};
+  }
+
+ protected:
+  void NoteBatch(size_t pages, size_t waits, size_t inflight) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    pages_.fetch_add(pages, std::memory_order_relaxed);
+    waits_.fetch_add(waits, std::memory_order_relaxed);
+    uint64_t seen = max_inflight_.load(std::memory_order_relaxed);
+    while (inflight > seen &&
+           !max_inflight_.compare_exchange_weak(seen, inflight,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> pages_{0};
+  std::atomic<uint64_t> waits_{0};
+  std::atomic<uint64_t> max_inflight_{0};
+};
+
+// True when this kernel accepts io_uring_setup (probed once, cached).
+// Sandboxes and old kernels return false; "auto" then falls back to the
+// thread-pool engine.
+bool IoUringAvailable();
+
+// Resolves `kind` ("serial" | "threads" | "uring" | "auto"; empty reads
+// PIECES_IO_ENGINE, then "auto") and builds the engine over `fd`. An
+// explicit "uring" on a kernel without support falls back to "threads"
+// with a one-line stderr note rather than failing — the knob requests a
+// strategy, not a hard dependency. Unknown names fall back to "auto"
+// with the same note.
+std::unique_ptr<IoEngine> MakeIoEngine(const std::string& kind, int fd,
+                                       size_t page_size);
+
+}  // namespace pieces
+
+#endif  // PIECES_STORE_IO_ENGINE_H_

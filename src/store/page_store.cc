@@ -4,7 +4,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace pieces {
 
@@ -144,6 +146,10 @@ void PageStore::Sync() {
     crashed_.store(true, std::memory_order_relaxed);
     crash_count_.fetch_add(1, std::memory_order_relaxed);
     throw SimulatedCrash{};
+  }
+  const uint64_t delay = sync_delay_us_.load(std::memory_order_relaxed);
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
   }
   ::fdatasync(fd_);
   // Everything written so far is now durable; drop the rollback images.

@@ -103,6 +103,22 @@ class PageStore {
   size_t num_pages() const {
     return num_pages_.load(std::memory_order_relaxed);
   }
+  // The raw descriptor, for the IoEngine read path (store/io_engine.h):
+  // engine fetches pread the file directly, without mu_ — safe because
+  // the buffer pool only fetches non-resident pages, and every page with
+  // writes in flight is resident and pinned. Engines report fetched
+  // pages back through NotePagesRead so pages_read() stays the single
+  // physical-read counter.
+  int fd() const { return fd_; }
+  void NotePagesRead(uint64_t n) const {
+    pages_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Test hook: stretches every Sync by `micros` inside the device (the
+  // slow-fsync injection the reader-vs-barrier regression test races
+  // against).
+  void SetSyncDelayForTest(uint64_t micros) {
+    sync_delay_us_.store(micros, std::memory_order_relaxed);
+  }
   uint64_t pages_read() const { return pages_read_.load(); }
   uint64_t pages_written() const { return pages_written_.load(); }
   uint64_t syncs() const { return syncs_.load(); }
@@ -130,6 +146,7 @@ class PageStore {
 
   // Remaining barriers until the armed crash; <= 0 means disarmed.
   std::atomic<int64_t> syncs_until_crash_{0};
+  std::atomic<uint64_t> sync_delay_us_{0};
   int64_t tear_bytes_ = kNoTear;
   std::atomic<bool> crashed_{false};
   std::atomic<uint64_t> crash_count_{0};

@@ -41,6 +41,28 @@ struct StoreIoStats {
   uint64_t pool_misses = 0;
   uint64_t pool_evictions = 0;
   uint64_t pool_writebacks = 0;
+  // Pin attempts rejected because every frame was transiently pinned
+  // (pool pressure — distinct from I/O failure, which io_errors counts).
+  uint64_t pool_all_pinned = 0;
+  // Misses that deduplicated onto another caller's in-flight fetch.
+  uint64_t pool_dedup_waits = 0;
+  uint64_t io_errors = 0;
+  // Async-fetch shape (store/io_engine.h): batches submitted, blocking
+  // waits the callers experienced (serial = one per page, overlapped =
+  // one per batch), and the deepest single batch in flight.
+  uint64_t io_batches = 0;
+  uint64_t io_waits = 0;
+  uint64_t io_max_inflight = 0;
+  // Error-bound readahead: extra pages fetched off the model's predicted
+  // span, how many a later lookup landed in, how many were evicted
+  // untouched.
+  uint64_t readahead_pages = 0;
+  uint64_t readahead_hits = 0;
+  uint64_t readahead_wasted = 0;
+  // Group commit: groups led, and puts that rode a group (grouped_puts /
+  // group_commits = achieved batch size; barriers/put drops accordingly).
+  uint64_t group_commits = 0;
+  uint64_t grouped_puts = 0;
 
   double HitRate() const {
     const uint64_t total = pool_hits + pool_misses;

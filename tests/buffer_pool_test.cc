@@ -7,7 +7,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -324,6 +327,204 @@ TEST(BufferPoolTest, ConcurrentPinEvictStress) {
   flusher.join();
   EXPECT_EQ(failures.load(), 0u);
   EXPECT_GT(pool.evictions(), 0u);  // the pool really was under pressure
+}
+
+// ---- PinStatus, readahead and prefetch (PR 9 async-fetch layer) -------
+
+// An engine whose reads always hard-fail: drives the kIoError path.
+class FailingEngine : public IoEngine {
+ public:
+  std::string_view name() const override { return "failing"; }
+  bool ReadBatch(std::span<const IoFetch> fetches) override {
+    NoteBatch(fetches.size(), 1, fetches.size());
+    return false;
+  }
+};
+
+TEST(BufferPoolTest, AllPinnedAndIoErrorAreDistinct) {
+  PageStore store(TempPath("bpstatus"), SmallOpts());
+  ASSERT_TRUE(store.ok());
+  uint32_t p0 = store.AllocatePage();
+  uint32_t p1 = store.AllocatePage();
+  {
+    BufferPool pool(&store, 1);
+    PinStatus status;
+    ASSERT_NE(pool.Pin(p0, &status), nullptr);
+    EXPECT_EQ(status, PinStatus::kOk);
+    // The only frame is pinned: pool pressure, not data loss.
+    EXPECT_EQ(pool.Pin(p1, &status), nullptr);
+    EXPECT_EQ(status, PinStatus::kAllPinned);
+    EXPECT_EQ(pool.all_pinned(), 1u);
+    EXPECT_EQ(pool.io_errors(), 0u);
+    pool.Unpin(p0, false);
+  }
+  {
+    BufferPool pool(&store, 2, std::make_unique<FailingEngine>());
+    PinStatus status;
+    EXPECT_EQ(pool.Pin(p0, &status), nullptr);
+    EXPECT_EQ(status, PinStatus::kIoError);
+    EXPECT_EQ(pool.io_errors(), 1u);
+    EXPECT_EQ(pool.all_pinned(), 0u);
+    // The failed frame was dropped, not left mapped with garbage.
+    EXPECT_EQ(pool.Pin(p0, &status), nullptr);
+    EXPECT_EQ(pool.io_errors(), 2u);
+  }
+}
+
+TEST(BufferPoolTest, PinSpanBringsSpanResidentAndCountsReadahead) {
+  PageStore store(TempPath("bpspan"), SmallOpts());
+  ASSERT_TRUE(store.ok());
+  std::vector<uint32_t> pages;
+  for (int i = 0; i < 6; ++i) {
+    uint32_t id = store.AllocatePage();
+    pages.push_back(id);
+    std::vector<uint8_t> stamp = Stamp(512, static_cast<uint8_t>(id + 1));
+    store.WritePage(id, stamp.data());
+  }
+  store.Sync();
+  BufferPool pool(&store, 8);
+  // Pin page 1 with readahead span [0, 4): pages 0, 2, 3 ride along.
+  uint8_t* f = pool.PinSpan(pages[1], pages[0], pages[3] + 1);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f[0], Stamp(512, static_cast<uint8_t>(pages[1] + 1))[0]);
+  EXPECT_EQ(pool.misses(), 1u);  // only the demand page is a miss
+  EXPECT_EQ(pool.readahead_pages(), 3u);
+  // A lookup landing in the span is a pool hit AND a readahead hit — no
+  // new fetch.
+  const uint64_t fetches_before = store.pages_read();
+  uint8_t* f2 = pool.Pin(pages[2]);
+  ASSERT_NE(f2, nullptr);
+  EXPECT_EQ(f2[0], Stamp(512, static_cast<uint8_t>(pages[2] + 1))[0]);
+  EXPECT_EQ(store.pages_read(), fetches_before);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.readahead_hits(), 1u);
+  pool.Unpin(pages[1], false);
+  pool.Unpin(pages[2], false);
+}
+
+TEST(BufferPoolTest, EvictedUntouchedReadaheadCountsWasted) {
+  PageStore store(TempPath("bpwaste"), SmallOpts());
+  ASSERT_TRUE(store.ok());
+  std::vector<uint32_t> pages;
+  for (int i = 0; i < 4; ++i) pages.push_back(store.AllocatePage());
+  store.Sync();
+  BufferPool pool(&store, 2);
+  // Span fills both frames: demand page 0 + readahead page 1.
+  ASSERT_NE(pool.PinSpan(pages[0], pages[0], pages[1] + 1), nullptr);
+  EXPECT_EQ(pool.readahead_pages(), 1u);
+  pool.Unpin(pages[0], false);
+  // Two fresh demand pins evict both; page 1 was never used.
+  ASSERT_NE(pool.Pin(pages[2]), nullptr);
+  pool.Unpin(pages[2], false);
+  ASSERT_NE(pool.Pin(pages[3]), nullptr);
+  pool.Unpin(pages[3], false);
+  EXPECT_EQ(pool.readahead_wasted(), 1u);
+  EXPECT_EQ(pool.readahead_hits(), 0u);
+}
+
+TEST(BufferPoolTest, PrefetchChargesMissesOncePerPage) {
+  PageStore store(TempPath("bppre"), SmallOpts());
+  ASSERT_TRUE(store.ok());
+  std::vector<uint32_t> pages;
+  for (int i = 0; i < 3; ++i) {
+    uint32_t id = store.AllocatePage();
+    pages.push_back(id);
+    std::vector<uint8_t> stamp = Stamp(512, static_cast<uint8_t>(id + 7));
+    store.WritePage(id, stamp.data());
+  }
+  store.Sync();
+  BufferPool pool(&store, 4);
+  pool.Prefetch(pages);
+  EXPECT_EQ(pool.misses(), 3u);
+  EXPECT_EQ(pool.hits(), 0u);
+  // The tile's follow-up pins resolve in DRAM without double-counting:
+  // no new miss, and no hit either (same logical access).
+  const uint64_t reads_before = store.pages_read();
+  for (uint32_t p : pages) {
+    uint8_t* f = pool.Pin(p);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f[0], Stamp(512, static_cast<uint8_t>(p + 7))[0]);
+    pool.Unpin(p, false);
+  }
+  EXPECT_EQ(store.pages_read(), reads_before);
+  EXPECT_EQ(pool.misses(), 3u);
+  EXPECT_EQ(pool.hits(), 0u);
+  // A second round of pins is ordinary hits.
+  for (uint32_t p : pages) {
+    ASSERT_NE(pool.Pin(p), nullptr);
+    pool.Unpin(p, false);
+  }
+  EXPECT_EQ(pool.hits(), 3u);
+}
+
+// Concurrent misses on one page must deduplicate onto a single in-flight
+// fetch. A gate engine parks the first ReadBatch until both pinners are
+// committed, guaranteeing the second pinner finds the loading frame.
+class GateEngine : public IoEngine {
+ public:
+  explicit GateEngine(PageStore* store) : store_(store) {}
+  std::string_view name() const override { return "gate"; }
+  bool ReadBatch(std::span<const IoFetch> fetches) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      started_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return open_; });
+    }
+    for (const IoFetch& f : fetches) store_->ReadPage(f.page, f.out);
+    NoteBatch(fetches.size(), 1, fetches.size());
+    return true;
+  }
+  void WaitStarted() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return started_; });
+  }
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  PageStore* store_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool open_ = false;
+};
+
+TEST(BufferPoolTest, ConcurrentSamePageMissesDeduplicate) {
+  PageStore store(TempPath("bpdedup"), SmallOpts());
+  ASSERT_TRUE(store.ok());
+  uint32_t p = store.AllocatePage();
+  std::vector<uint8_t> stamp = Stamp(512, 0x5a);
+  store.WritePage(p, stamp.data());
+  store.Sync();
+  auto gate = std::make_unique<GateEngine>(&store);
+  GateEngine* gate_ptr = gate.get();
+  BufferPool pool(&store, 4, std::move(gate));
+  std::thread first([&] {
+    uint8_t* f = pool.Pin(p);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f[0], stamp[0]);
+    pool.Unpin(p, false);
+  });
+  gate_ptr->WaitStarted();  // first fetch is in flight and parked
+  std::thread second([&] {
+    uint8_t* f = pool.Pin(p);  // must dedup, not issue a second fetch
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f[0], stamp[0]);
+    pool.Unpin(p, false);
+  });
+  // Give the second pinner time to reach the dedup wait, then release.
+  while (pool.dedup_waits() == 0) std::this_thread::yield();
+  gate_ptr->Open();
+  first.join();
+  second.join();
+  EXPECT_EQ(pool.misses(), 1u);  // one physical fetch
+  EXPECT_EQ(pool.hits(), 1u);    // the dedup'd pin resolves as a hit
+  EXPECT_GE(pool.dedup_waits(), 1u);
+  EXPECT_EQ(pool.engine().stats().pages, 1u);
 }
 
 }  // namespace
