@@ -1,0 +1,96 @@
+#include "replication/replica.h"
+
+#include <chrono>
+#include <utility>
+
+#include "store/record_format.h"
+
+namespace pieces::replication {
+
+Replica::Replica(std::unique_ptr<StoreBackend> store)
+    : store_(std::move(store)) {}
+
+bool Replica::Seed(const StoreBackend& primary, uint64_t log_start) {
+  std::vector<Key> keys;
+  primary.Scan(0, primary.size(), &keys);
+  std::unique_lock<std::shared_mutex> lock(store_mu_);
+  if (store_ == nullptr) return false;
+  const size_t value_size = store_->value_size();
+  bool ok = store_->BulkLoad(keys, [&](Key key, uint8_t* buf) {
+    // Preserve the primary's stored bytes; a key that vanished mid-scan
+    // cannot happen on a quiesced primary, but fall back deterministically
+    // rather than leaving the buffer unwritten.
+    if (!primary.Get(key, buf)) {
+      FillSyntheticRecordValue(key, buf, value_size);
+    }
+  });
+  if (!ok) return false;
+  {
+    std::lock_guard<std::mutex> wlock(wait_mu_);
+    applied_.store(log_start, std::memory_order_release);
+  }
+  applied_cv_.notify_all();
+  return true;
+}
+
+size_t Replica::Apply(std::span<const LogRecord> records) {
+  size_t n = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(store_mu_);
+    if (store_ == nullptr) return 0;
+    for (const LogRecord& rec : records) {
+      if (!store_->Put(rec.key, rec.value.data())) break;
+      ++n;
+    }
+  }
+  if (n > 0) {
+    {
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      applied_.fetch_add(n, std::memory_order_release);
+    }
+    applied_cv_.notify_all();
+  }
+  return n;
+}
+
+bool Replica::WaitApplied(uint64_t target, uint64_t timeout_us) const {
+  if (applied() >= target) return true;
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  applied_cv_.wait_for(lock, std::chrono::microseconds(timeout_us), [&] {
+    return closed_ || applied_.load(std::memory_order_acquire) >= target;
+  });
+  return applied_.load(std::memory_order_acquire) >= target;
+}
+
+bool Replica::Get(Key key, uint8_t* out, bool* gone) const {
+  std::shared_lock<std::shared_mutex> lock(store_mu_);
+  if (store_ == nullptr) {
+    *gone = true;
+    return false;
+  }
+  *gone = false;
+  return store_->Get(key, out);
+}
+
+void Replica::Close() {
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    closed_ = true;
+  }
+  applied_cv_.notify_all();
+}
+
+std::unique_ptr<StoreBackend> Replica::Promote(uint64_t* rebuild_ns) {
+  Close();
+  std::unique_lock<std::shared_mutex> lock(store_mu_);
+  if (store_ == nullptr) return nullptr;
+  // The replica's store is durable in its own right (every apply ran the
+  // full commit protocol), so recovery off its media is exactly the
+  // restarted-primary path — the index rebuild cost is the outage's
+  // index-dependent component.
+  const uint64_t ns = store_->Recover();
+  if (rebuild_ns != nullptr) *rebuild_ns = ns;
+  return std::move(store_);
+}
+
+}  // namespace pieces::replication

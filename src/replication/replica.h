@@ -1,0 +1,86 @@
+// Replica: a warm standby image of one shard's store. Shipped log records
+// are applied through the ordinary StoreBackend::Put path — payload,
+// barrier, commit header, barrier, index swing — so the replica's index is
+// rebuilt incrementally under the stream and its media image is exactly as
+// durable as a primary's. Promotion therefore *is* crash recovery: run the
+// store's idempotent Recover() (rebuilding the index from the replica's
+// own durable records) and hand the store over; the issue's failover path
+// and the crash path share one mechanism.
+//
+// Thread model: the applier takes the store exclusively per shipped batch;
+// watermark-gated client reads take it shared. Most indexes in the
+// registry are strictly single-writer, so reads never overlap an apply —
+// that exclusion is what lets replica reads work for all 14 families, not
+// just the concurrent-writer ones.
+#ifndef PIECES_REPLICATION_REPLICA_H_
+#define PIECES_REPLICATION_REPLICA_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "replication/replication_log.h"
+#include "store/store_backend.h"
+
+namespace pieces::replication {
+
+class Replica {
+ public:
+  explicit Replica(std::unique_ptr<StoreBackend> store);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // Bulk-loads the replica from a *quiesced* primary, preserving stored
+  // value bytes, and aligns the applied watermark with `log_start` (the
+  // log tail at the moment of the scan — everything before it is covered
+  // by the seed image). False on store overflow.
+  bool Seed(const StoreBackend& primary, uint64_t log_start);
+
+  // Applies `records` in order through the store's Put path; returns how
+  // many applied (fewer only when the replica store is full or closed).
+  // Single applier assumed (the session's shipper thread).
+  size_t Apply(std::span<const LogRecord> records);
+
+  // Log index one past the last applied record: the watermark replica
+  // reads are gated on.
+  uint64_t applied() const { return applied_.load(std::memory_order_acquire); }
+
+  // Blocks until applied() >= target, the timeout expires, or the replica
+  // is closed/promoted. Returns applied() >= target.
+  bool WaitApplied(uint64_t target, uint64_t timeout_us) const;
+
+  // Watermark-gated read body (the gate itself lives in ReplicaSession).
+  // Returns found; sets *gone when the store has been released by
+  // promotion — the caller must bounce to the (new) primary.
+  bool Get(Key key, uint8_t* out, bool* gone) const;
+
+  // Permanently wakes watermark waiters and stops further applies
+  // (session teardown / pre-promotion).
+  void Close();
+
+  // Failover: recover the store off its own durable media (rebuilding the
+  // index exactly as a restarted primary would) and release it to the
+  // caller. The replica is closed afterwards.
+  std::unique_ptr<StoreBackend> Promote(uint64_t* rebuild_ns);
+
+  // Test/stat access; null after promotion.
+  const StoreBackend* store() const { return store_.get(); }
+
+ private:
+  std::unique_ptr<StoreBackend> store_;  // null once promoted
+  // Applier/promotion exclusive, readers shared.
+  mutable std::shared_mutex store_mu_;
+  mutable std::mutex wait_mu_;
+  mutable std::condition_variable applied_cv_;
+  std::atomic<uint64_t> applied_{0};
+  bool closed_ = false;  // under wait_mu_
+};
+
+}  // namespace pieces::replication
+
+#endif  // PIECES_REPLICATION_REPLICA_H_

@@ -1,0 +1,170 @@
+#include "replication/replica_session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace pieces::replication {
+
+ReplicaSession::ReplicaSession(std::unique_ptr<StoreBackend> replica_store,
+                               const ReplicationConfig& config)
+    : config_(config),
+      log_(std::make_shared<ReplicationLog>()),
+      replica_(std::move(replica_store)),
+      transport_(&replica_) {
+  transport_.SetDelayUs(config_.transport_delay_us);
+}
+
+ReplicaSession::~ReplicaSession() { Stop(); }
+
+bool ReplicaSession::SeedFromPrimary(const StoreBackend& primary) {
+  const uint64_t start = log_->tail();
+  if (!replica_.Seed(primary, start)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  acked_ = start;
+  return true;
+}
+
+void ReplicaSession::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  shipper_ = std::thread(&ReplicaSession::ShipLoop, this);
+}
+
+void ReplicaSession::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  acked_cv_.notify_all();
+  log_->Close();          // wake the shipper's WaitTail
+  transport_.Shutdown();  // release a gated/blocked Ship
+  replica_.Close();       // wake watermark-gated readers
+  if (shipper_.joinable()) shipper_.join();
+}
+
+void ReplicaSession::ShipLoop() {
+  std::vector<LogRecord> batch;
+  for (;;) {
+    uint64_t next;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopping_ || dead_) return;
+      next = acked_;
+    }
+    if (!log_->WaitTail(next, config_.ship_interval_us)) {
+      if (log_->closed()) return;
+      continue;  // idle tick: re-check stopping_
+    }
+    batch.clear();
+    log_->Read(next, std::max<size_t>(1, config_.ship_batch), &batch);
+    if (batch.empty()) continue;
+    const size_t delivered =
+        transport_.Ship({batch.data(), batch.size()});
+    bool died = delivered < batch.size();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      acked_ += delivered;
+      if (died) dead_ = true;
+      next = acked_;
+    }
+    acked_cv_.notify_all();
+    if (died) return;
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    // The applied prefix will never be re-shipped; keep the DRAM log
+    // bounded by the lag, not the write history.
+    log_->TruncateTo(next);
+  }
+}
+
+bool ReplicaSession::WaitCaughtUp(uint64_t timeout_us) {
+  const uint64_t target = log_->tail();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_) return acked_ >= target;
+  auto done = [&] { return acked_ >= target || dead_ || stopping_; };
+  if (timeout_us == 0) {
+    acked_cv_.wait(lock, done);
+  } else {
+    acked_cv_.wait_for(lock, std::chrono::microseconds(timeout_us), done);
+  }
+  return acked_ >= target;
+}
+
+bool ReplicaSession::AwaitReplicated() {
+  // The exact watermark for the calling thread's own write: waiting on
+  // the global tail instead would entangle this ack with concurrent
+  // writers' records and make "acked ⇒ on the replica" one-directional.
+  const uint64_t target = log_->ThisThreadWatermark();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(config_.ack_timeout_us);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (acked_ < target) {
+    if (dead_ || stopping_) break;
+    if (acked_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        acked_ < target) {
+      break;
+    }
+  }
+  if (acked_ >= target) return true;
+  ack_failures_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool ReplicaSession::TryRead(Key key, uint8_t* out, bool* found) {
+  if (config_.reads == ReplicationConfig::ReadPolicy::kOff) return false;
+  const uint64_t watermark = log_->tail();
+  if (replica_.applied() < watermark) {
+    bool caught_up = false;
+    if (config_.reads == ReplicationConfig::ReadPolicy::kWait) {
+      waits_.fetch_add(1, std::memory_order_relaxed);
+      caught_up =
+          replica_.WaitApplied(watermark, config_.read_wait_timeout_us);
+    }
+    if (!caught_up) {
+      bounces_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  bool gone = false;
+  const bool hit = replica_.Get(key, out, &gone);
+  if (gone) {
+    // Promoted away mid-read: the store this replica was shadowing is
+    // being replaced; the re-route protocol takes it from here.
+    bounces_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *found = hit;
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::unique_ptr<StoreBackend> ReplicaSession::Promote(uint64_t* rebuild_ns) {
+  Stop();
+  return replica_.Promote(rebuild_ns);
+}
+
+bool ReplicaSession::dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+ReplicaSessionStats ReplicaSession::Stats() const {
+  ReplicaSessionStats s;
+  s.log_tail = log_->tail();
+  s.applied = replica_.applied();
+  s.lag = s.log_tail > s.applied ? s.log_tail - s.applied : 0;
+  s.batches_shipped = batches_.load(std::memory_order_relaxed);
+  s.replica_reads = reads_.load(std::memory_order_relaxed);
+  s.replica_waits = waits_.load(std::memory_order_relaxed);
+  s.replica_bounces = bounces_.load(std::memory_order_relaxed);
+  s.ack_failures = ack_failures_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.acked = acked_;
+  s.dead = dead_;
+  return s;
+}
+
+}  // namespace pieces::replication

@@ -1,0 +1,169 @@
+// ReplicaSession: one primary→replica replication link for one shard.
+// Owns the ReplicationLog (installed as the primary store's CommitTap),
+// the shipper thread that drains it in batches through a
+// ReplicationTransport, and the Replica that applies the stream. The
+// service layer (service/router.cc) holds one session per shard next to
+// the shard itself in the routing snapshot.
+//
+// Watermarks (all log indexes, see replication_log.h):
+//   tail     — records committed on the primary (acked or about to be).
+//   acked    — records delivered-and-applied, confirmed back to the
+//              session; with the in-process transport acked == applied.
+//   applied  — records the replica has run through its Put path.
+//
+// Read-your-writes: a client's Put returns only after its record entered
+// the log, so a replica read taken at watermark `tail` (or the reader's
+// own ThisThreadWatermark) sees every write the client was acked — the
+// session serves the read only when applied >= watermark, else waits
+// (ReadPolicy::kWait, bounded) or bounces the read to the primary
+// (kBounce). Waits happen on submitting/client threads only, never on a
+// shard worker, and the applier that advances the watermark is the
+// independent shipper thread — so a watermark wait can never deadlock
+// against request execution (see DESIGN.md "Replication & failover").
+//
+// Semi-sync acks (AckMode::kReplicated): the shard worker awaits
+// AwaitReplicated() after a locally durable write; kOk then means "on the
+// replica too", and a dead/stalled link degrades the write to kRetry
+// instead of blocking forever.
+#ifndef PIECES_REPLICATION_REPLICA_SESSION_H_
+#define PIECES_REPLICATION_REPLICA_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "replication/replica.h"
+#include "replication/replication_log.h"
+#include "replication/transport.h"
+#include "store/store_backend.h"
+
+namespace pieces::replication {
+
+struct ReplicationConfig {
+  bool enabled = false;
+
+  // What a write's kOk means.
+  enum class AckMode : uint8_t {
+    kLocal,       // durable on the primary (replication is async)
+    kReplicated,  // durable on the primary AND applied on the replica
+  };
+  AckMode ack = AckMode::kLocal;
+
+  // Whether point reads may be served by replicas.
+  enum class ReadPolicy : uint8_t {
+    kOff,     // all reads on the primary
+    kBounce,  // replica serves iff caught up to the watermark, else the
+              // read bounces back to the primary immediately
+    kWait,    // behind-watermark reads wait (bounded) for catch-up, then
+              // bounce if still behind
+  };
+  ReadPolicy reads = ReadPolicy::kOff;
+
+  // Shipper batching: at most ship_batch records per transport call; an
+  // idle shipper re-checks for work every ship_interval_us.
+  size_t ship_batch = 64;
+  uint64_t ship_interval_us = 200;
+  // kWait read gate bound before the read bounces to the primary.
+  uint64_t read_wait_timeout_us = 2000;
+  // kReplicated ack bound before a locally durable write degrades to
+  // kRetry.
+  uint64_t ack_timeout_us = 100000;
+  // Injected transport latency per shipped batch (models the network
+  // round trip; the lag experiment sweeps it).
+  uint64_t transport_delay_us = 0;
+};
+
+struct ReplicaSessionStats {
+  uint64_t log_tail = 0;
+  uint64_t acked = 0;
+  uint64_t applied = 0;
+  uint64_t lag = 0;  // tail - applied at sample time
+  uint64_t batches_shipped = 0;
+  uint64_t replica_reads = 0;    // reads served by the replica
+  uint64_t replica_waits = 0;    // served reads that waited at the gate
+  uint64_t replica_bounces = 0;  // reads bounced to the primary
+  uint64_t ack_failures = 0;     // semi-sync awaits that timed out/died
+  bool dead = false;
+};
+
+class ReplicaSession {
+ public:
+  ReplicaSession(std::unique_ptr<StoreBackend> replica_store,
+                 const ReplicationConfig& config);
+  ~ReplicaSession();  // Stop()
+
+  ReplicaSession(const ReplicaSession&) = delete;
+  ReplicaSession& operator=(const ReplicaSession&) = delete;
+
+  // The tap to install on the primary store (StoreBackend::SetCommitTap).
+  std::shared_ptr<ReplicationLog> log() const { return log_; }
+
+  // Bulk-seeds the replica from the *quiesced* primary (no concurrent
+  // writers during the call) and fast-forwards the watermarks over the
+  // seeded image. Call after the primary's bulk load, before Start.
+  bool SeedFromPrimary(const StoreBackend& primary);
+
+  // Spawns / joins the shipper. Start after seeding; Stop is idempotent
+  // and wakes every watermark and ack waiter.
+  void Start();
+  void Stop();
+
+  // Blocks until everything in the log as of the call is shipped and
+  // applied (or the link dies / the session stops / `timeout_us` elapses;
+  // 0 waits without bound). True when caught up.
+  bool WaitCaughtUp(uint64_t timeout_us = 0);
+
+  // Semi-sync ack: blocks until the calling thread's latest tapped write
+  // is applied on the replica (ack_timeout_us bound). Call from the
+  // thread that committed the put — the per-thread watermark makes the
+  // await exact: true iff that record was delivered.
+  bool AwaitReplicated();
+
+  // Watermark-gated replica read. True = the read was served here (sets
+  // *found / fills `out` on a hit); false = the caller must read the
+  // primary (gate not met under kBounce, wait timed out, reads off, or
+  // the replica was promoted away).
+  bool TryRead(Key key, uint8_t* out, bool* found);
+
+  // Failover: stop shipping, recover the replica store off its own
+  // durable media, release it for the caller to wrap in a new primary
+  // shard. Records past the applied watermark are lost — ship the tail
+  // first (WaitCaughtUp) for a planned, lossless switchover.
+  std::unique_ptr<StoreBackend> Promote(uint64_t* rebuild_ns);
+
+  bool dead() const;
+  ReplicaSessionStats Stats() const;
+  const ReplicationConfig& config() const { return config_; }
+  // Test access: fail-point/gate injection and replica inspection.
+  InProcessTransport* transport() { return &transport_; }
+  Replica* replica() { return &replica_; }
+
+ private:
+  void ShipLoop();
+
+  const ReplicationConfig config_;
+  std::shared_ptr<ReplicationLog> log_;
+  Replica replica_;
+  InProcessTransport transport_;
+
+  mutable std::mutex mu_;
+  std::condition_variable acked_cv_;
+  uint64_t acked_ = 0;  // delivered-and-applied log prefix
+  bool dead_ = false;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread shipper_;
+
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> waits_{0};
+  std::atomic<uint64_t> bounces_{0};
+  std::atomic<uint64_t> ack_failures_{0};
+};
+
+}  // namespace pieces::replication
+
+#endif  // PIECES_REPLICATION_REPLICA_SESSION_H_

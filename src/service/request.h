@@ -31,8 +31,11 @@ enum class RequestStatus : uint8_t {
   kRejected,   // Admission control dropped the request (queue full).
   kShutdown,   // Service stopped before the request could be queued.
   kInvalid,    // Malformed request (e.g. scan count exceeds uint32_t).
-  kRetry,      // The partition moved mid-request (live split/merge) and
-               // the re-route budget ran out; the client may resubmit.
+  kRetry,      // The client may resubmit: either the partition moved
+               // mid-request (live split/merge/failover) and the re-route
+               // budget ran out, or — under AckMode::kReplicated — the
+               // write is durable on the primary but replication did not
+               // confirm it within the ack timeout.
 };
 
 const char* RequestStatusName(RequestStatus status);
@@ -82,6 +85,17 @@ struct ShardStats {
   uint64_t bg_published = 0;
   uint64_t bg_aborted = 0;
   uint64_t bg_throttled = 0;
+  // Replication counters (all zero when replication is off); sampled off
+  // the shard's ReplicaSession at Stats() time. See ReplicaSessionStats.
+  uint64_t repl_log_tail = 0;
+  uint64_t repl_applied = 0;
+  uint64_t repl_lag = 0;
+  uint64_t repl_batches = 0;
+  uint64_t replica_reads = 0;
+  uint64_t replica_waits = 0;
+  uint64_t replica_bounces = 0;
+  uint64_t repl_ack_failures = 0;
+  bool replica_dead = false;
 };
 
 struct ServiceStats {
@@ -90,6 +104,8 @@ struct ServiceStats {
   // version of the partition snapshot the stats were read against.
   uint64_t splits = 0;
   uint64_t merges = 0;
+  // Replica promotions performed (FailOverShard successes).
+  uint64_t failovers = 0;
   uint64_t partition_version = 0;
 
   uint64_t total_ops() const {

@@ -99,7 +99,12 @@ KvService::KvService(const std::string& index_name,
   snap->partition = RangePartition(config.num_shards, bootstrap_sample);
   const size_t n = snap->partition.num_shards();
   snap->shards.reserve(n);
-  for (size_t s = 0; s < n; ++s) snap->shards.push_back(MakeShard(s));
+  snap->replicas.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    ShardParts parts = MakeShard(s);
+    snap->shards.push_back(std::move(parts.shard));
+    snap->replicas.push_back(std::move(parts.replica));
+  }
   next_shard_id_ = n;
   snapshot_.store(snap, std::memory_order_release);
 }
@@ -113,34 +118,80 @@ KvService::~KvService() {
   EpochManager::Global().ReclaimSome();
 }
 
-std::shared_ptr<Shard> KvService::MakeShard(size_t id) {
+std::unique_ptr<StoreBackend> KvService::MakeStore(size_t id, bool replica) {
   auto index = MakeIndex(index_name_);
   if (index == nullptr) {
     std::fprintf(stderr, "KvService: unknown index '%s'\n",
                  index_name_.c_str());
     std::abort();
   }
-  std::unique_ptr<StoreBackend> store;
   if (config_.backend == "disk") {
     // Each shard owns its own paged file inside the configured data
     // directory; record shape always follows the viper config so the two
-    // backends stay interchangeable.
+    // backends stay interchangeable. The replica's file sits next to the
+    // primary's, as a stand-in for a second machine's disk.
     DiskStore::Config disk = config_.disk;
     disk.value_size = config_.store.value_size;
-    disk.path += "/shard_" + std::to_string(id) + ".pages";
+    disk.path += "/shard_" + std::to_string(id) +
+                 (replica ? ".replica.pages" : ".pages");
     auto ds = std::make_unique<DiskStore>(std::move(index), disk);
     if (!ds->ok()) {
       std::fprintf(stderr, "KvService: disk backend unavailable: %s\n",
                    ds->error().c_str());
       std::abort();
     }
-    store = std::move(ds);
-  } else {
-    store = std::make_unique<ViperStore>(std::move(index), config_.store);
+    return ds;
   }
-  return std::make_shared<Shard>(id, std::move(store),
-                                 config_.queue_capacity, config_.maintenance,
-                                 config_.writers_per_shard);
+  return std::make_unique<ViperStore>(std::move(index), config_.store);
+}
+
+KvService::ShardParts KvService::MakeShard(size_t id) {
+  std::unique_ptr<StoreBackend> store = MakeStore(id, /*replica=*/false);
+  ShardParts parts;
+  if (config_.replication.enabled) {
+    parts.replica = std::make_shared<replication::ReplicaSession>(
+        MakeStore(id, /*replica=*/true), config_.replication);
+    // The log (a shared_ptr) taps the primary's commit path; it outlives
+    // the store no matter which side is torn down first.
+    store->SetCommitTap(parts.replica->log());
+  }
+  parts.shard = std::make_shared<Shard>(id, std::move(store),
+                                        config_.queue_capacity,
+                                        config_.maintenance,
+                                        config_.writers_per_shard);
+  if (parts.replica != nullptr) {
+    parts.shard->AttachReplication(
+        parts.replica, config_.replication.ack ==
+                           replication::ReplicationConfig::AckMode::kReplicated);
+  }
+  return parts;
+}
+
+KvService::ShardParts KvService::AdoptStore(
+    std::unique_ptr<StoreBackend> store) {
+  const size_t id = next_shard_id_++;
+  ShardParts parts;
+  // The promoted store still carries the old session's log tap; replace
+  // it with the new shadow replica's (or clear it).
+  store->SetCommitTap(nullptr);
+  if (config_.replication.enabled) {
+    parts.replica = std::make_shared<replication::ReplicaSession>(
+        MakeStore(id, /*replica=*/true), config_.replication);
+    store->SetCommitTap(parts.replica->log());
+  }
+  parts.shard = std::make_shared<Shard>(id, std::move(store),
+                                        config_.queue_capacity,
+                                        config_.maintenance,
+                                        config_.writers_per_shard);
+  if (parts.replica != nullptr) {
+    parts.shard->AttachReplication(
+        parts.replica, config_.replication.ack ==
+                           replication::ReplicationConfig::AckMode::kReplicated);
+    parts.replica->SeedFromPrimary(*parts.shard->store());
+    if (started_) parts.replica->Start();
+  }
+  if (started_) parts.shard->Start();
+  return parts;
 }
 
 bool KvService::BulkLoad(const std::vector<Key>& sorted_keys) {
@@ -154,6 +205,12 @@ bool KvService::BulkLoad(const std::vector<Key>& sorted_keys) {
                    : sorted_keys.end();
     std::vector<Key> part(begin, end);
     if (!snap->shards[s]->store()->BulkLoad(part)) return false;
+    // Bulk loads bypass the commit log (see CommitTap); replicas seed
+    // directly from the quiesced primary image instead.
+    if (snap->replicas[s] != nullptr &&
+        !snap->replicas[s]->SeedFromPrimary(*snap->shards[s]->store())) {
+      return false;
+    }
   }
   return true;
 }
@@ -161,6 +218,11 @@ bool KvService::BulkLoad(const std::vector<Key>& sorted_keys) {
 void KvService::Start() {
   std::lock_guard<std::mutex> admin(admin_mu_);
   Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  // Shippers first: a semi-sync write acked by a worker needs a live
+  // session from the very first request.
+  for (auto& session : snap->replicas) {
+    if (session != nullptr) session->Start();
+  }
   for (auto& shard : snap->shards) shard->Start();
   started_ = true;
   if (config_.rebalance.enabled && !rebalancer_.joinable()) {
@@ -217,11 +279,37 @@ void KvService::DispatchToShard(const std::shared_ptr<Shard>& shard,
   RouteBatch(std::move(batch), budget - 1);
 }
 
+bool KvService::TryReplicaRead(replication::ReplicaSession& session,
+                               Request& req) {
+  // Discarded payloads still need a destination buffer; the scratch is
+  // per-submitting-thread, mirroring the worker-local scratch.
+  thread_local std::vector<uint8_t> scratch;
+  uint8_t* out = req.out;
+  if (out == nullptr) {
+    if (scratch.size() < config_.store.value_size) {
+      scratch.resize(config_.store.value_size);
+    }
+    out = scratch.data();
+  }
+  bool found = false;
+  if (!session.TryRead(req.key, out, &found)) return false;
+  // No latency recording: this completion runs on the submitting thread,
+  // and the recorder belongs to the executing worker (single-writer).
+  if (req.done) {
+    req.done(found ? RequestStatus::kOk : RequestStatus::kNotFound);
+  }
+  return true;
+}
+
 void KvService::RouteBatch(std::vector<Request>&& batch, int budget) {
   if (batch.empty()) return;
   uint64_t version;
   std::vector<std::shared_ptr<Shard>> shards;
+  std::vector<std::shared_ptr<replication::ReplicaSession>> replicas;
   std::vector<std::vector<Request>> buckets;
+  const bool replica_reads =
+      config_.replication.enabled &&
+      config_.replication.reads != replication::ReplicationConfig::ReadPolicy::kOff;
   {
     // The guard pins the snapshot only while routing; the enqueues below
     // may block on admission control, so they run on copied shard
@@ -230,6 +318,7 @@ void KvService::RouteBatch(std::vector<Request>&& batch, int budget) {
     Snapshot* snap = snapshot_.load(std::memory_order_acquire);
     version = snap->version;
     shards = snap->shards;
+    if (replica_reads) replicas = snap->replicas;
     buckets.resize(shards.size());
     for (Request& req : batch) {
       buckets[snap->partition.ShardOf(req.key)].push_back(std::move(req));
@@ -239,6 +328,22 @@ void KvService::RouteBatch(std::vector<Request>&& batch, int budget) {
   for (size_t s = 0; s < buckets.size(); ++s) {
     std::vector<Request>& bucket = buckets[s];
     if (bucket.empty()) continue;
+    if (replica_reads && replicas[s] != nullptr) {
+      // Offload reads the replica can serve within its watermark; the
+      // rest (all writes, and reads the replica bounced) fall through to
+      // the primary's queue in their original order.
+      size_t kept = 0;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i].type == OpType::kRead &&
+            TryReplicaRead(*replicas[s], bucket[i])) {
+          continue;
+        }
+        if (kept != i) bucket[kept] = std::move(bucket[i]);
+        ++kept;
+      }
+      bucket.resize(kept);
+      if (bucket.empty()) continue;
+    }
     if (bucket.size() <= max_batch) {
       DispatchToShard(shards[s], version, std::move(bucket), budget);
       continue;
@@ -504,7 +609,12 @@ void KvService::Shutdown() {
   // (structural ops check shutdown_ under admin_mu_).
   std::lock_guard<std::mutex> admin(admin_mu_);
   Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  // Workers first (they may be awaiting replication acks, which the live
+  // shippers keep draining), then the sessions.
   for (auto& shard : snap->shards) shard->Stop();
+  for (auto& session : snap->replicas) {
+    if (session != nullptr) session->Stop();
+  }
 }
 
 void KvService::PublishSnapshot(Snapshot* next) {
@@ -520,10 +630,10 @@ void KvService::PublishSnapshot(Snapshot* next) {
   EpochManager::Global().Retire<Snapshot>(old);
 }
 
-std::shared_ptr<Shard> KvService::BuildShard(const std::vector<Key>& keys,
-                                             const std::vector<Shard*>& sources,
-                                             bool start) {
-  std::shared_ptr<Shard> shard = MakeShard(next_shard_id_++);
+KvService::ShardParts KvService::BuildShard(const std::vector<Key>& keys,
+                                            const std::vector<Shard*>& sources,
+                                            bool start) {
+  ShardParts parts = MakeShard(next_shard_id_++);
   auto fill = [&](Key key, uint8_t* buf) {
     // Sources are quiesced (stopped) and own disjoint ranges; preserve
     // the stored value rather than re-synthesizing it.
@@ -532,9 +642,14 @@ std::shared_ptr<Shard> KvService::BuildShard(const std::vector<Key>& keys,
     }
     FillSyntheticRecordValue(key, buf, config_.store.value_size);
   };
-  if (!shard->store()->BulkLoad(keys, fill)) return nullptr;
-  if (start) shard->Start();
-  return shard;
+  if (!parts.shard->store()->BulkLoad(keys, fill)) return {};
+  if (parts.replica != nullptr) {
+    // The bulk image bypassed the log; seed before any write commits.
+    parts.replica->SeedFromPrimary(*parts.shard->store());
+    if (start) parts.replica->Start();
+  }
+  if (start) parts.shard->Start();
+  return parts;
 }
 
 bool KvService::SplitShard(size_t shard_idx) {
@@ -551,6 +666,9 @@ bool KvService::SplitShard(size_t shard_idx) {
   old->BeginRetire();
   old->Drain();
   old->Stop();
+  // Workers are gone (no more acks to await); the retired session would
+  // otherwise idle in epoch limbo until reclamation.
+  if (snap->replicas[shard_idx] != nullptr) snap->replicas[shard_idx]->Stop();
 
   std::vector<Key> keys;
   old->store()->Scan(0, old->store()->size(), &keys);
@@ -569,27 +687,34 @@ bool KvService::SplitShard(size_t shard_idx) {
   if (cut == 0 || cut >= keys.size()) {
     // Every key equal: unsplittable. Rebuild as a single replacement
     // shard so the retired one still leaves service.
-    std::shared_ptr<Shard> repl = BuildShard(keys, {old.get()}, started_);
+    ShardParts repl = BuildShard(keys, {old.get()}, started_);
     next->partition = snap->partition;
     next->shards = snap->shards;
-    next->shards[shard_idx] = std::move(repl);
+    next->replicas = snap->replicas;
+    next->shards[shard_idx] = std::move(repl.shard);
+    next->replicas[shard_idx] = std::move(repl.replica);
     PublishSnapshot(next);
     return false;
   }
   const Key split = keys[cut];
   std::vector<Key> left_keys(keys.begin(), keys.begin() + cut);
   std::vector<Key> right_keys(keys.begin() + cut, keys.end());
-  std::shared_ptr<Shard> left = BuildShard(left_keys, {old.get()}, started_);
-  std::shared_ptr<Shard> right = BuildShard(right_keys, {old.get()}, started_);
+  ShardParts left = BuildShard(left_keys, {old.get()}, started_);
+  ShardParts right = BuildShard(right_keys, {old.get()}, started_);
 
   std::vector<Key> nb = snap->partition.boundaries();
   nb.insert(nb.begin() + static_cast<std::ptrdiff_t>(shard_idx), split);
   next->partition = RangePartition::FromBoundaries(std::move(nb));
   next->shards = snap->shards;
-  next->shards[shard_idx] = std::move(left);
+  next->replicas = snap->replicas;
+  next->shards[shard_idx] = std::move(left.shard);
+  next->replicas[shard_idx] = std::move(left.replica);
   next->shards.insert(
       next->shards.begin() + static_cast<std::ptrdiff_t>(shard_idx) + 1,
-      std::move(right));
+      std::move(right.shard));
+  next->replicas.insert(
+      next->replicas.begin() + static_cast<std::ptrdiff_t>(shard_idx) + 1,
+      std::move(right.replica));
   PublishSnapshot(next);
   splits_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -608,6 +733,10 @@ bool KvService::MergeShards(size_t left_idx) {
   b->Drain();
   a->Stop();
   b->Stop();
+  if (snap->replicas[left_idx] != nullptr) snap->replicas[left_idx]->Stop();
+  if (snap->replicas[left_idx + 1] != nullptr) {
+    snap->replicas[left_idx + 1]->Stop();
+  }
 
   // Adjacent ranges scanned in shard order: already globally sorted.
   std::vector<Key> keys;
@@ -617,28 +746,99 @@ bool KvService::MergeShards(size_t left_idx) {
 
   auto* next = new Snapshot;
   next->shards = snap->shards;
-  std::shared_ptr<Shard> merged =
-      BuildShard(keys, {a.get(), b.get()}, started_);
-  if (merged == nullptr) {
+  next->replicas = snap->replicas;
+  ShardParts merged = BuildShard(keys, {a.get(), b.get()}, started_);
+  if (merged.shard == nullptr) {
     // Combined records overflow one store: rebuild both halves in place
     // (compacting them) and keep the boundary.
     std::vector<Key> ka(keys.begin(), keys.begin() + a_count);
     std::vector<Key> kb(keys.begin() + a_count, keys.end());
     next->partition = snap->partition;
-    next->shards[left_idx] = BuildShard(ka, {a.get()}, started_);
-    next->shards[left_idx + 1] = BuildShard(kb, {b.get()}, started_);
+    ShardParts ra = BuildShard(ka, {a.get()}, started_);
+    ShardParts rb = BuildShard(kb, {b.get()}, started_);
+    next->shards[left_idx] = std::move(ra.shard);
+    next->replicas[left_idx] = std::move(ra.replica);
+    next->shards[left_idx + 1] = std::move(rb.shard);
+    next->replicas[left_idx + 1] = std::move(rb.replica);
     PublishSnapshot(next);
     return false;
   }
   std::vector<Key> nb = snap->partition.boundaries();
   nb.erase(nb.begin() + static_cast<std::ptrdiff_t>(left_idx));
   next->partition = RangePartition::FromBoundaries(std::move(nb));
-  next->shards[left_idx] = std::move(merged);
+  next->shards[left_idx] = std::move(merged.shard);
+  next->replicas[left_idx] = std::move(merged.replica);
   next->shards.erase(next->shards.begin() +
                      static_cast<std::ptrdiff_t>(left_idx) + 1);
+  next->replicas.erase(next->replicas.begin() +
+                       static_cast<std::ptrdiff_t>(left_idx) + 1);
   PublishSnapshot(next);
   merges_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+FailoverReport KvService::FailOverShard(size_t shard_idx, bool graceful) {
+  FailoverReport report;
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  if (shutdown_.load(std::memory_order_relaxed)) return report;
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  if (shard_idx >= snap->shards.size()) return report;
+  std::shared_ptr<replication::ReplicaSession> session =
+      snap->replicas[shard_idx];
+  if (session == nullptr) return report;  // replication off
+  std::shared_ptr<Shard> old = snap->shards[shard_idx];
+
+  // The outage window: from the first bounced request to the successor
+  // snapshot going live.
+  const uint64_t outage_start = NowNanos();
+  old->BeginRetire();
+  old->Drain();
+  if (graceful) session->WaitCaughtUp(0);
+  old->Stop();
+
+  // Promotion = crash recovery on the replica's store: Stop the session,
+  // validate the commit headers, rebuild the index. Everything the
+  // shipper never delivered is gone — count it. (Under kReplicated ack
+  // mode none of those writes were acked to any client.)
+  std::unique_ptr<StoreBackend> promoted = session->Promote(&report.rebuild_ns);
+  replication::ReplicaSessionStats st = session->Stats();
+  report.lost_records = st.log_tail > st.applied ? st.log_tail - st.applied : 0;
+  // The failed primary's medium dies with it.
+  old->store()->Crash();
+
+  ShardParts parts = AdoptStore(std::move(promoted));
+  auto* next = new Snapshot;
+  next->partition = snap->partition;
+  next->shards = snap->shards;
+  next->replicas = snap->replicas;
+  next->shards[shard_idx] = std::move(parts.shard);
+  next->replicas[shard_idx] = std::move(parts.replica);
+  PublishSnapshot(next);
+  report.outage_ns = NowNanos() - outage_start;
+  report.ok = true;
+  failovers_.fetch_add(1, std::memory_order_relaxed);
+  return report;
+}
+
+bool KvService::WaitReplicasCaughtUp() {
+  std::vector<std::shared_ptr<replication::ReplicaSession>> replicas;
+  {
+    EpochGuard guard;
+    replicas = snapshot_.load(std::memory_order_acquire)->replicas;
+  }
+  bool ok = true;
+  for (auto& session : replicas) {
+    if (session == nullptr) return false;
+    if (!session->WaitCaughtUp(0)) ok = false;
+  }
+  return ok;
+}
+
+std::shared_ptr<replication::ReplicaSession> KvService::replica_session(
+    size_t shard) const {
+  EpochGuard guard;
+  Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  return shard < snap->replicas.size() ? snap->replicas[shard] : nullptr;
 }
 
 void KvService::RebalanceLoop() {
@@ -751,18 +951,36 @@ size_t KvService::TotalKeys() const {
 
 ServiceStats KvService::Stats() const {
   std::vector<std::shared_ptr<Shard>> shards;
+  std::vector<std::shared_ptr<replication::ReplicaSession>> replicas;
   uint64_t version;
   {
     EpochGuard guard;
     Snapshot* snap = snapshot_.load(std::memory_order_acquire);
     shards = snap->shards;
+    replicas = snap->replicas;
     version = snap->version;
   }
   ServiceStats stats;
   stats.shards.reserve(shards.size());
-  for (const auto& shard : shards) stats.shards.push_back(shard->Stats());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    ShardStats s = shards[i]->Stats();
+    if (i < replicas.size() && replicas[i] != nullptr) {
+      replication::ReplicaSessionStats r = replicas[i]->Stats();
+      s.repl_log_tail = r.log_tail;
+      s.repl_applied = r.applied;
+      s.repl_lag = r.lag;
+      s.repl_batches = r.batches_shipped;
+      s.replica_reads = r.replica_reads;
+      s.replica_waits = r.replica_waits;
+      s.replica_bounces = r.replica_bounces;
+      s.repl_ack_failures = r.ack_failures;
+      s.replica_dead = r.dead;
+    }
+    stats.shards.push_back(s);
+  }
   stats.splits = splits_.load(std::memory_order_relaxed);
   stats.merges = merges_.load(std::memory_order_relaxed);
+  stats.failovers = failovers_.load(std::memory_order_relaxed);
   stats.partition_version = version;
   return stats;
 }

@@ -29,6 +29,22 @@
 // bounded number of times, then completes with kRetry). An optional
 // rebalancer thread watches per-shard queue-depth pressure and triggers
 // splits (and merges of cold adjacent shards) automatically.
+//
+// Replication (ServiceConfig::replication, off by default): every shard
+// gets a shadow replica — a second store + index instance fed by a
+// ReplicationLog tap on the primary's commit path and a shipper thread
+// (replication/replica_session.h). Snapshots carry the per-shard
+// ReplicaSession next to the Shard, so failover reuses the same
+// retire -> publish machinery as split/merge: FailOverShard quiesces the
+// primary, promotes the replica store via the store's crash-recovery
+// path, wraps it in a fresh Shard (with a new shadow replica of its
+// own), and publishes the successor snapshot — in-flight requests bounce
+// off the retired primary and re-route exactly as they do for a split.
+// Replica reads (ReadPolicy::kBounce/kWait) are served inline at routing
+// time when the replica has caught up to the log tail; otherwise the
+// request falls through to the primary. Replica-served reads complete on
+// the *submitting* thread and therefore never record latency (the
+// recorder is single-writer, owned by the executing worker).
 #ifndef PIECES_SERVICE_ROUTER_H_
 #define PIECES_SERVICE_ROUTER_H_
 
@@ -129,6 +145,26 @@ struct ServiceConfig {
   MaintenanceConfig maintenance;
   // Automatic live split/merge (off by default).
   RebalanceConfig rebalance;
+  // Per-shard primary->replica replication (off by default). When
+  // enabled, each shard ships its commit log to a shadow replica store;
+  // see replication/replica_session.h for the knobs (ack mode, replica
+  // read policy, ship batch/interval, timeouts).
+  replication::ReplicationConfig replication;
+};
+
+// Outcome of one FailOverShard call.
+struct FailoverReport {
+  bool ok = false;
+  // Wall time the shard range was unavailable: retire -> successor
+  // snapshot published (includes drain, catch-up wait, promotion).
+  uint64_t outage_ns = 0;
+  // Index rebuild portion of the promotion (StoreBackend::Recover).
+  uint64_t rebuild_ns = 0;
+  // Commit records the primary had logged but the replica never applied
+  // at promotion time — writes lost by the failover. Always 0 for a
+  // graceful failover with a live link; under AckMode::kReplicated none
+  // of these were ever acked to a client.
+  uint64_t lost_records = 0;
 };
 
 class KvService {
@@ -173,6 +209,26 @@ class KvService {
   // submissions complete with kShutdown. Idempotent.
   void Shutdown();
 
+  // Fails the primary of shard `shard` over to its replica: retire ->
+  // drain -> (graceful: wait for the replica to catch up) -> promote the
+  // replica store via Recover() -> wrap it in a fresh Shard (with a new
+  // shadow replica seeded from the promoted store) -> publish the
+  // successor snapshot. The old primary's medium is crashed, as if the
+  // machine died. With graceful=false the replica is promoted as-is —
+  // records the shipper had not delivered are lost and counted in the
+  // report (the crash-failover experiment; under AckMode::kReplicated
+  // those writes were never acked). Serialized with split/merge.
+  // Fails (ok=false) when replication is off or the index is invalid.
+  FailoverReport FailOverShard(size_t shard, bool graceful);
+
+  // Blocks until every shard's replica has applied the commit log tail
+  // as of entry. False if any replica link is dead or replication is off.
+  bool WaitReplicasCaughtUp();
+  // The current snapshot's replication session for shard `shard`
+  // (nullptr when replication is off or out of range). Test/bench seam.
+  std::shared_ptr<replication::ReplicaSession> replica_session(
+      size_t shard) const;
+
   // Splits shard `shard` of the current partition at its key median:
   // retire -> drain -> stop -> migrate into two replacement shards ->
   // publish the successor snapshot. Serialized with every other
@@ -215,6 +271,17 @@ class KvService {
     uint64_t version = 0;
     RangePartition partition = RangePartition(1, {});
     std::vector<std::shared_ptr<Shard>> shards;
+    // Parallel to `shards`: the shard's replication session, or nullptr
+    // when replication is off. Sessions ride the same RCU snapshot so a
+    // failover can swap shard + session atomically.
+    std::vector<std::shared_ptr<replication::ReplicaSession>> replicas;
+  };
+
+  // A shard plus its (optional) replication session — what MakeShard /
+  // BuildShard / AdoptStore produce and snapshots store side by side.
+  struct ShardParts {
+    std::shared_ptr<Shard> shard;
+    std::shared_ptr<replication::ReplicaSession> replica;
   };
 
   // Routes every request in `batch` against the current snapshot and
@@ -227,15 +294,25 @@ class KvService {
   void DispatchToShard(const std::shared_ptr<Shard>& shard, uint64_t version,
                        std::vector<Request>&& batch, int budget);
   void FanOutScan(Request req, int budget);
+  // Serves a kRead inline from the replica when its watermark allows;
+  // true means the request completed (done fired). No latency recording
+  // — completion runs on the submitting thread, not the worker.
+  bool TryReplicaRead(replication::ReplicaSession& session, Request& req);
   // Blocks until the published snapshot is newer than `version` (a split
   // in progress has not yet published). False when shutting down.
   bool WaitForNewerSnapshot(uint64_t version);
-  std::shared_ptr<Shard> MakeShard(size_t id);
+  // One store instance for shard `id`; replica stores get their own
+  // paged file (shard_<id>.replica.pages) under the disk backend.
+  std::unique_ptr<StoreBackend> MakeStore(size_t id, bool replica);
+  ShardParts MakeShard(size_t id);
+  // Wraps an existing (promoted) store in a fresh Shard with a new
+  // shadow replica seeded from it; starts both iff the service is
+  // started. Counterpart of MakeShard for the failover path.
+  ShardParts AdoptStore(std::unique_ptr<StoreBackend> store);
   // Builds a replacement shard owning `keys`, with values copied from the
-  // (quiesced) source shards. Aborts on store overflow -> nullptr.
-  std::shared_ptr<Shard> BuildShard(const std::vector<Key>& keys,
-                                    const std::vector<Shard*>& sources,
-                                    bool start);
+  // (quiesced) source shards. Aborts on store overflow -> null parts.
+  ShardParts BuildShard(const std::vector<Key>& keys,
+                        const std::vector<Shard*>& sources, bool start);
   void PublishSnapshot(Snapshot* next);
   void RebalanceLoop();
   static void CompleteInline(Request& req, RequestStatus status);
@@ -261,6 +338,7 @@ class KvService {
   size_t next_shard_id_;  // under admin_mu_
   std::atomic<uint64_t> splits_{0};
   std::atomic<uint64_t> merges_{0};
+  std::atomic<uint64_t> failovers_{0};
 };
 
 }  // namespace pieces::service

@@ -50,6 +50,12 @@ Shard::Shard(size_t id, std::unique_ptr<StoreBackend> store,
 
 Shard::~Shard() { Stop(); }
 
+void Shard::AttachReplication(
+    std::shared_ptr<replication::ReplicaSession> session, bool sync_ack) {
+  replication_ = std::move(session);
+  sync_ack_ = sync_ack && replication_ != nullptr;
+}
+
 size_t Shard::LaneOf(Key key) const {
   return lanes_.size() == 1
              ? 0
@@ -287,7 +293,13 @@ void Shard::Execute(Request& req, Scratch& scratch) {
     case OpType::kInsert: {
       bool ok = req.value != nullptr ? store_->Put(req.key, req.value)
                                      : store_->PutSynthetic(req.key);
-      if (!ok) status = RequestStatus::kStoreFull;
+      if (!ok) {
+        status = RequestStatus::kStoreFull;
+      } else if (sync_ack_ && !replication_->AwaitReplicated()) {
+        // Locally durable, but the replica never confirmed: the client
+        // must treat the write as unacknowledged and may resubmit.
+        status = RequestStatus::kRetry;
+      }
       break;
     }
     case OpType::kReadModifyWrite:
@@ -296,6 +308,8 @@ void Shard::Execute(Request& req, Scratch& scratch) {
         status = RequestStatus::kNotFound;
       } else if (!store_->PutSynthetic(req.key)) {
         status = RequestStatus::kStoreFull;
+      } else if (sync_ack_ && !replication_->AwaitReplicated()) {
+        status = RequestStatus::kRetry;
       }
       break;
     case OpType::kScan: {

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "replication/replica_session.h"
 #include "service/maintainer.h"
 #include "service/request.h"
 #include "store/store_backend.h"
@@ -64,6 +65,17 @@ class Shard {
 
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
+
+  // Attaches the shard's replication session (router wiring, before
+  // Start). The shared_ptr pins the session for as long as any worker
+  // might await an ack on it. With `sync_ack`, every locally durable
+  // write additionally awaits the replication watermark before acking
+  // kOk (AckMode::kReplicated); an ack timeout or dead link degrades the
+  // write to kRetry. The await runs on the worker thread against the
+  // independent shipper thread, so it cannot deadlock request execution
+  // — and it is bounded by the session's ack_timeout_us regardless.
+  void AttachReplication(
+      std::shared_ptr<replication::ReplicaSession> session, bool sync_ack);
 
   // Spawns the worker threads. Batches may be enqueued before Start (they
   // simply accumulate), which makes admission control deterministic to
@@ -146,6 +158,10 @@ class Shard {
   std::unique_ptr<StoreBackend> store_;
   // Non-null iff maintenance is enabled AND the index exposes a hook.
   std::unique_ptr<Maintainer> maintainer_;
+  // Non-null iff replication is attached; sync_ack_ gates the semi-sync
+  // await on the write path.
+  std::shared_ptr<replication::ReplicaSession> replication_;
+  bool sync_ack_ = false;
 
   mutable std::mutex mu_;
   std::condition_variable has_space_;  // blocked producers wait for room

@@ -203,6 +203,9 @@ bool DiskStore::PutSingle(Key key, const uint8_t* value) {
     pool_.Unpin(page, /*dirty=*/false);
     return false;
   }
+  // Replication tap, before the unpin (the value bytes live in the pinned
+  // frame) and before the caller's ack.
+  EmitCommit(header.seqno, key, rec + sizeof(Key), config_.value_size);
   pool_.Unpin(page, /*dirty=*/false);
   size_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -325,6 +328,11 @@ void DiskStore::LeadCommitLocked(std::unique_lock<std::mutex>& lock) {
       if (index_->Insert(e->key, e->handle)) {
         e->state = PendingCommit::State::kCommitted;
         size_.fetch_add(1, std::memory_order_relaxed);
+        // Replication tap, in seqno (= enqueue) order under write_mu_;
+        // the member cannot observe kCommitted (and ack) until the
+        // leader's notify below, so tap-before-ack holds per member.
+        EmitCommit(e->header.seqno, e->key, e->rec + sizeof(Key),
+                   config_.value_size);
       } else {
         revoked.push_back(e);
       }

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -26,6 +27,34 @@
 #include "index/ordered_index.h"
 
 namespace pieces {
+
+// One committed write, announced on the commit path at the instant the
+// record became acknowledgeable: payload and header durable, index swung,
+// caller not yet acked. `value` points into the store's write buffer and
+// is valid only for the duration of the OnCommit call.
+struct CommitRecord {
+  uint64_t seqno = 0;  // the record's commit-header seqno
+  Key key = 0;
+  const uint8_t* value = nullptr;
+  size_t value_size = 0;
+};
+
+// Replication seam (src/replication/): a tap installed on a store sees
+// every committed put *before* the caller's acknowledgement, which is what
+// makes read-your-writes watermarks and replication-synchronous acks
+// possible downstream. Bulk loads are intentionally not tapped — a replica
+// is seeded from the quiesced bulk image instead of replaying O(n)
+// two-barrier puts.
+class CommitTap {
+ public:
+  virtual ~CommitTap() = default;
+  // Called from whichever thread committed the put; per-key call order
+  // matches per-key commit order (cross-key order follows tap arrival,
+  // not seqno — concurrent writers may interleave). Must be thread-safe
+  // when the store has concurrent writers, and must not call back into
+  // the store.
+  virtual void OnCommit(const CommitRecord& record) = 0;
+};
 
 // Media-level counters, unified across backends so experiments can report
 // the cost model of each tier side by side. DRAM/PMem backends leave the
@@ -124,6 +153,30 @@ class StoreBackend {
   // "viper" or "disk" — experiment labels and backend-selection docs.
   virtual std::string_view BackendName() const = 0;
   virtual StoreIoStats IoStats() const = 0;
+
+  // Installs (or clears, with nullptr) the commit tap. Install before
+  // writer traffic starts — the pointer itself is read unsynchronized on
+  // the commit path. Shared ownership lets the tap (a ReplicationLog)
+  // outlive either side regardless of teardown order.
+  void SetCommitTap(std::shared_ptr<CommitTap> tap) {
+    commit_tap_ = std::move(tap);
+  }
+
+ protected:
+  // Commit-path helper for backends: announce a committed record.
+  void EmitCommit(uint64_t seqno, Key key, const uint8_t* value,
+                  size_t value_size) const {
+    if (commit_tap_ == nullptr) return;
+    CommitRecord record;
+    record.seqno = seqno;
+    record.key = key;
+    record.value = value;
+    record.value_size = value_size;
+    commit_tap_->OnCommit(record);
+  }
+
+ private:
+  std::shared_ptr<CommitTap> commit_tap_;
 };
 
 }  // namespace pieces

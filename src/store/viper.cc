@@ -131,6 +131,10 @@ bool ViperStore::Put(Key key, const uint8_t* value) {
     pmem_.Persist(addr + PayloadBytes(), sizeof(SlotHeader));
     return false;
   }
+  // Replication tap: the record is durable and visible — announce it
+  // before the caller is acked so watermark reads can never miss it.
+  EmitCommit(header.seqno, key, record.data() + sizeof(Key),
+             config_.value_size);
   size_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }

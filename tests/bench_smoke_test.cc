@@ -179,7 +179,7 @@ INSTANTIATE_TEST_SUITE_P(AllExperiments, BenchSmokeTest,
 
 TEST(BenchRegistryTest, AllExperimentsRegistered) {
   std::vector<std::string> names = ExperimentNames();
-  EXPECT_EQ(names.size(), 25u);
+  EXPECT_EQ(names.size(), 26u);
   // Names are unique and lookup round-trips.
   for (const std::string& name : names) {
     const Experiment* exp = FindExperiment(name);

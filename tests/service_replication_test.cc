@@ -1,0 +1,448 @@
+// Service-level replication tests: replica-divergence differential (the
+// primary and its replica must agree byte-for-byte on Get/Scan
+// transcripts after a seeded mixed workload with concurrent catch-up —
+// across both store backends, three index families, and through a live
+// shard split), read-your-writes conformance through the router's
+// replica-read gate, and failover via KvService::FailOverShard (promotion
+// republishes the routing snapshot; acked writes survive, kReplicated
+// acks make crash failover lossless).
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/router.h"
+#include "store/record_format.h"
+
+namespace pieces::service {
+namespace {
+
+using replication::ReplicationConfig;
+
+constexpr size_t kValueSize = 32;
+
+std::string TempDir(const char* tag) {
+  std::string dir = testing::TempDir() + "/pieces_repl_" + tag + "_" +
+                    std::to_string(::getpid());
+  // TempDir exists; per-test subdirectories keep shard files apart.
+  (void)mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+ServiceConfig BaseConfig(const std::string& backend, const char* tag) {
+  ServiceConfig cfg;
+  cfg.num_shards = 2;
+  cfg.queue_capacity = 256;
+  cfg.max_batch = 32;
+  cfg.store.value_size = kValueSize;
+  cfg.store.pmem_capacity = size_t{16} << 20;
+  cfg.backend = backend;
+  if (backend == "disk") {
+    cfg.disk.path = TempDir(tag);
+    cfg.disk.pool_pages = 128;
+    cfg.disk.file_capacity = size_t{64} << 20;
+  }
+  cfg.replication.enabled = true;
+  cfg.replication.ship_batch = 16;
+  cfg.replication.ship_interval_us = 100;
+  cfg.replication.ack_timeout_us = 5'000'000;
+  return cfg;
+}
+
+std::vector<Key> LoadKeys(size_t n) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(1000 + 10 * i);
+  return keys;
+}
+
+std::vector<uint8_t> TaggedValue(uint64_t tag) {
+  std::vector<uint8_t> v(kValueSize);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<uint8_t>(0x5Cu ^ (tag * 97) ^ (i * 13));
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Replica-divergence differential
+// ---------------------------------------------------------------------------
+
+struct DivergenceCase {
+  std::string index;
+  std::string backend;
+};
+
+class ReplicaDivergenceTest
+    : public ::testing::TestWithParam<DivergenceCase> {};
+
+// Seeded mixed workload with the shipper catching up concurrently; at
+// quiesce the replica of every shard must hold exactly the primary's
+// image — same keys in the same order (Scan transcript) and the same
+// bytes per key (Get transcript) — including through a live split of
+// shard 0 in the middle of the write phase.
+TEST_P(ReplicaDivergenceTest, PrimaryAndReplicaAgreeByteForByte) {
+  const DivergenceCase& param = GetParam();
+  ServiceConfig cfg = BaseConfig(
+      param.backend, ("div_" + param.index + "_" + param.backend).c_str());
+  const std::vector<Key> load = LoadKeys(512);
+  KvService service(param.index, cfg, load);
+  ASSERT_TRUE(service.BulkLoad(load));
+  service.Start();
+
+  // Model of every key's last acked value; sync Puts mean commit order
+  // is model order.
+  std::map<Key, std::vector<uint8_t>> model;
+  for (Key k : load) {
+    std::vector<uint8_t> v(kValueSize);
+    FillSyntheticRecordValue(k, v.data(), v.size());
+    model[k] = std::move(v);
+  }
+  std::mt19937_64 rng(0xd1f5eedull);
+  constexpr size_t kOps = 600;
+  for (size_t i = 0; i < kOps; ++i) {
+    if (i == kOps / 2) {
+      // Live split mid-workload: the hot shard retires, two replacements
+      // (each with a freshly seeded replica) take over, and the stream
+      // keeps writing against the successor snapshot.
+      ASSERT_TRUE(service.SplitShard(0));
+    }
+    const Key key = (i % 3 != 0)
+                        ? load[rng() % load.size()]        // update
+                        : Key{200'000 + (rng() % 4096)};   // insert
+    std::vector<uint8_t> value = TaggedValue(i);
+    ASSERT_EQ(service.Put(key, value.data()), RequestStatus::kOk) << i;
+    model[key] = std::move(value);
+    if (i % 5 == 0) {
+      // Interleave reads so the workload is genuinely mixed.
+      std::vector<uint8_t> out(kValueSize);
+      ASSERT_EQ(service.Get(key, out.data()), RequestStatus::kOk);
+    }
+  }
+
+  // Quiesce: every queued request done, every replica at the log tail.
+  service.Drain();
+  ASSERT_TRUE(service.WaitReplicasCaughtUp());
+
+  // Scan transcript: the service's global ordered key stream...
+  std::vector<Key> primary_scan;
+  ASSERT_EQ(service.Scan(0, model.size() + 10, &primary_scan),
+            RequestStatus::kOk);
+  ASSERT_EQ(primary_scan.size(), model.size());
+  // ...must equal the concatenation of the replicas' scans in shard
+  // order (replicas shadow disjoint ranges, so shard order = key order).
+  std::vector<Key> replica_scan;
+  for (size_t s = 0; s < service.num_shards(); ++s) {
+    auto session = service.replica_session(s);
+    ASSERT_NE(session, nullptr) << "shard " << s;
+    const StoreBackend* rstore = session->replica()->store();
+    ASSERT_NE(rstore, nullptr) << "shard " << s;
+    rstore->Scan(0, rstore->size(), &replica_scan);
+  }
+  EXPECT_EQ(replica_scan, primary_scan);
+
+  // Get transcript: primary bytes == replica bytes == model bytes for
+  // every key ever written.
+  std::vector<uint8_t> via_service(kValueSize);
+  std::vector<uint8_t> via_replica(kValueSize);
+  for (const auto& [key, want] : model) {
+    ASSERT_EQ(service.Get(key, via_service.data()), RequestStatus::kOk)
+        << "key " << key;
+    EXPECT_EQ(std::memcmp(via_service.data(), want.data(), kValueSize), 0)
+        << "primary diverged from model at key " << key;
+    auto session = service.replica_session(service.ShardOf(key));
+    ASSERT_NE(session, nullptr);
+    bool gone = false;
+    ASSERT_TRUE(session->replica()->Get(key, via_replica.data(), &gone))
+        << "replica missing key " << key;
+    ASSERT_FALSE(gone);
+    EXPECT_EQ(std::memcmp(via_replica.data(), want.data(), kValueSize), 0)
+        << "replica diverged from primary at key " << key;
+  }
+  EXPECT_GE(service.Stats().splits, 1u);
+  service.Shutdown();
+}
+
+std::string DivergenceName(
+    const ::testing::TestParamInfo<DivergenceCase>& info) {
+  std::string n = info.param.index + "_" + info.param.backend;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IndexesAndBackends, ReplicaDivergenceTest,
+    ::testing::Values(DivergenceCase{"BTree", "viper"},
+                      DivergenceCase{"ALEX", "viper"},
+                      DivergenceCase{"PGM", "viper"},
+                      DivergenceCase{"BTree", "disk"},
+                      DivergenceCase{"ALEX", "disk"}),
+    DivergenceName);
+
+// ---------------------------------------------------------------------------
+// Read-your-writes conformance through the router
+// ---------------------------------------------------------------------------
+
+// Write-then-read with replica reads on: the read sees the write or
+// bounces to the primary — never a stale value. Covers the bounce path
+// (stalled link) and the watermark-wait path explicitly.
+TEST(ServiceReadYourWrites, BouncePolicyNeverServesStale) {
+  ServiceConfig cfg = BaseConfig("viper", "ryw_bounce");
+  cfg.replication.reads = ReplicationConfig::ReadPolicy::kBounce;
+  const std::vector<Key> load = LoadKeys(128);
+  KvService service("BTree", cfg, load);
+  ASSERT_TRUE(service.BulkLoad(load));
+  service.Start();
+
+  std::vector<uint8_t> out(kValueSize);
+  for (uint64_t i = 0; i < 300; ++i) {
+    const Key key = load[i % load.size()];
+    std::vector<uint8_t> value = TaggedValue(i);
+    ASSERT_EQ(service.Put(key, value.data()), RequestStatus::kOk);
+    // Acked write, immediate read: replica-served or bounced to the
+    // primary, the bytes must be this write's.
+    ASSERT_EQ(service.Get(key, out.data()), RequestStatus::kOk);
+    ASSERT_EQ(std::memcmp(out.data(), value.data(), kValueSize), 0)
+        << "stale read after acked write, op " << i;
+  }
+  // Deterministic serve: with the replicas at the tail and no writes in
+  // between, the next read's watermark gate must pass.
+  ASSERT_TRUE(service.WaitReplicasCaughtUp());
+  ASSERT_EQ(service.Get(load[0], out.data()), RequestStatus::kOk);
+  ServiceStats stats = service.Stats();
+  uint64_t replica_reads = 0;
+  for (const ShardStats& s : stats.shards) replica_reads += s.replica_reads;
+  EXPECT_GT(replica_reads, 0u);
+  service.Shutdown();
+}
+
+TEST(ServiceReadYourWrites, StalledLinkForcesBounceToPrimary) {
+  ServiceConfig cfg = BaseConfig("viper", "ryw_stall");
+  cfg.replication.reads = ReplicationConfig::ReadPolicy::kBounce;
+  const std::vector<Key> load = LoadKeys(128);
+  KvService service("BTree", cfg, load);
+  ASSERT_TRUE(service.BulkLoad(load));
+  service.Start();
+
+  const Key key = load[3];
+  const size_t shard = service.ShardOf(key);
+  auto session = service.replica_session(shard);
+  ASSERT_NE(session, nullptr);
+
+  // Stall the shard's link, then write: the replica is pinned behind the
+  // watermark, so the very next read MUST bounce to the primary — and
+  // still return the fresh bytes.
+  session->transport()->SetGated(true);
+  std::vector<uint8_t> value = TaggedValue(42);
+  ASSERT_EQ(service.Put(key, value.data()), RequestStatus::kOk);
+  std::vector<uint8_t> out(kValueSize);
+  ASSERT_EQ(service.Get(key, out.data()), RequestStatus::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), value.data(), kValueSize), 0)
+      << "stale read while replica was stalled";
+  EXPECT_GE(session->Stats().replica_bounces, 1u);
+
+  session->transport()->SetGated(false);
+  ASSERT_TRUE(service.WaitReplicasCaughtUp());
+  // Caught up: the same read now serves from the replica, same bytes.
+  ASSERT_EQ(service.Get(key, out.data()), RequestStatus::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), value.data(), kValueSize), 0);
+  EXPECT_GE(session->Stats().replica_reads, 1u);
+  service.Shutdown();
+}
+
+TEST(ServiceReadYourWrites, WaitPolicyWaitsOutTheWatermark) {
+  ServiceConfig cfg = BaseConfig("viper", "ryw_wait");
+  cfg.replication.reads = ReplicationConfig::ReadPolicy::kWait;
+  cfg.replication.read_wait_timeout_us = 2'000'000;
+  const std::vector<Key> load = LoadKeys(128);
+  KvService service("BTree", cfg, load);
+  ASSERT_TRUE(service.BulkLoad(load));
+  service.Start();
+
+  const Key key = load[5];
+  auto session = service.replica_session(service.ShardOf(key));
+  ASSERT_NE(session, nullptr);
+  session->transport()->SetGated(true);
+  std::vector<uint8_t> value = TaggedValue(7);
+  ASSERT_EQ(service.Put(key, value.data()), RequestStatus::kOk);
+  // The read waits at the gate; releasing the stall lets it serve fresh.
+  std::thread release([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    session->transport()->SetGated(false);
+  });
+  std::vector<uint8_t> out(kValueSize);
+  ASSERT_EQ(service.Get(key, out.data()), RequestStatus::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), value.data(), kValueSize), 0);
+  release.join();
+  EXPECT_GE(session->Stats().replica_waits, 1u);
+  service.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Failover through the router
+// ---------------------------------------------------------------------------
+
+// Graceful failover: catch the replica up, promote, republish. No writes
+// are lost, the snapshot version bumps, and the promoted shard keeps
+// serving reads and writes (it gets a fresh replica of its own — a
+// second failover of the same range must also work).
+TEST(ServiceFailover, GracefulPromotionLosesNothing) {
+  ServiceConfig cfg = BaseConfig("viper", "fo_graceful");
+  const std::vector<Key> load = LoadKeys(256);
+  KvService service("ALEX", cfg, load);
+  ASSERT_TRUE(service.BulkLoad(load));
+  service.Start();
+
+  std::map<Key, std::vector<uint8_t>> model;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const Key key = load[(i * 13) % load.size()];
+    std::vector<uint8_t> value = TaggedValue(i);
+    ASSERT_EQ(service.Put(key, value.data()), RequestStatus::kOk);
+    model[key] = std::move(value);
+  }
+  const uint64_t version_before = service.partition_version();
+  FailoverReport report = service.FailOverShard(0, /*graceful=*/true);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.lost_records, 0u);
+  EXPECT_GT(report.outage_ns, 0u);
+  EXPECT_GT(service.partition_version(), version_before);
+  EXPECT_EQ(service.Stats().failovers, 1u);
+
+  std::vector<uint8_t> out(kValueSize);
+  for (const auto& [key, want] : model) {
+    ASSERT_EQ(service.Get(key, out.data()), RequestStatus::kOk)
+        << "key " << key << " lost by graceful failover";
+    EXPECT_EQ(std::memcmp(out.data(), want.data(), kValueSize), 0);
+  }
+  // The promoted shard accepts writes and can fail over again.
+  ASSERT_EQ(service.Put(load[0], TaggedValue(999).data()),
+            RequestStatus::kOk);
+  ASSERT_TRUE(service.WaitReplicasCaughtUp());
+  FailoverReport again = service.FailOverShard(0, /*graceful=*/true);
+  EXPECT_TRUE(again.ok);
+  EXPECT_EQ(again.lost_records, 0u);
+  ASSERT_EQ(service.Get(load[0], out.data()), RequestStatus::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), TaggedValue(999).data(), kValueSize), 0);
+  service.Shutdown();
+}
+
+// Crash failover with semi-sync acks: every kOk was applied on the
+// replica, so promoting without a catch-up wait still loses zero acked
+// writes — the acceptance bar for the replication subsystem.
+TEST(ServiceFailover, ReplicatedAcksMakeCrashFailoverLossless) {
+  ServiceConfig cfg = BaseConfig("viper", "fo_synced");
+  cfg.replication.ack = ReplicationConfig::AckMode::kReplicated;
+  const std::vector<Key> load = LoadKeys(256);
+  KvService service("BTree", cfg, load);
+  ASSERT_TRUE(service.BulkLoad(load));
+  service.Start();
+
+  std::map<Key, std::vector<uint8_t>> model;
+  for (uint64_t i = 0; i < 150; ++i) {
+    const Key key =
+        (i % 2 == 0) ? load[(i * 7) % load.size()] : Key{300'000 + i};
+    std::vector<uint8_t> value = TaggedValue(i);
+    // kOk under kReplicated means "applied on the replica".
+    ASSERT_EQ(service.Put(key, value.data()), RequestStatus::kOk);
+    model[key] = std::move(value);
+  }
+  // Abrupt promotion — no catch-up wait, as if the primary just died.
+  FailoverReport report = service.FailOverShard(0, /*graceful=*/false);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.lost_records, 0u)
+      << "kReplicated acks must imply the replica already has every "
+         "acked write";
+  std::vector<uint8_t> out(kValueSize);
+  for (const auto& [key, want] : model) {
+    ASSERT_EQ(service.Get(key, out.data()), RequestStatus::kOk)
+        << "acked write lost by crash failover, key " << key;
+    EXPECT_EQ(std::memcmp(out.data(), want.data(), kValueSize), 0);
+  }
+  service.Shutdown();
+}
+
+// Crash failover on a DEAD link under async (kLocal) acks: locally-acked
+// writes past the kill point are gone — counted in the report, absent
+// from the promoted store (no partial/implied resurrection) — while
+// everything shipped before the kill survives byte-for-byte.
+TEST(ServiceFailover, DeadLinkCrashFailoverLosesExactlyTheUnshippedTail) {
+  ServiceConfig cfg = BaseConfig("viper", "fo_dead");
+  const std::vector<Key> load = LoadKeys(64);
+  KvService service("BTree", cfg, load);
+  ASSERT_TRUE(service.BulkLoad(load));
+  service.Start();
+
+  // Fresh keys all landing in shard 0's range (below the first
+  // boundary), so the kill's blast radius is exactly shard 0.
+  const Key probe = load[0];
+  const size_t shard = service.ShardOf(probe);
+  auto session = service.replica_session(shard);
+  ASSERT_NE(session, nullptr);
+
+  // Phase 1: healthy link; ship and confirm.
+  std::map<Key, std::vector<uint8_t>> survivors;
+  for (uint64_t i = 0; i < 40; ++i) {
+    const Key key = load[i % load.size()];
+    if (service.ShardOf(key) != shard) continue;
+    std::vector<uint8_t> value = TaggedValue(i);
+    ASSERT_EQ(service.Put(key, value.data()), RequestStatus::kOk);
+    survivors[key] = std::move(value);
+  }
+  ASSERT_TRUE(service.WaitReplicasCaughtUp());
+
+  // Phase 2: the link dies. Writes keep acking locally (async mode) but
+  // never reach the replica.
+  session->transport()->FailAfter(0);
+  std::vector<Key> casualties;
+  for (uint64_t i = 0; i < 20; ++i) {
+    const Key key = 500 + i;  // below load[0]=1000: shard 0's range
+    ASSERT_EQ(service.ShardOf(key), shard);
+    ASSERT_EQ(service.Put(key, TaggedValue(1000 + i).data()),
+              RequestStatus::kOk);
+    casualties.push_back(key);
+  }
+  service.Drain();
+
+  FailoverReport report = service.FailOverShard(shard, /*graceful=*/false);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.lost_records, 20u);
+  std::vector<uint8_t> out(kValueSize);
+  for (const auto& [key, want] : survivors) {
+    ASSERT_EQ(service.Get(key, out.data()), RequestStatus::kOk)
+        << "shipped write lost, key " << key;
+    EXPECT_EQ(std::memcmp(out.data(), want.data(), kValueSize), 0);
+  }
+  for (Key key : casualties) {
+    EXPECT_EQ(service.Get(key, out.data()), RequestStatus::kNotFound)
+        << "unshipped write resurrected, key " << key;
+  }
+  service.Shutdown();
+}
+
+// Failover is refused cleanly when replication is off.
+TEST(ServiceFailover, RefusedWithoutReplication) {
+  ServiceConfig cfg = BaseConfig("viper", "fo_off");
+  cfg.replication.enabled = false;
+  const std::vector<Key> load = LoadKeys(32);
+  KvService service("BTree", cfg, load);
+  ASSERT_TRUE(service.BulkLoad(load));
+  service.Start();
+  FailoverReport report = service.FailOverShard(0, true);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(service.Stats().failovers, 0u);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace pieces::service

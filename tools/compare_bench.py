@@ -84,7 +84,16 @@ def load_baseline_file(rows, path):
               file=sys.stderr)
         return True
     experiment = doc.get("experiment", "")
-    for i, row in enumerate(doc.get("rows", []), 1):
+    baseline_rows = doc.get("rows", [])
+    if not baseline_rows:
+        # A zero-row baseline gates nothing: every current row would count
+        # as "new" and the comparison silently passes. That only happens
+        # when bench_baseline.py was fed an empty/failed run — refuse it.
+        print(f"{path}: baseline has zero rows (experiment "
+              f"{experiment!r}); regenerate it from a successful run with "
+              f"tools/bench_baseline.py", file=sys.stderr)
+        return False
+    for i, row in enumerate(baseline_rows, 1):
         add_row(rows, path, i, experiment, row)
     return True
 
